@@ -1,0 +1,22 @@
+//! Allocator bench: full allocation (initial subgraph search + precision recovery) on a
+//! reduced-scale model, used to track the planner's own cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsync_bench::experiments::setup;
+use qsync_cluster::topology::ClusterSpec;
+use qsync_core::allocator::Allocator;
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    group.sample_size(10);
+    for model in ["vgg16bn", "bert"] {
+        let system = setup::small_system(model, ClusterSpec::cluster_a(2, 2), 1);
+        group.bench_with_input(BenchmarkId::new("allocate", model), &system, |b, sys| {
+            b.iter(|| Allocator::new(sys).allocate(&sys.indicator()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

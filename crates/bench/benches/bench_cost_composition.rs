@@ -1,0 +1,15 @@
+//! Fig. 4 bench: computing the cost composition of an operator (cost model + cost
+//! mapper path) at the three candidate precisions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsync_bench::experiments::fig4;
+
+fn bench_cost_composition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_cost_composition");
+    group.sample_size(10);
+    group.bench_function("cost_composition", |b| b.iter(fig4::cost_composition));
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_composition);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table I bench: evaluating the analytic operator cost model across devices and
+//! precisions (the capability ratios that drive every other experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsync_cluster::cost::compute::ComputeCostModel;
+use qsync_cluster::device::{Device, GpuModel};
+use qsync_lp_kernels::precision::Precision;
+use qsync_graph::models::resnet50;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_cost_model");
+    group.sample_size(20);
+    let dag = resnet50(32, 64);
+    let model = ComputeCostModel::default();
+    for gpu in [GpuModel::V100, GpuModel::T4, GpuModel::A10] {
+        let device = Device::full(0, gpu);
+        group.bench_with_input(BenchmarkId::new("model_cost", format!("{gpu:?}")), &device, |b, dev| {
+            b.iter(|| {
+                Precision::PAPER_CANDIDATES
+                    .iter()
+                    .map(|&p| model.uniform_model_cost_us(dag.nodes(), p, dev))
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Tables IV/V/VI bench: one full end-to-end evaluation (ORACLE / DBS / UP / QSync) on a
+//! reduced-scale model, tracking the cost of regenerating a table row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsync_bench::experiments::setup;
+use qsync_cluster::topology::ClusterSpec;
+use qsync_core::allocator::Allocator;
+use qsync_core::baselines::{dynamic_batch_sizing, uniform_precision_plan};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let system = setup::small_system("vgg16bn", ClusterSpec::cluster_a(2, 2), 1);
+    group.bench_function("table4_row_vgg16bn", |b| {
+        b.iter(|| {
+            let dbs = dynamic_batch_sizing(&system);
+            let up = uniform_precision_plan(&system);
+            let up_thr = system.predict(&up).iterations_per_second();
+            let (plan, _) = Allocator::new(&system).allocate(&system.indicator());
+            let qs_thr = system.predict(&plan).iterations_per_second();
+            (dbs.iterations_per_second, up_thr, qs_thr)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

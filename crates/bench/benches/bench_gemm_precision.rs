@@ -1,0 +1,44 @@
+//! Kernel-level bench: FP32 vs FP16-emulated vs INT8 GEMM (the Table I capability ratios
+//! expressed on the real Rust kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsync_lp_kernels::gemm::{gemm_f16, gemm_f32, gemm_i8, TileConfig};
+use qsync_lp_kernels::precision::Precision;
+use qsync_lp_kernels::quant::FixedQuantizer;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_precision");
+    group.sample_size(10);
+    let (m, k, n) = (256usize, 512usize, 256usize);
+    let a: Vec<f32> = (0..m * k).map(|i| ((i % 113) as f32) * 0.01 - 0.5).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| ((i % 97) as f32) * 0.02 - 0.9).collect();
+    let tile = TileConfig::fallback();
+
+    group.bench_function(BenchmarkId::new("fp32", format!("{m}x{k}x{n}")), |bch| {
+        bch.iter(|| gemm_f32(std::hint::black_box(&a), &b, m, k, n, &tile))
+    });
+    group.bench_function(BenchmarkId::new("fp16", format!("{m}x{k}x{n}")), |bch| {
+        bch.iter(|| gemm_f16(std::hint::black_box(&a), &b, m, k, n, &tile, Precision::Fp32))
+    });
+    let qa = FixedQuantizer::int8_per_tensor().quantize_seeded(&a, &[m, k], 1);
+    let qb = FixedQuantizer::int8_per_tensor().quantize_seeded(&b, &[k, n], 2);
+    group.bench_function(BenchmarkId::new("int8", format!("{m}x{k}x{n}")), |bch| {
+        bch.iter(|| {
+            gemm_i8(
+                std::hint::black_box(&qa.data),
+                &qb.data,
+                m,
+                k,
+                n,
+                qa.params.scalar_scale(),
+                &qb.params.scales,
+                None,
+                &tile,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table II / Fig. 8 bench: computing the variance indicator over a full model and
+//! tracing it across iterations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsync_core::indicator::trace::{default_tracked_layers, indicator_rank_trace};
+use qsync_core::indicator::{ModelStatistics, SensitivityIndicator, VarianceIndicator};
+use qsync_lp_kernels::precision::Precision;
+use qsync_graph::models::bert_base;
+
+fn bench_indicator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indicator");
+    group.sample_size(20);
+    let dag = bert_base(2, 64);
+    let stats = ModelStatistics::synthetic(&dag, 1);
+    let ind = VarianceIndicator::new(stats);
+    group.bench_function("omega_full_model_int8", |b| {
+        b.iter(|| ind.total(&dag, &|_| Precision::Int8))
+    });
+    let tracked = default_tracked_layers(&dag, "linear", 10);
+    group.bench_function("fig8_rank_trace_10_iters", |b| {
+        b.iter(|| indicator_rank_trace(&dag, &tracked, Precision::Fp16, 10, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_indicator);
+criterion_main!(benches);

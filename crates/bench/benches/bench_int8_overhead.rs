@@ -1,0 +1,58 @@
+//! Fig. 7(b) bench: quantization + dequantization pipeline (the INT8-over-FP16 extra
+//! work) on the real Rust kernels, with and without fused dequantization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsync_lp_kernels::gemm::TileConfig;
+use qsync_lp_kernels::quant::dequant::dequantize_i32_accumulator;
+use qsync_lp_kernels::quant::FixedQuantizer;
+
+fn bench_int8_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b_int8_pipeline");
+    group.sample_size(20);
+    let (m, k, n) = (128usize, 256usize, 128usize);
+    let a: Vec<f32> = (0..m * k).map(|i| ((i % 131) as f32) * 0.01 - 0.6).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| ((i % 89) as f32) * 0.02 - 0.8).collect();
+    let tile = TileConfig::fallback();
+    let qa = FixedQuantizer::int8_per_tensor().quantize_seeded(&a, &[m, k], 1);
+    let qb = FixedQuantizer::int8_per_tensor().quantize_seeded(&b, &[k, n], 2);
+
+    // Fused: the GEMM dequantizes in its epilogue.
+    group.bench_function(BenchmarkId::new("gemm_i8", "fused_dequant"), |bch| {
+        bch.iter(|| {
+            qsync_lp_kernels::gemm::gemm_i8(
+                std::hint::black_box(&qa.data),
+                &qb.data,
+                m,
+                k,
+                n,
+                qa.params.scalar_scale(),
+                &qb.params.scales,
+                None,
+                &tile,
+            )
+        })
+    });
+
+    // Unfused: accumulate in i32 first, then run a separate dequantization pass.
+    group.bench_function(BenchmarkId::new("gemm_i8", "separate_dequant"), |bch| {
+        bch.iter(|| {
+            let mut acc = vec![0i32; m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    let av = qa.data[i * k + p] as i32;
+                    if av == 0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        acc[i * n + j] += av * qb.data[p * n + j] as i32;
+                    }
+                }
+            }
+            dequantize_i32_accumulator(&acc, m, n, qa.params.scalar_scale(), &qb.params.scales, None)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_int8_pipeline);
+criterion_main!(benches);

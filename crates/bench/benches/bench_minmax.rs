@@ -1,0 +1,23 @@
+//! Fig. 7(a) bench: vanilla vs optimized min/max reduction across batch multipliers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsync_lp_kernels::quant::minmax::{minmax_optimized, minmax_vanilla};
+
+fn bench_minmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_minmax");
+    group.sample_size(20);
+    for batch in [1usize, 2, 3, 4, 5] {
+        let numel = 64 * batch * 56 * 56;
+        let data: Vec<f32> = (0..numel).map(|i| ((i % 977) as f32) * 0.013 - 5.0).collect();
+        group.bench_with_input(BenchmarkId::new("vanilla", batch), &data, |b, d| {
+            b.iter(|| minmax_vanilla(std::hint::black_box(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", batch), &data, |b, d| {
+            b.iter(|| minmax_optimized(std::hint::black_box(d), 64 * batch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minmax);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! `reproduce` — regenerate every table and figure of the QSync paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [table1|fig4|table2|table3|fig6|table4|table5|table6|fig7a|fig7b|fig8|all]
+//! ```
+//!
+//! With no argument (or `all`) every experiment runs in order. Chrome traces for Fig. 6
+//! are written to `fig6_uniform.trace.json` / `fig6_qsync.trace.json` in the working
+//! directory. Output is also appended to `experiment_results.json`.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use qsync_bench::experiments::{end_to_end, fig4, fig6, fig7, fig8, table1, table2, table3};
+
+const SEED: u64 = 2024;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let mut results: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+    let run_all = which == "all";
+
+    let run = |results: &mut BTreeMap<String, serde_json::Value>,
+               name: &str,
+               f: &mut dyn FnMut() -> serde_json::Value| {
+        if run_all || which == name {
+            let start = Instant::now();
+            let value = f();
+            eprintln!("[{name}] completed in {:.1}s\n", start.elapsed().as_secs_f64());
+            results.insert(name.to_string(), value);
+        }
+    };
+
+    run(&mut results, "table1", &mut || {
+        let t = table1::device_capability_table();
+        println!("{t}");
+        serde_json::json!({ "rows": t.rows.len() })
+    });
+
+    run(&mut results, "fig4", &mut || {
+        let c = fig4::cost_composition();
+        println!("{c}");
+        serde_json::json!(c
+            .rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "kernel": r.kernel, "cvt_pct": r.cvt_pct, "cpt_pct": r.cpt_pct, "bp_pct": r.bp_pct
+            }))
+            .collect::<Vec<_>>())
+    });
+
+    run(&mut results, "table2", &mut || {
+        let t = table2::indicator_table(&["resnet50", "vgg16bn", "bert", "roberta"], SEED);
+        println!("{t}");
+        serde_json::json!(t
+            .rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "model": r.model,
+                "cluster_a": r.cluster_a.iter().map(|c| (c.method.clone(), c.accuracy.mean)).collect::<Vec<_>>(),
+                "cluster_b": r.cluster_b.iter().map(|c| (c.method.clone(), c.accuracy.mean)).collect::<Vec<_>>(),
+            }))
+            .collect::<Vec<_>>())
+    });
+
+    run(&mut results, "table3", &mut || {
+        let t = table3::replay_table(SEED);
+        println!("{t}");
+        serde_json::json!(t
+            .rows
+            .iter()
+            .map(|r| serde_json::json!({
+                "config": r.config,
+                "ground_truth_ms": r.ground_truth_ms,
+                "dpro_err_pct": r.dpro_err_pct,
+                "qsync_err_pct": r.qsync_err_pct,
+            }))
+            .collect::<Vec<_>>())
+    });
+
+    run(&mut results, "fig6", &mut || {
+        let c = fig6::timeline_comparison("vgg16bn", SEED);
+        println!("{c}");
+        let _ = std::fs::write("fig6_uniform.trace.json", c.up_trace.to_chrome_json());
+        let _ = std::fs::write("fig6_qsync.trace.json", c.qsync_trace.to_chrome_json());
+        eprintln!("wrote fig6_uniform.trace.json and fig6_qsync.trace.json");
+        serde_json::json!({
+            "up_wait_ms": c.up_inference_wait_us / 1000.0,
+            "qsync_wait_ms": c.qsync_inference_wait_us / 1000.0,
+            "waiting_saved_pct": c.waiting_time_saved_fraction() * 100.0,
+        })
+    });
+
+    let end_to_end_run = |results: &mut BTreeMap<String, serde_json::Value>,
+                              name: &str,
+                              title: &str,
+                              testbed: end_to_end::Testbed,
+                              models: &[&str]| {
+        if run_all || which == name {
+            let start = Instant::now();
+            let t = end_to_end::end_to_end_table(title, testbed, models, SEED);
+            println!("{t}");
+            eprintln!("[{name}] completed in {:.1}s\n", start.elapsed().as_secs_f64());
+            let value = serde_json::json!(t
+                .blocks
+                .iter()
+                .map(|b| serde_json::json!({
+                    "model": b.model,
+                    "rows": b.rows.iter().map(|r| serde_json::json!({
+                        "method": r.method,
+                        "accuracy": r.accuracy.map(|a| a.mean),
+                        "throughput": r.throughput_it_s,
+                    })).collect::<Vec<_>>()
+                }))
+                .collect::<Vec<_>>());
+            results.insert(name.to_string(), value);
+        }
+    };
+
+    end_to_end_run(
+        &mut results,
+        "table4",
+        "Table IV: from-scratch training in ClusterA",
+        end_to_end::Testbed::ClusterA,
+        &["resnet50", "vgg16", "vgg16bn"],
+    );
+    end_to_end_run(
+        &mut results,
+        "table5",
+        "Table V: from-scratch training in ClusterB",
+        end_to_end::Testbed::ClusterB,
+        &["resnet50", "vgg16bn"],
+    );
+    end_to_end_run(
+        &mut results,
+        "table6",
+        "Table VI: fine-tuning tasks in ClusterA",
+        end_to_end::Testbed::ClusterA,
+        &["bert", "roberta"],
+    );
+
+    run(&mut results, "fig7a", &mut || {
+        let m = fig7::minmax_overhead(5);
+        println!("{m}");
+        serde_json::json!({ "mean_saving_pct": m.mean_saving_pct() })
+    });
+
+    run(&mut results, "fig7b", &mut || {
+        let o = fig7::int8_overhead(SEED);
+        println!("{o}");
+        serde_json::json!(o
+            .rows
+            .iter()
+            .map(|r| serde_json::json!({ "gpu": r.gpu, "bare_pct": r.bare_pct, "optimized_pct": r.optimized_pct }))
+            .collect::<Vec<_>>())
+    });
+
+    run(&mut results, "fig8", &mut || {
+        let t = fig8::indicator_traces(50, SEED);
+        println!("{t}");
+        serde_json::json!({
+            "bert_stability": t.bert.rank_stability(),
+            "resnet_stability": t.resnet.rank_stability(),
+        })
+    });
+
+    if results.is_empty() {
+        eprintln!("unknown experiment '{which}'. Valid: table1 fig4 table2 table3 fig6 table4 table5 table6 fig7a fig7b fig8 all");
+        std::process::exit(2);
+    }
+    let json = serde_json::to_string_pretty(&results).unwrap();
+    let _ = std::fs::write("experiment_results.json", json);
+    eprintln!("wrote experiment_results.json");
+}

@@ -1,0 +1,117 @@
+//! Fig. 6 — training timeline of VGG-16BN on ClusterA: uniform precision vs QSync.
+//!
+//! Uniform precision fully accelerates the inference GPUs, which then sit idle waiting
+//! for the training GPUs before every collective; QSync recovers some operators to higher
+//! precision, converting that waiting time into accuracy.
+
+use std::fmt;
+
+use qsync_cluster::trace::Trace;
+use qsync_core::allocator::Allocator;
+use qsync_core::baselines::uniform_precision_plan;
+
+use super::setup;
+
+/// Summary of the two timelines.
+#[derive(Debug, Clone)]
+pub struct TimelineComparison {
+    /// Iteration latency under uniform precision (us).
+    pub up_iteration_us: f64,
+    /// Iteration latency under QSync (us).
+    pub qsync_iteration_us: f64,
+    /// Mean waiting (idle) time of an inference GPU under uniform precision (us).
+    pub up_inference_wait_us: f64,
+    /// Mean waiting time of an inference GPU under QSync (us).
+    pub qsync_inference_wait_us: f64,
+    /// Chrome trace of the uniform-precision iteration.
+    pub up_trace: Trace,
+    /// Chrome trace of the QSync iteration.
+    pub qsync_trace: Trace,
+}
+
+impl TimelineComparison {
+    /// Fraction of the uniform-precision waiting time that QSync converts into useful
+    /// (higher-precision) compute.
+    pub fn waiting_time_saved_fraction(&self) -> f64 {
+        if self.up_inference_wait_us <= 0.0 {
+            return 0.0;
+        }
+        ((self.up_inference_wait_us - self.qsync_inference_wait_us) / self.up_inference_wait_us).max(0.0)
+    }
+}
+
+/// Regenerate the Fig. 6 comparison for a model on ClusterA.
+pub fn timeline_comparison(model: &str, seed: u64) -> TimelineComparison {
+    let system = setup::system(model, setup::cluster_a(), seed);
+    let up = uniform_precision_plan(&system);
+    let (qsync, _) = Allocator::new(&system).allocate(&system.indicator());
+
+    let up_sim = system.predict(&up);
+    let qs_sim = system.predict(&qsync);
+
+    let inference = system.cluster.inference_ranks();
+    let mean_wait = |sim: &qsync_core::replayer::SimResult| -> f64 {
+        inference.iter().map(|&r| sim.waiting_us(r)).sum::<f64>() / inference.len().max(1) as f64
+    };
+
+    TimelineComparison {
+        up_iteration_us: up_sim.iteration_us,
+        qsync_iteration_us: qs_sim.iteration_us,
+        up_inference_wait_us: mean_wait(&up_sim),
+        qsync_inference_wait_us: mean_wait(&qs_sim),
+        up_trace: up_sim.trace,
+        qsync_trace: qs_sim.trace,
+    }
+}
+
+impl fmt::Display for TimelineComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 6: training timeline, uniform precision vs QSync")?;
+        writeln!(
+            f,
+            "{:<18} {:>16} {:>22}",
+            "method", "iteration (ms)", "T4 waiting time (ms)"
+        )?;
+        writeln!(
+            f,
+            "{:<18} {:>16.2} {:>22.2}",
+            "Uniform precision",
+            self.up_iteration_us / 1000.0,
+            self.up_inference_wait_us / 1000.0
+        )?;
+        writeln!(
+            f,
+            "{:<18} {:>16.2} {:>22.2}",
+            "QSync",
+            self.qsync_iteration_us / 1000.0,
+            self.qsync_inference_wait_us / 1000.0
+        )?;
+        writeln!(
+            f,
+            "QSync converts {:.0}% of the inference GPUs' waiting time into higher-precision compute",
+            self.waiting_time_saved_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qsync_reduces_inference_gpu_waiting_without_hurting_throughput() {
+        let c = timeline_comparison("vgg16bn", 1);
+        assert!(
+            c.qsync_inference_wait_us < c.up_inference_wait_us,
+            "QSync wait {} should be below UP wait {}",
+            c.qsync_inference_wait_us,
+            c.up_inference_wait_us
+        );
+        // Throughput preserved within the allocator's tolerance.
+        assert!(c.qsync_iteration_us <= c.up_iteration_us * 1.02);
+        assert!(c.waiting_time_saved_fraction() > 0.0);
+        // Both traces contain compute and communication events.
+        assert!(!c.up_trace.events.is_empty());
+        assert!(!c.qsync_trace.events.is_empty());
+    }
+}

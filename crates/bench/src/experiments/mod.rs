@@ -1,0 +1,23 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`setup`] | shared clusters / models / systems |
+//! | [`table1`] | Table I — device capability |
+//! | [`fig4`] | Fig. 4 — cost composition of an operator |
+//! | [`table2`] | Table II — indicator performance |
+//! | [`table3`] | Table III — replay accuracy |
+//! | [`fig6`] | Fig. 6 — training timeline (UP vs QSync) |
+//! | [`end_to_end`] | Tables IV / V / VI — end-to-end accuracy and throughput |
+//! | [`fig7`] | Fig. 7 — quantization / INT8 overhead |
+//! | [`fig8`] | Fig. 8 — indicator rank trace |
+
+pub mod end_to_end;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod setup;
+pub mod table1;
+pub mod table2;
+pub mod table3;

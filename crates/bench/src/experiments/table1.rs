@@ -1,0 +1,80 @@
+//! Table I — capability of different devices.
+
+use std::fmt;
+
+use qsync_cluster::device::GpuModel;
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct DeviceRow {
+    /// GPU name.
+    pub gpu: &'static str,
+    /// Peak FP32 TFLOPS.
+    pub fp32_tflops: f64,
+    /// Peak FP16 TFLOPS.
+    pub fp16_tflops: f64,
+    /// Peak INT8 TOPS (None when unsupported).
+    pub int8_tops: Option<f64>,
+    /// Device memory in GiB.
+    pub memory_gib: f64,
+}
+
+/// The full table.
+#[derive(Debug, Clone)]
+pub struct DeviceCapabilityTable {
+    /// Rows, one per GPU model.
+    pub rows: Vec<DeviceRow>,
+}
+
+/// Regenerate Table I from the device model database.
+pub fn device_capability_table() -> DeviceCapabilityTable {
+    let rows = [GpuModel::T4, GpuModel::V100, GpuModel::A10]
+        .into_iter()
+        .map(|m| {
+            let s = m.spec();
+            DeviceRow {
+                gpu: s.name,
+                fp32_tflops: s.fp32_tflops,
+                fp16_tflops: s.fp16_tflops,
+                int8_tops: s.int8_tops,
+                memory_gib: s.memory_gib,
+            }
+        })
+        .collect();
+    DeviceCapabilityTable { rows }
+}
+
+impl fmt::Display for DeviceCapabilityTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I: capability of different devices")?;
+        writeln!(f, "{:<6} {:>12} {:>12} {:>10} {:>8}", "GPU", "FP32 TFLOPS", "FP16 TFLOPS", "INT8 TOPS", "Memory")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<6} {:>12.1} {:>12.1} {:>10} {:>7.0}G",
+                r.gpu,
+                r.fp32_tflops,
+                r.fp16_tflops,
+                r.int8_tops.map(|t| format!("{t:.0}")).unwrap_or_else(|| "/".into()),
+                r.memory_gib
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_the_paper_values() {
+        let t = device_capability_table();
+        let t4 = t.rows.iter().find(|r| r.gpu == "T4").unwrap();
+        assert_eq!(t4.fp32_tflops, 8.1);
+        assert_eq!(t4.int8_tops, Some(130.0));
+        let v100 = t.rows.iter().find(|r| r.gpu == "V100").unwrap();
+        assert_eq!(v100.int8_tops, None);
+        assert!(t.to_string().contains("V100"));
+    }
+}

@@ -1,0 +1,12 @@
+//! # qsync-bench — experiment harness regenerating every table and figure of the paper
+//!
+//! Each module under [`experiments`] computes one table/figure as a plain data structure
+//! with a `Display` implementation; the `reproduce` binary prints them and the Criterion
+//! benches exercise the underlying kernels. EXPERIMENTS.md records paper-vs-measured for
+//! every experiment.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,9 @@
+//! Cost models: compute latency, casting latency, memory footprint.
+
+pub mod casting;
+pub mod compute;
+pub mod memory;
+
+pub use casting::{CastingCostCalculator, LinearCostModel};
+pub use compute::{ComputeCostModel, OpCost};
+pub use memory::{MemoryBreakdown, MemoryEstimator, OptimizerKind};

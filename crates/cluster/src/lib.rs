@@ -1,0 +1,28 @@
+//! # qsync-cluster — hybrid-device cluster simulator and profiler
+//!
+//! The paper evaluates QSync on real V100 + T4 testbeds; this crate is the simulated
+//! substitute (see DESIGN.md). It provides:
+//!
+//! * [`device`] — GPU specifications (Table I), full/partial resource sharing (Fig. 2).
+//! * [`topology`] — ClusterA / ClusterB compositions and homogeneous sub-clusters.
+//! * [`cost`] — compute, casting and memory cost models (`M_i(·)` of problem (1)).
+//! * [`comm`] — the ring all-reduce latency model.
+//! * [`profiler`] — per-operator, per-precision cost profiling with reproducible hardware
+//!   factors and measurement noise.
+//! * [`trace`] — Chrome trace-event timelines for Fig. 6-style visualisation.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod cost;
+pub mod device;
+pub mod profiler;
+pub mod topology;
+pub mod trace;
+
+pub use comm::CommModel;
+pub use cost::{CastingCostCalculator, ComputeCostModel, MemoryEstimator, OpCost, OptimizerKind};
+pub use device::{Device, DeviceSpec, GpuModel, ResourceShare};
+pub use profiler::{OpProfile, ProfileDb, Profiler};
+pub use topology::ClusterSpec;
+pub use trace::{Stream, Trace, TraceEvent};

@@ -1,0 +1,170 @@
+//! Cluster topology: which devices participate in a job and how they are connected.
+//!
+//! The paper's testbeds: ClusterA = 2 training servers x 8 V100 (300 GB/s interconnect)
+//! plus 2 inference servers x 8 T4 (32 GB/s), ClusterB = ClusterA with T4 memory limited
+//! to 30 % to emulate partial sharing in production.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{Device, GpuModel};
+
+/// A training job's view of the cluster: the participating devices and the link that
+/// bounds collective communication.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Cluster name used in reports.
+    pub name: String,
+    /// Participating devices, indexed by rank.
+    pub devices: Vec<Device>,
+    /// Bandwidth (GB/s) of the cross-cluster link between training and inference servers.
+    pub inter_cluster_gbs: f64,
+}
+
+impl ClusterSpec {
+    /// ClusterA of the paper: `n_v100` V100s (full share) + `n_t4` T4s (full share).
+    pub fn cluster_a(n_v100: usize, n_t4: usize) -> Self {
+        let mut devices = Vec::new();
+        for i in 0..n_v100 {
+            devices.push(Device::full(i, GpuModel::V100));
+        }
+        for j in 0..n_t4 {
+            devices.push(Device::full(n_v100 + j, GpuModel::T4));
+        }
+        ClusterSpec { name: format!("ClusterA[{n_v100}xV100+{n_t4}xT4]"), devices, inter_cluster_gbs: 10.0 }
+    }
+
+    /// ClusterB of the paper: ClusterA with the T4s' available memory limited to
+    /// `memory_fraction` (0.30 by default in the paper).
+    pub fn cluster_b(n_v100: usize, n_t4: usize, memory_fraction: f64) -> Self {
+        let mut c = Self::cluster_a(n_v100, n_t4);
+        for d in c.devices.iter_mut() {
+            if d.is_inference() {
+                *d = Device::partial(d.id, d.model, memory_fraction, 1.0);
+            }
+        }
+        c.name = format!("ClusterB[{n_v100}xV100+{n_t4}xT4@{:.0}%mem]", memory_fraction * 100.0);
+        c
+    }
+
+    /// A small hybrid cluster for tests and examples.
+    pub fn hybrid_small() -> Self {
+        Self::cluster_a(2, 2)
+    }
+
+    /// A homogeneous sub-cluster containing only the devices of one GPU model, used by
+    /// the profiler to trace communication on "smaller homogeneous GPU sets" (Section IV-B).
+    pub fn homogeneous_subset(&self, model: GpuModel, count: usize) -> ClusterSpec {
+        let devices: Vec<Device> = self
+            .devices
+            .iter()
+            .filter(|d| d.model == model)
+            .take(count)
+            .enumerate()
+            .map(|(i, d)| Device { id: i, ..d.clone() })
+            .collect();
+        ClusterSpec {
+            name: format!("{}-subset-{}x{:?}", self.name, devices.len(), model),
+            devices,
+            inter_cluster_gbs: self.inter_cluster_gbs,
+        }
+    }
+
+    /// Number of devices.
+    pub fn world_size(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Ranks of the inference GPUs (`K_inf` in the problem formulation).
+    pub fn inference_ranks(&self) -> Vec<usize> {
+        self.devices.iter().filter(|d| d.is_inference()).map(|d| d.id).collect()
+    }
+
+    /// Ranks of the training GPUs.
+    pub fn training_ranks(&self) -> Vec<usize> {
+        self.devices.iter().filter(|d| !d.is_inference()).map(|d| d.id).collect()
+    }
+
+    /// The bandwidth (bytes/s) that bounds a ring all-reduce across the whole job: the
+    /// slowest of any device's interconnect and the cross-cluster link (when the job
+    /// spans both clusters).
+    pub fn allreduce_bandwidth_bytes(&self) -> f64 {
+        let min_device_link = self
+            .devices
+            .iter()
+            .map(|d| d.model.spec().interconnect_gbs)
+            .fold(f64::INFINITY, f64::min);
+        let spans_both = !self.inference_ranks().is_empty() && !self.training_ranks().is_empty();
+        let effective = if spans_both {
+            min_device_link.min(self.inter_cluster_gbs)
+        } else {
+            min_device_link
+        };
+        effective * 1e9
+    }
+
+    /// `true` when the job mixes training and inference GPUs.
+    pub fn is_hybrid(&self) -> bool {
+        !self.inference_ranks().is_empty() && !self.training_ranks().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsync_lp_kernels::precision::Precision;
+
+    #[test]
+    fn cluster_a_composition() {
+        let c = ClusterSpec::cluster_a(16, 16);
+        assert_eq!(c.world_size(), 32);
+        assert_eq!(c.training_ranks().len(), 16);
+        assert_eq!(c.inference_ranks().len(), 16);
+        assert!(c.is_hybrid());
+    }
+
+    #[test]
+    fn cluster_b_limits_t4_memory_only() {
+        let a = ClusterSpec::cluster_a(2, 2);
+        let b = ClusterSpec::cluster_b(2, 2, 0.3);
+        for (da, db) in a.devices.iter().zip(b.devices.iter()) {
+            if da.is_inference() {
+                assert!(db.available_memory_bytes() < da.available_memory_bytes());
+            } else {
+                assert_eq!(db.available_memory_bytes(), da.available_memory_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_allreduce_is_bounded_by_slowest_link() {
+        let hybrid = ClusterSpec::cluster_a(2, 2);
+        let homogeneous = hybrid.homogeneous_subset(GpuModel::V100, 2);
+        assert!(hybrid.allreduce_bandwidth_bytes() < homogeneous.allreduce_bandwidth_bytes());
+        // Hybrid is bottlenecked by the 10 GB/s cross-cluster link.
+        assert_eq!(hybrid.allreduce_bandwidth_bytes(), 10.0 * 1e9);
+        // The V100-only subset runs over NVLink-class 300 GB/s.
+        assert_eq!(homogeneous.allreduce_bandwidth_bytes(), 300.0 * 1e9);
+    }
+
+    #[test]
+    fn homogeneous_subset_renumbers_ranks() {
+        let c = ClusterSpec::cluster_a(2, 2);
+        let sub = c.homogeneous_subset(GpuModel::T4, 2);
+        assert_eq!(sub.world_size(), 2);
+        assert_eq!(sub.devices[0].id, 0);
+        assert_eq!(sub.devices[1].id, 1);
+        assert!(sub.devices.iter().all(|d| d.model == GpuModel::T4));
+        assert!(!sub.is_hybrid());
+    }
+
+    #[test]
+    fn inference_gpus_support_lower_precision_than_training_gpus() {
+        let c = ClusterSpec::hybrid_small();
+        for r in c.inference_ranks() {
+            assert!(c.devices[r].supports(Precision::Int8));
+        }
+        for r in c.training_ranks() {
+            assert!(!c.devices[r].supports(Precision::Int8));
+        }
+    }
+}

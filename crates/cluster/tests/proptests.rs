@@ -1,0 +1,91 @@
+//! Property-based tests for the cost models: linearity, monotonicity and consistency
+//! properties the predictor and allocator rely on.
+
+use proptest::prelude::*;
+
+use qsync_cluster::comm::CommModel;
+use qsync_cluster::cost::casting::{CastingCostCalculator, LinearCostModel};
+use qsync_cluster::cost::compute::ComputeCostModel;
+use qsync_cluster::cost::memory::MemoryEstimator;
+use qsync_cluster::device::{Device, GpuModel};
+use qsync_lp_kernels::precision::Precision;
+use qsync_graph::models::small_mlp;
+use qsync_graph::PrecisionDag;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Casting costs are monotone in tensor size and zero for identity casts.
+    #[test]
+    fn casting_costs_are_monotone(n1 in 1usize..1_000_000, n2 in 1usize..1_000_000) {
+        let calc = CastingCostCalculator::for_device(&Device::full(0, GpuModel::T4));
+        let (small, large) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        for (from, to) in [(Precision::Fp32, Precision::Fp16), (Precision::Fp32, Precision::Int8), (Precision::Int8, Precision::Fp32)] {
+            prop_assert!(calc.predict_us(from, to, small) <= calc.predict_us(from, to, large) + 1e-9);
+            prop_assert_eq!(calc.predict_us(from, from, large), 0.0);
+        }
+    }
+
+    /// Fitting a linear model to points generated from a line recovers that line.
+    #[test]
+    fn linear_fit_recovers_generating_line(base in 0.0f64..50.0, slope_ns in 0.01f64..20.0) {
+        let samples: Vec<(usize, f64)> = (1..=8)
+            .map(|i| {
+                let n = i * 10_000;
+                (n, base + slope_ns * n as f64 / 1000.0)
+            })
+            .collect();
+        let m = LinearCostModel::fit(&samples);
+        prop_assert!((m.base_us - base).abs() < 1e-6 + base * 1e-6);
+        prop_assert!((m.per_elem_ns - slope_ns).abs() < 1e-6 + slope_ns * 1e-6);
+    }
+
+    /// Compute costs never increase when the precision is lowered on a T4, and partial
+    /// compute sharing never makes an operator faster.
+    #[test]
+    fn compute_cost_monotonicity(share in 0.1f64..1.0) {
+        let dag = small_mlp(32, 256, 512, 16);
+        let model = ComputeCostModel::default();
+        let full = Device::full(0, GpuModel::T4);
+        let partial = Device::partial(0, GpuModel::T4, 1.0, share);
+        for node in dag.nodes() {
+            let c32 = model.op_cost(node, Precision::Fp32, &full);
+            let c16 = model.op_cost(node, Precision::Fp16, &full);
+            let c8 = model.op_cost(node, Precision::Int8, &full);
+            prop_assert!(c16.fwd_us <= c32.fwd_us + 1e-9);
+            prop_assert!(c8.fwd_us <= c16.fwd_us + 1e-9);
+            let p16 = model.op_cost(node, Precision::Fp16, &partial);
+            prop_assert!(p16.fwd_us + 1e-9 >= c16.fwd_us);
+        }
+    }
+
+    /// All-reduce latency is monotone in payload and world size, and zero for one rank.
+    #[test]
+    fn allreduce_monotonicity(bytes in 1usize..(1 << 28), world in 2usize..64) {
+        let m = CommModel { world_size: world, bandwidth_bytes: 10e9, step_latency_us: 15.0 };
+        prop_assert!(m.allreduce_us(bytes) > 0.0);
+        prop_assert!(m.allreduce_us(bytes) <= m.allreduce_us(bytes * 2));
+        let bigger_world = CommModel { world_size: world + 1, ..m.clone() };
+        prop_assert!(bigger_world.allreduce_us(bytes) >= m.allreduce_us(bytes));
+        let single = CommModel { world_size: 1, ..m };
+        prop_assert_eq!(single.allreduce_us(bytes), 0.0);
+    }
+
+    /// Recovering one operator to full precision never shrinks the saved-activation
+    /// footprint, and the total can only drop by (at most) the low-precision weight copy
+    /// that the recovery frees.
+    #[test]
+    fn memory_recovery_behaviour(op_idx in 0usize..3, batch in 1usize..64) {
+        let dag = small_mlp(batch, 128, 256, 8);
+        let est = MemoryEstimator::default();
+        let mut low = PrecisionDag::uniform(&dag, Precision::Int8);
+        let before = est.estimate(&dag, &low);
+        let ops = dag.adjustable_ops();
+        let op = ops[op_idx % ops.len()];
+        let freed_copy = dag.node(op).kind.param_count() as u64 * Precision::Int8.bytes() as u64;
+        let _ = low.set(&dag, op, Precision::Fp32);
+        let after = est.estimate(&dag, &low);
+        prop_assert!(after.activations >= before.activations);
+        prop_assert!(after.total() + freed_copy >= before.total());
+    }
+}

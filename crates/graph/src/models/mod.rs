@@ -1,0 +1,187 @@
+//! The model zoo: the paper's evaluation models (ResNet-50, VGG-16, VGG-16BN, BERT-base,
+//! RoBERTa-base) plus small MLP/CNN models used for real (executable) training tests.
+//!
+//! Every builder produces a [`ModelDag`] whose nodes carry output shapes for the given
+//! batch size, weight shapes, and block tags used by the allocator's subgraph
+//! decomposition.
+
+mod resnet;
+mod transformer;
+mod vgg;
+
+pub use resnet::resnet50;
+pub use transformer::{bert_base, roberta_base, transformer_encoder};
+pub use vgg::{vgg16, vgg16bn};
+
+use crate::dag::ModelDag;
+use crate::op::OpKind;
+
+/// A small multi-layer perceptron for classification: `input -> [linear, relu] x L -> linear -> CE`.
+///
+/// Used by the executable training engine (real forward/backward on synthetic data) and
+/// by unit tests that need a graph with a handful of adjustable operators.
+pub fn small_mlp(batch: usize, in_features: usize, hidden: usize, classes: usize) -> ModelDag {
+    let mut g = ModelDag::new("small_mlp", batch);
+    let input = g.add_node("input", OpKind::Input, vec![], vec![batch, in_features], None, None);
+    let l1 = g.add_node(
+        "fc1",
+        OpKind::Linear { in_features, out_features: hidden },
+        vec![input],
+        vec![batch, hidden],
+        Some(vec![hidden, in_features]),
+        Some("mlp_block_0".into()),
+    );
+    let r1 = g.add_node("relu1", OpKind::ReLU, vec![l1], vec![batch, hidden], None, Some("mlp_block_0".into()));
+    let l2 = g.add_node(
+        "fc2",
+        OpKind::Linear { in_features: hidden, out_features: hidden },
+        vec![r1],
+        vec![batch, hidden],
+        Some(vec![hidden, hidden]),
+        Some("mlp_block_1".into()),
+    );
+    let r2 = g.add_node("relu2", OpKind::ReLU, vec![l2], vec![batch, hidden], None, Some("mlp_block_1".into()));
+    let l3 = g.add_node(
+        "fc3",
+        OpKind::Linear { in_features: hidden, out_features: classes },
+        vec![r2],
+        vec![batch, classes],
+        Some(vec![classes, hidden]),
+        None,
+    );
+    let _ = g.add_node("loss", OpKind::CrossEntropyLoss, vec![l3], vec![1], None, None);
+    g
+}
+
+/// A small convolutional classifier (two conv+BN+ReLU blocks, pooling, linear head).
+///
+/// It contains BatchNorm so the dynamic-batch-sizing accuracy effect is exercised by a
+/// model that can actually be trained in-process.
+pub fn small_cnn(batch: usize, image: usize, classes: usize) -> ModelDag {
+    let mut g = ModelDag::new("small_cnn", batch);
+    let input = g.add_node("input", OpKind::Input, vec![], vec![batch, 3, image, image], None, None);
+    let mut prev = input;
+    let mut channels = 3usize;
+    let mut spatial = image;
+    for (bi, out_c) in [16usize, 32].iter().enumerate() {
+        let block = format!("cnn_block_{bi}");
+        let conv = g.add_node(
+            format!("conv{bi}"),
+            OpKind::Conv2d { in_channels: channels, out_channels: *out_c, kernel: 3, stride: 1, padding: 1 },
+            vec![prev],
+            vec![batch, *out_c, spatial, spatial],
+            Some(vec![*out_c, channels * 9]),
+            Some(block.clone()),
+        );
+        let bn = g.add_node(
+            format!("bn{bi}"),
+            OpKind::BatchNorm2d { channels: *out_c },
+            vec![conv],
+            vec![batch, *out_c, spatial, spatial],
+            Some(vec![2, *out_c]),
+            Some(block.clone()),
+        );
+        let relu = g.add_node(
+            format!("relu{bi}"),
+            OpKind::ReLU,
+            vec![bn],
+            vec![batch, *out_c, spatial, spatial],
+            None,
+            Some(block.clone()),
+        );
+        spatial /= 2;
+        let pool = g.add_node(
+            format!("pool{bi}"),
+            OpKind::MaxPool2d { kernel: 2, stride: 2 },
+            vec![relu],
+            vec![batch, *out_c, spatial, spatial],
+            None,
+            Some(block),
+        );
+        prev = pool;
+        channels = *out_c;
+    }
+    let feat = channels * spatial * spatial;
+    let flat = g.add_node("flatten", OpKind::Flatten, vec![prev], vec![batch, feat], None, None);
+    let fc = g.add_node(
+        "fc",
+        OpKind::Linear { in_features: feat, out_features: classes },
+        vec![flat],
+        vec![batch, classes],
+        Some(vec![classes, feat]),
+        None,
+    );
+    let _ = g.add_node("loss", OpKind::CrossEntropyLoss, vec![fc], vec![1], None, None);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_mlp_structure() {
+        let g = small_mlp(8, 16, 32, 4);
+        assert_eq!(g.count_family("linear"), 3);
+        assert_eq!(g.count_family("relu"), 2);
+        assert_eq!(g.adjustable_ops().len(), 3);
+        assert_eq!(g.param_count(), 16 * 32 + 32 + 32 * 32 + 32 + 32 * 4 + 4);
+        assert!(!g.is_batch_size_sensitive());
+        assert!(g.max_depth() >= 6);
+    }
+
+    #[test]
+    fn small_cnn_structure() {
+        let g = small_cnn(4, 16, 10);
+        assert_eq!(g.count_family("conv2d"), 2);
+        assert_eq!(g.count_family("batchnorm"), 2);
+        assert!(g.is_batch_size_sensitive());
+        // Output spatial size after two /2 pools: 16 -> 8 -> 4; features = 32*4*4 = 512.
+        let fc = g.nodes().iter().find(|n| n.name == "fc").unwrap();
+        assert_eq!(fc.kind, OpKind::Linear { in_features: 512, out_features: 10 });
+    }
+
+    #[test]
+    fn models_are_valid_dags() {
+        for g in [small_mlp(2, 8, 8, 2), small_cnn(2, 8, 2)] {
+            let order = g.topo_order();
+            assert_eq!(order.len(), g.len());
+        }
+    }
+
+    #[test]
+    fn paper_model_zoo_operator_counts() {
+        // BERT has 73 linear operators (72 encoder + 1 task head), Section II-B.
+        let bert = bert_base(2, 16);
+        assert_eq!(bert.count_family("linear"), 73);
+        // ResNet-50 has 53 convolutions + 1 linear head; the paper's "52 Conv2D" counts
+        // the precision-adjustable convolutions excluding the stem.
+        let rn = resnet50(2, 32);
+        assert!(rn.count_family("conv2d") >= 52);
+        assert_eq!(rn.count_family("linear"), 1);
+        // VGG16: 13 convolutions + 3 linear layers; the BN variant adds 13 batchnorms.
+        let v = vgg16(2, 32);
+        assert_eq!(v.count_family("conv2d"), 13);
+        assert_eq!(v.count_family("linear"), 3);
+        let vb = vgg16bn(2, 32);
+        assert_eq!(vb.count_family("batchnorm"), 13);
+        assert!(vb.is_batch_size_sensitive());
+        assert!(!bert.is_batch_size_sensitive());
+    }
+
+    #[test]
+    fn parameter_counts_are_in_expected_ranges() {
+        // With 224x224 inputs the reference parameter counts are ~25.6M (ResNet-50),
+        // ~138M (VGG-16) and ~110M (BERT-base). Allow wide tolerances: the structural
+        // count is what matters for memory/communication modelling.
+        let rn = resnet50(1, 224);
+        let rn_m = rn.param_count() as f64 / 1e6;
+        assert!((20.0..32.0).contains(&rn_m), "resnet50 params {rn_m}M");
+        let v = vgg16(1, 224);
+        let v_m = v.param_count() as f64 / 1e6;
+        assert!((120.0..145.0).contains(&v_m), "vgg16 params {v_m}M");
+        let b = bert_base(1, 128);
+        let b_m = b.param_count() as f64 / 1e6;
+        assert!((95.0..125.0).contains(&b_m), "bert params {b_m}M");
+    }
+}

@@ -1,0 +1,217 @@
+//! ResNet-50 builder (He et al., bottleneck variant).
+
+use crate::dag::{ModelDag, NodeId};
+use crate::op::OpKind;
+
+struct Builder<'a> {
+    g: &'a mut ModelDag,
+    batch: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn conv_bn_relu(
+        &mut self,
+        name: &str,
+        block: &str,
+        prev: NodeId,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        spatial_out: usize,
+        relu: bool,
+    ) -> NodeId {
+        let conv = self.g.add_node(
+            format!("{name}.conv"),
+            OpKind::Conv2d { in_channels: in_c, out_channels: out_c, kernel, stride, padding },
+            vec![prev],
+            vec![self.batch, out_c, spatial_out, spatial_out],
+            Some(vec![out_c, in_c * kernel * kernel]),
+            Some(block.to_string()),
+        );
+        let bn = self.g.add_node(
+            format!("{name}.bn"),
+            OpKind::BatchNorm2d { channels: out_c },
+            vec![conv],
+            vec![self.batch, out_c, spatial_out, spatial_out],
+            Some(vec![2, out_c]),
+            Some(block.to_string()),
+        );
+        if relu {
+            self.g.add_node(
+                format!("{name}.relu"),
+                OpKind::ReLU,
+                vec![bn],
+                vec![self.batch, out_c, spatial_out, spatial_out],
+                None,
+                Some(block.to_string()),
+            )
+        } else {
+            bn
+        }
+    }
+
+    /// One bottleneck block: 1x1 reduce, 3x3, 1x1 expand, residual add, relu.
+    #[allow(clippy::too_many_arguments)]
+    fn bottleneck(
+        &mut self,
+        name: &str,
+        prev: NodeId,
+        in_c: usize,
+        mid_c: usize,
+        out_c: usize,
+        stride: usize,
+        spatial_in: usize,
+    ) -> (NodeId, usize) {
+        let spatial_out = if stride == 1 { spatial_in } else { spatial_in / stride };
+        let block = name.to_string();
+        let a = self.conv_bn_relu(&format!("{name}.c1"), &block, prev, in_c, mid_c, 1, 1, 0, spatial_in, true);
+        let b = self.conv_bn_relu(&format!("{name}.c2"), &block, a, mid_c, mid_c, 3, stride, 1, spatial_out, true);
+        let c = self.conv_bn_relu(&format!("{name}.c3"), &block, b, mid_c, out_c, 1, 1, 0, spatial_out, false);
+        // Downsample path when the shape changes.
+        let shortcut = if in_c != out_c || stride != 1 {
+            self.conv_bn_relu(
+                &format!("{name}.downsample"),
+                &block,
+                prev,
+                in_c,
+                out_c,
+                1,
+                stride,
+                0,
+                spatial_out,
+                false,
+            )
+        } else {
+            prev
+        };
+        let add = self.g.add_node(
+            format!("{name}.add"),
+            OpKind::Add,
+            vec![c, shortcut],
+            vec![self.batch, out_c, spatial_out, spatial_out],
+            None,
+            Some(block.clone()),
+        );
+        let relu = self.g.add_node(
+            format!("{name}.out_relu"),
+            OpKind::ReLU,
+            vec![add],
+            vec![self.batch, out_c, spatial_out, spatial_out],
+            None,
+            Some(block),
+        );
+        (relu, spatial_out)
+    }
+}
+
+/// ResNet-50 for `1000`-class classification on square images of size `image`.
+pub fn resnet50(batch: usize, image: usize) -> ModelDag {
+    let mut g = ModelDag::new("resnet50", batch);
+    let input = g.add_node("input", OpKind::Input, vec![], vec![batch, 3, image, image], None, None);
+
+    let mut spatial = (image / 2).max(1);
+    let mut b = Builder { g: &mut g, batch };
+    // Stem: 7x7/2 conv, bn, relu, 3x3/2 maxpool.
+    let stem = b.conv_bn_relu("stem", "stem", input, 3, 64, 7, 2, 3, spatial, true);
+    spatial = (spatial / 2).max(1);
+    let pool = b.g.add_node(
+        "stem.maxpool",
+        OpKind::MaxPool2d { kernel: 3, stride: 2 },
+        vec![stem],
+        vec![batch, 64, spatial, spatial],
+        None,
+        Some("stem".into()),
+    );
+
+    // Stages: (mid channels, out channels, blocks, first stride)
+    let stages = [(64usize, 256usize, 3usize, 1usize), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    let mut prev = pool;
+    let mut in_c = 64usize;
+    for (si, (mid, out, blocks, stride)) in stages.iter().enumerate() {
+        for bi in 0..*blocks {
+            let s = if bi == 0 { *stride } else { 1 };
+            let name = format!("layer{}.{}", si + 1, bi);
+            let (n, sp) = b.bottleneck(&name, prev, in_c, *mid, *out, s, spatial);
+            prev = n;
+            spatial = sp;
+            in_c = *out;
+        }
+    }
+
+    // Head: global average pool, flatten, fc.
+    let gap = g.add_node(
+        "avgpool",
+        OpKind::GlobalAvgPool,
+        vec![prev],
+        vec![batch, 2048, 1, 1],
+        None,
+        None,
+    );
+    let flat = g.add_node("flatten", OpKind::Flatten, vec![gap], vec![batch, 2048], None, None);
+    let fc = g.add_node(
+        "fc",
+        OpKind::Linear { in_features: 2048, out_features: 1000 },
+        vec![flat],
+        vec![batch, 1000],
+        Some(vec![1000, 2048]),
+        None,
+    );
+    let _ = g.add_node("loss", OpKind::CrossEntropyLoss, vec![fc], vec![1], None, None);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_conv_count() {
+        let g = resnet50(2, 224);
+        // 1 stem + 16 bottlenecks * 3 + 4 downsample convs = 53.
+        assert_eq!(g.count_family("conv2d"), 53);
+        assert_eq!(g.count_family("linear"), 1);
+        assert_eq!(g.count_family("batchnorm"), 53);
+        assert_eq!(g.count_family("add"), 16);
+    }
+
+    #[test]
+    fn spatial_sizes_shrink_correctly_for_224() {
+        let g = resnet50(1, 224);
+        // The last bottleneck's output is 7x7x2048.
+        let last = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "layer4.2.out_relu")
+            .unwrap();
+        assert_eq!(last.output_shape, vec![1, 2048, 7, 7]);
+    }
+
+    #[test]
+    fn residual_adds_have_two_inputs() {
+        let g = resnet50(1, 64);
+        for n in g.nodes().iter().filter(|n| n.kind == OpKind::Add) {
+            assert_eq!(n.inputs.len(), 2, "{}", n.name);
+        }
+    }
+
+    #[test]
+    fn graph_is_acyclic_and_deep() {
+        let g = resnet50(1, 64);
+        assert_eq!(g.topo_order().len(), g.len());
+        assert!(g.max_depth() > 100);
+    }
+
+    #[test]
+    fn block_tags_group_bottleneck_operators() {
+        let g = resnet50(1, 64);
+        let tagged = g
+            .nodes()
+            .iter()
+            .filter(|n| n.block.as_deref() == Some("layer1.0"))
+            .count();
+        // c1 conv/bn/relu + c2 conv/bn/relu + c3 conv/bn + downsample conv/bn + add + relu = 12 nodes.
+        assert_eq!(tagged, 12);
+    }
+}

@@ -1,0 +1,254 @@
+//! BERT-base and RoBERTa-base builders (transformer encoders with task heads).
+
+use crate::dag::{ModelDag, NodeId};
+use crate::op::OpKind;
+
+/// Hyperparameters of a transformer encoder stack.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerConfig {
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Feed-forward intermediate size.
+    pub intermediate: usize,
+    /// Number of attention heads (only affects the matmul shapes, not parameter counts).
+    pub heads: usize,
+    /// Vocabulary size for the embedding table.
+    pub vocab: usize,
+}
+
+impl TransformerConfig {
+    /// The BERT-base / RoBERTa-base configuration (12 layers, hidden 768, FFN 3072).
+    pub fn base(vocab: usize) -> Self {
+        TransformerConfig { layers: 12, hidden: 768, intermediate: 3072, heads: 12, vocab }
+    }
+}
+
+fn linear(
+    g: &mut ModelDag,
+    name: String,
+    prev: NodeId,
+    batch_tokens: usize,
+    in_f: usize,
+    out_f: usize,
+    block: Option<String>,
+) -> NodeId {
+    g.add_node(
+        name,
+        OpKind::Linear { in_features: in_f, out_features: out_f },
+        vec![prev],
+        vec![batch_tokens, out_f],
+        Some(vec![out_f, in_f]),
+        block,
+    )
+}
+
+/// Build an encoder stack on top of `input_node`, returning the final hidden-state node.
+pub fn transformer_encoder(
+    g: &mut ModelDag,
+    input_node: NodeId,
+    cfg: &TransformerConfig,
+    batch: usize,
+    seq: usize,
+) -> NodeId {
+    let bt = batch * seq;
+    let h = cfg.hidden;
+    let mut prev = input_node;
+    for l in 0..cfg.layers {
+        let block = format!("encoder_layer_{l}");
+        // Self-attention projections.
+        let q = linear(g, format!("layer{l}.attn.q"), prev, bt, h, h, Some(block.clone()));
+        let k = linear(g, format!("layer{l}.attn.k"), prev, bt, h, h, Some(block.clone()));
+        let v = linear(g, format!("layer{l}.attn.v"), prev, bt, h, h, Some(block.clone()));
+        // Scores = Q K^T (binary matmul, precision never changed), softmax, context = P V.
+        let scores = g.add_node(
+            format!("layer{l}.attn.scores"),
+            OpKind::Matmul,
+            vec![q, k],
+            vec![batch, cfg.heads, seq, seq],
+            None,
+            Some(block.clone()),
+        );
+        let probs = g.add_node(
+            format!("layer{l}.attn.softmax"),
+            OpKind::Softmax,
+            vec![scores],
+            vec![batch, cfg.heads, seq, seq],
+            None,
+            Some(block.clone()),
+        );
+        let context = g.add_node(
+            format!("layer{l}.attn.context"),
+            OpKind::Matmul,
+            vec![probs, v],
+            vec![bt, h],
+            None,
+            Some(block.clone()),
+        );
+        let attn_out = linear(g, format!("layer{l}.attn.out"), context, bt, h, h, Some(block.clone()));
+        let drop1 = g.add_node(
+            format!("layer{l}.attn.dropout"),
+            OpKind::Dropout { p: 0.1 },
+            vec![attn_out],
+            vec![bt, h],
+            None,
+            Some(block.clone()),
+        );
+        let add1 = g.add_node(
+            format!("layer{l}.attn.add"),
+            OpKind::Add,
+            vec![drop1, prev],
+            vec![bt, h],
+            None,
+            Some(block.clone()),
+        );
+        let ln1 = g.add_node(
+            format!("layer{l}.attn.layernorm"),
+            OpKind::LayerNorm { dim: h },
+            vec![add1],
+            vec![bt, h],
+            Some(vec![2, h]),
+            Some(block.clone()),
+        );
+        // Feed-forward network.
+        let ff1 = linear(g, format!("layer{l}.ffn.fc1"), ln1, bt, h, cfg.intermediate, Some(block.clone()));
+        let gelu = g.add_node(
+            format!("layer{l}.ffn.gelu"),
+            OpKind::GeLU,
+            vec![ff1],
+            vec![bt, cfg.intermediate],
+            None,
+            Some(block.clone()),
+        );
+        let ff2 = linear(g, format!("layer{l}.ffn.fc2"), gelu, bt, cfg.intermediate, h, Some(block.clone()));
+        let drop2 = g.add_node(
+            format!("layer{l}.ffn.dropout"),
+            OpKind::Dropout { p: 0.1 },
+            vec![ff2],
+            vec![bt, h],
+            None,
+            Some(block.clone()),
+        );
+        let add2 = g.add_node(
+            format!("layer{l}.ffn.add"),
+            OpKind::Add,
+            vec![drop2, ln1],
+            vec![bt, h],
+            None,
+            Some(block.clone()),
+        );
+        let ln2 = g.add_node(
+            format!("layer{l}.ffn.layernorm"),
+            OpKind::LayerNorm { dim: h },
+            vec![add2],
+            vec![bt, h],
+            Some(vec![2, h]),
+            Some(block),
+        );
+        prev = ln2;
+    }
+    prev
+}
+
+fn build_bert_like(name: &str, vocab: usize, batch: usize, seq: usize, head_out: usize, with_pooler: bool) -> ModelDag {
+    let cfg = TransformerConfig::base(vocab);
+    let bt = batch * seq;
+    let h = cfg.hidden;
+    let mut g = ModelDag::new(name, batch);
+    let input = g.add_node("input_ids", OpKind::Input, vec![], vec![batch, seq], None, None);
+    let emb = g.add_node(
+        "embeddings",
+        OpKind::Embedding { vocab: cfg.vocab, dim: h },
+        vec![input],
+        vec![bt, h],
+        Some(vec![cfg.vocab, h]),
+        None,
+    );
+    let emb_ln = g.add_node(
+        "embeddings.layernorm",
+        OpKind::LayerNorm { dim: h },
+        vec![emb],
+        vec![bt, h],
+        Some(vec![2, h]),
+        None,
+    );
+    let encoded = transformer_encoder(&mut g, emb_ln, &cfg, batch, seq);
+    let head_in = if with_pooler {
+        // RoBERTa-style classification head keeps a dense+activation before the classifier,
+        // but to preserve the "73 linear" count of BERT we only add the pooler for RoBERTa.
+        let pooler = linear(&mut g, "pooler.dense".into(), encoded, batch, h, h, None);
+        g.add_node("pooler.gelu", OpKind::GeLU, vec![pooler], vec![batch, h], None, None)
+    } else {
+        encoded
+    };
+    let rows = if with_pooler { batch } else { bt };
+    let head = linear(&mut g, "task_head".into(), head_in, rows, h, head_out, None);
+    let _ = g.add_node("loss", OpKind::CrossEntropyLoss, vec![head], vec![1], None, None);
+    g
+}
+
+/// BERT-base with a SQuAD-style span-prediction head (2 outputs per token).
+///
+/// Contains 73 linear operators: 6 per encoder layer x 12 layers + the task head,
+/// matching the count quoted in Section II-B of the paper.
+pub fn bert_base(batch: usize, seq: usize) -> ModelDag {
+    build_bert_like("bert_base", 30522, batch, seq, 2, false)
+}
+
+/// RoBERTa-base with a SWAG-style multiple-choice head (pooler + classifier).
+pub fn roberta_base(batch: usize, seq: usize) -> ModelDag {
+    build_bert_like("roberta_base", 50265, batch, seq, 1, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_has_73_linear_operators() {
+        let g = bert_base(2, 32);
+        assert_eq!(g.count_family("linear"), 73);
+        assert_eq!(g.count_family("layernorm"), 25); // 2 per layer + embedding LN
+        assert_eq!(g.count_family("softmax"), 12);
+        assert_eq!(g.count_family("matmul"), 24);
+    }
+
+    #[test]
+    fn roberta_adds_a_pooler() {
+        let g = roberta_base(2, 32);
+        assert_eq!(g.count_family("linear"), 74);
+        assert!(g.nodes().iter().any(|n| n.name == "pooler.dense"));
+    }
+
+    #[test]
+    fn attention_block_has_five_adjustable_operators() {
+        // Section V: "BERT's attention has only 5 such operators" — q, k, v, out + softmax.
+        let g = bert_base(1, 16);
+        let layer0_adjustable = g
+            .nodes()
+            .iter()
+            .filter(|n| {
+                n.block.as_deref() == Some("encoder_layer_0")
+                    && n.kind.category() == crate::op::OpCategory::PrecisionAdjustable
+                    && n.name.contains("attn")
+            })
+            .count();
+        assert_eq!(layer0_adjustable, 5);
+    }
+
+    #[test]
+    fn encoder_layers_are_chained() {
+        let g = bert_base(1, 8);
+        assert_eq!(g.topo_order().len(), g.len());
+        assert!(g.max_depth() > 100);
+        assert!(!g.is_batch_size_sensitive());
+    }
+
+    #[test]
+    fn residual_connections_reference_the_layer_input() {
+        let g = bert_base(1, 8);
+        let add = g.nodes().iter().find(|n| n.name == "layer0.attn.add").unwrap();
+        assert_eq!(add.inputs.len(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! VGG-16 and VGG-16BN builders (Simonyan & Zisserman, configuration D).
+
+use crate::dag::{ModelDag, NodeId};
+use crate::op::OpKind;
+
+/// The 13-convolution configuration "D" of VGG: channel widths with `M` marking max-pools.
+const VGG16_CFG: &[Option<usize>] = &[
+    Some(64),
+    Some(64),
+    None,
+    Some(128),
+    Some(128),
+    None,
+    Some(256),
+    Some(256),
+    Some(256),
+    None,
+    Some(512),
+    Some(512),
+    Some(512),
+    None,
+    Some(512),
+    Some(512),
+    Some(512),
+    None,
+];
+
+fn build_vgg(name: &str, batch: usize, image: usize, classes: usize, with_bn: bool) -> ModelDag {
+    let mut g = ModelDag::new(name, batch);
+    let input = g.add_node("input", OpKind::Input, vec![], vec![batch, 3, image, image], None, None);
+    let mut prev: NodeId = input;
+    let mut channels = 3usize;
+    let mut spatial = image;
+    let mut conv_idx = 0usize;
+    let mut stage = 0usize;
+    for entry in VGG16_CFG {
+        match entry {
+            Some(out_c) => {
+                let block = format!("vgg_stage_{stage}");
+                let conv = g.add_node(
+                    format!("features.conv{conv_idx}"),
+                    OpKind::Conv2d {
+                        in_channels: channels,
+                        out_channels: *out_c,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
+                    vec![prev],
+                    vec![batch, *out_c, spatial, spatial],
+                    Some(vec![*out_c, channels * 9]),
+                    Some(block.clone()),
+                );
+                prev = conv;
+                if with_bn {
+                    let bn = g.add_node(
+                        format!("features.bn{conv_idx}"),
+                        OpKind::BatchNorm2d { channels: *out_c },
+                        vec![prev],
+                        vec![batch, *out_c, spatial, spatial],
+                        Some(vec![2, *out_c]),
+                        Some(block.clone()),
+                    );
+                    prev = bn;
+                }
+                let relu = g.add_node(
+                    format!("features.relu{conv_idx}"),
+                    OpKind::ReLU,
+                    vec![prev],
+                    vec![batch, *out_c, spatial, spatial],
+                    None,
+                    Some(block),
+                );
+                prev = relu;
+                channels = *out_c;
+                conv_idx += 1;
+            }
+            None => {
+                spatial = (spatial / 2).max(1);
+                let pool = g.add_node(
+                    format!("features.pool{stage}"),
+                    OpKind::MaxPool2d { kernel: 2, stride: 2 },
+                    vec![prev],
+                    vec![batch, channels, spatial, spatial],
+                    None,
+                    None,
+                );
+                prev = pool;
+                stage += 1;
+            }
+        }
+    }
+
+    // Classifier: flatten, fc-4096, relu, dropout, fc-4096, relu, dropout, fc-classes.
+    let feat = channels * spatial * spatial;
+    let flat = g.add_node("flatten", OpKind::Flatten, vec![prev], vec![batch, feat], None, None);
+    let fc1 = g.add_node(
+        "classifier.fc1",
+        OpKind::Linear { in_features: feat, out_features: 4096 },
+        vec![flat],
+        vec![batch, 4096],
+        Some(vec![4096, feat]),
+        None,
+    );
+    let r1 = g.add_node("classifier.relu1", OpKind::ReLU, vec![fc1], vec![batch, 4096], None, None);
+    let d1 = g.add_node("classifier.drop1", OpKind::Dropout { p: 0.5 }, vec![r1], vec![batch, 4096], None, None);
+    let fc2 = g.add_node(
+        "classifier.fc2",
+        OpKind::Linear { in_features: 4096, out_features: 4096 },
+        vec![d1],
+        vec![batch, 4096],
+        Some(vec![4096, 4096]),
+        None,
+    );
+    let r2 = g.add_node("classifier.relu2", OpKind::ReLU, vec![fc2], vec![batch, 4096], None, None);
+    let d2 = g.add_node("classifier.drop2", OpKind::Dropout { p: 0.5 }, vec![r2], vec![batch, 4096], None, None);
+    let fc3 = g.add_node(
+        "classifier.fc3",
+        OpKind::Linear { in_features: 4096, out_features: classes },
+        vec![d2],
+        vec![batch, classes],
+        Some(vec![classes, 4096]),
+        None,
+    );
+    let _ = g.add_node("loss", OpKind::CrossEntropyLoss, vec![fc3], vec![1], None, None);
+    g
+}
+
+/// VGG-16 (no batch normalisation) for `classes = 1000` ImageNet classification.
+pub fn vgg16(batch: usize, image: usize) -> ModelDag {
+    build_vgg("vgg16", batch, image, 1000, false)
+}
+
+/// VGG-16BN (batch normalisation after every convolution).
+pub fn vgg16bn(batch: usize, image: usize) -> ModelDag {
+    build_vgg("vgg16bn", batch, image, 1000, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_has_13_convs_and_5_pools() {
+        let g = vgg16(2, 224);
+        assert_eq!(g.count_family("conv2d"), 13);
+        assert_eq!(g.count_family("maxpool"), 5);
+        assert_eq!(g.count_family("linear"), 3);
+        assert_eq!(g.count_family("batchnorm"), 0);
+    }
+
+    #[test]
+    fn vgg16bn_adds_one_bn_per_conv() {
+        let g = vgg16bn(2, 224);
+        assert_eq!(g.count_family("batchnorm"), g.count_family("conv2d"));
+    }
+
+    #[test]
+    fn classifier_input_features_match_224_input() {
+        let g = vgg16(1, 224);
+        let fc1 = g.nodes().iter().find(|n| n.name == "classifier.fc1").unwrap();
+        // 224 / 2^5 = 7 spatial, 512 channels: 512*7*7 = 25088.
+        assert_eq!(fc1.kind, OpKind::Linear { in_features: 25088, out_features: 4096 });
+    }
+
+    #[test]
+    fn adjustable_operator_count_is_convs_plus_linears_plus_softmax_free() {
+        let g = vgg16bn(2, 32);
+        // Conv (13) + Linear (3); VGG has no softmax outside the loss.
+        assert_eq!(g.adjustable_ops().len(), 16);
+    }
+
+    #[test]
+    fn depth_increases_through_the_network() {
+        let g = vgg16(1, 64);
+        assert!(g.max_depth() >= 25);
+    }
+}

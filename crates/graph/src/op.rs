@@ -1,0 +1,269 @@
+//! Operator taxonomy.
+//!
+//! The paper splits operators into two classes (Section IV-B):
+//!
+//! * **Precision-adjustable operators** (`O_adj`): computation-intensive operators whose
+//!   precision QSync can set directly (Linear, Conv2d), plus operators that may overflow
+//!   at low precision and therefore get an explicit precision assignment (Softmax).
+//! * **Precision-dependent operators** (`O_dep`): operators whose precision is decided by
+//!   their inputs (Add, ReLU, MaxPool, ...), which is what causes the cascading precision
+//!   changes the cost mapper must follow.
+//!
+//! Loss functions and pure binary matmuls are never modified (Proposition 1 requires the
+//! loss to stay exact; QSync "does nothing with matmul ops (binary inputs)").
+
+use serde::{Deserialize, Serialize};
+
+/// How an operator participates in precision selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpCategory {
+    /// Precision can be assigned directly by the allocator (`O_adj`).
+    PrecisionAdjustable,
+    /// Precision follows the inputs (`O_dep` / `O_rel`); subject to cascading changes.
+    PrecisionDependent,
+    /// Precision is never changed (losses, binary matmul, input/output pseudo-ops).
+    Fixed,
+}
+
+/// The operator types appearing in the paper's model zoo (ResNet, VGG, BERT, RoBERTa).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Pseudo-operator marking a graph input (data or labels).
+    Input,
+    /// Fully connected layer `y = x W^T + b`.
+    Linear {
+        /// Input feature dimension.
+        in_features: usize,
+        /// Output feature dimension.
+        out_features: usize,
+    },
+    /// 2-D convolution with square kernels.
+    Conv2d {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        padding: usize,
+    },
+    /// Batch normalisation over 2-D feature maps (statistics depend on the local batch).
+    BatchNorm2d {
+        /// Number of channels.
+        channels: usize,
+    },
+    /// Layer normalisation (batch-size independent, used by transformers).
+    LayerNorm {
+        /// Normalised feature dimension.
+        dim: usize,
+    },
+    /// Rectified linear unit.
+    ReLU,
+    /// Gaussian error linear unit.
+    GeLU,
+    /// 2-D max pooling.
+    MaxPool2d {
+        /// Kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling to `1x1`.
+    GlobalAvgPool,
+    /// Elementwise addition (residual connections).
+    Add,
+    /// Binary matrix multiplication (attention score / context products).
+    Matmul,
+    /// Softmax along the last dimension (may overflow at low precision).
+    Softmax,
+    /// Dropout (identity at profile time; kept for graph fidelity).
+    Dropout {
+        /// Drop probability.
+        p: f32,
+    },
+    /// Token embedding lookup.
+    Embedding {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Embedding dimension.
+        dim: usize,
+    },
+    /// Flatten spatial dimensions into features.
+    Flatten,
+    /// Cross-entropy loss with softmax (precision never changed).
+    CrossEntropyLoss,
+    /// Mean squared error loss (precision never changed).
+    MseLoss,
+}
+
+impl OpKind {
+    /// The precision-selection category of this operator.
+    pub fn category(&self) -> OpCategory {
+        match self {
+            OpKind::Linear { .. } | OpKind::Conv2d { .. } | OpKind::Softmax => {
+                OpCategory::PrecisionAdjustable
+            }
+            OpKind::ReLU
+            | OpKind::GeLU
+            | OpKind::Add
+            | OpKind::MaxPool2d { .. }
+            | OpKind::GlobalAvgPool
+            | OpKind::Dropout { .. }
+            | OpKind::Flatten
+            | OpKind::BatchNorm2d { .. }
+            | OpKind::LayerNorm { .. } => OpCategory::PrecisionDependent,
+            OpKind::Input
+            | OpKind::Matmul
+            | OpKind::Embedding { .. }
+            | OpKind::CrossEntropyLoss
+            | OpKind::MseLoss => OpCategory::Fixed,
+        }
+    }
+
+    /// `true` for the computation-intensive operators the allocator targets first.
+    pub fn is_compute_intensive(&self) -> bool {
+        matches!(self, OpKind::Linear { .. } | OpKind::Conv2d { .. } | OpKind::Matmul)
+    }
+
+    /// `true` if the operator holds learnable parameters.
+    pub fn has_parameters(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Linear { .. }
+                | OpKind::Conv2d { .. }
+                | OpKind::BatchNorm2d { .. }
+                | OpKind::LayerNorm { .. }
+                | OpKind::Embedding { .. }
+        )
+    }
+
+    /// Number of learnable parameters (weights + biases / affine terms).
+    pub fn param_count(&self) -> usize {
+        match self {
+            OpKind::Linear { in_features, out_features } => in_features * out_features + out_features,
+            OpKind::Conv2d { in_channels, out_channels, kernel, .. } => {
+                out_channels * in_channels * kernel * kernel + out_channels
+            }
+            OpKind::BatchNorm2d { channels } => 2 * channels,
+            OpKind::LayerNorm { dim } => 2 * dim,
+            OpKind::Embedding { vocab, dim } => vocab * dim,
+            _ => 0,
+        }
+    }
+
+    /// Forward FLOPs for a given output element count (`out_numel`) and, where needed,
+    /// batch-times-spatial size (`rows`, the GEMM `m` dimension).
+    pub fn forward_flops(&self, out_numel: usize, rows: usize) -> f64 {
+        match self {
+            OpKind::Linear { in_features, .. } => 2.0 * out_numel as f64 * *in_features as f64,
+            OpKind::Conv2d { in_channels, kernel, .. } => {
+                2.0 * out_numel as f64 * (*in_channels * kernel * kernel) as f64
+            }
+            OpKind::Matmul => {
+                // rows here carries the contracted dimension.
+                2.0 * out_numel as f64 * rows as f64
+            }
+            OpKind::BatchNorm2d { .. } | OpKind::LayerNorm { .. } => 5.0 * out_numel as f64,
+            OpKind::Softmax | OpKind::GeLU => 4.0 * out_numel as f64,
+            OpKind::ReLU | OpKind::Add | OpKind::Dropout { .. } => out_numel as f64,
+            OpKind::MaxPool2d { kernel, .. } => (kernel * kernel) as f64 * out_numel as f64,
+            OpKind::GlobalAvgPool => out_numel as f64 * rows.max(1) as f64,
+            OpKind::Embedding { .. } | OpKind::Flatten | OpKind::Input => 0.0,
+            OpKind::CrossEntropyLoss | OpKind::MseLoss => 3.0 * out_numel as f64,
+        }
+    }
+
+    /// A short human-readable operator family name (used for trace / table labels).
+    pub fn family(&self) -> &'static str {
+        match self {
+            OpKind::Input => "input",
+            OpKind::Linear { .. } => "linear",
+            OpKind::Conv2d { .. } => "conv2d",
+            OpKind::BatchNorm2d { .. } => "batchnorm",
+            OpKind::LayerNorm { .. } => "layernorm",
+            OpKind::ReLU => "relu",
+            OpKind::GeLU => "gelu",
+            OpKind::MaxPool2d { .. } => "maxpool",
+            OpKind::GlobalAvgPool => "avgpool",
+            OpKind::Add => "add",
+            OpKind::Matmul => "matmul",
+            OpKind::Softmax => "softmax",
+            OpKind::Dropout { .. } => "dropout",
+            OpKind::Embedding { .. } => "embedding",
+            OpKind::Flatten => "flatten",
+            OpKind::CrossEntropyLoss => "cross_entropy",
+            OpKind::MseLoss => "mse",
+        }
+    }
+
+    /// `true` if the operator's semantics depend on the local batch size.
+    ///
+    /// This is the property that makes dynamic batch sizing hurt convolution models
+    /// (BatchNorm statistics) but not transformers (LayerNorm), Section II-A / VII-C.
+    pub fn is_batch_size_sensitive(&self) -> bool {
+        matches!(self, OpKind::BatchNorm2d { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_paper_definitions() {
+        assert_eq!(
+            OpKind::Linear { in_features: 8, out_features: 8 }.category(),
+            OpCategory::PrecisionAdjustable
+        );
+        assert_eq!(
+            OpKind::Conv2d { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 }
+                .category(),
+            OpCategory::PrecisionAdjustable
+        );
+        assert_eq!(OpKind::Softmax.category(), OpCategory::PrecisionAdjustable);
+        assert_eq!(OpKind::Add.category(), OpCategory::PrecisionDependent);
+        assert_eq!(OpKind::ReLU.category(), OpCategory::PrecisionDependent);
+        assert_eq!(OpKind::MaxPool2d { kernel: 2, stride: 2 }.category(), OpCategory::PrecisionDependent);
+        assert_eq!(OpKind::Matmul.category(), OpCategory::Fixed);
+        assert_eq!(OpKind::CrossEntropyLoss.category(), OpCategory::Fixed);
+        assert_eq!(OpKind::MseLoss.category(), OpCategory::Fixed);
+    }
+
+    #[test]
+    fn parameter_counts() {
+        assert_eq!(OpKind::Linear { in_features: 10, out_features: 5 }.param_count(), 55);
+        assert_eq!(
+            OpKind::Conv2d { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 }
+                .param_count(),
+            3 * 8 * 9 + 8
+        );
+        assert_eq!(OpKind::BatchNorm2d { channels: 16 }.param_count(), 32);
+        assert_eq!(OpKind::ReLU.param_count(), 0);
+        assert!(OpKind::Embedding { vocab: 100, dim: 8 }.has_parameters());
+        assert!(!OpKind::Add.has_parameters());
+    }
+
+    #[test]
+    fn flops_scale_with_inner_dimension() {
+        let small = OpKind::Linear { in_features: 64, out_features: 64 }.forward_flops(64, 1);
+        let big = OpKind::Linear { in_features: 128, out_features: 64 }.forward_flops(64, 1);
+        assert!(big > small);
+        assert_eq!(OpKind::Input.forward_flops(1000, 1), 0.0);
+    }
+
+    #[test]
+    fn batch_size_sensitivity_distinguishes_bn_from_ln() {
+        assert!(OpKind::BatchNorm2d { channels: 8 }.is_batch_size_sensitive());
+        assert!(!OpKind::LayerNorm { dim: 8 }.is_batch_size_sensitive());
+    }
+
+    #[test]
+    fn compute_intensive_flags() {
+        assert!(OpKind::Linear { in_features: 1, out_features: 1 }.is_compute_intensive());
+        assert!(OpKind::Matmul.is_compute_intensive());
+        assert!(!OpKind::ReLU.is_compute_intensive());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for graph invariants (topological order, depths, precision
+//! propagation, gradient bucketing) over randomly generated layered MLP-like DAGs.
+
+use proptest::prelude::*;
+
+use qsync_lp_kernels::precision::Precision;
+use qsync_graph::dag::ModelDag;
+use qsync_graph::dfg::gradient_buckets;
+use qsync_graph::op::{OpCategory, OpKind};
+use qsync_graph::precision_dag::PrecisionDag;
+
+/// Build a random layered model: `widths.len()` linear layers with optional ReLU and a
+/// residual add every time `residual[i]` is true.
+fn random_layered_model(widths: Vec<usize>, relu: Vec<bool>, residual: Vec<bool>) -> ModelDag {
+    let batch = 4usize;
+    let mut g = ModelDag::new("random_layered", batch);
+    let mut prev = g.add_node("input", OpKind::Input, vec![], vec![batch, widths[0]], None, None);
+    let mut prev_width = widths[0];
+    let mut skip = prev;
+    for (i, &w) in widths.iter().enumerate().skip(1) {
+        let lin = g.add_node(
+            format!("fc{i}"),
+            OpKind::Linear { in_features: prev_width, out_features: w },
+            vec![prev],
+            vec![batch, w],
+            Some(vec![w, prev_width]),
+            Some(format!("block_{i}")),
+        );
+        prev = lin;
+        if relu.get(i).copied().unwrap_or(false) {
+            prev = g.add_node(format!("relu{i}"), OpKind::ReLU, vec![prev], vec![batch, w], None, None);
+        }
+        if residual.get(i).copied().unwrap_or(false) && g.node(skip).output_shape == vec![batch, w] {
+            prev = g.add_node(format!("add{i}"), OpKind::Add, vec![prev, skip], vec![batch, w], None, None);
+        }
+        skip = prev;
+        prev_width = w;
+    }
+    let _ = g.add_node("loss", OpKind::CrossEntropyLoss, vec![prev], vec![1], None, None);
+    g
+}
+
+fn model_strategy() -> impl Strategy<Value = ModelDag> {
+    (
+        prop::collection::vec(2usize..32, 2..8),
+        prop::collection::vec(any::<bool>(), 8),
+        prop::collection::vec(any::<bool>(), 8),
+    )
+        .prop_map(|(widths, relu, residual)| random_layered_model(widths, relu, residual))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Topological order contains every node exactly once and respects every edge.
+    #[test]
+    fn topo_order_is_a_valid_linearisation(dag in model_strategy()) {
+        let order = dag.topo_order();
+        prop_assert_eq!(order.len(), dag.len());
+        let pos: Vec<usize> = (0..dag.len()).map(|i| order.iter().position(|n| n.0 == i).unwrap()).collect();
+        for node in dag.nodes() {
+            for inp in &node.inputs {
+                prop_assert!(pos[inp.0] < pos[node.id.0]);
+            }
+        }
+    }
+
+    /// Depth is strictly greater than every predecessor's depth, and bounded by max_depth.
+    #[test]
+    fn depths_are_consistent(dag in model_strategy()) {
+        let depths = dag.depths();
+        let max = dag.max_depth();
+        for node in dag.nodes() {
+            prop_assert!(depths[node.id.0] <= max);
+            for inp in &node.inputs {
+                prop_assert!(depths[inp.0] < depths[node.id.0]);
+            }
+        }
+    }
+
+    /// Precision propagation: dependent operators never end up at a precision wider than
+    /// FP32 or narrower than the narrowest adjustable output feeding them, and fixed
+    /// operators always stay FP32.
+    #[test]
+    fn precision_propagation_respects_categories(dag in model_strategy(), p in prop::sample::select(vec![Precision::Int8, Precision::Fp16, Precision::Fp32])) {
+        let pdag = PrecisionDag::uniform(&dag, p);
+        for node in dag.nodes() {
+            match node.kind.category() {
+                OpCategory::PrecisionAdjustable => prop_assert_eq!(pdag.get(node.id), p),
+                OpCategory::Fixed => prop_assert_eq!(pdag.get(node.id), Precision::Fp32),
+                OpCategory::PrecisionDependent => {
+                    let derived = pdag.get(node.id);
+                    // Dependent precision equals the promotion of its inputs' outputs.
+                    let expect = node
+                        .inputs
+                        .iter()
+                        .map(|i| pdag.output_precision(*i))
+                        .fold(None::<Precision>, |acc, q| Some(match acc { None => q, Some(a) => a.promote(q) }))
+                        .unwrap_or(Precision::Fp32);
+                    prop_assert_eq!(derived, expect);
+                }
+            }
+        }
+    }
+
+    /// Raising one operator's precision never lowers any other operator's precision.
+    #[test]
+    fn recovery_is_monotone(dag in model_strategy()) {
+        let mut pdag = PrecisionDag::uniform(&dag, Precision::Int8);
+        let before: Vec<Precision> = dag.nodes().iter().map(|n| pdag.get(n.id)).collect();
+        if let Some(&op) = dag.adjustable_ops().first() {
+            let _ = pdag.set(&dag, op, Precision::Fp32);
+            for node in dag.nodes() {
+                prop_assert!(pdag.get(node.id) >= before[node.id.0]);
+            }
+        }
+    }
+
+    /// Gradient buckets partition the parameters exactly, for any bucket count.
+    #[test]
+    fn buckets_partition_parameters(dag in model_strategy(), n_buckets in 1usize..8) {
+        let buckets = gradient_buckets(&dag, n_buckets);
+        let covered: usize = buckets.iter().map(|b| b.members.len()).sum();
+        let with_params = dag.nodes().iter().filter(|n| n.kind.has_parameters()).count();
+        prop_assert_eq!(covered, with_params);
+        let bytes: usize = buckets.iter().map(|b| b.bytes).sum();
+        prop_assert_eq!(bytes, dag.param_count() * 4);
+        prop_assert!(buckets.len() <= n_buckets.max(1));
+    }
+}

@@ -1,0 +1,242 @@
+//! Linear (fully connected) layer forward/backward at FP32 / FP16 / INT8.
+//!
+//! A "linear operator" in the paper is the pair of a forward matmul and its backward
+//! matmuls; changing the operator's precision changes both (Section IV). The fixed-point
+//! backward is executed in FP16 (footnote 2: integer backward "incurs low efficiency"),
+//! which is exactly what [`linear_backward`] does when the configured precision is INT8.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::gemm::{add_bias, gemm_f16, gemm_f32, gemm_i8, transpose, TileConfig};
+use crate::precision::Precision;
+use crate::quant::FixedQuantizer;
+
+/// Gradients produced by [`linear_backward`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearGrads {
+    /// Gradient w.r.t. the input `[batch, in_features]`.
+    pub grad_input: Vec<f32>,
+    /// Gradient w.r.t. the weight `[out_features, in_features]` (always FP32, Section VI).
+    pub grad_weight: Vec<f32>,
+    /// Gradient w.r.t. the bias `[out_features]`.
+    pub grad_bias: Vec<f32>,
+}
+
+/// Forward pass of a linear layer `y = x W^T + b` at the requested precision.
+///
+/// * `input` — `[batch, in_features]`, `weight` — `[out_features, in_features]`.
+/// * Output is `[batch, out_features]` in FP32 (inter-operator dataflow stays floating
+///   point).
+#[allow(clippy::too_many_arguments)]
+pub fn linear_forward<R: Rng + ?Sized>(
+    input: &[f32],
+    weight: &[f32],
+    bias: Option<&[f32]>,
+    batch: usize,
+    in_features: usize,
+    out_features: usize,
+    precision: Precision,
+    tile: &TileConfig,
+    rng: &mut R,
+) -> Vec<f32> {
+    assert_eq!(input.len(), batch * in_features, "input shape mismatch");
+    assert_eq!(weight.len(), out_features * in_features, "weight shape mismatch");
+    let wt = transpose(weight, out_features, in_features); // [in, out]
+    match precision {
+        Precision::Fp32 => {
+            let mut y = gemm_f32(input, &wt, batch, in_features, out_features, tile);
+            if let Some(b) = bias {
+                add_bias(&mut y, out_features, b);
+            }
+            y
+        }
+        Precision::Fp16 | Precision::Bf16 => {
+            let mut y = gemm_f16(input, &wt, batch, in_features, out_features, tile, Precision::Fp32);
+            if let Some(b) = bias {
+                add_bias(&mut y, out_features, b);
+            }
+            y
+        }
+        Precision::Int8 | Precision::Int4 => {
+            let xq = FixedQuantizer { precision, ..FixedQuantizer::int8_per_tensor() }
+                .quantize(input, &[batch, in_features], rng);
+            let wq = FixedQuantizer { precision, ..FixedQuantizer::int8_per_tensor() }
+                .quantize(&wt, &[in_features, out_features], rng);
+            gemm_i8(
+                &xq.data,
+                &wq.data,
+                batch,
+                in_features,
+                out_features,
+                xq.params.scalar_scale(),
+                &wq.params.scales,
+                bias,
+                tile,
+            )
+        }
+    }
+}
+
+/// Backward pass of a linear layer.
+///
+/// `grad_output` is `[batch, out_features]`. Weight gradients are produced in FP32; the
+/// activation gradient is computed in FP16 when `precision` is FP16/INT8 (matching the
+/// paper's "gradient of activation maintains FP16 for speed up").
+#[allow(clippy::too_many_arguments)]
+pub fn linear_backward(
+    input: &[f32],
+    weight: &[f32],
+    grad_output: &[f32],
+    batch: usize,
+    in_features: usize,
+    out_features: usize,
+    precision: Precision,
+    tile: &TileConfig,
+) -> LinearGrads {
+    assert_eq!(input.len(), batch * in_features);
+    assert_eq!(weight.len(), out_features * in_features);
+    assert_eq!(grad_output.len(), batch * out_features);
+
+    // grad_input [batch, in] = grad_output [batch, out] * weight [out, in]
+    let grad_input = match precision {
+        Precision::Fp32 => gemm_f32(grad_output, weight, batch, out_features, in_features, tile),
+        _ => gemm_f16(grad_output, weight, batch, out_features, in_features, tile, Precision::Fp32),
+    };
+
+    // grad_weight [out, in] = grad_output^T [out, batch] * input [batch, in]  (FP32 output)
+    let go_t = transpose(grad_output, batch, out_features);
+    let grad_weight = match precision {
+        Precision::Fp32 => gemm_f32(&go_t, input, out_features, batch, in_features, tile),
+        _ => gemm_f16(&go_t, input, out_features, batch, in_features, tile, Precision::Fp32),
+    };
+
+    // grad_bias [out] = column sums of grad_output.
+    let mut grad_bias = vec![0.0f32; out_features];
+    for row in grad_output.chunks(out_features) {
+        for (g, &v) in grad_bias.iter_mut().zip(row.iter()) {
+            *g += v;
+        }
+    }
+
+    LinearGrads { grad_input, grad_weight, grad_bias }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn fp32_forward_matches_manual_computation() {
+        // x = [1 2], W = [[1 0],[0 1],[1 1]], b = [0.5, -0.5, 0]
+        let input = vec![1.0f32, 2.0];
+        let weight = vec![1.0f32, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let bias = vec![0.5f32, -0.5, 0.0];
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let y = linear_forward(
+            &input, &weight, Some(&bias), 1, 2, 3, Precision::Fp32, &TileConfig::fallback(), &mut rng,
+        );
+        assert_eq!(y, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn low_precision_forward_approximates_fp32() {
+        let (b, i, o) = (8usize, 64usize, 32usize);
+        let input = rand_vec(b * i, 1);
+        let weight = rand_vec(o * i, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let tile = TileConfig::fallback();
+        let y32 = linear_forward(&input, &weight, None, b, i, o, Precision::Fp32, &tile, &mut rng);
+        for p in [Precision::Fp16, Precision::Int8] {
+            let yp = linear_forward(&input, &weight, None, b, i, o, p, &tile, &mut rng);
+            let mut err = 0.0f64;
+            let mut norm = 0.0f64;
+            for (x, y) in yp.iter().zip(y32.iter()) {
+                err += ((x - y) as f64).powi(2);
+                norm += (*y as f64).powi(2);
+            }
+            let rel = (err / norm.max(1e-12)).sqrt();
+            let tol = if p == Precision::Fp16 { 0.01 } else { 0.12 };
+            assert!(rel < tol, "{p}: relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn int8_error_is_larger_than_fp16_error() {
+        let (b, i, o) = (8usize, 128usize, 32usize);
+        let input = rand_vec(b * i, 5);
+        let weight = rand_vec(o * i, 6);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let tile = TileConfig::fallback();
+        let y32 = linear_forward(&input, &weight, None, b, i, o, Precision::Fp32, &tile, &mut rng);
+        let err_of = |p: Precision, rng: &mut ChaCha8Rng| -> f64 {
+            let yp = linear_forward(&input, &weight, None, b, i, o, p, &tile, rng);
+            yp.iter().zip(&y32).map(|(x, y)| ((x - y) as f64).powi(2)).sum()
+        };
+        let e16 = err_of(Precision::Fp16, &mut rng);
+        let e8 = err_of(Precision::Int8, &mut rng);
+        assert!(e8 > e16, "INT8 ({e8}) should be noisier than FP16 ({e16})");
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences_fp32() {
+        let (b, i, o) = (3usize, 4usize, 2usize);
+        let input = rand_vec(b * i, 11);
+        let mut weight = rand_vec(o * i, 12);
+        let tile = TileConfig::fallback();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // Loss = sum(y); grad_output = ones.
+        let go = vec![1.0f32; b * o];
+        let grads = linear_backward(&input, &weight, &go, b, i, o, Precision::Fp32, &tile);
+        let loss = |w: &[f32], rng: &mut ChaCha8Rng| -> f64 {
+            linear_forward(&input, w, None, b, i, o, Precision::Fp32, &tile, rng)
+                .iter()
+                .map(|&v| v as f64)
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for idx in 0..weight.len() {
+            let orig = weight[idx];
+            weight[idx] = orig + eps;
+            let up = loss(&weight, &mut rng);
+            weight[idx] = orig - eps;
+            let dn = loss(&weight, &mut rng);
+            weight[idx] = orig;
+            let fd = (up - dn) / (2.0 * eps as f64);
+            assert!(
+                (fd - grads.grad_weight[idx] as f64).abs() < 1e-2,
+                "idx={idx}: fd={fd}, an={}",
+                grads.grad_weight[idx]
+            );
+        }
+        // Bias gradient: each output column receives `b` ones.
+        for &g in &grads.grad_bias {
+            assert!((g - b as f32).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn grad_weight_is_fp32_even_for_int8_operator() {
+        // FP16 grid values have at most 11 significand bits; an FP32 grad can carry more.
+        // We simply verify that the low-precision backward path produces finite FP32
+        // values close to the FP32 backward.
+        let (b, i, o) = (4usize, 16usize, 8usize);
+        let input = rand_vec(b * i, 13);
+        let weight = rand_vec(o * i, 14);
+        let go = rand_vec(b * o, 15);
+        let tile = TileConfig::fallback();
+        let g32 = linear_backward(&input, &weight, &go, b, i, o, Precision::Fp32, &tile);
+        let g8 = linear_backward(&input, &weight, &go, b, i, o, Precision::Int8, &tile);
+        for (x, y) in g8.grad_weight.iter().zip(g32.grad_weight.iter()) {
+            assert!(x.is_finite());
+            assert!((x - y).abs() < 0.05 * (y.abs() + 1.0));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Stochastic rounding primitives.
+//!
+//! The paper uses stochastic rounding (SR) as the unbiased rounding rule for both
+//! fixed-point and floating-point quantization (Section IV-A). SR rounds a real value to
+//! one of its two nearest representable neighbours with probability proportional to the
+//! residual, which makes the quantizer unbiased: `E[SR(x)] = x`.
+//!
+//! The paper's discussion section also notes that *flooring* can sometimes recover
+//! training quality; we expose a [`RoundingMode`] switch so the ablation bench can
+//! exercise that claim.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Rounding rule applied when mapping a scaled value onto the integer grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoundingMode {
+    /// Unbiased stochastic rounding (the paper's default).
+    Stochastic,
+    /// Round to the nearest integer (ties away from zero).
+    Nearest,
+    /// Always round towards negative infinity (the paper's §VIII ablation).
+    Floor,
+}
+
+impl Default for RoundingMode {
+    fn default() -> Self {
+        RoundingMode::Stochastic
+    }
+}
+
+/// Round a single scaled value to an integer according to `mode`.
+#[inline]
+pub fn round_scalar<R: Rng + ?Sized>(x: f32, mode: RoundingMode, rng: &mut R) -> f32 {
+    match mode {
+        RoundingMode::Nearest => x.round(),
+        RoundingMode::Floor => x.floor(),
+        RoundingMode::Stochastic => {
+            let floor = x.floor();
+            let frac = x - floor;
+            if rng.gen::<f32>() < frac {
+                floor + 1.0
+            } else {
+                floor
+            }
+        }
+    }
+}
+
+/// Round a slice of scaled values in place.
+pub fn round_slice<R: Rng + ?Sized>(xs: &mut [f32], mode: RoundingMode, rng: &mut R) {
+    match mode {
+        RoundingMode::Nearest => {
+            for x in xs.iter_mut() {
+                *x = x.round();
+            }
+        }
+        RoundingMode::Floor => {
+            for x in xs.iter_mut() {
+                *x = x.floor();
+            }
+        }
+        RoundingMode::Stochastic => {
+            for x in xs.iter_mut() {
+                let floor = x.floor();
+                let frac = *x - floor;
+                *x = if rng.gen::<f32>() < frac { floor + 1.0 } else { floor };
+            }
+        }
+    }
+}
+
+/// Theoretical variance of stochastically rounding a value whose residual is uniform.
+///
+/// Proposition 2 of the paper: for a residual `sigma ~ Uniform(0, 1)` the per-element
+/// rounding variance is `1/6`; scaling by the quantization step `q` gives `q^2/6`, and
+/// summing over `D` elements gives `q^2 D / 6`.
+pub fn sr_variance_per_element() -> f64 {
+    1.0 / 6.0
+}
+
+/// Variance bound for stochastically rounding a `D`-element tensor with step `q`.
+pub fn sr_tensor_variance(q: f64, dims: usize) -> f64 {
+    q * q * dims as f64 * sr_variance_per_element()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn nearest_and_floor_are_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(round_scalar(2.7, RoundingMode::Nearest, &mut rng), 3.0);
+        assert_eq!(round_scalar(2.7, RoundingMode::Floor, &mut rng), 2.0);
+        assert_eq!(round_scalar(-2.3, RoundingMode::Floor, &mut rng), -3.0);
+        assert_eq!(round_scalar(-2.3, RoundingMode::Nearest, &mut rng), -2.0);
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased_on_scalars() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let x = 3.3f32;
+        let n = 50_000;
+        let mean: f64 = (0..n)
+            .map(|_| round_scalar(x, RoundingMode::Stochastic, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - x as f64).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn stochastic_rounding_only_produces_neighbours() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let r = round_scalar(5.4, RoundingMode::Stochastic, &mut rng);
+            assert!(r == 5.0 || r == 6.0);
+        }
+        for _ in 0..1000 {
+            let r = round_scalar(-5.4, RoundingMode::Stochastic, &mut rng);
+            assert!(r == -6.0 || r == -5.0);
+        }
+    }
+
+    #[test]
+    fn slice_rounding_matches_scalar_rounding_for_deterministic_modes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut xs = vec![0.2, 1.5, -1.5, 2.9, -0.1];
+        round_slice(&mut xs, RoundingMode::Floor, &mut rng);
+        assert_eq!(xs, vec![0.0, 1.0, -2.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn integers_are_fixed_points_of_all_modes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for mode in [RoundingMode::Stochastic, RoundingMode::Nearest, RoundingMode::Floor] {
+            for v in [-3.0f32, 0.0, 7.0] {
+                assert_eq!(round_scalar(v, mode, &mut rng), v);
+            }
+        }
+    }
+
+    #[test]
+    fn sr_variance_formula_matches_empirical_variance() {
+        // Empirical check of Proposition 2 on a single element with q = 1.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 200_000usize;
+        // Use a residual drawn uniformly each trial so the Uniform(0,1) assumption holds.
+        let mut sum = 0.0f64;
+        let mut sumsq = 0.0f64;
+        for _ in 0..n {
+            let x: f32 = rng.gen::<f32>() + 10.0;
+            let r = round_scalar(x, RoundingMode::Stochastic, &mut rng);
+            let e = (r - x) as f64;
+            sum += e;
+            sumsq += e * e;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((var - 1.0 / 6.0).abs() < 0.01, "var={var}");
+        assert!(mean.abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn sr_tensor_variance_scales_with_q_squared_and_dims() {
+        let v1 = sr_tensor_variance(0.5, 100);
+        let v2 = sr_tensor_variance(1.0, 100);
+        let v3 = sr_tensor_variance(0.5, 200);
+        assert!((v2 / v1 - 4.0).abs() < 1e-12);
+        assert!((v3 / v1 - 2.0).abs() < 1e-12);
+    }
+}

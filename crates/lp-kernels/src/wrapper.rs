@@ -1,0 +1,201 @@
+//! Front-end security wrapper for tensorized kernels.
+//!
+//! Tensor-core style kernels have strict requirements on memory-access patterns and
+//! operand shapes (e.g. the K dimension must be a multiple of the instruction shape).
+//! LP-PyTorch wraps every kernel call with security checks and handling; we reproduce
+//! that here: a call is validated against the selected [`TileConfig`] and either passes
+//! through, is transparently padded, or falls back to the SIMT (plain FP32) kernel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gemm::TileConfig;
+use crate::precision::{Arch, Precision};
+
+/// Outcome of the pre-flight check for a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaunchDecision {
+    /// The request satisfies every constraint; launch the tensorized kernel directly.
+    Direct,
+    /// The K dimension must be zero-padded to `padded_k` before the tensorized kernel
+    /// can be used.
+    PadK {
+        /// K rounded up to the kernel's alignment requirement.
+        padded_k: usize,
+    },
+    /// The precision is not supported on the target architecture: fall back to FP32 SIMT.
+    FallbackFp32,
+}
+
+/// Errors surfaced by the wrapper before any kernel work happens.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelError {
+    /// Operand lengths are inconsistent with the requested GEMM shape.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A zero-sized dimension where the kernel requires a positive one.
+    EmptyDimension {
+        /// Which dimension was empty.
+        dim: &'static str,
+    },
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            KernelError::EmptyDimension { dim } => write!(f, "empty dimension: {dim}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Validate a GEMM launch and decide how it must be executed.
+pub fn check_gemm_launch(
+    m: usize,
+    k: usize,
+    n: usize,
+    a_len: usize,
+    b_len: usize,
+    precision: Precision,
+    arch: Arch,
+    tile: &TileConfig,
+) -> Result<LaunchDecision, KernelError> {
+    if a_len != m * k {
+        return Err(KernelError::ShapeMismatch {
+            detail: format!("A has {a_len} elements, expected m*k = {}", m * k),
+        });
+    }
+    if b_len != k * n {
+        return Err(KernelError::ShapeMismatch {
+            detail: format!("B has {b_len} elements, expected k*n = {}", k * n),
+        });
+    }
+    if m == 0 {
+        return Err(KernelError::EmptyDimension { dim: "m" });
+    }
+    if n == 0 {
+        return Err(KernelError::EmptyDimension { dim: "n" });
+    }
+    if k == 0 {
+        return Err(KernelError::EmptyDimension { dim: "k" });
+    }
+    if !arch.supports_tensor_op(precision) {
+        return Ok(LaunchDecision::FallbackFp32);
+    }
+    if precision == Precision::Fp32 {
+        // The SIMT FP32 kernel has no alignment constraints.
+        return Ok(LaunchDecision::Direct);
+    }
+    let align = tile.k_alignment();
+    if k % align != 0 {
+        let padded_k = ((k + align - 1) / align) * align;
+        return Ok(LaunchDecision::PadK { padded_k });
+    }
+    Ok(LaunchDecision::Direct)
+}
+
+/// Zero-pad the K dimension of row-major `A: [m, k]` to `padded_k` columns.
+pub fn pad_k_rows(a: &[f32], m: usize, k: usize, padded_k: usize) -> Vec<f32> {
+    assert!(padded_k >= k);
+    assert_eq!(a.len(), m * k);
+    let mut out = vec![0.0f32; m * padded_k];
+    for i in 0..m {
+        out[i * padded_k..i * padded_k + k].copy_from_slice(&a[i * k..(i + 1) * k]);
+    }
+    out
+}
+
+/// Zero-pad the K dimension of row-major `B: [k, n]` to `padded_k` rows.
+pub fn pad_k_cols(b: &[f32], k: usize, n: usize, padded_k: usize) -> Vec<f32> {
+    assert!(padded_k >= k);
+    assert_eq!(b.len(), k * n);
+    let mut out = vec![0.0f32; padded_k * n];
+    out[..k * n].copy_from_slice(b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_launch_goes_direct() {
+        let tile = TileConfig::default_for(Arch::Sm75, Precision::Int8);
+        let d = check_gemm_launch(64, 64, 64, 64 * 64, 64 * 64, Precision::Int8, Arch::Sm75, &tile)
+            .unwrap();
+        assert_eq!(d, LaunchDecision::Direct);
+    }
+
+    #[test]
+    fn misaligned_k_requests_padding() {
+        let tile = TileConfig::default_for(Arch::Sm75, Precision::Int8);
+        let d = check_gemm_launch(8, 30, 8, 8 * 30, 30 * 8, Precision::Int8, Arch::Sm75, &tile)
+            .unwrap();
+        assert_eq!(d, LaunchDecision::PadK { padded_k: 32 });
+    }
+
+    #[test]
+    fn unsupported_precision_falls_back() {
+        let tile = TileConfig::default_for(Arch::Sm70, Precision::Int8);
+        let d = check_gemm_launch(8, 32, 8, 8 * 32, 32 * 8, Precision::Int8, Arch::Sm70, &tile)
+            .unwrap();
+        assert_eq!(d, LaunchDecision::FallbackFp32);
+    }
+
+    #[test]
+    fn fp32_ignores_alignment() {
+        let tile = TileConfig::fallback();
+        let d = check_gemm_launch(3, 7, 5, 21, 35, Precision::Fp32, Arch::Simt, &tile).unwrap();
+        assert_eq!(d, LaunchDecision::Direct);
+    }
+
+    #[test]
+    fn shape_mismatch_and_empty_dims_are_rejected() {
+        let tile = TileConfig::fallback();
+        assert!(matches!(
+            check_gemm_launch(2, 3, 2, 5, 6, Precision::Fp32, Arch::Simt, &tile),
+            Err(KernelError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            check_gemm_launch(0, 3, 2, 0, 6, Precision::Fp32, Arch::Simt, &tile),
+            Err(KernelError::EmptyDimension { dim: "m" })
+        ));
+    }
+
+    #[test]
+    fn padding_preserves_values_and_adds_zeroes() {
+        let a = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let padded = pad_k_rows(&a, 2, 3, 4);
+        assert_eq!(padded, vec![1.0, 2.0, 3.0, 0.0, 4.0, 5.0, 6.0, 0.0]);
+        let b = vec![1.0f32, 2.0, 3.0, 4.0]; // 2x2
+        let padded_b = pad_k_cols(&b, 2, 2, 3);
+        assert_eq!(padded_b, vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn padded_gemm_matches_unpadded_result() {
+        use crate::gemm::{gemm_ref, gemm_f32};
+        let (m, k, n) = (4usize, 6usize, 3usize);
+        let a: Vec<f32> = (0..m * k).map(|x| x as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..k * n).map(|x| x as f32 * 0.05 - 0.4).collect();
+        let pk = 8usize;
+        let ap = pad_k_rows(&a, m, k, pk);
+        let bp = pad_k_cols(&b, k, n, pk);
+        let want = gemm_ref(&a, &b, m, k, n);
+        let got = gemm_f32(&ap, &bp, m, pk, n, &TileConfig::fallback());
+        for (x, y) in got.iter().zip(want.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = KernelError::ShapeMismatch { detail: "A is wrong".into() };
+        assert!(e.to_string().contains("A is wrong"));
+        let e = KernelError::EmptyDimension { dim: "k" };
+        assert!(e.to_string().contains('k'));
+    }
+}

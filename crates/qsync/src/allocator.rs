@@ -1,0 +1,342 @@
+//! The precision Allocator (Section V).
+//!
+//! Two phases, both driven by the Predictor:
+//!
+//! 1. **Initial setting** — every inference GPU starts from the *fastest available*
+//!    precision setup that satisfies its memory constraint. The model is decomposed into
+//!    repeating isomorphic subgraphs; each subgraph instance receives a memory budget
+//!    proportional to its compression capacity, and a brute-force search over the
+//!    per-instance precision combinations picks the latency-minimal assignment that fits
+//!    the budget.
+//! 2. **Precision recovery** — a max-heap per inference GPU stores, for every operator,
+//!    the indicator decrement obtained by raising it one precision step. The allocator
+//!    repeatedly pops the largest decrement, accepts the promotion if memory still fits
+//!    and the predicted overall throughput does not drop below the initial plan's
+//!    throughput (`T_min`), and pushes the operator's next step back onto the heap.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use qsync_lp_kernels::precision::Precision;
+use qsync_graph::{find_repeating_subgraphs, NodeId, PrecisionDag};
+
+use crate::indicator::SensitivityIndicator;
+use crate::plan::PrecisionPlan;
+use crate::replayer::CostMapper;
+use crate::system::QSyncSystem;
+
+/// A heap entry: the indicator decrement obtained by promoting `node` to `next`.
+#[derive(Debug, Clone, PartialEq)]
+struct Candidate {
+    decrement: f64,
+    node: NodeId,
+    next: Precision,
+}
+
+impl Eq for Candidate {}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.decrement
+            .total_cmp(&other.decrement)
+            .then_with(|| self.node.0.cmp(&other.node.0))
+    }
+}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Statistics about one allocation run (for reporting and the ablation benches).
+#[derive(Debug, Clone, Default)]
+pub struct AllocationReport {
+    /// Predicted iteration latency (us) of the initial (fastest) plan — the `T_min` bound.
+    pub t_min_us: f64,
+    /// Predicted iteration latency of the final plan.
+    pub final_us: f64,
+    /// Number of precision promotions accepted by the recovery loop.
+    pub promotions_accepted: usize,
+    /// Number of promotions rejected (memory or throughput constraint).
+    pub promotions_rejected: usize,
+}
+
+/// The QSync allocator.
+pub struct Allocator<'a> {
+    /// The assembled system (predictor, memory estimator, cluster).
+    pub system: &'a QSyncSystem,
+}
+
+impl<'a> Allocator<'a> {
+    /// Create an allocator over a system.
+    pub fn new(system: &'a QSyncSystem) -> Self {
+        Allocator { system }
+    }
+
+    /// Phase 1: the fastest feasible precision DAG for one inference device.
+    pub fn initial_for_device(&self, rank: usize) -> PrecisionDag {
+        let sys = self.system;
+        let dag = &sys.dag;
+        let device = &sys.cluster.devices[rank];
+        let candidates = sys.candidates_for(rank);
+        let lowest = candidates[0];
+        let mut pdag = PrecisionDag::uniform(dag, lowest);
+        if candidates.len() == 1 {
+            return pdag;
+        }
+
+        // Memory headroom left after the most compressed assignment.
+        let base_mem = sys.memory_bytes(rank, &pdag);
+        let capacity = device.available_memory_bytes();
+        let slack = capacity.saturating_sub(base_mem);
+
+        let mapper = CostMapper::new(dag, sys.profile(rank), sys.casting(rank), device, sys.config.n_buckets);
+        let groups = find_repeating_subgraphs(dag);
+        let total_lowest_bytes: u64 = groups
+            .iter()
+            .flat_map(|g| g.instances.iter())
+            .flat_map(|inst| inst.iter())
+            .map(|id| instance_bytes(dag, *id, lowest))
+            .sum::<u64>()
+            .max(1);
+
+        for group in &groups {
+            for instance in &group.instances {
+                if instance.len() > 6 {
+                    continue; // brute force only on small blocks; large ones stay lowest
+                }
+                let inst_lowest: u64 = instance.iter().map(|id| instance_bytes(dag, *id, lowest)).sum();
+                let budget = (slack as u128 * inst_lowest as u128 / total_lowest_bytes as u128) as u64;
+                let best = self.brute_force_instance(&mapper, &mut pdag, instance, &candidates, lowest, budget);
+                for (id, p) in instance.iter().zip(best) {
+                    if pdag.get(*id) != p {
+                        let _ = pdag.set(dag, *id, p);
+                    }
+                }
+            }
+        }
+        // Safety: if the brute force overshot the device memory, fall back to uniform lowest.
+        if !sys.memory_ok(rank, &pdag) {
+            pdag = PrecisionDag::uniform(dag, lowest);
+        }
+        pdag
+    }
+
+    /// Enumerate the precision combinations of one subgraph instance and return the
+    /// latency-minimal one whose extra memory (relative to all-lowest) fits `budget`.
+    fn brute_force_instance(
+        &self,
+        mapper: &CostMapper<'_>,
+        pdag: &mut PrecisionDag,
+        instance: &[NodeId],
+        candidates: &[Precision],
+        lowest: Precision,
+        budget: u64,
+    ) -> Vec<Precision> {
+        let dag = &self.system.dag;
+        let k = instance.len();
+        let n_comb = candidates.len().pow(k as u32);
+        let mut best_combo = vec![lowest; k];
+        let mut best_cost = f64::INFINITY;
+        let saved: Vec<Precision> = instance.iter().map(|id| pdag.get(*id)).collect();
+        for combo_idx in 0..n_comb {
+            let mut idx = combo_idx;
+            let combo: Vec<Precision> = (0..k)
+                .map(|_| {
+                    let c = candidates[idx % candidates.len()];
+                    idx /= candidates.len();
+                    c
+                })
+                .collect();
+            // Extra memory over the all-lowest assignment.
+            let extra: u64 = instance
+                .iter()
+                .zip(&combo)
+                .map(|(id, &p)| instance_bytes(dag, *id, p).saturating_sub(instance_bytes(dag, *id, lowest)))
+                .sum();
+            if extra > budget {
+                continue;
+            }
+            // Local latency of the instance under this combo (op cost + casting).
+            for (id, &p) in instance.iter().zip(&combo) {
+                let _ = pdag.set(dag, *id, p);
+            }
+            let cost: f64 = instance
+                .iter()
+                .map(|&id| {
+                    let p = pdag.get(id);
+                    let op = self.system.profile(mapper.device.id).get_or_fp32(id, p);
+                    op.fwd_us + op.bwd_us + mapper.forward_cast_us(pdag, id) + mapper.backward_cast_us(pdag, id)
+                })
+                .sum();
+            if cost < best_cost {
+                best_cost = cost;
+                best_combo = combo;
+            }
+        }
+        // Restore the pdag to its state before the enumeration.
+        for (id, &p) in instance.iter().zip(&saved) {
+            if pdag.get(*id) != p {
+                let _ = pdag.set(dag, *id, p);
+            }
+        }
+        best_combo
+    }
+
+    /// Run the full allocation: initial fastest plan, then indicator-guided recovery.
+    pub fn allocate(&self, indicator: &dyn SensitivityIndicator) -> (PrecisionPlan, AllocationReport) {
+        let sys = self.system;
+        let dag = &sys.dag;
+        let inference = sys.cluster.inference_ranks();
+        if inference.is_empty() {
+            let plan = PrecisionPlan::oracle(dag, &sys.cluster);
+            let t = sys.predict_iteration_us(&plan);
+            return (plan, AllocationReport { t_min_us: t, final_us: t, ..Default::default() });
+        }
+        // All inference devices in the paper's clusters are identical; compute the plan
+        // for the first one and replicate it.
+        let rank = inference[0];
+        let mut pdag = self.initial_for_device(rank);
+        let initial_plan = PrecisionPlan::from_inference_pdag("qsync_initial", dag, &sys.cluster, &pdag);
+        let t_min = sys.predict_iteration_us(&initial_plan);
+        let tol = 1.0 + sys.config.throughput_tolerance;
+
+        let mut report = AllocationReport { t_min_us: t_min, final_us: t_min, ..Default::default() };
+        let candidates = sys.candidates_for(rank);
+        let next_of = |p: Precision| -> Option<Precision> {
+            candidates.iter().copied().find(|c| *c > p)
+        };
+
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        for id in dag.adjustable_ops() {
+            let current = pdag.get(id);
+            if let Some(next) = next_of(current) {
+                let dec = indicator.omega(dag, id, current) - indicator.omega(dag, id, next);
+                heap.push(Candidate { decrement: dec, node: id, next });
+            }
+        }
+
+        while let Some(c) = heap.pop() {
+            let mut tentative = pdag.clone();
+            let _ = tentative.set(dag, c.node, c.next);
+            if !sys.memory_ok(rank, &tentative) {
+                report.promotions_rejected += 1;
+                continue;
+            }
+            let plan = PrecisionPlan::from_inference_pdag("qsync_tentative", dag, &sys.cluster, &tentative);
+            let t = sys.predict_iteration_us(&plan);
+            if t <= t_min * tol {
+                pdag = tentative;
+                report.promotions_accepted += 1;
+                report.final_us = t;
+                if let Some(next) = next_of(c.next) {
+                    let dec = indicator.omega(dag, c.node, c.next) - indicator.omega(dag, c.node, next);
+                    heap.push(Candidate { decrement: dec, node: c.node, next });
+                }
+            } else {
+                report.promotions_rejected += 1;
+            }
+        }
+
+        let plan = PrecisionPlan::from_inference_pdag("qsync", dag, &sys.cluster, &pdag);
+        (plan, report)
+    }
+}
+
+/// Bytes attributable to one operator at one precision (saved activation + weight copy),
+/// used for the per-subgraph memory budgeting.
+fn instance_bytes(dag: &qsync_graph::ModelDag, id: NodeId, p: Precision) -> u64 {
+    let node = dag.node(id);
+    (node.output_numel() as u64 + node.weight_numel() as u64) * p.bytes() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsync_cluster::topology::ClusterSpec;
+    use qsync_graph::models::small_mlp;
+    use crate::system::QSyncConfig;
+
+    fn system(cluster: ClusterSpec) -> QSyncSystem {
+        QSyncSystem::new(small_mlp(64, 512, 1024, 16), cluster, QSyncConfig::default())
+    }
+
+    #[test]
+    fn allocation_does_not_reduce_throughput() {
+        let sys = system(ClusterSpec::hybrid_small());
+        let alloc = Allocator::new(&sys);
+        let (plan, report) = alloc.allocate(&sys.indicator());
+        let t = sys.predict_iteration_us(&plan);
+        assert!(t <= report.t_min_us * (1.0 + sys.config.throughput_tolerance) + 1e-6);
+        assert!(report.promotions_accepted + report.promotions_rejected > 0);
+    }
+
+    #[test]
+    fn allocation_recovers_precision_relative_to_the_initial_plan() {
+        // On ClusterA-like memory there is slack: QSync should recover at least some
+        // operators to a higher precision than the uniform lowest-precision plan.
+        let sys = system(ClusterSpec::hybrid_small());
+        let alloc = Allocator::new(&sys);
+        let (plan, _) = alloc.allocate(&sys.indicator());
+        let rank = sys.cluster.inference_ranks()[0];
+        let lowest = sys.candidates_for(rank)[0];
+        let n_lowest = plan.count_adjustable_at(&sys.dag, rank, lowest);
+        assert!(
+            n_lowest < sys.dag.adjustable_ops().len(),
+            "no operator was recovered above {lowest}"
+        );
+    }
+
+    #[test]
+    fn qsync_plan_has_lower_variance_than_uniform() {
+        let sys = system(ClusterSpec::hybrid_small());
+        let alloc = Allocator::new(&sys);
+        let (plan, _) = alloc.allocate(&sys.indicator());
+        let rank = sys.cluster.inference_ranks()[0];
+        let lowest = sys.candidates_for(rank)[0];
+        let uniform = PrecisionPlan::uniform(&sys.dag, &sys.cluster, lowest);
+        assert!(sys.variance_ratio(&plan) < sys.variance_ratio(&uniform));
+    }
+
+    #[test]
+    fn training_devices_stay_at_full_precision() {
+        let sys = system(ClusterSpec::hybrid_small());
+        let (plan, _) = Allocator::new(&sys).allocate(&sys.indicator());
+        for rank in sys.cluster.training_ranks() {
+            assert_eq!(
+                plan.count_adjustable_at(&sys.dag, rank, Precision::Fp32),
+                sys.dag.adjustable_ops().len()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_constrained_devices_keep_more_low_precision_operators() {
+        let roomy = system(ClusterSpec::cluster_a(1, 1));
+        let tight = system(ClusterSpec::cluster_b(1, 1, 0.05));
+        let (plan_roomy, _) = Allocator::new(&roomy).allocate(&roomy.indicator());
+        let (plan_tight, _) = Allocator::new(&tight).allocate(&tight.indicator());
+        let rank_roomy = roomy.cluster.inference_ranks()[0];
+        let rank_tight = tight.cluster.inference_ranks()[0];
+        let fp32_roomy = plan_roomy.count_adjustable_at(&roomy.dag, rank_roomy, Precision::Fp32);
+        let fp32_tight = plan_tight.count_adjustable_at(&tight.dag, rank_tight, Precision::Fp32);
+        assert!(
+            fp32_tight <= fp32_roomy,
+            "tight memory ({fp32_tight} fp32 ops) should not recover more than roomy memory ({fp32_roomy})"
+        );
+    }
+
+    #[test]
+    fn initial_plan_fits_memory() {
+        let sys = system(ClusterSpec::cluster_b(1, 1, 0.3));
+        let alloc = Allocator::new(&sys);
+        let rank = sys.cluster.inference_ranks()[0];
+        let pdag = alloc.initial_for_device(rank);
+        // The initial plan is either memory-feasible or the most compressed possible.
+        let lowest = sys.candidates_for(rank)[0];
+        let most_compressed = PrecisionDag::uniform(&sys.dag, lowest);
+        assert!(
+            sys.memory_ok(rank, &pdag)
+                || sys.memory_bytes(rank, &pdag) <= sys.memory_bytes(rank, &most_compressed)
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Indicator traces over training iterations (the Fig. 8 experiment).
+//!
+//! The paper tracks the indicator of selected layers over the first 50 training updates
+//! and observes that, although the values fluctuate, the *relative ranking* of layers is
+//! remarkably stable — which justifies using the running mean of the first 50 iterations
+//! as the final indicator input.
+
+use serde::{Deserialize, Serialize};
+
+use qsync_lp_kernels::precision::Precision;
+use qsync_graph::{ModelDag, NodeId};
+
+use super::stats::ModelStatistics;
+use super::{SensitivityIndicator, VarianceIndicator};
+
+/// The per-iteration relative sensitivity ranking of a set of tracked layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndicatorTrace {
+    /// Names of the tracked layers.
+    pub layers: Vec<String>,
+    /// `ranks[i][j]` = rank (1 = most sensitive) of tracked layer `j` at iteration `i`,
+    /// relative to *all* adjustable operators of the model.
+    pub ranks: Vec<Vec<usize>>,
+}
+
+impl IndicatorTrace {
+    /// Number of iterations traced.
+    pub fn iterations(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Kendall-tau-style rank stability between the first and last iteration, in [0, 1]:
+    /// the fraction of tracked-layer pairs whose relative order is preserved.
+    pub fn rank_stability(&self) -> f64 {
+        if self.ranks.len() < 2 || self.layers.len() < 2 {
+            return 1.0;
+        }
+        let first = &self.ranks[0];
+        let last = &self.ranks[self.ranks.len() - 1];
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..first.len() {
+            for j in i + 1..first.len() {
+                total += 1;
+                if (first[i] < first[j]) == (last[i] < last[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        agree as f64 / total.max(1) as f64
+    }
+
+    /// Mean rank of one tracked layer across the trace.
+    pub fn mean_rank(&self, layer_index: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(|r| r[layer_index] as f64).sum::<f64>() / self.ranks.len() as f64
+    }
+}
+
+/// Trace the relative sensitivity rank of `tracked` layers over `iterations` updates,
+/// using synthetic per-iteration statistics at the given precision.
+pub fn indicator_rank_trace(
+    dag: &ModelDag,
+    tracked: &[NodeId],
+    precision: Precision,
+    iterations: usize,
+    seed: u64,
+) -> IndicatorTrace {
+    let all_ops = dag.adjustable_ops();
+    let mut ranks = Vec::with_capacity(iterations);
+    for it in 0..iterations {
+        let stats = ModelStatistics::synthetic_at_iteration(dag, seed, it);
+        let ind = VarianceIndicator::new(stats);
+        // Score every adjustable op, sort descending, and find each tracked op's rank.
+        let mut scored: Vec<(NodeId, f64)> =
+            all_ops.iter().map(|&id| (id, ind.omega(dag, id, precision))).collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let rank_of = |id: NodeId| scored.iter().position(|(n, _)| *n == id).unwrap_or(0) + 1;
+        ranks.push(tracked.iter().map(|&id| rank_of(id)).collect());
+    }
+    IndicatorTrace {
+        layers: tracked.iter().map(|id| dag.node(*id).name.clone()).collect(),
+        ranks,
+    }
+}
+
+/// Convenience: pick every `stride`-th linear (or conv) operator of a model to track,
+/// mirroring the layer selections of Fig. 8 (linear_0, linear_10, ... / conv_0, conv_10, ...).
+pub fn default_tracked_layers(dag: &ModelDag, family: &str, stride: usize) -> Vec<NodeId> {
+    let ops: Vec<NodeId> = dag
+        .nodes()
+        .iter()
+        .filter(|n| n.kind.family() == family)
+        .map(|n| n.id)
+        .collect();
+    let mut tracked: Vec<NodeId> = ops.iter().step_by(stride.max(1)).copied().collect();
+    if let Some(last) = ops.last() {
+        if !tracked.contains(last) {
+            tracked.push(*last);
+        }
+    }
+    tracked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsync_graph::models::{bert_base, resnet50};
+
+    #[test]
+    fn trace_has_expected_shape() {
+        let dag = bert_base(2, 16);
+        let tracked = default_tracked_layers(&dag, "linear", 10);
+        let trace = indicator_rank_trace(&dag, &tracked, Precision::Fp16, 10, 1);
+        assert_eq!(trace.iterations(), 10);
+        assert_eq!(trace.layers.len(), tracked.len());
+        for r in &trace.ranks {
+            assert_eq!(r.len(), tracked.len());
+            for &rank in r {
+                assert!(rank >= 1 && rank <= dag.adjustable_ops().len());
+            }
+        }
+    }
+
+    #[test]
+    fn relative_ranking_is_mostly_stable_over_iterations() {
+        // The paper's empirical finding: fluctuations exist but the ranking is consistent.
+        for dag in [bert_base(2, 16), resnet50(2, 32)] {
+            let family = if dag.name == "resnet50" { "conv2d" } else { "linear" };
+            let tracked = default_tracked_layers(&dag, family, 10);
+            let trace = indicator_rank_trace(&dag, &tracked, Precision::Int8, 20, 3);
+            assert!(
+                trace.rank_stability() > 0.8,
+                "{}: stability {}",
+                dag.name,
+                trace.rank_stability()
+            );
+        }
+    }
+
+    #[test]
+    fn tracked_layer_selection_includes_first_and_last() {
+        let dag = bert_base(1, 16);
+        let tracked = default_tracked_layers(&dag, "linear", 10);
+        let linears: Vec<NodeId> = dag
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.family() == "linear")
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(tracked.first(), linears.first());
+        assert_eq!(tracked.last(), linears.last());
+        assert_eq!(tracked.len(), 9); // linear_0, 10, ..., 70, 72 (73 linears)
+    }
+
+    #[test]
+    fn mean_rank_differs_across_layers() {
+        let dag = resnet50(2, 32);
+        let tracked = default_tracked_layers(&dag, "conv2d", 10);
+        let trace = indicator_rank_trace(&dag, &tracked, Precision::Int8, 15, 5);
+        let means: Vec<f64> = (0..tracked.len()).map(|i| trace.mean_rank(i)).collect();
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = means.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > min + 1.0, "layers should have clearly different sensitivity ranks");
+    }
+}

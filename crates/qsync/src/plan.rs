@@ -1,0 +1,165 @@
+//! Precision plans: the per-device operator precision assignment QSync produces.
+
+use serde::{Deserialize, Serialize};
+
+use qsync_cluster::topology::ClusterSpec;
+use qsync_lp_kernels::precision::Precision;
+use qsync_graph::{ModelDag, PrecisionDag};
+
+/// A complete precision plan for a distributed training job: one precision DAG per rank.
+///
+/// Training GPUs always run FP32 (`b_ko = 32` for `k ∉ K_inf` in problem (1)); inference
+/// GPUs carry the mixed-precision assignment the allocator produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionPlan {
+    /// Plan label (e.g. `qsync`, `uniform_fp16`, `oracle`).
+    pub name: String,
+    /// Per-rank precision DAGs, indexed by device rank.
+    pub per_device: Vec<PrecisionDag>,
+}
+
+impl PrecisionPlan {
+    /// The ORACLE plan: every device at full precision.
+    pub fn oracle(dag: &ModelDag, cluster: &ClusterSpec) -> Self {
+        PrecisionPlan {
+            name: "oracle".into(),
+            per_device: (0..cluster.world_size()).map(|_| PrecisionDag::full_precision(dag)).collect(),
+        }
+    }
+
+    /// A uniform-precision plan: training GPUs at FP32, every adjustable operator on
+    /// every inference GPU at `inference_precision`.
+    pub fn uniform(dag: &ModelDag, cluster: &ClusterSpec, inference_precision: Precision) -> Self {
+        let per_device = cluster
+            .devices
+            .iter()
+            .map(|d| {
+                if d.is_inference() {
+                    PrecisionDag::uniform(dag, inference_precision)
+                } else {
+                    PrecisionDag::full_precision(dag)
+                }
+            })
+            .collect();
+        PrecisionPlan { name: format!("uniform_{inference_precision}").to_lowercase(), per_device }
+    }
+
+    /// Build a plan from an explicit inference-device precision DAG (training devices FP32).
+    pub fn from_inference_pdag(
+        name: impl Into<String>,
+        dag: &ModelDag,
+        cluster: &ClusterSpec,
+        inference_pdag: &PrecisionDag,
+    ) -> Self {
+        let per_device = cluster
+            .devices
+            .iter()
+            .map(|d| {
+                if d.is_inference() {
+                    inference_pdag.clone()
+                } else {
+                    PrecisionDag::full_precision(dag)
+                }
+            })
+            .collect();
+        PrecisionPlan { name: name.into(), per_device }
+    }
+
+    /// The precision DAG of one rank.
+    pub fn device(&self, rank: usize) -> &PrecisionDag {
+        &self.per_device[rank]
+    }
+
+    /// Count of adjustable operators at a given precision on one rank.
+    pub fn count_adjustable_at(&self, dag: &ModelDag, rank: usize, precision: Precision) -> usize {
+        self.per_device[rank].count_adjustable_at(dag, precision)
+    }
+
+    /// Human-readable summary of the precision mix on one rank.
+    pub fn summary(&self, dag: &ModelDag, rank: usize) -> String {
+        let mut parts = Vec::new();
+        for p in Precision::PAPER_CANDIDATES {
+            let c = self.count_adjustable_at(dag, rank, p);
+            if c > 0 {
+                parts.push(format!("{c}x{p}"));
+            }
+        }
+        format!("[{}] {}", self.name, parts.join(" + "))
+    }
+
+    /// Serialise the plan to JSON (step 5 of the workflow: "the optimized precision plan
+    /// is then fed back to the mixed-precision training system").
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plan serialization cannot fail")
+    }
+
+    /// Deserialise a plan from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsync_graph::models::small_mlp;
+
+    fn setup() -> (ModelDag, ClusterSpec) {
+        (small_mlp(8, 16, 32, 4), ClusterSpec::hybrid_small())
+    }
+
+    #[test]
+    fn oracle_is_fp32_everywhere() {
+        let (dag, cluster) = setup();
+        let plan = PrecisionPlan::oracle(&dag, &cluster);
+        for rank in 0..cluster.world_size() {
+            assert_eq!(plan.count_adjustable_at(&dag, rank, Precision::Fp32), dag.adjustable_ops().len());
+        }
+    }
+
+    #[test]
+    fn uniform_plan_only_touches_inference_devices() {
+        let (dag, cluster) = setup();
+        let plan = PrecisionPlan::uniform(&dag, &cluster, Precision::Fp16);
+        for rank in cluster.training_ranks() {
+            assert_eq!(plan.count_adjustable_at(&dag, rank, Precision::Fp16), 0);
+        }
+        for rank in cluster.inference_ranks() {
+            assert_eq!(plan.count_adjustable_at(&dag, rank, Precision::Fp16), dag.adjustable_ops().len());
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_plan() {
+        let (dag, cluster) = setup();
+        let plan = PrecisionPlan::uniform(&dag, &cluster, Precision::Int8);
+        let back = PrecisionPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn summary_lists_precision_counts() {
+        let (dag, cluster) = setup();
+        let plan = PrecisionPlan::uniform(&dag, &cluster, Precision::Fp16);
+        let rank = cluster.inference_ranks()[0];
+        let s = plan.summary(&dag, rank);
+        assert!(s.contains("FP16"));
+        assert!(s.contains("uniform_fp16"));
+    }
+
+    #[test]
+    fn from_inference_pdag_replicates_the_assignment() {
+        let (dag, cluster) = setup();
+        let mut pdag = PrecisionDag::uniform(&dag, Precision::Int8);
+        let op = dag.adjustable_ops()[0];
+        let _ = pdag.set(&dag, op, Precision::Fp32);
+        let plan = PrecisionPlan::from_inference_pdag("qsync", &dag, &cluster, &pdag);
+        for rank in cluster.inference_ranks() {
+            assert_eq!(plan.device(rank).get(op), Precision::Fp32);
+        }
+        for rank in cluster.training_ranks() {
+            assert_eq!(plan.device(rank).get(op), Precision::Fp32);
+        }
+        assert_eq!(plan.name, "qsync");
+    }
+}

@@ -1,0 +1,7 @@
+//! The Replayer: cost mapper (Algorithm 1) + global-DFG simulator (Equation 6).
+
+pub mod cost_mapper;
+pub mod simulator;
+
+pub use cost_mapper::CostMapper;
+pub use simulator::{SimResult, Simulator};

@@ -1,0 +1,266 @@
+//! The replayer's simulator: replays the global DFG and predicts the distributed
+//! per-iteration latency.
+//!
+//! Communication slots are bulk-synchronous collectives; Equation (6) of the paper gives
+//! their timing:
+//!
+//! ```text
+//! comm_start_n = max( max_i ready_{i,n}, comm_end_{n-1} )
+//! comm_end_n   = comm_start_n + max_i dur_{i,n}
+//! ```
+//!
+//! i.e. the n-th all-reduce starts only when every device has produced bucket n *and* the
+//! previous all-reduce has drained, and every device finishes it together. Compute
+//! entries run back-to-back on each device's compute stream and overlap with
+//! communication.
+
+use serde::{Deserialize, Serialize};
+
+use qsync_cluster::comm::CommModel;
+use qsync_cluster::trace::{Stream, Trace, TraceEvent};
+use qsync_graph::{DfgOp, GlobalDfg};
+
+/// Result of simulating one training iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Predicted iteration latency in microseconds (the slowest device's finish time).
+    pub iteration_us: f64,
+    /// Per-device finish times.
+    pub per_device_end_us: Vec<f64>,
+    /// Per-device compute-stream busy time.
+    pub per_device_compute_us: Vec<f64>,
+    /// Full timeline (for Fig. 6-style visualisation).
+    pub trace: Trace,
+}
+
+impl SimResult {
+    /// Training throughput in iterations per second.
+    pub fn iterations_per_second(&self) -> f64 {
+        if self.iteration_us <= 0.0 {
+            return 0.0;
+        }
+        1e6 / self.iteration_us
+    }
+
+    /// Waiting (idle) time of a device's compute stream within the iteration.
+    pub fn waiting_us(&self, device: usize) -> f64 {
+        (self.iteration_us - self.per_device_compute_us[device]).max(0.0)
+    }
+}
+
+/// The global-DFG simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    /// Communication model for the cluster running the job.
+    pub comm: CommModel,
+}
+
+impl Simulator {
+    /// Create a simulator.
+    pub fn new(comm: CommModel) -> Self {
+        Simulator { comm }
+    }
+
+    /// Replay the global DFG and predict the iteration latency.
+    pub fn simulate(&self, global: &GlobalDfg) -> SimResult {
+        let n_dev = global.num_devices();
+        let mut trace = Trace::default();
+        // Pass 1: per-device compute timelines and per-slot readiness.
+        let n_slots = global.locals.first().map(|l| l.comm_slots()).unwrap_or(0);
+        let mut ready = vec![vec![0.0f64; n_slots]; n_dev];
+        let mut slot_bytes = vec![0usize; n_slots];
+        let mut compute_end = vec![0.0f64; n_dev];
+        let mut optimizer_us = vec![0.0f64; n_dev];
+
+        for (d, local) in global.locals.iter().enumerate() {
+            let mut t = 0.0f64;
+            let mut slot = 0usize;
+            for e in &local.entries {
+                match e.op {
+                    DfgOp::AllReduce { bucket, bytes } => {
+                        ready[d][slot] = t;
+                        slot_bytes[slot] = slot_bytes[slot].max(bytes);
+                        let _ = bucket;
+                        slot += 1;
+                    }
+                    DfgOp::Optimizer => {
+                        optimizer_us[d] += e.duration_us;
+                    }
+                    _ => {
+                        if e.duration_us > 0.0 {
+                            trace.push(TraceEvent {
+                                name: label(&e.op),
+                                device: local.device,
+                                stream: Stream::Compute,
+                                ts_us: t,
+                                dur_us: e.duration_us,
+                            });
+                        }
+                        t += e.duration_us;
+                    }
+                }
+            }
+            compute_end[d] = t;
+        }
+
+        // Pass 2: Equation (6) over the communication slots.
+        let mut comm_end_prev = 0.0f64;
+        let mut last_comm_end = 0.0f64;
+        for n in 0..n_slots {
+            let ready_all = (0..n_dev).map(|d| ready[d][n]).fold(0.0f64, f64::max);
+            let start = ready_all.max(comm_end_prev);
+            let dur = self.comm.allreduce_us(slot_bytes[n]);
+            let end = start + dur;
+            for local in &global.locals {
+                trace.push(TraceEvent {
+                    name: format!("allreduce_{n}"),
+                    device: local.device,
+                    stream: Stream::Comm,
+                    ts_us: start,
+                    dur_us: dur,
+                });
+            }
+            comm_end_prev = end;
+            last_comm_end = end;
+        }
+
+        // Pass 3: the optimizer runs after both local compute and the last all-reduce.
+        let mut per_device_end = vec![0.0f64; n_dev];
+        for d in 0..n_dev {
+            let start = compute_end[d].max(last_comm_end);
+            if optimizer_us[d] > 0.0 {
+                trace.push(TraceEvent {
+                    name: "optimizer".into(),
+                    device: global.locals[d].device,
+                    stream: Stream::Compute,
+                    ts_us: start,
+                    dur_us: optimizer_us[d],
+                });
+            }
+            per_device_end[d] = start + optimizer_us[d];
+        }
+
+        let iteration_us = per_device_end.iter().cloned().fold(0.0, f64::max);
+        SimResult {
+            iteration_us,
+            per_device_end_us: per_device_end,
+            per_device_compute_us: compute_end
+                .iter()
+                .zip(&optimizer_us)
+                .map(|(c, o)| c + o)
+                .collect(),
+            trace,
+        }
+    }
+}
+
+fn label(op: &DfgOp) -> String {
+    match op {
+        DfgOp::Forward(id) => format!("fwd_{}", id.0),
+        DfgOp::Backward(id) => format!("bwd_{}", id.0),
+        DfgOp::CastForward(id) => format!("cast_fwd_{}", id.0),
+        DfgOp::CastBackward(id) => format!("cast_bwd_{}", id.0),
+        DfgOp::Optimizer => "optimizer".into(),
+        DfgOp::AllReduce { bucket, .. } => format!("allreduce_{bucket}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsync_graph::{DfgNode, LocalDfg, NodeId};
+
+    fn entry(op: DfgOp, dur: f64) -> DfgNode {
+        DfgNode { op, duration_us: dur }
+    }
+
+    fn comm(_unused: usize) -> CommModel {
+        CommModel { world_size: 2, bandwidth_bytes: 1e9, step_latency_us: 5.0 }
+    }
+
+    fn two_device_global(slow_compute: f64, fast_compute: f64, bytes: usize) -> GlobalDfg {
+        let mk = |device: usize, compute: f64| LocalDfg {
+            device,
+            entries: vec![
+                entry(DfgOp::Forward(NodeId(0)), compute * 0.4),
+                entry(DfgOp::Backward(NodeId(0)), compute * 0.6),
+                entry(DfgOp::AllReduce { bucket: 0, bytes }, 0.0),
+                entry(DfgOp::Optimizer, 10.0),
+            ],
+        };
+        GlobalDfg::new(vec![mk(0, slow_compute), mk(1, fast_compute)])
+    }
+
+    #[test]
+    fn iteration_time_is_gated_by_the_slowest_device() {
+        let sim = Simulator::new(comm(0));
+        let r = sim.simulate(&two_device_global(1000.0, 200.0, 1 << 20));
+        assert!(r.iteration_us >= 1000.0);
+        // The fast device waits: its compute is much smaller than the iteration time.
+        assert!(r.waiting_us(1) > r.waiting_us(0));
+    }
+
+    #[test]
+    fn communication_starts_only_after_every_device_is_ready() {
+        let sim = Simulator::new(comm(0));
+        let r = sim.simulate(&two_device_global(1000.0, 200.0, 1 << 20));
+        let comm_events: Vec<_> = r
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.stream == Stream::Comm)
+            .collect();
+        assert!(!comm_events.is_empty());
+        for e in comm_events {
+            assert!(e.ts_us >= 1000.0 - 1e-9, "comm started at {} before the slow device was ready", e.ts_us);
+        }
+    }
+
+    #[test]
+    fn successive_comm_slots_do_not_overlap() {
+        let mk = |device: usize| LocalDfg {
+            device,
+            entries: vec![
+                entry(DfgOp::Backward(NodeId(0)), 10.0),
+                entry(DfgOp::AllReduce { bucket: 0, bytes: 8 << 20 }, 0.0),
+                entry(DfgOp::Backward(NodeId(1)), 10.0),
+                entry(DfgOp::AllReduce { bucket: 1, bytes: 8 << 20 }, 0.0),
+                entry(DfgOp::Optimizer, 0.0),
+            ],
+        };
+        let sim = Simulator::new(comm(0));
+        let r = sim.simulate(&GlobalDfg::new(vec![mk(0), mk(1)]));
+        let mut comm_events: Vec<_> = r
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.stream == Stream::Comm && e.device == 0)
+            .collect();
+        comm_events.sort_by(|a, b| a.ts_us.partial_cmp(&b.ts_us).unwrap());
+        assert_eq!(comm_events.len(), 2);
+        assert!(comm_events[1].ts_us >= comm_events[0].ts_us + comm_events[0].dur_us - 1e-9);
+    }
+
+    #[test]
+    fn bigger_payloads_increase_iteration_time() {
+        let sim = Simulator::new(comm(0));
+        let small = sim.simulate(&two_device_global(500.0, 500.0, 1 << 20)).iteration_us;
+        let large = sim.simulate(&two_device_global(500.0, 500.0, 64 << 20)).iteration_us;
+        assert!(large > small);
+    }
+
+    #[test]
+    fn throughput_is_the_reciprocal_of_latency() {
+        let sim = Simulator::new(comm(0));
+        let r = sim.simulate(&two_device_global(400.0, 400.0, 1 << 20));
+        assert!((r.iterations_per_second() - 1e6 / r.iteration_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_devices_waste_no_time_waiting() {
+        let sim = Simulator::new(comm(0));
+        let balanced = sim.simulate(&two_device_global(600.0, 600.0, 1 << 20));
+        let skewed = sim.simulate(&two_device_global(600.0, 200.0, 1 << 20));
+        assert!(balanced.waiting_us(1) < skewed.waiting_us(1));
+    }
+}

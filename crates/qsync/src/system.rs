@@ -1,0 +1,344 @@
+//! End-to-end QSync system context: the Predictor (profiles + cost mapper + simulator),
+//! memory estimation, the variance indicator, the ground-truth executor used to evaluate
+//! replay accuracy, and the accuracy-response hook.
+//!
+//! This corresponds to steps 1-5 of the workflow in Fig. 3: substitution and profiling
+//! happen in [`QSyncSystem::new`]; the predictor functions (`E(·)`, `M_i(·)`) are
+//! [`QSyncSystem::predict`] and [`QSyncSystem::memory_bytes`]; the allocator
+//! (`crate::allocator`) interacts with them to produce the optimized plan.
+
+use serde::{Deserialize, Serialize};
+
+use qsync_cluster::comm::CommModel;
+use qsync_cluster::cost::casting::CastingCostCalculator;
+use qsync_cluster::cost::memory::{MemoryEstimator, OptimizerKind};
+use qsync_cluster::profiler::{ProfileDb, Profiler};
+use qsync_cluster::topology::ClusterSpec;
+use qsync_lp_kernels::precision::Precision;
+use qsync_graph::{GlobalDfg, ModelDag, PrecisionDag};
+use qsync_train::accuracy::{AccuracyModel, AccuracyOutcome, TaskProfile};
+
+use crate::indicator::{ModelStatistics, SensitivityIndicator, VarianceIndicator};
+use crate::plan::PrecisionPlan;
+use crate::replayer::{CostMapper, SimResult, Simulator};
+
+/// Configuration of a QSync run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QSyncConfig {
+    /// Number of gradient all-reduce buckets.
+    pub n_buckets: usize,
+    /// Seed for indicator statistics and accuracy noise.
+    pub seed: u64,
+    /// Seed for profiling measurement noise.
+    pub profile_seed: u64,
+    /// Optimizer whose state is included in the memory estimate.
+    pub optimizer: OptimizerKind,
+    /// Throughput tolerance for the allocator: a precision recovery is accepted if the
+    /// predicted iteration time does not grow by more than this relative amount.
+    pub throughput_tolerance: f64,
+    /// Relative discrepancy between the predictor's casting model and the "hardware"
+    /// (used only by the ground-truth executor).
+    pub ground_truth_casting_bias: f64,
+    /// Per-iteration latency noise of the ground-truth executor (relative std).
+    pub ground_truth_noise_std: f64,
+}
+
+impl Default for QSyncConfig {
+    fn default() -> Self {
+        QSyncConfig {
+            n_buckets: 4,
+            seed: 42,
+            profile_seed: 7,
+            optimizer: OptimizerKind::SgdMomentum,
+            throughput_tolerance: 1e-3,
+            ground_truth_casting_bias: 1.08,
+            ground_truth_noise_std: 0.01,
+        }
+    }
+}
+
+/// The assembled QSync system for one (model, cluster) pair.
+pub struct QSyncSystem {
+    /// The model being trained.
+    pub dag: ModelDag,
+    /// The hybrid cluster running the job.
+    pub cluster: ClusterSpec,
+    /// Run configuration.
+    pub config: QSyncConfig,
+    /// Indicator statistics (profiled or synthetic).
+    pub stats: ModelStatistics,
+    profiles: Vec<ProfileDb>,
+    true_profiles: Vec<ProfileDb>,
+    castings: Vec<CastingCostCalculator>,
+    comm: CommModel,
+    profiler: Profiler,
+    mem_estimator: MemoryEstimator,
+}
+
+impl QSyncSystem {
+    /// Build the system: profile every device, calibrate casting models, and generate
+    /// indicator statistics (synthetic, seeded by `config.seed`).
+    pub fn new(dag: ModelDag, cluster: ClusterSpec, config: QSyncConfig) -> Self {
+        let profiler = Profiler::default();
+        let mut profiles = Vec::with_capacity(cluster.world_size());
+        let mut true_profiles = Vec::with_capacity(cluster.world_size());
+        let mut castings = Vec::with_capacity(cluster.world_size());
+        for device in &cluster.devices {
+            profiles.push(profiler.profile(&dag, device, &Precision::PAPER_CANDIDATES, config.profile_seed));
+            // The "hardware truth": the same deterministic per-op factors, no measurement noise.
+            let mut truth = ProfileDb::default();
+            for node in dag.nodes() {
+                for &p in &Precision::PAPER_CANDIDATES {
+                    truth.insert(node.id, p, profiler.true_cost(&dag, device, node.id, p));
+                }
+            }
+            true_profiles.push(truth);
+            castings.push(CastingCostCalculator::for_device(device));
+        }
+        let comm = CommModel::for_cluster(&cluster);
+        let stats = ModelStatistics::synthetic(&dag, config.seed);
+        let mem_estimator = MemoryEstimator::with_optimizer(config.optimizer);
+        QSyncSystem { dag, cluster, config, stats, profiles, true_profiles, castings, comm, profiler, mem_estimator }
+    }
+
+    /// Replace the indicator statistics (e.g. with real observations from the executable
+    /// training engine).
+    pub fn with_stats(mut self, stats: ModelStatistics) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// The precision candidates an inference device can execute, lowest first.
+    pub fn candidates_for(&self, rank: usize) -> Vec<Precision> {
+        let device = &self.cluster.devices[rank];
+        Precision::PAPER_CANDIDATES
+            .iter()
+            .copied()
+            .filter(|&p| p == Precision::Fp32 || device.supports(p))
+            .collect()
+    }
+
+    /// The QSync variance indicator built from the current statistics.
+    pub fn indicator(&self) -> VarianceIndicator {
+        VarianceIndicator::new(self.stats.clone())
+    }
+
+    /// Predictor `E(·)`: replay the plan and return the full simulation result.
+    pub fn predict(&self, plan: &PrecisionPlan) -> SimResult {
+        self.simulate_with(plan, &self.profiles, 1.0)
+    }
+
+    /// Predicted iteration latency in microseconds.
+    pub fn predict_iteration_us(&self, plan: &PrecisionPlan) -> f64 {
+        self.predict(plan).iteration_us
+    }
+
+    /// Ground truth: what the "hardware" (device simulator with its true per-op factors,
+    /// a casting bias the predictor does not know about, and per-iteration noise) would
+    /// actually measure for one iteration.
+    pub fn ground_truth_iteration_us(&self, plan: &PrecisionPlan, iteration_seed: u64) -> f64 {
+        let base = self
+            .simulate_with(plan, &self.true_profiles, self.config.ground_truth_casting_bias)
+            .iteration_us;
+        // Deterministic per-iteration jitter.
+        let mut h = iteration_seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(self.config.seed);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+        h ^= h >> 33;
+        let u = (h as f64) / (u64::MAX as f64);
+        let z = (u - 0.5) * 2.0 * 1.732; // uniform with unit variance
+        base * (1.0 + z * self.config.ground_truth_noise_std)
+    }
+
+    /// Mean ground-truth iteration latency over `iterations` simulated iterations.
+    pub fn ground_truth_mean_us(&self, plan: &PrecisionPlan, iterations: usize) -> f64 {
+        (0..iterations.max(1))
+            .map(|i| self.ground_truth_iteration_us(plan, i as u64))
+            .sum::<f64>()
+            / iterations.max(1) as f64
+    }
+
+    /// The DPro-style baseline estimate (Table III "w/o cost mapper"): replays the same
+    /// global DFG but without modelling casting costs or precision dependencies.
+    pub fn dpro_iteration_us(&self, plan: &PrecisionPlan) -> f64 {
+        self.simulate_with(plan, &self.profiles, 0.0).iteration_us
+    }
+
+    fn simulate_with(&self, plan: &PrecisionPlan, profiles: &[ProfileDb], casting_scale: f64) -> SimResult {
+        let locals = self
+            .cluster
+            .devices
+            .iter()
+            .map(|device| {
+                let mut mapper = CostMapper::new(
+                    &self.dag,
+                    &profiles[device.id],
+                    &self.castings[device.id],
+                    device,
+                    self.config.n_buckets,
+                );
+                mapper.casting_scale = casting_scale;
+                mapper.build_local_dfg(plan.device(device.id), device.id)
+            })
+            .collect();
+        Simulator::new(self.comm.clone()).simulate(&GlobalDfg::new(locals))
+    }
+
+    /// Memory estimator `M_i(·)` for one rank under a precision DAG.
+    pub fn memory_bytes(&self, rank: usize, pdag: &PrecisionDag) -> u64 {
+        let _ = rank;
+        self.mem_estimator.estimate_bytes(&self.dag, pdag)
+    }
+
+    /// Whether the plan fits the device's available memory.
+    pub fn memory_ok(&self, rank: usize, pdag: &PrecisionDag) -> bool {
+        self.memory_bytes(rank, pdag) <= self.cluster.devices[rank].available_memory_bytes()
+    }
+
+    /// Total indicator variance of a plan over all inference devices.
+    pub fn plan_variance(&self, plan: &PrecisionPlan, indicator: &dyn SensitivityIndicator) -> f64 {
+        self.cluster
+            .inference_ranks()
+            .iter()
+            .map(|&rank| {
+                let pdag = plan.device(rank);
+                indicator.total(&self.dag, &|id| pdag.get(id))
+            })
+            .sum()
+    }
+
+    /// Variance ratio of a plan relative to the uniform lowest-precision plan (the input
+    /// of the accuracy-response model).
+    pub fn variance_ratio(&self, plan: &PrecisionPlan) -> f64 {
+        let indicator = self.indicator();
+        let reference_precision = self
+            .cluster
+            .inference_ranks()
+            .first()
+            .map(|&r| self.candidates_for(r)[0])
+            .unwrap_or(Precision::Fp16);
+        let reference = PrecisionPlan::uniform(&self.dag, &self.cluster, reference_precision);
+        let ref_var = self.plan_variance(&reference, &indicator);
+        if ref_var <= 0.0 {
+            return 0.0;
+        }
+        self.plan_variance(plan, &indicator) / ref_var
+    }
+
+    /// Final-accuracy outcome of training under a plan, using the accuracy-response model
+    /// for the task matching this model (if calibrated).
+    pub fn accuracy(&self, plan: &PrecisionPlan, trial_tag: u64) -> Option<AccuracyOutcome> {
+        let task = TaskProfile::for_model(&self.dag.name)?;
+        let model = AccuracyModel::new(task, self.config.seed);
+        Some(model.final_accuracy(self.variance_ratio(plan), 0.0, trial_tag))
+    }
+
+    /// Underlying profiler (exposed for benches that need per-op truths).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Profiled costs of one rank.
+    pub fn profile(&self, rank: usize) -> &ProfileDb {
+        &self.profiles[rank]
+    }
+
+    /// Casting-cost calculator of one rank.
+    pub fn casting(&self, rank: usize) -> &CastingCostCalculator {
+        &self.castings[rank]
+    }
+
+    /// The communication model of the job.
+    pub fn comm(&self) -> &CommModel {
+        &self.comm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsync_graph::models::small_mlp;
+
+    fn system() -> QSyncSystem {
+        QSyncSystem::new(
+            small_mlp(64, 512, 1024, 16),
+            ClusterSpec::hybrid_small(),
+            QSyncConfig::default(),
+        )
+    }
+
+    #[test]
+    fn uniform_fp16_is_faster_than_oracle() {
+        let s = system();
+        let oracle = s.predict_iteration_us(&PrecisionPlan::oracle(&s.dag, &s.cluster));
+        let fp16 = s.predict_iteration_us(&PrecisionPlan::uniform(&s.dag, &s.cluster, Precision::Fp16));
+        assert!(fp16 <= oracle, "fp16 {fp16} should not be slower than oracle {oracle}");
+    }
+
+    #[test]
+    fn predictor_is_close_to_ground_truth() {
+        let s = system();
+        for plan in [
+            PrecisionPlan::uniform(&s.dag, &s.cluster, Precision::Fp16),
+            PrecisionPlan::uniform(&s.dag, &s.cluster, Precision::Int8),
+            PrecisionPlan::oracle(&s.dag, &s.cluster),
+        ] {
+            let predicted = s.predict_iteration_us(&plan);
+            let truth = s.ground_truth_mean_us(&plan, 5);
+            let err = (predicted - truth).abs() / truth;
+            assert!(err < 0.05, "{}: error {err}", plan.name);
+        }
+    }
+
+    #[test]
+    fn dpro_underestimates_quantized_plans_more_than_the_predictor() {
+        // Use an all-T4 job so the quantized device's casting costs gate the makespan
+        // (in a hybrid job the FP32 training GPU hides them).
+        let s = QSyncSystem::new(
+            small_mlp(64, 512, 1024, 16),
+            ClusterSpec::cluster_a(0, 2),
+            QSyncConfig::default(),
+        );
+        let plan = PrecisionPlan::uniform(&s.dag, &s.cluster, Precision::Int8);
+        let truth = s.ground_truth_mean_us(&plan, 5);
+        let qsync_err = (s.predict_iteration_us(&plan) - truth).abs() / truth;
+        let dpro_err = (s.dpro_iteration_us(&plan) - truth).abs() / truth;
+        assert!(dpro_err > qsync_err, "dpro {dpro_err} should be worse than qsync {qsync_err}");
+        assert!(s.dpro_iteration_us(&plan) < truth, "dpro should underestimate");
+    }
+
+    #[test]
+    fn variance_ratio_is_zero_for_oracle_and_one_for_uniform_lowest() {
+        let s = system();
+        let oracle = PrecisionPlan::oracle(&s.dag, &s.cluster);
+        assert_eq!(s.variance_ratio(&oracle), 0.0);
+        let lowest = s.candidates_for(s.cluster.inference_ranks()[0])[0];
+        let uniform = PrecisionPlan::uniform(&s.dag, &s.cluster, lowest);
+        assert!((s.variance_ratio(&uniform) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_check_accepts_small_models_on_full_devices() {
+        let s = system();
+        let rank = s.cluster.inference_ranks()[0];
+        assert!(s.memory_ok(rank, &PrecisionDag::full_precision(&s.dag)));
+    }
+
+    #[test]
+    fn candidates_respect_device_capabilities() {
+        let s = system();
+        let t4 = s.cluster.inference_ranks()[0];
+        let v100 = s.cluster.training_ranks()[0];
+        assert_eq!(s.candidates_for(t4), vec![Precision::Int8, Precision::Fp16, Precision::Fp32]);
+        assert_eq!(s.candidates_for(v100), vec![Precision::Fp16, Precision::Fp32]);
+    }
+
+    #[test]
+    fn accuracy_hook_returns_none_for_uncalibrated_models() {
+        let s = system();
+        let plan = PrecisionPlan::oracle(&s.dag, &s.cluster);
+        assert!(s.accuracy(&plan, 0).is_none()); // small_mlp has no task profile
+    }
+}

@@ -1,0 +1,98 @@
+//! Memory layouts for 4-D activation tensors.
+//!
+//! The paper trains all convolution models in channels-last (NHWC) because sub-16-bit
+//! kernels only support that format. The layout itself does not change any value, but
+//! the conversion is a real (and profiled) cost on the device, so the cost model needs to
+//! know which layout an operator consumes and produces.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Memory layout of a 4-D activation tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryLayout {
+    /// Batch, channel, height, width (the PyTorch default).
+    Nchw,
+    /// Batch, height, width, channel ("channels last", required by INT8 kernels).
+    Nhwc,
+}
+
+/// Convert a 4-D tensor `[n, c, h, w]` from NCHW to NHWC.
+pub fn nchw_to_nhwc(t: &Tensor) -> Tensor {
+    let dims = t.shape().dims();
+    assert_eq!(dims.len(), 4, "layout conversion expects a 4-D tensor");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let src = t.data();
+    let mut out = vec![0.0f32; src.len()];
+    for b in 0..n {
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let s = ((b * c + ch) * h + y) * w + x;
+                    let d = ((b * h + y) * w + x) * c + ch;
+                    out[d] = src[s];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, vec![n, h, w, c])
+}
+
+/// Convert a 4-D tensor `[n, h, w, c]` from NHWC back to NCHW.
+pub fn nhwc_to_nchw(t: &Tensor) -> Tensor {
+    let dims = t.shape().dims();
+    assert_eq!(dims.len(), 4, "layout conversion expects a 4-D tensor");
+    let (n, h, w, c) = (dims[0], dims[1], dims[2], dims[3]);
+    let src = t.data();
+    let mut out = vec![0.0f32; src.len()];
+    for b in 0..n {
+        for y in 0..h {
+            for x in 0..w {
+                for ch in 0..c {
+                    let s = ((b * h + y) * w + x) * c + ch;
+                    let d = ((b * c + ch) * h + y) * w + x;
+                    out[d] = src[s];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, vec![n, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trips() {
+        let t = Tensor::randn(vec![2, 3, 4, 5], 9);
+        let back = nhwc_to_nchw(&nchw_to_nhwc(&t));
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn shapes_are_permuted() {
+        let t = Tensor::zeros(vec![1, 2, 3, 4]);
+        let n = nchw_to_nhwc(&t);
+        assert_eq!(n.shape().dims(), &[1, 3, 4, 2]);
+    }
+
+    #[test]
+    fn element_mapping_is_correct() {
+        // A 1x2x2x2 tensor with distinct values.
+        let t = Tensor::from_vec((0..8).map(|x| x as f32).collect(), vec![1, 2, 2, 2]);
+        let n = nchw_to_nhwc(&t);
+        // NCHW (0, 1, 0, 1) = value 5 should land at NHWC (0, 0, 1, 1).
+        assert_eq!(n.at(&[0, 0, 1, 1]), 5.0);
+        // NCHW (0, 0, 1, 0) = value 2 should land at NHWC (0, 1, 0, 0).
+        assert_eq!(n.at(&[0, 1, 0, 0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_4d_tensor_panics() {
+        let t = Tensor::zeros(vec![2, 3]);
+        let _ = nchw_to_nhwc(&t);
+    }
+}

@@ -1,0 +1,147 @@
+//! Tensor shapes and row-major strides.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tensor shape (dimension sizes), stored in row-major (C) order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Create a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape { dims: dims.into() }
+    }
+
+    /// A scalar (0-dimensional) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides (in elements).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat index of a multi-dimensional coordinate.
+    pub fn flat_index(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.rank(), "coordinate rank mismatch");
+        let strides = self.strides();
+        coords
+            .iter()
+            .zip(self.dims.iter())
+            .zip(strides.iter())
+            .map(|((&c, &d), &s)| {
+                assert!(c < d, "coordinate {c} out of bounds for dim of size {d}");
+                c * s
+            })
+            .sum()
+    }
+
+    /// Size of a single dimension.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Whether another shape has the same number of elements (reshape compatibility).
+    pub fn reshape_compatible(&self, other: &Shape) -> bool {
+        self.numel() == other.numel()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape::new(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape::new(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn flat_index_matches_manual_computation() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.flat_index(&[0, 0, 0]), 0);
+        assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+        assert_eq!(s.flat_index(&[1, 0, 2]), 14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_coordinate_panics() {
+        let s = Shape::new(vec![2, 3]);
+        let _ = s.flat_index(&[2, 0]);
+    }
+
+    #[test]
+    fn reshape_compatibility() {
+        let a = Shape::new(vec![2, 6]);
+        let b = Shape::new(vec![3, 4]);
+        let c = Shape::new(vec![5]);
+        assert!(a.reshape_compatible(&b));
+        assert!(!a.reshape_compatible(&c));
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

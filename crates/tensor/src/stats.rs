@@ -1,0 +1,154 @@
+//! Per-tensor statistics consumed by the QSync indicator.
+//!
+//! The indicator (Proposition 3) needs, per operator: tensor dimensionalities `D`,
+//! squared L2 norms of activations / weights / gradients, the effective exponent `e`
+//! (floating-point case) and the quantization scaling factor `q` (fixed-point case).
+//! Profiling collects these by running a few iterations; this module is the shared
+//! container format.
+
+use serde::{Deserialize, Serialize};
+
+use qsync_lp_kernels::precision::Precision;
+use qsync_lp_kernels::quant::float::effective_exponent;
+
+use crate::tensor::Tensor;
+
+/// Summary statistics of one tensor at one point of the training iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TensorStats {
+    /// Number of elements (`D` in Proposition 2).
+    pub numel: usize,
+    /// Squared L2 norm.
+    pub sq_norm: f64,
+    /// Maximum absolute value.
+    pub absmax: f32,
+    /// Effective exponent for FP16 quantization (`e` in Proposition 2).
+    pub effective_exp_fp16: f64,
+    /// Symmetric INT8 per-tensor scaling factor that would be used for this tensor
+    /// (`q` in Proposition 2): `absmax / 127`.
+    pub int8_scale: f64,
+}
+
+impl TensorStats {
+    /// Compute statistics from a tensor.
+    pub fn of(t: &Tensor) -> Self {
+        Self::of_slice(t.data())
+    }
+
+    /// Compute statistics from a raw slice.
+    pub fn of_slice(data: &[f32]) -> Self {
+        let numel = data.len();
+        let sq_norm = data.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        let absmax = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        TensorStats {
+            numel,
+            sq_norm,
+            absmax,
+            effective_exp_fp16: effective_exponent(data, Precision::Fp16),
+            int8_scale: if absmax > 0.0 { absmax as f64 / 127.0 } else { 0.0 },
+        }
+    }
+
+    /// Exponential-moving-average update of the statistics (used for the running mean
+    /// over the first 50 iterations the paper takes as the final indicator input).
+    pub fn ema_update(&mut self, other: &TensorStats, momentum: f64) {
+        let m = momentum.clamp(0.0, 1.0);
+        self.numel = other.numel;
+        self.sq_norm = self.sq_norm * m + other.sq_norm * (1.0 - m);
+        self.absmax = (self.absmax as f64 * m + other.absmax as f64 * (1.0 - m)) as f32;
+        self.effective_exp_fp16 = self.effective_exp_fp16 * m + other.effective_exp_fp16 * (1.0 - m);
+        self.int8_scale = self.int8_scale * m + other.int8_scale * (1.0 - m);
+    }
+}
+
+/// A running-mean accumulator over iterations (arithmetic mean, the paper's choice).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    acc: TensorStats,
+    count: usize,
+}
+
+impl RunningStats {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, s: &TensorStats) {
+        self.acc.numel = s.numel;
+        self.acc.sq_norm += s.sq_norm;
+        self.acc.absmax += s.absmax;
+        self.acc.effective_exp_fp16 += s.effective_exp_fp16;
+        self.acc.int8_scale += s.int8_scale;
+        self.count += 1;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The running mean of all observations.
+    pub fn mean(&self) -> TensorStats {
+        if self.count == 0 {
+            return TensorStats::default();
+        }
+        let n = self.count as f64;
+        TensorStats {
+            numel: self.acc.numel,
+            sq_norm: self.acc.sq_norm / n,
+            absmax: (self.acc.absmax as f64 / n) as f32,
+            effective_exp_fp16: self.acc.effective_exp_fp16 / n,
+            int8_scale: self.acc.int8_scale / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_tensor() {
+        let t = Tensor::from_vec(vec![3.0, -4.0, 0.0], vec![3]);
+        let s = TensorStats::of(&t);
+        assert_eq!(s.numel, 3);
+        assert_eq!(s.sq_norm, 25.0);
+        assert_eq!(s.absmax, 4.0);
+        assert!((s.int8_scale - 4.0 / 127.0).abs() < 1e-9);
+        assert!((s.effective_exp_fp16 - 2.0).abs() < 1e-9); // log2(4) = 2
+    }
+
+    #[test]
+    fn zero_tensor_has_zero_scale() {
+        let s = TensorStats::of_slice(&[0.0, 0.0]);
+        assert_eq!(s.int8_scale, 0.0);
+        assert_eq!(s.effective_exp_fp16, 0.0);
+    }
+
+    #[test]
+    fn running_mean_averages_observations() {
+        let mut rs = RunningStats::new();
+        rs.push(&TensorStats::of_slice(&[2.0]));
+        rs.push(&TensorStats::of_slice(&[4.0]));
+        let m = rs.mean();
+        assert_eq!(rs.count(), 2);
+        assert_eq!(m.absmax, 3.0);
+        assert_eq!(m.sq_norm, 10.0);
+    }
+
+    #[test]
+    fn empty_running_mean_is_default() {
+        let rs = RunningStats::new();
+        assert_eq!(rs.mean(), TensorStats::default());
+    }
+
+    #[test]
+    fn ema_update_moves_towards_new_value() {
+        let mut a = TensorStats::of_slice(&[1.0]);
+        let b = TensorStats::of_slice(&[3.0]);
+        a.ema_update(&b, 0.5);
+        assert!((a.absmax - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+
+use qsync_tensor::layout::{nchw_to_nhwc, nhwc_to_nchw};
+use qsync_tensor::{Shape, Tensor, TensorStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Strides are consistent with flat indexing: walking the last coordinate advances by 1.
+    #[test]
+    fn strides_match_flat_index(dims in prop::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::new(dims.clone());
+        let strides = shape.strides();
+        prop_assert_eq!(strides.len(), dims.len());
+        prop_assert_eq!(*strides.last().unwrap(), 1);
+        // numel == product of dims and the largest flat index is numel - 1.
+        let max_coord: Vec<usize> = dims.iter().map(|d| d - 1).collect();
+        prop_assert_eq!(shape.flat_index(&max_coord), shape.numel() - 1);
+    }
+
+    /// Elementwise addition is commutative and axpy with alpha = -1 inverts an add.
+    #[test]
+    fn add_commutes_and_axpy_inverts(data in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        let n = data.len();
+        let a = Tensor::from_vec(data.clone(), vec![n]);
+        let b = Tensor::randn(vec![n], 7);
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut c = ab.clone();
+        c.axpy_inplace(-1.0, &b);
+        for (x, y) in c.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// The L2 norm obeys the triangle inequality and absolute homogeneity.
+    #[test]
+    fn norm_properties(data in prop::collection::vec(-50.0f32..50.0, 1..64), alpha in -4.0f32..4.0) {
+        let n = data.len();
+        let a = Tensor::from_vec(data, vec![n]);
+        let b = Tensor::randn(vec![n], 3);
+        prop_assert!(a.add(&b).l2_norm() <= a.l2_norm() + b.l2_norm() + 1e-6);
+        let mut scaled = a.clone();
+        scaled.scale_inplace(alpha);
+        prop_assert!((scaled.l2_norm() - (alpha.abs() as f64) * a.l2_norm()).abs() < 1e-2 + 1e-3 * a.l2_norm());
+    }
+
+    /// Matmul distributes over addition: (A)(B + C) == AB + AC.
+    #[test]
+    fn matmul_distributes(m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        let a = Tensor::randn(vec![m, k], 1);
+        let b = Tensor::randn(vec![k, n], 2);
+        let c = Tensor::randn(vec![k, n], 3);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Layout conversion NCHW -> NHWC -> NCHW is the identity.
+    #[test]
+    fn layout_round_trip(n in 1usize..3, c in 1usize..4, h in 1usize..5, w in 1usize..5, seed in 0u64..50) {
+        let t = Tensor::randn(vec![n, c, h, w], seed);
+        prop_assert_eq!(nhwc_to_nchw(&nchw_to_nhwc(&t)), t);
+    }
+
+    /// Tensor statistics are invariant under permutation of the data.
+    #[test]
+    fn stats_are_permutation_invariant(mut data in prop::collection::vec(-10.0f32..10.0, 2..64)) {
+        let s1 = TensorStats::of_slice(&data);
+        data.reverse();
+        let s2 = TensorStats::of_slice(&data);
+        prop_assert_eq!(s1.numel, s2.numel);
+        prop_assert!((s1.sq_norm - s2.sq_norm).abs() < 1e-3);
+        prop_assert_eq!(s1.absmax, s2.absmax);
+    }
+}

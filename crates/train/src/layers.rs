@@ -1,0 +1,301 @@
+//! Executable layers with real forward/backward at configurable precision.
+//!
+//! These layers run the actual low-precision kernels from `qsync-lp-kernels`, so the
+//! hybrid mixed-precision *numerics* the paper relies on (unbiased stochastic
+//! quantization, FP16 grids, INT32 accumulation) are exercised by real training on the
+//! CPU substrate. The executable model zoo is intentionally small (MLPs); the large paper
+//! models are handled analytically by the predictor and the accuracy-response model.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use qsync_lp_kernels::gemm::TileConfig;
+use qsync_lp_kernels::linear::{linear_backward, linear_forward};
+use qsync_lp_kernels::precision::Precision;
+use qsync_tensor::{Tensor, TensorStats};
+
+/// Per-layer statistics captured during one forward/backward pass, feeding the indicator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LayerObservation {
+    /// Statistics of the layer's input activation.
+    pub activation: TensorStats,
+    /// Statistics of the layer's weight.
+    pub weight: TensorStats,
+    /// Statistics of the gradient w.r.t. the layer's output.
+    pub grad_output: TensorStats,
+}
+
+/// A fully connected layer with a configurable execution precision.
+#[derive(Debug, Clone)]
+pub struct LinearLayer {
+    /// Layer name (matches the model-DAG node name).
+    pub name: String,
+    /// Weight `[out, in]`.
+    pub weight: Tensor,
+    /// Bias `[out]`.
+    pub bias: Tensor,
+    /// Execution precision of the forward/backward pair.
+    pub precision: Precision,
+    /// Accumulated weight gradient from the last backward pass.
+    pub grad_weight: Tensor,
+    /// Accumulated bias gradient from the last backward pass.
+    pub grad_bias: Tensor,
+    /// Last observed statistics (for the indicator).
+    pub observation: LayerObservation,
+    cached_input: Option<Tensor>,
+    rng: ChaCha8Rng,
+    tile: TileConfig,
+}
+
+impl LinearLayer {
+    /// Create a layer with Kaiming-initialised weights.
+    pub fn new(name: impl Into<String>, in_features: usize, out_features: usize, seed: u64) -> Self {
+        LinearLayer {
+            name: name.into(),
+            weight: Tensor::kaiming(out_features, in_features, seed),
+            bias: Tensor::zeros(vec![out_features]),
+            precision: Precision::Fp32,
+            grad_weight: Tensor::zeros(vec![out_features, in_features]),
+            grad_bias: Tensor::zeros(vec![out_features]),
+            observation: LayerObservation::default(),
+            cached_input: None,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0xA5A5),
+            tile: TileConfig::fallback(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.shape().dim(1)
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.shape().dim(0)
+    }
+
+    /// Forward pass; caches the input for backward.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let batch = input.shape().dim(0);
+        let out = linear_forward(
+            input.data(),
+            self.weight.data(),
+            Some(self.bias.data()),
+            batch,
+            self.in_features(),
+            self.out_features(),
+            self.precision,
+            &self.tile,
+            &mut self.rng,
+        );
+        self.observation.activation = TensorStats::of(input);
+        self.observation.weight = TensorStats::of(&self.weight);
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(out, vec![batch, self.out_features()])
+    }
+
+    /// Backward pass; stores parameter gradients and returns the input gradient.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("forward must run before backward");
+        let batch = input.shape().dim(0);
+        self.observation.grad_output = TensorStats::of(grad_output);
+        let grads = linear_backward(
+            input.data(),
+            self.weight.data(),
+            grad_output.data(),
+            batch,
+            self.in_features(),
+            self.out_features(),
+            self.precision,
+            &self.tile,
+        );
+        self.grad_weight =
+            Tensor::from_vec(grads.grad_weight, vec![self.out_features(), self.in_features()]);
+        self.grad_bias = Tensor::from_vec(grads.grad_bias, vec![self.out_features()]);
+        Tensor::from_vec(grads.grad_input, vec![batch, self.in_features()])
+    }
+}
+
+/// ReLU activation (precision-dependent; executes at whatever precision its input has).
+#[derive(Debug, Clone, Default)]
+pub struct ReluLayer {
+    mask: Vec<f32>,
+}
+
+impl ReluLayer {
+    /// Forward pass.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.mask = input.data().iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
+        input.map(|v| v.max(0.0))
+    }
+
+    /// Backward pass.
+    pub fn backward(&self, grad_output: &Tensor) -> Tensor {
+        let data: Vec<f32> =
+            grad_output.data().iter().zip(self.mask.iter()).map(|(&g, &m)| g * m).collect();
+        Tensor::from_vec(data, grad_output.shape().dims().to_vec())
+    }
+}
+
+/// Softmax + cross-entropy loss (never quantized, Proposition 1).
+#[derive(Debug, Clone, Default)]
+pub struct SoftmaxCrossEntropy {
+    probs: Option<Tensor>,
+    targets: Vec<usize>,
+}
+
+impl SoftmaxCrossEntropy {
+    /// Compute the mean cross-entropy loss of `logits` `[batch, classes]` against integer
+    /// `targets`, caching what the backward pass needs.
+    pub fn forward(&mut self, logits: &Tensor, targets: &[usize]) -> f64 {
+        let batch = logits.shape().dim(0);
+        let classes = logits.shape().dim(1);
+        assert_eq!(targets.len(), batch);
+        let mut probs = vec![0.0f32; batch * classes];
+        let mut loss = 0.0f64;
+        for b in 0..batch {
+            let row = &logits.data()[b * classes..(b + 1) * classes];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for c in 0..classes {
+                probs[b * classes + c] = exps[c] / sum;
+            }
+            loss -= (probs[b * classes + targets[b]].max(1e-12) as f64).ln();
+        }
+        self.probs = Some(Tensor::from_vec(probs, vec![batch, classes]));
+        self.targets = targets.to_vec();
+        loss / batch as f64
+    }
+
+    /// Gradient of the loss w.r.t. the logits: `(p - y) / N`.
+    pub fn backward(&self) -> Tensor {
+        let probs = self.probs.as_ref().expect("forward must run before backward");
+        let batch = probs.shape().dim(0);
+        let classes = probs.shape().dim(1);
+        let mut grad = probs.data().to_vec();
+        for (b, &t) in self.targets.iter().enumerate() {
+            grad[b * classes + t] -= 1.0;
+        }
+        let scale = 1.0 / batch as f32;
+        for g in grad.iter_mut() {
+            *g *= scale;
+        }
+        Tensor::from_vec(grad, vec![batch, classes])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_layer_forward_backward_shapes() {
+        let mut l = LinearLayer::new("fc", 8, 4, 1);
+        let x = Tensor::randn(vec![3, 8], 2);
+        let y = l.forward(&x);
+        assert_eq!(y.shape().dims(), &[3, 4]);
+        let gx = l.backward(&Tensor::ones(vec![3, 4]));
+        assert_eq!(gx.shape().dims(), &[3, 8]);
+        assert_eq!(l.grad_weight.shape().dims(), &[4, 8]);
+        assert_eq!(l.grad_bias.shape().dims(), &[4]);
+    }
+
+    #[test]
+    fn relu_masks_negative_gradients() {
+        let mut r = ReluLayer::default();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], vec![2, 2]);
+        let y = r.forward(&x);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = r.backward(&Tensor::ones(vec![2, 2]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn cross_entropy_decreases_for_correct_confident_predictions() {
+        let mut ce = SoftmaxCrossEntropy::default();
+        let confident = Tensor::from_vec(vec![5.0, -5.0, -5.0, 5.0], vec![2, 2]);
+        let unsure = Tensor::from_vec(vec![0.1, 0.0, 0.0, 0.1], vec![2, 2]);
+        let l1 = ce.forward(&confident, &[0, 1]);
+        let l2 = ce.forward(&unsure, &[0, 1]);
+        assert!(l1 < l2);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let mut ce = SoftmaxCrossEntropy::default();
+        let logits = Tensor::randn(vec![4, 5], 3);
+        let _ = ce.forward(&logits, &[0, 1, 2, 3]);
+        let g = ce.backward();
+        for row in g.data().chunks(5) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn linear_gradient_matches_finite_difference_through_the_loss() {
+        let mut l = LinearLayer::new("fc", 4, 3, 7);
+        let mut ce = SoftmaxCrossEntropy::default();
+        let x = Tensor::randn(vec![5, 4], 8);
+        let targets = [0usize, 1, 2, 0, 1];
+
+        let y = l.forward(&x);
+        let _ = ce.forward(&y, &targets);
+        let gy = ce.backward();
+        let _ = l.backward(&gy);
+        let analytic = l.grad_weight.clone();
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 11] {
+            let orig = l.weight.data()[idx];
+            l.weight.data_mut()[idx] = orig + eps;
+            let up = ce.forward(&l.forward(&x), &targets);
+            l.weight.data_mut()[idx] = orig - eps;
+            let down = ce.forward(&l.forward(&x), &targets);
+            l.weight.data_mut()[idx] = orig;
+            let fd = (up - down) / (2.0 * eps as f64);
+            assert!(
+                (fd - analytic.data()[idx] as f64).abs() < 1e-2,
+                "idx={idx}: fd={fd}, an={}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn low_precision_layer_still_learns_the_right_direction() {
+        // The INT8 layer's gradient should correlate strongly with the FP32 gradient.
+        let x = Tensor::randn(vec![16, 32], 11);
+        let gy = Tensor::randn(vec![16, 8], 12);
+        let mut l32 = LinearLayer::new("fc32", 32, 8, 5);
+        let mut l8 = LinearLayer::new("fc8", 32, 8, 5);
+        l8.precision = Precision::Int8;
+        let _ = l32.forward(&x);
+        let _ = l8.forward(&x);
+        let _ = l32.backward(&gy);
+        let _ = l8.backward(&gy);
+        let dot: f64 = l32
+            .grad_weight
+            .data()
+            .iter()
+            .zip(l8.grad_weight.data())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let cos = dot / (l32.grad_weight.l2_norm() * l8.grad_weight.l2_norm());
+        assert!(cos > 0.95, "cosine similarity too low: {cos}");
+    }
+
+    #[test]
+    fn observations_are_populated_after_a_step() {
+        let mut l = LinearLayer::new("fc", 8, 8, 1);
+        let x = Tensor::randn(vec![4, 8], 2);
+        let y = l.forward(&x);
+        let _ = l.backward(&Tensor::ones(vec![4, 8]));
+        assert_eq!(l.observation.activation.numel, 32);
+        assert!(l.observation.weight.sq_norm > 0.0);
+        assert!(l.observation.grad_output.numel > 0);
+        assert_eq!(y.shape().dims(), &[4, 8]);
+    }
+}

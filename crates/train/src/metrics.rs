@@ -1,0 +1,97 @@
+//! Evaluation metrics: top-1 accuracy and F1 score.
+//!
+//! The paper reports top-1 accuracy for the classification tasks and F1 for the
+//! fine-tuning tasks, and "refers to both as accuracy in the results"; we keep both.
+
+/// Top-1 accuracy of predictions against labels.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Macro-averaged F1 score over all classes present in the labels.
+pub fn f1_macro(predictions: &[usize], labels: &[usize], classes: usize) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    if labels.is_empty() || classes == 0 {
+        return 0.0;
+    }
+    let mut f1_sum = 0.0;
+    let mut counted = 0usize;
+    for c in 0..classes {
+        let tp = predictions
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| **p == c && **l == c)
+            .count() as f64;
+        let fp = predictions
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| **p == c && **l != c)
+            .count() as f64;
+        let fn_ = predictions
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| **p != c && **l == c)
+            .count() as f64;
+        if tp + fp + fn_ == 0.0 {
+            continue; // class absent from both predictions and labels
+        }
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+        let f1 = if precision + recall > 0.0 { 2.0 * precision * recall / (precision + recall) } else { 0.0 };
+        f1_sum += f1;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        f1_sum / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let labels = vec![0, 1, 2, 1];
+        assert_eq!(accuracy(&labels, &labels), 1.0);
+        assert_eq!(f1_macro(&labels, &labels, 3), 1.0);
+    }
+
+    #[test]
+    fn accuracy_counts_fraction_correct() {
+        let preds = vec![0, 1, 0, 0];
+        let labels = vec![0, 1, 1, 1];
+        assert_eq!(accuracy(&preds, &labels), 0.5);
+    }
+
+    #[test]
+    fn f1_penalises_class_imbalance_errors_more_than_accuracy() {
+        // Predict the majority class everywhere.
+        let preds = vec![0; 10];
+        let mut labels = vec![0; 9];
+        labels.push(1);
+        let acc = accuracy(&preds, &labels);
+        let f1 = f1_macro(&preds, &labels, 2);
+        assert!(acc > 0.85);
+        assert!(f1 < acc, "f1 {f1} should be below accuracy {acc}");
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(f1_macro(&[], &[], 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = accuracy(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Optimizers: SGD (with momentum) and Adam.
+//!
+//! The paper trains the convolution models with SGD (lr 4.096 / 0.4, momentum) and
+//! fine-tunes the transformers with Adam; both are provided so the executable training
+//! engine and the memory estimator agree on the optimizer state.
+
+use serde::{Deserialize, Serialize};
+
+use qsync_tensor::Tensor;
+
+/// Optimizer configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerConfig {
+    /// SGD with optional momentum and weight decay.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 disables the buffer).
+        momentum: f32,
+        /// L2 weight decay.
+        weight_decay: f32,
+    },
+    /// Adam.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical stabiliser.
+        eps: f32,
+    },
+}
+
+impl OptimizerConfig {
+    /// The paper's from-scratch SGD configuration scaled for a given learning rate.
+    pub fn sgd(lr: f32) -> Self {
+        OptimizerConfig::Sgd { lr, momentum: 0.9, weight_decay: 1e-4 }
+    }
+
+    /// The paper's fine-tuning Adam configuration.
+    pub fn adam(lr: f32) -> Self {
+        OptimizerConfig::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+
+    /// Scale the learning rate (used by dynamic batch sizing's linear-scaling rule).
+    pub fn scale_lr(&self, factor: f32) -> Self {
+        match self.clone() {
+            OptimizerConfig::Sgd { lr, momentum, weight_decay } => {
+                OptimizerConfig::Sgd { lr: lr * factor, momentum, weight_decay }
+            }
+            OptimizerConfig::Adam { lr, beta1, beta2, eps } => {
+                OptimizerConfig::Adam { lr: lr * factor, beta1, beta2, eps }
+            }
+        }
+    }
+}
+
+/// Optimizer state for a list of parameter tensors.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    /// Configuration.
+    pub config: OptimizerConfig,
+    momentum: Vec<Tensor>,
+    second_moment: Vec<Tensor>,
+    step: usize,
+}
+
+impl Optimizer {
+    /// Create an optimizer for parameters with the given shapes.
+    pub fn new(config: OptimizerConfig, param_shapes: &[Vec<usize>]) -> Self {
+        let zeros: Vec<Tensor> = param_shapes.iter().map(|s| Tensor::zeros(s.clone())).collect();
+        Optimizer { config, momentum: zeros.clone(), second_moment: zeros, step: 0 }
+    }
+
+    /// Apply one update step: `params[i] -= f(grads[i])`.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        assert_eq!(params.len(), grads.len());
+        assert_eq!(params.len(), self.momentum.len());
+        self.step += 1;
+        match self.config {
+            OptimizerConfig::Sgd { lr, momentum, weight_decay } => {
+                for ((p, g), m) in params.iter_mut().zip(grads).zip(self.momentum.iter_mut()) {
+                    // g' = g + wd * p
+                    let mut update = (*g).clone();
+                    if weight_decay != 0.0 {
+                        update.axpy_inplace(weight_decay, p);
+                    }
+                    if momentum != 0.0 {
+                        m.scale_inplace(momentum);
+                        m.axpy_inplace(1.0, &update);
+                        p.axpy_inplace(-lr, m);
+                    } else {
+                        p.axpy_inplace(-lr, &update);
+                    }
+                }
+            }
+            OptimizerConfig::Adam { lr, beta1, beta2, eps } => {
+                let t = self.step as f32;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                for (((p, g), m), v) in params
+                    .iter_mut()
+                    .zip(grads)
+                    .zip(self.momentum.iter_mut())
+                    .zip(self.second_moment.iter_mut())
+                {
+                    m.scale_inplace(beta1);
+                    m.axpy_inplace(1.0 - beta1, g);
+                    let gsq = (*g).mul(g);
+                    v.scale_inplace(beta2);
+                    v.axpy_inplace(1.0 - beta2, &gsq);
+                    let update: Vec<f32> = m
+                        .data()
+                        .iter()
+                        .zip(v.data())
+                        .map(|(&mi, &vi)| {
+                            let mhat = mi / bc1;
+                            let vhat = vi / bc2;
+                            mhat / (vhat.sqrt() + eps)
+                        })
+                        .collect();
+                    let update = Tensor::from_vec(update, p.shape().dims().to_vec());
+                    p.axpy_inplace(-lr, &update);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &Tensor) -> Tensor {
+        // Loss = 0.5 * ||p - 3||^2, gradient = p - 3.
+        p.map(|v| v - 3.0)
+    }
+
+    #[test]
+    fn sgd_converges_on_a_quadratic() {
+        let mut p = Tensor::zeros(vec![4]);
+        let mut opt = Optimizer::new(OptimizerConfig::Sgd { lr: 0.1, momentum: 0.0, weight_decay: 0.0 }, &[vec![4]]);
+        for _ in 0..200 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut [&mut p], &[&g]);
+        }
+        for &v in p.data() {
+            assert!((v - 3.0).abs() < 1e-3, "v={v}");
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_early_progress() {
+        let run = |momentum: f32| -> f64 {
+            let mut p = Tensor::zeros(vec![1]);
+            let mut opt =
+                Optimizer::new(OptimizerConfig::Sgd { lr: 0.05, momentum, weight_decay: 0.0 }, &[vec![1]]);
+            for _ in 0..20 {
+                let g = quadratic_grad(&p);
+                opt.step(&mut [&mut p], &[&g]);
+            }
+            (p.data()[0] as f64 - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        let mut p = Tensor::zeros(vec![4]);
+        let mut opt = Optimizer::new(OptimizerConfig::adam(0.05), &[vec![4]]);
+        for _ in 0..500 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut [&mut p], &[&g]);
+        }
+        for &v in p.data() {
+            assert!((v - 3.0).abs() < 0.05, "v={v}");
+        }
+    }
+
+    #[test]
+    fn weight_decay_pulls_parameters_towards_zero() {
+        let mut p = Tensor::full(vec![2], 1.0);
+        let mut opt = Optimizer::new(
+            OptimizerConfig::Sgd { lr: 0.1, momentum: 0.0, weight_decay: 0.5 },
+            &[vec![2]],
+        );
+        // Zero task gradient: only weight decay acts.
+        let g = Tensor::zeros(vec![2]);
+        for _ in 0..10 {
+            opt.step(&mut [&mut p], &[&g]);
+        }
+        assert!(p.data()[0] < 1.0 && p.data()[0] > 0.0);
+    }
+
+    #[test]
+    fn lr_scaling_rule() {
+        let cfg = OptimizerConfig::sgd(0.4).scale_lr(2.0);
+        match cfg {
+            OptimizerConfig::Sgd { lr, .. } => assert!((lr - 0.8).abs() < 1e-6),
+            _ => panic!("expected SGD"),
+        }
+    }
+}

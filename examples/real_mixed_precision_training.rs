@@ -1,0 +1,45 @@
+//! Real (executable) hybrid mixed-precision data-parallel training on synthetic data.
+//!
+//! Two workers train the same MLP: worker 0 plays the training GPU (all FP32), worker 1
+//! plays the inference GPU with a quantization-minimized plan (one INT8 layer, one FP16
+//! layer, the rest FP32). Gradients are averaged with a real all-reduce each step. The
+//! run demonstrates that the hybrid mixed-precision numerics (stochastic-rounding
+//! quantizers, INT32 accumulation, FP16 grids) converge on par with full precision.
+//!
+//! ```text
+//! cargo run --release --example real_mixed_precision_training
+//! ```
+
+use qsync_lp_kernels::precision::Precision;
+use qsync_train::data::SyntheticClassification;
+use qsync_train::dp::DataParallelTrainer;
+use qsync_train::optim::OptimizerConfig;
+
+fn main() {
+    let dataset = SyntheticClassification::generate(2048, 32, 8, 7);
+    let (train, test) = dataset.train_test_split(0.25);
+    let dims = [32usize, 64, 64, 8];
+    let sgd = OptimizerConfig::Sgd { lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
+
+    let run = |name: &str, inference_plan: Vec<Precision>| {
+        let plans = vec![vec![Precision::Fp32; 3], inference_plan];
+        let mut trainer =
+            DataParallelTrainer::new(&dims, &train, &plans, sgd.clone(), 11).with_batch_size(32);
+        let report = trainer.train(250, &test);
+        println!(
+            "{name:<28} final accuracy {:.1}%   first-loss {:.3} -> last-loss {:.3}",
+            report.final_accuracy * 100.0,
+            report.losses.first().unwrap(),
+            report.losses.last().unwrap()
+        );
+        report.final_accuracy
+    };
+
+    println!("2-worker synchronous data-parallel training (synthetic 8-class task)\n");
+    let fp32 = run("all-FP32 (oracle)", vec![Precision::Fp32; 3]);
+    let qsync = run("QSync-style mixed plan", vec![Precision::Int8, Precision::Fp16, Precision::Fp32]);
+    let uniform = run("uniform INT8 (UP)", vec![Precision::Int8; 3]);
+
+    println!("\nquantization-minimized plan is within {:.1} points of FP32,", (fp32 - qsync).abs() * 100.0);
+    println!("while uniform INT8 gives away {:.1} points.", (fp32 - uniform).abs() * 100.0);
+}

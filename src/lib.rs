@@ -1,0 +1,19 @@
+//! Workspace root crate for the QSync reproduction.
+//!
+//! This crate only exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. All functionality lives in the
+//! member crates:
+//!
+//! * [`qsync_lp_kernels`] — low-precision kernels (the LP-PyTorch analogue)
+//! * [`qsync_tensor`] — dense tensor substrate
+//! * [`qsync_graph`] — operator DAGs and the model zoo
+//! * [`qsync_cluster`] — hybrid-device cluster simulator and profiler
+//! * [`qsync_train`] — executable mixed-precision training engine
+//! * [`qsync_core`] — the QSync system itself (predictor, allocator, baselines)
+
+pub use qsync_cluster as cluster;
+pub use qsync_core as core;
+pub use qsync_graph as graph;
+pub use qsync_lp_kernels as lp_kernels;
+pub use qsync_tensor as tensor;
+pub use qsync_train as train;
