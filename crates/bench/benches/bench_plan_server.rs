@@ -1,0 +1,111 @@
+//! Plan-server latency bench: cold planning vs cache hit vs elastic warm
+//! re-plan, on the serving path a production deployment would exercise.
+//!
+//! Scenario: VGG-16BN plans are being served for ClusterA when an inference
+//! device degrades (a co-located tenant claims 60% of its memory). The server
+//! can either re-plan cold against the new shape or warm-start the allocator's
+//! recovery phase from the cached assignment — the comparison this bench
+//! quantifies. Both re-plan variants include the `QSyncSystem` rebuild
+//! (profiling the new cluster), exactly like the serving path.
+//!
+//! Besides the stdout report, a machine-readable summary is written to
+//! `BENCH_plan_server.json` in the working directory.
+
+use criterion::{Bencher, Criterion};
+
+use qsync_cluster::topology::ClusterSpec;
+use qsync_core::allocator::Allocator;
+use qsync_core::system::QSyncSystem;
+use qsync_serve::{ClusterDelta, ModelSpec, PlanEngine, PlanOutcome, PlanRequest};
+
+fn model() -> ModelSpec {
+    ModelSpec::Vgg16Bn { batch: 2, image: 32 }
+}
+
+fn base_cluster() -> ClusterSpec {
+    ClusterSpec::cluster_a(2, 2)
+}
+
+fn degraded_cluster() -> ClusterSpec {
+    let base = base_cluster();
+    let rank = base.inference_ranks()[0];
+    ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.9 }
+        .apply(&base)
+        .expect("delta applies")
+}
+
+fn bench_cold(b: &mut Bencher, cluster: &ClusterSpec) {
+    let request = PlanRequest::new(0, model(), cluster.clone());
+    b.iter(|| {
+        let system = QSyncSystem::new(request.model.build(), request.effective_cluster(), request.config());
+        Allocator::new(&system).allocate(&system.indicator())
+    });
+}
+
+fn bench_plan_server(c: &mut Criterion) {
+    // Pre-warm one engine with the base-cluster plan; its cached assignment is
+    // the warm-start input after the delta.
+    let engine = PlanEngine::new();
+    let request = PlanRequest::new(0, model(), base_cluster());
+    let cold_response = engine.plan(&request).expect("valid bench request");
+    assert_eq!(cold_response.outcome, PlanOutcome::ColdPlanned);
+    let rank = base_cluster().inference_ranks()[0];
+    let warm_pdag = cold_response.plan.device(rank).clone();
+
+    let mut group = c.benchmark_group("plan_server");
+    group.sample_size(10);
+
+    group.bench_function("cold_plan", |b| bench_cold(b, &base_cluster()));
+    group.bench_function("cold_replan_after_delta", |b| bench_cold(b, &degraded_cluster()));
+
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| {
+            let response = engine.plan(&request).expect("valid bench request");
+            assert_eq!(response.outcome, PlanOutcome::CacheHit);
+            response
+        })
+    });
+
+    group.bench_function("warm_replan_after_delta", |b| {
+        let degraded = degraded_cluster();
+        b.iter(|| {
+            let system = QSyncSystem::new(request.model.build(), degraded.clone(), request.config());
+            Allocator::new(&system).allocate_warm(&system.indicator(), &warm_pdag)
+        })
+    });
+
+    group.finish();
+}
+
+fn mean_ns(c: &Criterion, id: &str) -> f64 {
+    c.results
+        .iter()
+        .find(|(name, _)| name == &format!("plan_server/{id}"))
+        .map(|(_, ns)| *ns)
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_plan_server(&mut criterion);
+
+    let cold = mean_ns(&criterion, "cold_plan");
+    let cold_replan = mean_ns(&criterion, "cold_replan_after_delta");
+    let hit = mean_ns(&criterion, "cache_hit");
+    let warm = mean_ns(&criterion, "warm_replan_after_delta");
+    let summary = serde_json::json!({
+        "bench": "plan_server",
+        "model": "vgg16bn:2,32",
+        "cluster": "a:2,2 (delta: rank degraded to 40% memory, 90% compute)",
+        "cold_plan_us": cold / 1e3,
+        "cold_replan_after_delta_us": cold_replan / 1e3,
+        "cache_hit_us": hit / 1e3,
+        "warm_replan_after_delta_us": warm / 1e3,
+        "hit_speedup_vs_cold": cold / hit,
+        "warm_speedup_vs_cold_replan": cold_replan / warm,
+    });
+    let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    println!("{text}");
+    std::fs::write("BENCH_plan_server.json", text).expect("write BENCH_plan_server.json");
+    eprintln!("wrote BENCH_plan_server.json");
+}

@@ -48,7 +48,7 @@ impl CommModel {
     pub fn model_sync_us(&self, param_count: usize, buckets: usize) -> f64 {
         let buckets = buckets.max(1);
         let bytes = param_count * 4;
-        let per_bucket = (bytes + buckets - 1) / buckets;
+        let per_bucket = bytes.div_ceil(buckets);
         (0..buckets).map(|_| self.allreduce_us(per_bucket)).sum()
     }
 }

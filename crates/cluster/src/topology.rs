@@ -106,6 +106,24 @@ impl ClusterSpec {
     pub fn is_hybrid(&self) -> bool {
         !self.inference_ranks().is_empty() && !self.training_ranks().is_empty()
     }
+
+    /// A stable structural fingerprint of the cluster, used as part of the
+    /// `qsync-serve` plan-cache key and for elasticity-driven invalidation.
+    ///
+    /// Covers everything the predictor and allocator read from the cluster:
+    /// every device's rank, GPU model and resource share, plus the
+    /// cross-cluster link bandwidth. The display `name` is excluded — renaming
+    /// a cluster must not invalidate cached plans.
+    pub fn fingerprint(&self) -> u128 {
+        let mut fp = qsync_graph::Fingerprint::new();
+        fp.write_str("qsync_cluster::ClusterSpec/v1");
+        fp.write_f64(self.inter_cluster_gbs);
+        fp.write_u64(self.devices.len() as u64);
+        for device in &self.devices {
+            fp.write_serialize(device);
+        }
+        fp.finish()
+    }
 }
 
 #[cfg(test)]

@@ -207,6 +207,34 @@ impl ModelDag {
     pub fn is_batch_size_sensitive(&self) -> bool {
         self.nodes.iter().any(|n| n.kind.is_batch_size_sensitive())
     }
+
+    /// A stable structural fingerprint of the graph, used as part of the
+    /// `qsync-serve` plan-cache key.
+    ///
+    /// The fingerprint covers everything the allocator's decisions depend on:
+    /// the batch size and, per node in insertion order, the operator kind with
+    /// its hyperparameters, the input edges, the output shape, the weight shape
+    /// and the repeating-block tag (which drives subgraph decomposition).
+    /// Display names (`ModelDag::name`, `OpNode::name`) are deliberately
+    /// excluded: two structurally identical graphs plan identically whatever
+    /// they are called.
+    pub fn fingerprint(&self) -> u128 {
+        let mut fp = crate::fingerprint::Fingerprint::new();
+        fp.write_str("qsync_graph::ModelDag/v1");
+        fp.write_u64(self.batch_size as u64);
+        fp.write_u64(self.nodes.len() as u64);
+        for node in &self.nodes {
+            fp.write_serialize(&node.kind);
+            fp.write_u64(node.inputs.len() as u64);
+            for inp in &node.inputs {
+                fp.write_u64(inp.0 as u64);
+            }
+            fp.write_serialize(&node.output_shape);
+            fp.write_serialize(&node.weight_shape);
+            fp.write_serialize(&node.block);
+        }
+        fp.finish()
+    }
 }
 
 #[cfg(test)]

@@ -153,7 +153,7 @@ pub fn gradient_buckets(dag: &ModelDag, n_buckets: usize) -> Vec<GradientBucket>
     if with_params.is_empty() {
         return vec![GradientBucket { members: Vec::new(), bytes: 0 }];
     }
-    let target = (total_bytes + n_buckets - 1) / n_buckets;
+    let target = total_bytes.div_ceil(n_buckets);
     let mut buckets = Vec::new();
     let mut current = GradientBucket { members: Vec::new(), bytes: 0 };
     for id in with_params {

@@ -16,12 +16,14 @@
 
 pub mod dag;
 pub mod dfg;
+pub mod fingerprint;
 pub mod models;
 pub mod op;
 pub mod precision_dag;
 pub mod subgraph;
 
 pub use dag::{ModelDag, NodeId, OpNode};
+pub use fingerprint::Fingerprint;
 pub use dfg::{gradient_buckets, DfgNode, DfgOp, GlobalDfg, GradientBucket, LocalDfg};
 pub use op::{OpCategory, OpKind};
 pub use precision_dag::PrecisionDag;

@@ -9,6 +9,7 @@ struct Builder<'a> {
 }
 
 impl<'a> Builder<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn conv_bn_relu(
         &mut self,
         name: &str,

@@ -43,6 +43,16 @@ impl PrecisionDag {
         self.bits[id.0]
     }
 
+    /// Number of nodes this assignment covers.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` when the assignment covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
     /// Set the precision of an adjustable node and re-derive dependent precisions.
     ///
     /// Returns the list of nodes whose precision changed (including `id` itself), which

@@ -116,6 +116,42 @@ proptest! {
         }
     }
 
+    /// The structural fingerprint is stable: rebuilding the identical graph
+    /// yields the identical key, and the display name does not participate.
+    #[test]
+    fn fingerprint_is_stable_and_name_blind(widths in prop::collection::vec(2usize..32, 2..8), relu in prop::collection::vec(any::<bool>(), 8), residual in prop::collection::vec(any::<bool>(), 8)) {
+        let a = random_layered_model(widths.clone(), relu.clone(), residual.clone());
+        let mut b = random_layered_model(widths, relu, residual);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        b.name = "renamed_model".to_string();
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// Any precision-relevant mutation — a layer width, the batch size, an
+    /// extra operator — changes the fingerprint.
+    #[test]
+    fn fingerprint_sees_structural_mutations(mut widths in prop::collection::vec(2usize..32, 2..8), relu in prop::collection::vec(any::<bool>(), 8), residual in prop::collection::vec(any::<bool>(), 8), which in 0usize..8) {
+        let base = random_layered_model(widths.clone(), relu.clone(), residual.clone());
+
+        // Mutate one layer width.
+        let i = which % widths.len();
+        widths[i] += 1;
+        let wider = random_layered_model(widths.clone(), relu.clone(), residual.clone());
+        prop_assert_ne!(base.fingerprint(), wider.fingerprint());
+
+        // Change the batch size.
+        let mut rebatched = base.clone();
+        rebatched.batch_size += 1;
+        prop_assert_ne!(base.fingerprint(), rebatched.fingerprint());
+
+        // Append an operator.
+        let mut grown = base.clone();
+        let last = qsync_graph::NodeId(grown.len() - 1);
+        let shape = grown.node(last).output_shape.clone();
+        let _ = grown.add_node("extra_relu", OpKind::ReLU, vec![last], shape, None, None);
+        prop_assert_ne!(base.fingerprint(), grown.fingerprint());
+    }
+
     /// Gradient buckets partition the parameters exactly, for any bucket count.
     #[test]
     fn buckets_partition_parameters(dag in model_strategy(), n_buckets in 1usize..8) {

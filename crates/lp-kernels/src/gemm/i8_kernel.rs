@@ -17,6 +17,7 @@ use crate::quant::dequant::dequantize_into;
 /// * `b` — quantized weights `[k, n]`; `b_scales` has one entry (layer-wise) or `n`
 ///   entries (channel-wise, one per output column).
 /// * `bias` — optional FP32 bias of length `n`, added in the epilogue.
+#[allow(clippy::too_many_arguments)]
 pub fn gemm_i8(
     a: &[i8],
     b: &[i8],

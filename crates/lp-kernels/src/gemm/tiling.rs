@@ -92,7 +92,7 @@ impl TileConfig {
             if dim == 0 {
                 return 0.0;
             }
-            let tiles = (dim + tile - 1) / tile;
+            let tiles = dim.div_ceil(tile);
             let padded = tiles * tile;
             (padded - dim) as f64 / padded as f64
         };

@@ -245,7 +245,7 @@ mod tests {
 
     #[test]
     fn rounding_error_is_bounded_by_relative_ulp() {
-        for &v in &[0.1f32, 3.14159, -2.71828, 123.456, 0.001, -9876.5] {
+        for &v in &[0.1f32, std::f32::consts::PI, -std::f32::consts::E, 123.456, 0.001, -9876.5] {
             let r = round_to_f16(v);
             let rel = ((r - v) / v).abs();
             assert!(rel < 1e-3, "relative error too large for {v}: {rel}");
@@ -263,7 +263,7 @@ mod tests {
     fn subnormals_are_handled() {
         let v = 1e-6f32; // below the f16 normal range (min normal ~6.1e-5)
         let r = round_to_f16(v);
-        assert!(r >= 0.0 && r < 6.2e-5);
+        assert!((0.0..6.2e-5).contains(&r));
         // The spacing of subnormals is 2^-24 ~ 5.96e-8.
         assert!((r - v).abs() <= 6e-8 * 1.01, "r={r}");
     }
@@ -272,7 +272,7 @@ mod tests {
     fn bf16_round_trip_and_precision() {
         assert_eq!(round_to_bf16(1.0), 1.0);
         assert_eq!(round_to_bf16(-2.0), -2.0);
-        let v = 3.14159f32;
+        let v = std::f32::consts::PI;
         let r = round_to_bf16(v);
         assert!(((r - v) / v).abs() < 1e-2);
         assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());

@@ -49,7 +49,7 @@ impl Precision {
 
     /// Number of bytes used to store one element (rounded up).
     pub fn bytes(self) -> usize {
-        ((self.bits() + 7) / 8) as usize
+        self.bits().div_ceil(8) as usize
     }
 
     /// `true` for fixed-point (integer) formats.
@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn bits_and_bytes_are_consistent() {
         for p in Precision::LADDER {
-            assert_eq!(p.bytes(), ((p.bits() + 7) / 8) as usize);
+            assert_eq!(p.bytes(), p.bits().div_ceil(8) as usize);
         }
         assert_eq!(Precision::Fp32.bytes(), 4);
         assert_eq!(Precision::Fp16.bytes(), 2);

@@ -97,7 +97,7 @@ impl FixedQuantizer {
             QuantScheme::PerChannel { axis } => {
                 assert_eq!(axis, 0, "per-channel quantization is supported along axis 0 only");
                 let channels = *shape.first().unwrap_or(&1);
-                let inner = if channels == 0 { 0 } else { data.len() / channels };
+                let inner = data.len().checked_div(channels).unwrap_or(0);
                 let ranges = minmax_per_channel(data, channels);
                 let mut scales = Vec::with_capacity(channels);
                 let mut zeros = Vec::with_capacity(channels);

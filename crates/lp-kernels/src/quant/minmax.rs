@@ -55,7 +55,7 @@ pub fn minmax_optimized(data: &[f32], rows: usize) -> (f32, f32) {
         return (0.0, 0.0);
     }
     let rows = rows.max(1).min(data.len());
-    let chunk = (data.len() + rows - 1) / rows;
+    let chunk = data.len().div_ceil(rows);
     // Step 1: row-wise partial statistics, computed in parallel, single pass per block.
     let partials: Vec<(f32, f32)> = data
         .par_chunks(chunk)

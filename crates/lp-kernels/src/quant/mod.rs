@@ -94,7 +94,7 @@ impl QuantizedTensor {
     pub fn payload_bytes(&self) -> usize {
         // INT4 would pack two values per byte on real hardware; we account for the
         // logical footprint so memory estimation matches the device model.
-        (self.len() * self.params.precision.bits() as usize + 7) / 8
+        (self.len() * self.params.precision.bits() as usize).div_ceil(8)
     }
 }
 

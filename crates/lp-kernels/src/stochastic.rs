@@ -14,8 +14,10 @@ use serde::{Deserialize, Serialize};
 
 /// Rounding rule applied when mapping a scaled value onto the integer grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum RoundingMode {
     /// Unbiased stochastic rounding (the paper's default).
+    #[default]
     Stochastic,
     /// Round to the nearest integer (ties away from zero).
     Nearest,
@@ -23,11 +25,6 @@ pub enum RoundingMode {
     Floor,
 }
 
-impl Default for RoundingMode {
-    fn default() -> Self {
-        RoundingMode::Stochastic
-    }
-}
 
 /// Round a single scaled value to an integer according to `mode`.
 #[inline]

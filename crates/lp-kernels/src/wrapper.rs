@@ -53,6 +53,7 @@ impl std::fmt::Display for KernelError {
 impl std::error::Error for KernelError {}
 
 /// Validate a GEMM launch and decide how it must be executed.
+#[allow(clippy::too_many_arguments)]
 pub fn check_gemm_launch(
     m: usize,
     k: usize,
@@ -90,8 +91,8 @@ pub fn check_gemm_launch(
         return Ok(LaunchDecision::Direct);
     }
     let align = tile.k_alignment();
-    if k % align != 0 {
-        let padded_k = ((k + align - 1) / align) * align;
+    if !k.is_multiple_of(align) {
+        let padded_k = k.div_ceil(align) * align;
         return Ok(LaunchDecision::PadK { padded_k });
     }
     Ok(LaunchDecision::Direct)

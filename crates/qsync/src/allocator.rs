@@ -58,6 +58,9 @@ pub struct AllocationReport {
     pub promotions_accepted: usize,
     /// Number of promotions rejected (memory or throughput constraint).
     pub promotions_rejected: usize,
+    /// Number of operators demoted while clamping a warm-start plan to the
+    /// (possibly shrunk) device memory. Always 0 for cold allocations.
+    pub warm_demotions: usize,
 }
 
 /// The QSync allocator.
@@ -185,22 +188,143 @@ impl<'a> Allocator<'a> {
     /// Run the full allocation: initial fastest plan, then indicator-guided recovery.
     pub fn allocate(&self, indicator: &dyn SensitivityIndicator) -> (PrecisionPlan, AllocationReport) {
         let sys = self.system;
-        let dag = &sys.dag;
         let inference = sys.cluster.inference_ranks();
         if inference.is_empty() {
-            let plan = PrecisionPlan::oracle(dag, &sys.cluster);
+            let plan = PrecisionPlan::oracle(&sys.dag, &sys.cluster);
             let t = sys.predict_iteration_us(&plan);
             return (plan, AllocationReport { t_min_us: t, final_us: t, ..Default::default() });
         }
         // All inference devices in the paper's clusters are identical; compute the plan
         // for the first one and replicate it.
         let rank = inference[0];
-        let mut pdag = self.initial_for_device(rank);
-        let initial_plan = PrecisionPlan::from_inference_pdag("qsync_initial", dag, &sys.cluster, &pdag);
+        let pdag = self.initial_for_device(rank);
+        let initial_plan =
+            PrecisionPlan::from_inference_pdag("qsync_initial", &sys.dag, &sys.cluster, &pdag);
         let t_min = sys.predict_iteration_us(&initial_plan);
-        let tol = 1.0 + sys.config.throughput_tolerance;
+        let report = AllocationReport { t_min_us: t_min, final_us: t_min, ..Default::default() };
+        self.recover(indicator, pdag, rank, t_min, report)
+    }
 
-        let mut report = AllocationReport { t_min_us: t_min, final_us: t_min, ..Default::default() };
+    /// Warm-start allocation for elastic re-planning: skip the brute-force
+    /// initial-setting phase and run precision recovery from a previously
+    /// computed inference precision DAG (typically a cached plan for the same
+    /// model on a cluster that has since changed shape).
+    ///
+    /// The warm assignment is first *clamped* to the current device: operator
+    /// precisions the device no longer supports fall to the nearest supported
+    /// candidate, and while the assignment exceeds the (possibly shrunk)
+    /// memory budget, the operator whose demotion costs the least indicator
+    /// increase is stepped down. `T_min` is taken from the uniform
+    /// lowest-precision plan — the cheap stand-in for the brute-force fastest
+    /// plan, which warm starting exists to avoid recomputing.
+    ///
+    /// Falls back to a cold [`Allocator::allocate`] when the warm DAG does not
+    /// match the system's model (different node count).
+    pub fn allocate_warm(
+        &self,
+        indicator: &dyn SensitivityIndicator,
+        warm: &PrecisionDag,
+    ) -> (PrecisionPlan, AllocationReport) {
+        let sys = self.system;
+        let dag = &sys.dag;
+        let inference = sys.cluster.inference_ranks();
+        if inference.is_empty() {
+            return self.allocate(indicator);
+        }
+        if warm.len() != dag.len() {
+            return self.allocate(indicator);
+        }
+        let rank = inference[0];
+        let candidates = sys.candidates_for(rank);
+        let lowest = candidates[0];
+
+        // Re-derive the warm assignment on this DAG, clamping unsupported
+        // precisions down to the nearest supported candidate.
+        let mut pdag = PrecisionDag::uniform(dag, lowest);
+        for id in dag.adjustable_ops() {
+            let wanted = warm.get(id);
+            let clamped = candidates.iter().copied().rfind(|c| *c <= wanted).unwrap_or(lowest);
+            if pdag.get(id) != clamped {
+                let _ = pdag.set(dag, id, clamped);
+            }
+        }
+
+        // The cheapest single demotion: smallest indicator increase (the
+        // inverse of the recovery heap's order). None when already uniform
+        // lowest.
+        let cheapest_demotion = |pdag: &PrecisionDag| {
+            let mut best: Option<(f64, qsync_graph::NodeId, Precision)> = None;
+            for id in dag.adjustable_ops() {
+                let current = pdag.get(id);
+                let Some(lower) = candidates.iter().copied().rfind(|c| *c < current) else {
+                    continue;
+                };
+                let increase = indicator.omega(dag, id, lower) - indicator.omega(dag, id, current);
+                if best.is_none_or(|(b, _, _)| increase < b) {
+                    best = Some((increase, id, lower));
+                }
+            }
+            best.map(|(_, id, lower)| (id, lower))
+        };
+
+        // Demote until the assignment fits device memory.
+        let mut warm_demotions = 0usize;
+        while !sys.memory_ok(rank, &pdag) {
+            let Some((id, lower)) = cheapest_demotion(&pdag) else {
+                break; // already uniform lowest; nothing left to demote
+            };
+            let _ = pdag.set(dag, id, lower);
+            warm_demotions += 1;
+        }
+
+        // Demote until the assignment honours the throughput bound the cold
+        // allocator enforces. A compute-degraded device can make the cached
+        // (mostly recovered) assignment far slower than `T_min * tol`, and
+        // recovery can only promote, never repair that.
+        let t_min = sys.predict_iteration_us(&PrecisionPlan::uniform(dag, &sys.cluster, lowest));
+        let tol = 1.0 + sys.config.throughput_tolerance;
+        let mut warm_t = sys.predict_iteration_us(&PrecisionPlan::from_inference_pdag(
+            "qsync_warm",
+            dag,
+            &sys.cluster,
+            &pdag,
+        ));
+        while warm_t > t_min * tol {
+            let Some((id, lower)) = cheapest_demotion(&pdag) else {
+                break;
+            };
+            let _ = pdag.set(dag, id, lower);
+            warm_demotions += 1;
+            warm_t = sys.predict_iteration_us(&PrecisionPlan::from_inference_pdag(
+                "qsync_warm",
+                dag,
+                &sys.cluster,
+                &pdag,
+            ));
+        }
+
+        let report = AllocationReport {
+            t_min_us: t_min,
+            final_us: warm_t,
+            warm_demotions,
+            ..Default::default()
+        };
+        self.recover(indicator, pdag, rank, t_min, report)
+    }
+
+    /// Phase 2: indicator-guided precision recovery from `pdag` under the
+    /// `t_min` throughput bound. Shared by cold and warm allocations.
+    fn recover(
+        &self,
+        indicator: &dyn SensitivityIndicator,
+        mut pdag: PrecisionDag,
+        rank: usize,
+        t_min: f64,
+        mut report: AllocationReport,
+    ) -> (PrecisionPlan, AllocationReport) {
+        let sys = self.system;
+        let dag = &sys.dag;
+        let tol = 1.0 + sys.config.throughput_tolerance;
         let candidates = sys.candidates_for(rank);
         let next_of = |p: Precision| -> Option<Precision> {
             candidates.iter().copied().find(|c| *c > p)

@@ -1,0 +1,84 @@
+//! Property-based tests for the serving-facing invariants of `qsync-core`:
+//! plan serialization round-trips and serialization determinism (the plan
+//! cache's byte-identity guarantee rests on both).
+
+use proptest::prelude::*;
+
+use qsync_cluster::topology::ClusterSpec;
+use qsync_core::plan::PrecisionPlan;
+use qsync_lp_kernels::precision::Precision;
+use qsync_graph::models::small_mlp;
+use qsync_graph::PrecisionDag;
+
+fn cluster_strategy() -> impl Strategy<Value = ClusterSpec> {
+    (1usize..4, 1usize..4, prop::sample::select(vec![None, Some(0.3), Some(0.7)])).prop_map(
+        |(v100s, t4s, fraction)| match fraction {
+            None => ClusterSpec::cluster_a(v100s, t4s),
+            Some(f) => ClusterSpec::cluster_b(v100s, t4s, f),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A plan with arbitrary per-operator precisions survives the JSON round
+    /// trip exactly.
+    #[test]
+    fn plan_round_trips_through_json(
+        cluster in cluster_strategy(),
+        hidden in 8usize..64,
+        precisions in prop::collection::vec(
+            prop::sample::select(vec![Precision::Int8, Precision::Fp16, Precision::Fp32]),
+            3,
+        ),
+    ) {
+        let dag = small_mlp(8, 16, hidden, 4);
+        let mut pdag = PrecisionDag::uniform(&dag, Precision::Fp32);
+        for (op, p) in dag.adjustable_ops().into_iter().zip(precisions) {
+            let _ = pdag.set(&dag, op, p);
+        }
+        let plan = PrecisionPlan::from_inference_pdag("prop_plan", &dag, &cluster, &pdag);
+        let back = PrecisionPlan::from_json(&plan.to_json()).unwrap();
+        prop_assert_eq!(back, plan);
+    }
+
+    /// Serialization is deterministic: the same plan always renders to the
+    /// same bytes (what makes cache hits byte-identical).
+    #[test]
+    fn plan_serialization_is_deterministic(
+        cluster in cluster_strategy(),
+        p in prop::sample::select(vec![Precision::Int8, Precision::Fp16, Precision::Fp32]),
+    ) {
+        let dag = small_mlp(8, 16, 32, 4);
+        let plan = PrecisionPlan::uniform(&dag, &cluster, p);
+        let first = plan.to_json();
+        let second = plan.clone().to_json();
+        prop_assert_eq!(first.as_bytes(), second.as_bytes());
+        // And a round-tripped plan re-serializes identically too.
+        let back = PrecisionPlan::from_json(&first).unwrap();
+        prop_assert_eq!(back.to_json().as_bytes(), first.as_bytes());
+    }
+
+    /// The cluster fingerprint is stable, name-blind, and sensitive to every
+    /// capability change the planner can observe.
+    #[test]
+    fn cluster_fingerprint_tracks_capability(v100s in 1usize..4, t4s in 1usize..4, fraction in 0.1f64..0.9) {
+        let base = ClusterSpec::cluster_a(v100s, t4s);
+        prop_assert_eq!(base.fingerprint(), ClusterSpec::cluster_a(v100s, t4s).fingerprint());
+
+        let mut renamed = base.clone();
+        renamed.name = "renamed".into();
+        prop_assert_eq!(base.fingerprint(), renamed.fingerprint());
+
+        let degraded = ClusterSpec::cluster_b(v100s, t4s, fraction);
+        prop_assert_ne!(base.fingerprint(), degraded.fingerprint());
+
+        let grown = ClusterSpec::cluster_a(v100s, t4s + 1);
+        prop_assert_ne!(base.fingerprint(), grown.fingerprint());
+
+        let mut relinked = base.clone();
+        relinked.inter_cluster_gbs *= 2.0;
+        prop_assert_ne!(base.fingerprint(), relinked.fingerprint());
+    }
+}

@@ -1,0 +1,196 @@
+//! `qsync-serve` — the plan-serving daemon and its one-shot/load-test modes.
+//!
+//! ```text
+//! qsync-serve serve [--workers N] [--tcp ADDR]
+//!     Serve ServerCommand JSON lines: from stdin (default) or a TCP socket.
+//!
+//! qsync-serve plan --model SPEC [--cluster SPEC] [--indicator NAME]
+//!                  [--tolerance F] [--memory-fraction F]
+//!     One-shot: plan and print the PlanResponse JSON to stdout.
+//!
+//! qsync-serve bench-load [--requests N] [--clients N] [--model SPEC] [--cluster SPEC]
+//!     In-process load generation against a shared engine; prints a latency
+//!     summary (see also benches/bench_plan_server.rs for the cold/hit/warm
+//!     comparison).
+//!
+//! Model SPEC:   family[:batch[,extra]]   e.g. bert:2,16  resnet50:2,32  small_mlp
+//! Cluster SPEC: a:V,T | b:V,T,MEMFRAC    e.g. a:2,2  b:2,2,0.3   (V100s, T4s)
+//! ```
+
+use std::io::{stdin, stdout, BufReader};
+use std::sync::Arc;
+use std::time::Instant;
+
+use qsync_cluster::topology::ClusterSpec;
+use qsync_serve::{IndicatorChoice, ModelSpec, PlanEngine, PlanRequest, PlanServer};
+
+fn parse_cluster(s: &str) -> Result<ClusterSpec, String> {
+    let (kind, rest) = s.split_once(':').unwrap_or((s, ""));
+    let nums: Vec<f64> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',')
+            .map(|p| p.trim().parse::<f64>().map_err(|e| format!("bad number {p:?}: {e}")))
+            .collect::<Result<_, _>>()?
+    };
+    let geti = |i: usize, default: usize| nums.get(i).map(|v| *v as usize).unwrap_or(default);
+    match kind {
+        "a" => Ok(ClusterSpec::cluster_a(geti(0, 2), geti(1, 2))),
+        "b" => Ok(ClusterSpec::cluster_b(geti(0, 2), geti(1, 2), nums.get(2).copied().unwrap_or(0.3))),
+        other => Err(format!("unknown cluster kind {other:?} (expected a:V,T or b:V,T,FRAC)")),
+    }
+}
+
+fn parse_indicator(s: &str) -> Result<IndicatorChoice, String> {
+    match s {
+        "variance" | "qsync" => Ok(IndicatorChoice::Variance),
+        "hessian" => Ok(IndicatorChoice::Hessian),
+        "random" => Ok(IndicatorChoice::Random),
+        other => Err(format!("unknown indicator {other:?} (variance|hessian|random)")),
+    }
+}
+
+/// Tiny flag parser: `--name value` pairs after the subcommand.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected --flag, got {flag:?}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("--{name} needs a value"));
+            };
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+fn build_request(id: u64, flags: &Flags) -> Result<PlanRequest, String> {
+    let model = ModelSpec::parse(flags.get("model").unwrap_or("small_mlp"))?;
+    let cluster = parse_cluster(flags.get("cluster").unwrap_or("a:2,2"))?;
+    let mut request = PlanRequest::new(id, model, cluster);
+    if let Some(ind) = flags.get("indicator") {
+        request.indicator = parse_indicator(ind)?;
+    }
+    if let Some(tol) = flags.get("tolerance") {
+        request.throughput_tolerance =
+            Some(tol.parse().map_err(|e| format!("bad --tolerance: {e}"))?);
+    }
+    if let Some(frac) = flags.get("memory-fraction") {
+        request.memory_limit_fraction =
+            Some(frac.parse().map_err(|e| format!("bad --memory-fraction: {e}"))?);
+    }
+    Ok(request)
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let workers: usize =
+        flags.get("workers").unwrap_or("8").parse().map_err(|e| format!("bad --workers: {e}"))?;
+    let server = PlanServer::new(workers);
+    match flags.get("tcp") {
+        Some(addr) => server.serve_tcp(addr).map_err(|e| e.to_string()),
+        None => {
+            let reader = BufReader::new(stdin());
+            server.serve_lines(reader, stdout()).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn cmd_plan(flags: &Flags) -> Result<(), String> {
+    let request = build_request(0, flags)?;
+    let engine = PlanEngine::new();
+    let response = engine.plan(&request)?;
+    println!("{}", serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn cmd_bench_load(flags: &Flags) -> Result<(), String> {
+    let requests: usize =
+        flags.get("requests").unwrap_or("64").parse().map_err(|e| format!("bad --requests: {e}"))?;
+    let clients: usize =
+        flags.get("clients").unwrap_or("8").parse().map_err(|e| format!("bad --clients: {e}"))?;
+    let template = build_request(0, flags)?;
+    let engine: Arc<PlanEngine> = PlanEngine::shared();
+
+    let started = Instant::now();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..clients {
+            let engine = Arc::clone(&engine);
+            let template = template.clone();
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut i = client;
+                while i < requests {
+                    let mut request = template.clone();
+                    request.id = i as u64;
+                    let t0 = Instant::now();
+                    let response = engine.plan(&request).expect("valid bench request");
+                    assert_eq!(response.id, i as u64);
+                    local.push(t0.elapsed().as_micros() as u64);
+                    i += clients;
+                }
+                local
+            }));
+        }
+        for h in handles {
+            latencies_us.extend(h.join().expect("client thread panicked"));
+        }
+    });
+    let wall_ms = started.elapsed().as_millis();
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_us.len() as f64 - 1.0) * p) as usize;
+        latencies_us[idx]
+    };
+    let stats = engine.cache().stats();
+    let summary = serde_json::json!({
+        "requests": requests,
+        "clients": clients,
+        "wall_ms": wall_ms as u64,
+        "p50_us": pct(0.50),
+        "p90_us": pct(0.90),
+        "p99_us": pct(0.99),
+        "max_us": latencies_us.last().copied().unwrap_or(0),
+        "cache": { "hits": stats.hits, "misses": stats.misses, "entries": stats.entries },
+    });
+    println!("{}", serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprintln!("usage: qsync-serve <serve|plan|bench-load> [--flag value ...]");
+            std::process::exit(2);
+        }
+    };
+    let result = Flags::parse(rest).and_then(|flags| match command {
+        "serve" => cmd_serve(&flags),
+        "plan" => cmd_plan(&flags),
+        "bench-load" => cmd_bench_load(&flags),
+        other => Err(format!("unknown subcommand {other:?} (serve|plan|bench-load)")),
+    });
+    if let Err(message) = result {
+        eprintln!("qsync-serve: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,204 @@
+//! The content-addressed plan cache.
+//!
+//! Entries are keyed by [`PlanRequest::cache_key`] — a stable fingerprint of
+//! (canonicalized model DAG, effective cluster, constraints) — and store the
+//! structured response; plan serialization is deterministic, so a cache hit
+//! returns **byte-identical** output to the request that populated it.
+//!
+//! Invalidation is fingerprint-scoped: an elasticity event names a cluster,
+//! and only entries planned against that cluster (matched by
+//! [`ClusterSpec::fingerprint`](qsync_cluster::topology::ClusterSpec::fingerprint))
+//! are evicted; plans for unrelated clusters stay hot.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use qsync_graph::PrecisionDag;
+
+use crate::request::{PlanRequest, PlanResponse};
+
+/// One cached plan: the response to replay plus what warm re-planning needs.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The request that populated the entry (re-planned on elasticity events).
+    pub request: PlanRequest,
+    /// The response as served (with `outcome`/`elapsed_us` of the populating
+    /// run). Serialization of `response.plan` is deterministic, which is what
+    /// makes repeated hits byte-identical — no serialized copy is stored.
+    pub response: PlanResponse,
+    /// The inference-device precision assignment — the allocator's warm-start input.
+    pub inference_pdag: Option<PrecisionDag>,
+    /// Fingerprint of the cluster as requested (elasticity match key).
+    pub cluster_fingerprint: u128,
+}
+
+/// Cache observability counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that required planning.
+    pub misses: u64,
+    /// Entries evicted by elasticity invalidations.
+    pub invalidated: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A thread-safe, content-addressed map from cache key to [`CachedPlan`].
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    entries: Mutex<HashMap<String, CachedPlan>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a key, counting a hit or miss.
+    pub fn lookup(&self, key: &str) -> Option<CachedPlan> {
+        match self.peek(key) {
+            Some(entry) => {
+                self.note_hit();
+                Some(entry)
+            }
+            None => {
+                self.note_miss();
+                None
+            }
+        }
+    }
+
+    /// Look up a key without touching the hit/miss counters. The engine's
+    /// single-flight path uses this so that a request which waits for an
+    /// in-flight computation still counts as exactly one hit or miss.
+    pub fn peek(&self, key: &str) -> Option<CachedPlan> {
+        self.entries.lock().expect("plan cache poisoned").get(key).cloned()
+    }
+
+    /// Count one cache hit.
+    pub fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one cache miss.
+    pub fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Insert (or replace) an entry.
+    pub fn insert(&self, key: String, entry: CachedPlan) {
+        self.entries.lock().expect("plan cache poisoned").insert(key, entry);
+    }
+
+    /// Evict every entry planned against the cluster with this fingerprint,
+    /// returning the evicted entries (the elasticity layer re-plans them).
+    pub fn invalidate_cluster(&self, cluster_fingerprint: u128) -> Vec<(String, CachedPlan)> {
+        let mut entries = self.entries.lock().expect("plan cache poisoned");
+        let keys: Vec<String> = entries
+            .iter()
+            .filter(|(_, e)| e.cluster_fingerprint == cluster_fingerprint)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut evicted = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(entry) = entries.remove(&key) {
+                evicted.push((key, entry));
+            }
+        }
+        self.invalidated.fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        // Deterministic re-plan order regardless of HashMap iteration: sort by
+        // the cache key, which is unique (request ids are client-chosen and
+        // may collide).
+        evicted.sort_by(|(a, _), (b, _)| a.cmp(b));
+        evicted
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("plan cache poisoned").len(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("plan cache poisoned").len()
+    }
+
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use crate::request::{PlanOutcome, PlanRequest};
+    use qsync_cluster::topology::ClusterSpec;
+    use qsync_core::plan::PrecisionPlan;
+
+    fn entry(id: u64, cluster: &ClusterSpec) -> (String, CachedPlan) {
+        let model = ModelSpec::SmallMlp { batch: 8, in_features: 16, hidden: 32, classes: 4 };
+        let request = PlanRequest::new(id, model.clone(), cluster.clone());
+        let dag = model.build();
+        let plan = PrecisionPlan::oracle(&dag, cluster);
+        let key = request.cache_key();
+        let response = PlanResponse {
+            id,
+            key: key.clone(),
+            outcome: PlanOutcome::ColdPlanned,
+            plan: plan.clone(),
+            predicted_iteration_us: 1.0,
+            t_min_us: 1.0,
+            promotions_accepted: 0,
+            warm_demotions: 0,
+            elapsed_us: 0,
+        };
+        let cluster_fingerprint = request.cluster_fingerprint();
+        (
+            key,
+            CachedPlan { request, response, inference_pdag: None, cluster_fingerprint },
+        )
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = PlanCache::new();
+        let (key, e) = entry(1, &ClusterSpec::hybrid_small());
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(key.clone(), e);
+        assert!(cache.lookup(&key).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn invalidation_is_scoped_to_one_cluster() {
+        let cache = PlanCache::new();
+        let a = ClusterSpec::cluster_a(1, 1);
+        let b = ClusterSpec::cluster_a(2, 2);
+        let (ka, ea) = entry(1, &a);
+        let (kb, eb) = entry(2, &b);
+        cache.insert(ka.clone(), ea);
+        cache.insert(kb.clone(), eb);
+        let evicted = cache.invalidate_cluster(a.fingerprint());
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, ka);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&kb).is_some());
+    }
+}

@@ -1,0 +1,282 @@
+//! The planning engine: cache-fronted cold planning and elastic warm re-planning.
+//!
+//! [`PlanEngine`] is the shared, thread-safe core the server's worker pool
+//! calls into. It owns the [`PlanCache`] and implements the three paths a
+//! request can take:
+//!
+//! 1. **Cache hit** — the key resolves to a stored entry; the cached plan is
+//!    returned byte-identically.
+//! 2. **Cold plan** — build the [`QSyncSystem`] (profiling every device), run
+//!    the full allocator, cache and return.
+//! 3. **Warm re-plan** — on a [`ClusterDelta`], evict exactly the entries
+//!    planned against the old cluster fingerprint and re-plan each by warm
+//!    starting the allocator's recovery phase from the cached assignment.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use qsync_cluster::topology::ClusterSpec;
+use qsync_core::allocator::{AllocationReport, Allocator};
+use qsync_core::indicator::{HessianIndicator, RandomIndicator, SensitivityIndicator};
+use qsync_core::plan::PrecisionPlan;
+use qsync_core::system::QSyncSystem;
+
+use crate::cache::{CachedPlan, PlanCache};
+use crate::elastic::{DeltaRequest, DeltaResponse};
+use crate::request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
+
+/// The cache-fronted planning engine. Cheap to share: wrap in an [`Arc`] and
+/// clone the handle across worker threads.
+///
+/// Identical concurrent requests are **single-flighted**: the first computes,
+/// the rest block until the entry lands and then serve it as a cache hit, so a
+/// thundering herd on one key plans exactly once.
+#[derive(Debug, Default)]
+pub struct PlanEngine {
+    cache: PlanCache,
+    in_flight: Mutex<HashSet<String>>,
+    flight_done: Condvar,
+}
+
+/// Removes a key from the in-flight set even if planning panics, so waiters
+/// are never stranded.
+struct FlightGuard<'a> {
+    engine: &'a PlanEngine,
+    key: String,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.engine.in_flight.lock().expect("in-flight set poisoned").remove(&self.key);
+        self.engine.flight_done.notify_all();
+    }
+}
+
+impl PlanEngine {
+    /// An engine with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared handle, ready for worker threads.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// The underlying cache (stats, direct inspection).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Serve one plan request: cache hit, wait on an identical in-flight
+    /// computation, or cold plan. Returns `Err` for requests that fail
+    /// [`PlanRequest::validate`] — malformed wire input must not reach the
+    /// planning machinery, whose constructors assert.
+    pub fn plan(&self, request: &PlanRequest) -> Result<PlanResponse, String> {
+        request.validate()?;
+        let started = Instant::now();
+        let key = request.cache_key();
+        let _guard = loop {
+            if let Some(entry) = self.cache.peek(&key) {
+                self.cache.note_hit();
+                let mut response = entry.response.clone();
+                response.id = request.id;
+                response.outcome = PlanOutcome::CacheHit;
+                response.elapsed_us = started.elapsed().as_micros() as u64;
+                return Ok(response);
+            }
+            let mut flights = self.in_flight.lock().expect("in-flight set poisoned");
+            if !flights.contains(&key) {
+                flights.insert(key.clone());
+                break FlightGuard { engine: self, key: key.clone() };
+            }
+            // Someone else is planning this key; wait for them, then re-check
+            // the cache.
+            while flights.contains(&key) {
+                flights = self.flight_done.wait(flights).expect("in-flight set poisoned");
+            }
+        };
+        self.cache.note_miss();
+        Ok(self.plan_and_cache(request, key, PlanOutcome::ColdPlanned, None, started))
+    }
+
+    /// Apply an elasticity event: invalidate every cached plan for the event's
+    /// cluster, then re-plan each against the new shape, warm-starting from
+    /// the cached assignment.
+    pub fn apply_delta(&self, request: &DeltaRequest) -> Result<DeltaResponse, String> {
+        let old_fingerprint = request.cluster.fingerprint();
+        let new_cluster = request.delta.apply(&request.cluster)?;
+        let new_fingerprint = new_cluster.fingerprint();
+        let evicted = self.cache.invalidate_cluster(old_fingerprint);
+        let mut replanned = Vec::with_capacity(evicted.len());
+        for (_, entry) in &evicted {
+            replanned.push(self.replan_warm(entry, &new_cluster));
+        }
+        Ok(DeltaResponse {
+            id: request.id,
+            old_cluster_fingerprint: format!("{old_fingerprint:032x}"),
+            new_cluster_fingerprint: format!("{new_fingerprint:032x}"),
+            invalidated: evicted.len(),
+            replanned,
+        })
+    }
+
+    /// Warm re-plan one evicted entry against a new cluster shape.
+    fn replan_warm(&self, entry: &CachedPlan, new_cluster: &ClusterSpec) -> PlanResponse {
+        let started = Instant::now();
+        let mut request = entry.request.clone();
+        request.cluster = new_cluster.clone();
+        let key = request.cache_key();
+        // The new shape may already be cached (e.g. two entries converge).
+        // `peek`: warm re-plans are server-initiated, so they stay out of the
+        // request-path hit/miss counters.
+        if let Some(hit) = self.cache.peek(&key) {
+            let mut response = hit.response.clone();
+            response.id = request.id;
+            response.outcome = PlanOutcome::CacheHit;
+            response.elapsed_us = started.elapsed().as_micros() as u64;
+            return response;
+        }
+        self.plan_and_cache(
+            &request,
+            key,
+            PlanOutcome::WarmReplanned,
+            entry.inference_pdag.as_ref(),
+            started,
+        )
+    }
+
+    /// Run the allocator (cold or warm) and populate the cache.
+    fn plan_and_cache(
+        &self,
+        request: &PlanRequest,
+        key: String,
+        outcome: PlanOutcome,
+        warm: Option<&qsync_graph::PrecisionDag>,
+        started: Instant,
+    ) -> PlanResponse {
+        let (plan, report, system) = run_allocator(request, warm);
+        let inference_pdag =
+            system.cluster.inference_ranks().first().map(|&rank| plan.device(rank).clone());
+        let response = PlanResponse {
+            id: request.id,
+            key: key.clone(),
+            outcome,
+            predicted_iteration_us: report.final_us,
+            t_min_us: report.t_min_us,
+            promotions_accepted: report.promotions_accepted,
+            warm_demotions: report.warm_demotions,
+            elapsed_us: started.elapsed().as_micros() as u64,
+            plan,
+        };
+        let entry = CachedPlan {
+            request: request.clone(),
+            response: response.clone(),
+            inference_pdag,
+            cluster_fingerprint: request.cluster_fingerprint(),
+        };
+        self.cache.insert(key, entry);
+        response
+    }
+}
+
+/// Build the system for a request and run the allocator, cold or warm.
+fn run_allocator(
+    request: &PlanRequest,
+    warm: Option<&qsync_graph::PrecisionDag>,
+) -> (PrecisionPlan, AllocationReport, QSyncSystem) {
+    let system =
+        QSyncSystem::new(request.model.build(), request.effective_cluster(), request.config());
+    let allocator = Allocator::new(&system);
+    let indicator: Box<dyn SensitivityIndicator> = match request.indicator {
+        IndicatorChoice::Variance => Box::new(system.indicator()),
+        IndicatorChoice::Hessian => Box::new(HessianIndicator { stats: system.stats.clone() }),
+        IndicatorChoice::Random => Box::new(RandomIndicator { seed: system.config.seed }),
+    };
+    let (plan, report) = match warm {
+        None => allocator.allocate(indicator.as_ref()),
+        Some(w) => allocator.allocate_warm(indicator.as_ref(), w),
+    };
+    (plan, report, system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elastic::ClusterDelta;
+    use crate::model::ModelSpec;
+
+    fn mlp_request(id: u64, cluster: ClusterSpec) -> PlanRequest {
+        PlanRequest::new(
+            id,
+            ModelSpec::SmallMlp { batch: 16, in_features: 32, hidden: 64, classes: 8 },
+            cluster,
+        )
+    }
+
+    #[test]
+    fn repeated_request_hits_the_cache_byte_identically() {
+        let engine = PlanEngine::new();
+        let request = mlp_request(1, ClusterSpec::hybrid_small());
+        let cold = engine.plan(&request).unwrap();
+        assert_eq!(cold.outcome, PlanOutcome::ColdPlanned);
+        let hit = engine.plan(&request).unwrap();
+        assert_eq!(hit.outcome, PlanOutcome::CacheHit);
+        assert_eq!(hit.key, cold.key);
+        assert_eq!(hit.plan_json(), cold.plan_json());
+        assert_eq!(engine.cache().stats().hits, 1);
+    }
+
+    #[test]
+    fn delta_invalidates_and_warm_replans() {
+        let engine = PlanEngine::new();
+        let cluster = ClusterSpec::hybrid_small();
+        let request = mlp_request(1, cluster.clone());
+        let cold = engine.plan(&request).unwrap();
+
+        let rank = cluster.inference_ranks()[0];
+        let delta = DeltaRequest {
+            id: 2,
+            cluster: cluster.clone(),
+            delta: ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.8 },
+        };
+        let outcome = engine.apply_delta(&delta).unwrap();
+        assert_eq!(outcome.invalidated, 1);
+        assert_eq!(outcome.replanned.len(), 1);
+        let replan = &outcome.replanned[0];
+        assert_eq!(replan.outcome, PlanOutcome::WarmReplanned);
+        assert_ne!(replan.key, cold.key);
+        // The re-planned entry is now a cache hit under the new cluster shape.
+        let new_cluster = delta.delta.apply(&cluster).unwrap();
+        let hit = engine.plan(&mlp_request(3, new_cluster)).unwrap();
+        assert_eq!(hit.outcome, PlanOutcome::CacheHit);
+    }
+
+    #[test]
+    fn delta_on_unknown_cluster_invalidates_nothing() {
+        let engine = PlanEngine::new();
+        engine.plan(&mlp_request(1, ClusterSpec::hybrid_small())).unwrap();
+        let other = ClusterSpec::cluster_a(4, 4);
+        let delta = DeltaRequest {
+            id: 2,
+            cluster: other,
+            delta: ClusterDelta::RankRemoved { rank: 0 },
+        };
+        let outcome = engine.apply_delta(&delta).unwrap();
+        assert_eq!(outcome.invalidated, 0);
+        assert!(outcome.replanned.is_empty());
+        assert_eq!(engine.cache().len(), 1);
+    }
+
+    #[test]
+    fn indicator_choice_changes_the_key_but_still_plans() {
+        let engine = PlanEngine::new();
+        let mut request = mlp_request(1, ClusterSpec::hybrid_small());
+        let variance = engine.plan(&request).unwrap();
+        request.indicator = IndicatorChoice::Random;
+        let random = engine.plan(&request).unwrap();
+        assert_ne!(variance.key, random.key);
+        assert_eq!(random.outcome, PlanOutcome::ColdPlanned);
+    }
+}

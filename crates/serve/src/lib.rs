@@ -1,0 +1,45 @@
+//! # qsync-serve — the plan-serving subsystem
+//!
+//! The offline pipeline (indicator → predictor → allocator → [`PrecisionPlan`])
+//! computes one plan for one (model, cluster) pair. This crate wraps that
+//! pipeline in a long-lived service suitable for a fleet: a multi-threaded
+//! plan server that accepts JSON-line [`PlanRequest`]s over stdin or TCP,
+//! dispatches them to a worker pool running the existing allocator, and
+//! returns serialized plans.
+//!
+//! Three properties make it a serving system rather than a batch script:
+//!
+//! * **Content-addressed plan cache** ([`cache::PlanCache`]): requests are
+//!   keyed by a stable fingerprint of the canonicalized model DAG, the cluster
+//!   spec and the planning constraints. A repeated request is a cache hit and
+//!   returns a byte-identical serialized plan.
+//! * **Elastic re-planning** ([`elastic::ClusterDelta`]): device join/leave
+//!   and capability-degradation events invalidate exactly the cache entries
+//!   planned against the affected cluster, then re-plan them by warm-starting
+//!   the allocator's precision-recovery phase from the cached assignment
+//!   instead of re-running the brute-force initial-setting phase.
+//! * **Worker-pool concurrency** ([`server::PlanServer`]): planning is CPU
+//!   bound, so the server runs N planner threads over an MPSC job queue and
+//!   streams responses back as they complete (responses carry the request id;
+//!   ordering across concurrent requests is not guaranteed).
+//!
+//! The `qsync-serve` binary exposes `serve`, `plan` (one-shot) and
+//! `bench-load` subcommands; `examples/plan_server.rs` in the workspace root
+//! is the quickstart.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod elastic;
+pub mod engine;
+pub mod model;
+pub mod request;
+pub mod server;
+
+pub use cache::{CacheStats, PlanCache};
+pub use elastic::{ClusterDelta, DeltaRequest, DeltaResponse};
+pub use engine::PlanEngine;
+pub use model::ModelSpec;
+pub use qsync_core::plan::PrecisionPlan;
+pub use request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
+pub use server::{PlanServer, ServerCommand, ServerReply};

@@ -1,0 +1,285 @@
+//! The multi-threaded plan server: JSON-line protocol over stdin/stdout or TCP.
+//!
+//! Protocol: one [`ServerCommand`] JSON object per input line, one
+//! [`ServerReply`] JSON object per output line. Plan requests fan out to a
+//! worker pool of planner threads and replies stream back **as they
+//! complete** — callers correlate by the echoed `id`, not by line order.
+//! Elasticity deltas are barriers: the dispatcher drains in-flight plan jobs
+//! before applying the delta, so a delta deterministically sees every plan
+//! accepted before it on the input stream. Stats reads answer immediately.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+use crate::elastic::DeltaRequest;
+use crate::engine::PlanEngine;
+use crate::request::PlanRequest;
+
+/// One input line of the serving protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerCommand {
+    /// Request a plan.
+    Plan(PlanRequest),
+    /// Apply a cluster elasticity event (invalidate + warm re-plan).
+    Delta(DeltaRequest),
+    /// Read cache counters.
+    Stats {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+    },
+}
+
+/// One output line of the serving protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerReply {
+    /// A plan response.
+    Plan(crate::request::PlanResponse),
+    /// A delta outcome.
+    Delta(crate::elastic::DeltaResponse),
+    /// Cache counters.
+    Stats {
+        /// Echo of the command id.
+        id: u64,
+        /// Counters at read time.
+        stats: CacheStats,
+    },
+    /// The command on this line could not be served.
+    Error {
+        /// Echo of the command id when it could be parsed.
+        id: Option<u64>,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// The plan server: a shared [`PlanEngine`] plus a worker-pool size.
+#[derive(Debug, Clone)]
+pub struct PlanServer {
+    engine: Arc<PlanEngine>,
+    workers: usize,
+}
+
+impl PlanServer {
+    /// A server over a fresh engine with `workers` planner threads (min 1).
+    pub fn new(workers: usize) -> Self {
+        Self::with_engine(PlanEngine::shared(), workers)
+    }
+
+    /// A server over an existing engine (e.g. to pre-warm the cache).
+    pub fn with_engine(engine: Arc<PlanEngine>, workers: usize) -> Self {
+        PlanServer { engine, workers: workers.max(1) }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<PlanEngine> {
+        &self.engine
+    }
+
+    /// Serve one command synchronously.
+    pub fn handle(&self, command: ServerCommand) -> ServerReply {
+        match command {
+            ServerCommand::Plan(request) => match self.engine.plan(&request) {
+                Ok(response) => ServerReply::Plan(response),
+                Err(message) => ServerReply::Error { id: Some(request.id), message },
+            },
+            ServerCommand::Delta(request) => match self.engine.apply_delta(&request) {
+                Ok(outcome) => ServerReply::Delta(outcome),
+                Err(message) => ServerReply::Error { id: Some(request.id), message },
+            },
+            ServerCommand::Stats { id } => {
+                ServerReply::Stats { id, stats: self.engine.cache().stats() }
+            }
+        }
+    }
+
+    /// Serve a JSON-line stream until EOF. Plan commands run on the worker
+    /// pool; deltas and stats are handled by the dispatcher (deltas after
+    /// draining in-flight plans).
+    pub fn serve_lines<R: BufRead, W: Write + Send>(
+        &self,
+        reader: R,
+        writer: W,
+    ) -> std::io::Result<()> {
+        let writer = Mutex::new(writer);
+        let inflight = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let (tx, rx) = mpsc::channel::<PlanRequest>();
+        let rx = Mutex::new(rx);
+        let mut io_error: Option<std::io::Error> = None;
+
+        thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = &rx;
+                let writer = &writer;
+                let inflight = Arc::clone(&inflight);
+                scope.spawn(move || loop {
+                    let job = rx.lock().expect("job queue poisoned").recv();
+                    let Ok(request) = job else { break };
+                    // Decrement on drop, so a panicking planner cannot strand
+                    // the delta barrier.
+                    let _guard = InflightGuard(&inflight);
+                    let reply = match self.engine.plan(&request) {
+                        Ok(response) => ServerReply::Plan(response),
+                        Err(message) => ServerReply::Error { id: Some(request.id), message },
+                    };
+                    let _ = write_reply(writer, &reply);
+                });
+            }
+
+            for line in reader.lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        io_error = Some(e);
+                        break;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<ServerCommand>(&line) {
+                    Err(e) => {
+                        let reply = ServerReply::Error {
+                            id: None,
+                            message: format!("unparseable command: {e}"),
+                        };
+                        let _ = write_reply(&writer, &reply);
+                    }
+                    Ok(ServerCommand::Plan(request)) => {
+                        let (count, _) = &*inflight;
+                        *count.lock().expect("inflight poisoned") += 1;
+                        // Workers only exit after this sender drops; send cannot fail.
+                        tx.send(request).expect("worker pool gone");
+                    }
+                    Ok(stats @ ServerCommand::Stats { .. }) => {
+                        // Stats are a monitoring read: answer immediately,
+                        // without waiting behind in-flight planning work.
+                        let reply = self.handle(stats);
+                        let _ = write_reply(&writer, &reply);
+                    }
+                    Ok(delta @ ServerCommand::Delta(_)) => {
+                        // Barrier: a delta must observe every prior plan.
+                        let (count, cv) = &*inflight;
+                        let mut pending = count.lock().expect("inflight poisoned");
+                        while *pending > 0 {
+                            pending = cv.wait(pending).expect("inflight poisoned");
+                        }
+                        drop(pending);
+                        let reply = self.handle(delta);
+                        let _ = write_reply(&writer, &reply);
+                    }
+                }
+            }
+            drop(tx);
+        });
+
+        match io_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Serve TCP connections on `addr` forever (one stream-serving thread per
+    /// connection, all sharing the engine and its cache).
+    pub fn serve_tcp(&self, addr: &str) -> std::io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        eprintln!("qsync-serve: listening on {}", listener.local_addr()?);
+        thread::scope(|scope| {
+            for stream in listener.incoming() {
+                match stream {
+                    Ok(stream) => {
+                        scope.spawn(move || {
+                            if let Err(e) = self.serve_stream(stream) {
+                                eprintln!("qsync-serve: connection error: {e}");
+                            }
+                        });
+                    }
+                    Err(e) => eprintln!("qsync-serve: accept error: {e}"),
+                }
+            }
+        });
+        Ok(())
+    }
+
+    /// Serve one TCP connection.
+    pub fn serve_stream(&self, stream: TcpStream) -> std::io::Result<()> {
+        let reader = BufReader::new(stream.try_clone()?);
+        self.serve_lines(reader, stream)
+    }
+}
+
+/// Decrements the in-flight plan counter on drop (including unwinds).
+struct InflightGuard<'a>(&'a (Mutex<usize>, Condvar));
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let (count, cv) = self.0;
+        *count.lock().expect("inflight poisoned") -= 1;
+        cv.notify_all();
+    }
+}
+
+fn write_reply<W: Write>(writer: &Mutex<W>, reply: &ServerReply) -> std::io::Result<()> {
+    let text = serde_json::to_string(reply).expect("reply serialization cannot fail");
+    let mut w = writer.lock().expect("writer poisoned");
+    writeln!(w, "{text}")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use qsync_cluster::topology::ClusterSpec;
+
+    fn plan_line(id: u64) -> String {
+        let request = PlanRequest::new(
+            id,
+            ModelSpec::SmallMlp { batch: 8, in_features: 16, hidden: 32, classes: 4 },
+            ClusterSpec::hybrid_small(),
+        );
+        serde_json::to_string(&ServerCommand::Plan(request)).unwrap()
+    }
+
+    fn parse_replies(raw: &[u8]) -> Vec<ServerReply> {
+        String::from_utf8_lossy(raw)
+            .lines()
+            .map(|l| serde_json::from_str::<ServerReply>(l).expect("reply parses"))
+            .collect()
+    }
+
+    #[test]
+    fn serves_a_stream_of_commands() {
+        let input = format!("{}\n{}\n{}\n", plan_line(1), plan_line(2), r#"{"Stats":{"id":3}}"#);
+        let server = PlanServer::new(4);
+        let mut out: Vec<u8> = Vec::new();
+        server.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let replies = parse_replies(&out);
+        assert_eq!(replies.len(), 3);
+        // Stats answers immediately (no barrier), so the streamed reply may
+        // predate the plan completions — only its presence is asserted here.
+        assert!(replies.iter().any(|r| matches!(r, ServerReply::Stats { id: 3, .. })));
+        // After EOF every worker has drained: identical requests were one
+        // miss then one hit.
+        let stats = server.engine().cache().stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn bad_lines_produce_error_replies() {
+        let input = "this is not json\n";
+        let server = PlanServer::new(1);
+        let mut out: Vec<u8> = Vec::new();
+        server.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let replies = parse_replies(&out);
+        assert_eq!(replies.len(), 1);
+        assert!(matches!(&replies[0], ServerReply::Error { id: None, .. }));
+    }
+}

@@ -43,9 +43,9 @@ impl SyntheticClassification {
         for i in 0..samples {
             let c = i % classes;
             labels.push(c);
-            for f in 0..features {
+            for &centre in centres[c].iter().take(features) {
                 let noise = gaussian(&mut rng) * 0.8;
-                data.push(centres[c][f] + noise);
+                data.push(centre + noise);
             }
         }
         SyntheticClassification {
@@ -166,11 +166,11 @@ mod tests {
         // A nearest-centroid classifier should beat chance comfortably.
         let d = SyntheticClassification::generate(600, 16, 4, 5);
         let f = 16usize;
-        let mut centroids = vec![vec![0.0f64; f]; 4];
-        let mut counts = vec![0usize; 4];
+        let mut centroids: Vec<Vec<f64>> = (0..4).map(|_| vec![0.0f64; f]).collect();
+        let mut counts = [0usize; 4];
         for (i, &c) in d.labels.iter().enumerate() {
-            for j in 0..f {
-                centroids[c][j] += d.features.data()[i * f + j] as f64;
+            for (j, cent) in centroids[c].iter_mut().enumerate() {
+                *cent += d.features.data()[i * f + j] as f64;
             }
             counts[c] += 1;
         }

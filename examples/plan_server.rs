@@ -1,0 +1,76 @@
+//! Quickstart for the `qsync-serve` plan-serving subsystem.
+//!
+//! ```text
+//! cargo run --release --example plan_server
+//! ```
+//!
+//! Walks the full serving lifecycle in-process: cold plan → cache hit →
+//! cluster elasticity event → warm re-plan, printing what a client of the
+//! `qsync-serve` binary would observe. The same flow over the wire:
+//!
+//! ```text
+//! cargo run --release --bin qsync-serve -- plan --model vgg16bn:2,32 --cluster a:2,2
+//! cargo run --release --bin qsync-serve -- serve --workers 8   # JSON lines on stdin
+//! ```
+
+use qsync_cluster::topology::ClusterSpec;
+use qsync_serve::{ClusterDelta, DeltaRequest, ModelSpec, PlanEngine, PlanRequest};
+
+fn main() {
+    let engine = PlanEngine::new();
+    let cluster = ClusterSpec::cluster_a(2, 2);
+    let model = ModelSpec::Vgg16Bn { batch: 2, image: 32 };
+
+    // 1. Cold plan: profile the cluster, search precisions, cache the result.
+    let request = PlanRequest::new(1, model.clone(), cluster.clone());
+    let cold = engine.plan(&request).expect("valid request");
+    println!(
+        "[cold]  outcome={:?}  predicted={:.0}us  promotions={}  elapsed={}us\n        key={}",
+        cold.outcome, cold.predicted_iteration_us, cold.promotions_accepted, cold.elapsed_us, cold.key
+    );
+
+    // 2. The same request again: a cache hit, byte-identical plan.
+    let hit = engine.plan(&PlanRequest::new(2, model.clone(), cluster.clone())).expect("valid request");
+    println!(
+        "[hit]   outcome={:?}  byte_identical={}  elapsed={}us",
+        hit.outcome,
+        hit.plan_json() == cold.plan_json(),
+        hit.elapsed_us
+    );
+
+    // 3. Elasticity: a co-located tenant claims most of one inference GPU.
+    let rank = cluster.inference_ranks()[0];
+    let delta = DeltaRequest {
+        id: 3,
+        cluster: cluster.clone(),
+        delta: ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.9 },
+    };
+    let outcome = engine.apply_delta(&delta).expect("delta applies");
+    println!(
+        "[delta] invalidated={}  replanned={}  {} -> {}",
+        outcome.invalidated,
+        outcome.replanned.len(),
+        &outcome.old_cluster_fingerprint[..8],
+        &outcome.new_cluster_fingerprint[..8],
+    );
+    let warm = &outcome.replanned[0];
+    println!(
+        "[warm]  outcome={:?}  predicted={:.0}us  demotions={}  promotions={}  elapsed={}us",
+        warm.outcome,
+        warm.predicted_iteration_us,
+        warm.warm_demotions,
+        warm.promotions_accepted,
+        warm.elapsed_us
+    );
+
+    // 4. Requests against the new shape are cache hits from here on.
+    let new_cluster = delta.delta.apply(&cluster).expect("delta applies");
+    let after = engine.plan(&PlanRequest::new(4, model, new_cluster)).expect("valid request");
+    println!("[after] outcome={:?}  elapsed={}us", after.outcome, after.elapsed_us);
+
+    let stats = engine.cache().stats();
+    println!(
+        "[cache] entries={}  hits={}  misses={}  invalidated={}",
+        stats.entries, stats.hits, stats.misses, stats.invalidated
+    );
+}

@@ -10,10 +10,12 @@
 //! * [`qsync_cluster`] — hybrid-device cluster simulator and profiler
 //! * [`qsync_train`] — executable mixed-precision training engine
 //! * [`qsync_core`] — the QSync system itself (predictor, allocator, baselines)
+//! * [`qsync_serve`] — the plan-serving subsystem (plan cache, elastic re-planning)
 
 pub use qsync_cluster as cluster;
 pub use qsync_core as core;
 pub use qsync_graph as graph;
 pub use qsync_lp_kernels as lp_kernels;
+pub use qsync_serve as serve;
 pub use qsync_tensor as tensor;
 pub use qsync_train as train;

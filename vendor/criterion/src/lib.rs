@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion 0.5 API used by this workspace's
+//! benches (`Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`,
+//! `criterion_group!` / `criterion_main!`). Instead of criterion's statistical
+//! analysis it runs a fixed warm-up followed by timed batches and reports
+//! mean / min per-iteration wall-clock time on stdout. Benches therefore stay
+//! runnable (`cargo bench`) and comparable run-to-run, without the plotting and
+//! HTML-report machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration (filled by `iter`).
+    mean_ns: f64,
+    /// Fastest observed iteration in nanoseconds.
+    min_ns: f64,
+    /// Iterations actually timed.
+    iters: u64,
+    /// Target number of timed iterations.
+    target_iters: u64,
+}
+
+impl Bencher {
+    /// Run the routine: a short warm-up, then `target_iters` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~20ms of work or 3 iterations, whichever is later.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || (warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1000)
+        {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut done = 0u64;
+        while done < self.target_iters {
+            let start = Instant::now();
+            black_box(routine());
+            let el = start.elapsed();
+            total += el;
+            if el < min {
+                min = el;
+            }
+            done += 1;
+            // Cap total timed duration so heavyweight benches stay tractable.
+            if total > Duration::from_secs(5) {
+                break;
+            }
+        }
+        self.iters = done;
+        self.mean_ns = total.as_nanos() as f64 / done.max(1) as f64;
+        self.min_ns = min.as_nanos() as f64;
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Shrink the measurement budget (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher =
+            Bencher { mean_ns: 0.0, min_ns: 0.0, iters: 0, target_iters: self.sample_size };
+        f(&mut bencher);
+        let line = format!(
+            "{}/{:<40} mean {:>12}   min {:>12}   ({} iters)",
+            self.name,
+            id,
+            human(bencher.mean_ns),
+            human(bencher.min_ns),
+            bencher.iters
+        );
+        println!("{line}");
+        self.criterion.results.push((format!("{}/{}", self.name, id), bencher.mean_ns));
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<ID: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into().id, f);
+        self
+    }
+
+    /// Benchmark a routine with a borrowed input.
+    pub fn bench_with_input<ID: Into<BenchmarkId>, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into().id, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Collected `(id, mean_ns)` pairs, exposed for harness-side summaries.
+    pub results: Vec<(String, f64)>,
+}
+
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Benchmark a routine outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup { criterion: self, name: "bench".into(), sample_size: 20 };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group-running function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(5);
+        g.bench_function("noop", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1 >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_format_with_parameters() {
+        let id = BenchmarkId::new("allocate", "bert");
+        assert_eq!(id.id, "allocate/bert");
+    }
+}

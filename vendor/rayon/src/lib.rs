@@ -1,0 +1,238 @@
+//! Offline stand-in for `rayon`: the parallel-iterator API surface this
+//! workspace uses, executed **sequentially**.
+//!
+//! The build environment has no crates.io access, so this facade keeps the
+//! `par_iter()` / `par_chunks()` call sites compiling unchanged. All adapters
+//! run on the calling thread; the system's real concurrency lives in the
+//! `qsync-serve` worker pool, which uses `std::thread` directly. Swapping this
+//! stand-in for crates.io rayon is a manifest-only change (tracked in
+//! ROADMAP.md open items).
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator that
+/// mirrors the rayon adapter names used in this workspace.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each element.
+    pub fn map<F, O>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> O,
+    {
+        ParIter { inner: self.inner.map(f) }
+    }
+
+    /// Zip with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter { inner: self.inner.zip(other.inner) }
+    }
+
+    /// Enumerate elements.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter { inner: self.inner.enumerate() }
+    }
+
+    /// Filter elements.
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter { inner: self.inner.filter(f) }
+    }
+
+    /// Consume with a side-effecting closure.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.inner.for_each(f)
+    }
+
+    /// Sum the elements.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.inner.sum()
+    }
+
+    /// Collect into a container.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.inner.collect()
+    }
+
+    /// Count the elements.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// rayon-style reduce: fold from an identity-producing closure.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// rayon-style fold; sequentially this is a single fold producing one item.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter { inner: std::iter::once(self.inner.fold(identity(), fold_op)) }
+    }
+
+    /// Minimum element.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.min()
+    }
+
+    /// Maximum element.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.max()
+    }
+
+    /// No-op in the sequential facade (rayon uses it for work-splitting hints).
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+/// `.par_iter()` on shared slices/vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// A "parallel" iterator over shared references.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// `.par_iter_mut()` on exclusive slices/vectors.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// A "parallel" iterator over exclusive references.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter_mut() }
+    }
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter_mut() }
+    }
+}
+
+/// `.par_chunks()` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Chunked "parallel" iteration.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter { inner: self.chunks(chunk_size) }
+    }
+}
+
+/// `.par_chunks_mut()` on exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Chunked "parallel" iteration over mutable sub-slices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter { inner: self.chunks_mut(chunk_size) }
+    }
+}
+
+/// The rayon prelude: every trait needed to call the adapter methods.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let xs = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn reduce_uses_identity() {
+        let xs: Vec<f32> = vec![-3.0, 7.0, 2.0];
+        let m = xs.par_iter().map(|v| v.abs()).reduce(|| 0.0f32, f32::max);
+        assert_eq!(m, 7.0);
+    }
+
+    #[test]
+    fn chunks_mut_visits_every_element() {
+        let mut xs = vec![0u32; 10];
+        xs.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(xs, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn zip_pairs_elements() {
+        let a = vec![1, 2, 3];
+        let b = vec![10, 20, 30];
+        let s: i32 = a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x * y).sum();
+        assert_eq!(s, 10 + 40 + 90);
+    }
+}

@@ -1,0 +1,604 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access and no crates.io mirror, so this
+//! workspace vendors a minimal serde-compatible surface: a self-describing
+//! [`Value`] data model, [`Serialize`] / [`Deserialize`] traits that convert to
+//! and from it, and `#[derive(Serialize, Deserialize)]` macros (re-exported from
+//! the sibling `serde_derive` proc-macro crate).
+//!
+//! Design notes, where this intentionally differs from crates.io serde:
+//!
+//! * Serialization is two-phase: every type first converts to [`Value`], and the
+//!   `serde_json` stand-in renders that. This is slower than serde's visitor
+//!   architecture but vastly simpler, and plan serialization is not a hot path.
+//! * Object key order is **insertion order** (a `Vec` of pairs, not a map), so a
+//!   derived struct always serializes its fields in declaration order. This makes
+//!   serialized output deterministic, which the plan cache relies on for its
+//!   byte-identical cache-hit guarantee.
+//! * Maps with non-string keys serialize as arrays of `[key, value]` pairs
+//!   (crates.io `serde_json` errors on them). Map entries from unordered maps are
+//!   sorted by encoded key so output stays deterministic.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Deserialization / serialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Create an error with a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON-style number. Integers keep full 64-bit fidelity.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// Numeric value as f64 (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+
+    /// Value as u64 when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(v) => Some(v),
+            Number::I64(v) if v >= 0 => Some(v as u64),
+            Number::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Value as i64 when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Number::I64(v) => Some(v),
+            Number::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::U64(a), Number::U64(b)) => a == b,
+            (Number::I64(a), Number::I64(b)) => a == b,
+            (Number::F64(a), Number::F64(b)) => a == b,
+            // Cross-representation comparison is numeric.
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+/// A self-describing value: the intermediate representation every `Serialize`
+/// impl produces and every `Deserialize` impl consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number.
+    Number(Number),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with **insertion-ordered** keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Shared `Null` for out-of-bounds `Index` results, as in `serde_json`.
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrow as array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow the object's key/value pairs.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrow as string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as u64.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+macro_rules! value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+    )*};
+}
+value_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Serialize: convert to the self-describing [`Value`] model.
+pub trait Serialize {
+    /// Convert `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize: reconstruct from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse `self` out of a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::U64(*self as u64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::Number(Number::U64(v as u64)) } else { Value::Number(Number::I64(v)) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            // serde_json serializes non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned).ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string. Only used for `&'static str` struct fields
+    /// (e.g. device names); those are few and tiny.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::custom("expected string"))?;
+        Ok(Box::leak(s.to_owned().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::custom("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::custom("expected tuple array"))?;
+                Ok(($($t::from_value(a.get($n).unwrap_or(&Value::Null))?,)+))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Serialize map entries: objects when every key encodes to a string (ordinary
+/// JSON), arrays of `[key, value]` pairs otherwise. Entries are sorted by the
+/// encoded key so `HashMap` output is deterministic.
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+    already_sorted: bool,
+) -> Value {
+    let mut pairs: Vec<(Value, Value)> =
+        entries.map(|(k, v)| (k.to_value(), v.to_value())).collect();
+    let all_string_keys = pairs.iter().all(|(k, _)| matches!(k, Value::String(_)));
+    if !already_sorted {
+        pairs.sort_by(|(a, _), (b, _)| format!("{a:?}").cmp(&format!("{b:?}")));
+    }
+    if all_string_keys {
+        Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| match k {
+                    Value::String(s) => (s, v),
+                    _ => unreachable!(),
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(pairs.into_iter().map(|(k, v)| Value::Array(vec![k, v])).collect())
+    }
+}
+
+fn map_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .map(|(k, val)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(val)?)))
+            .collect(),
+        Value::Array(items) => items
+            .iter()
+            .map(|item| {
+                let pair = item.as_array().ok_or_else(|| Error::custom("expected [key, value]"))?;
+                Ok((
+                    K::from_value(pair.first().unwrap_or(&Value::Null))?,
+                    V::from_value(pair.get(1).unwrap_or(&Value::Null))?,
+                ))
+            })
+            .collect(),
+        _ => Err(Error::custom("expected map")),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter(), true)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter(), false)
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+/// Compatibility alias module: `serde::de::Error` style paths.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+}
+
+/// Compatibility alias module: `serde::ser` style paths.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trips_through_null() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(3u32).to_value(), Value::Number(Number::U64(3)));
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let v = Value::Object(vec![
+            ("z".into(), Value::Bool(true)),
+            ("a".into(), Value::Null),
+        ]);
+        let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["z", "a"]);
+    }
+
+    #[test]
+    fn hashmap_with_tuple_keys_is_deterministic() {
+        let mut m = HashMap::new();
+        m.insert((2usize, 1u8), 1.0f64);
+        m.insert((1usize, 9u8), 2.0f64);
+        assert_eq!(m.to_value(), m.clone().to_value());
+        let back = HashMap::<(usize, u8), f64>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+}
