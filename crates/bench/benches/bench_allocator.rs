@@ -1,22 +1,134 @@
-//! Allocator bench: full allocation (initial subgraph search + precision recovery) on a
-//! reduced-scale model, used to track the planner's own cost.
+//! Allocator bench: full allocation (initial subgraph search + precision recovery) on
+//! reduced-scale models, plus a micro-benchmark of the recovery loop's per-candidate
+//! evaluation — the full clone-and-replay path against the incremental
+//! [`DeltaEvaluator`].
+//!
+//! Besides the stdout report, a machine-readable summary is written to
+//! `BENCH_allocator.json` in the working directory (CI smoke-runs this bench with
+//! `QSYNC_BENCH_SMOKE=1` and validates that file).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use qsync_bench::experiments::setup;
 use qsync_cluster::topology::ClusterSpec;
 use qsync_core::allocator::Allocator;
+use qsync_core::eval::DeltaEvaluator;
+use qsync_core::plan::PrecisionPlan;
+use qsync_core::system::QSyncSystem;
+use qsync_lp_kernels::precision::Precision;
+
+fn smoke() -> bool {
+    std::env::var("QSYNC_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+/// The candidate moves the recovery loop would evaluate from the initial assignment:
+/// every adjustable operator stepped up to its next supported precision.
+fn recovery_candidates(
+    sys: &QSyncSystem,
+    rank: usize,
+    pdag: &qsync_graph::PrecisionDag,
+) -> Vec<(qsync_graph::NodeId, Precision)> {
+    let candidates = sys.candidates_for(rank);
+    sys.dag
+        .adjustable_ops()
+        .into_iter()
+        .filter_map(|id| {
+            let current = pdag.get(id);
+            candidates.iter().copied().find(|c| *c > current).map(|next| (id, next))
+        })
+        .collect()
+}
 
 fn bench_allocator(c: &mut Criterion) {
     let mut group = c.benchmark_group("allocator");
-    group.sample_size(10);
-    for model in ["vgg16bn", "bert"] {
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let models: &[&str] = if smoke() { &["vgg16bn"] } else { &["vgg16bn", "bert"] };
+    for model in models {
         let system = setup::small_system(model, ClusterSpec::cluster_a(2, 2), 1);
         group.bench_with_input(BenchmarkId::new("allocate", model), &system, |b, sys| {
             b.iter(|| Allocator::new(sys).allocate(&sys.indicator()))
         });
+        group.bench_with_input(BenchmarkId::new("allocate_reference", model), &system, |b, sys| {
+            b.iter(|| Allocator::new(sys).allocate_reference(&sys.indicator()))
+        });
     }
+
+    // Per-candidate evaluation: what one iteration of the recovery heap loop costs.
+    let sys = setup::small_system("vgg16bn", ClusterSpec::cluster_a(2, 2), 1);
+    let rank = sys.cluster.inference_ranks()[0];
+    let alloc = Allocator::new(&sys);
+    let initial = alloc.initial_for_device(rank);
+    let moves = recovery_candidates(&sys, rank, &initial);
+    assert!(!moves.is_empty(), "vgg16bn must expose recovery candidates");
+
+    group.bench_function("candidate_eval_full", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (node, next) = moves[i % moves.len()];
+            i += 1;
+            // The pre-refactor loop body: clone the DAG, cascade the move, check
+            // memory, replicate a full plan and replay the global DFG.
+            let mut tentative = initial.clone();
+            let _ = tentative.set(&sys.dag, node, next);
+            let mem_ok = sys.memory_ok(rank, &tentative);
+            let plan =
+                PrecisionPlan::from_inference_pdag("qsync_tentative", &sys.dag, &sys.cluster, &tentative);
+            (mem_ok, sys.predict_iteration_us(&plan))
+        })
+    });
+
+    group.bench_function("candidate_eval_incremental", |b| {
+        let mut eval = DeltaEvaluator::new(&sys, rank, initial.clone());
+        let mut i = 0usize;
+        b.iter(|| {
+            let (node, next) = moves[i % moves.len()];
+            i += 1;
+            eval.propose(node, next);
+            let mem_ok = eval.memory_ok();
+            let t = eval.iteration_us();
+            eval.rollback();
+            (mem_ok, t)
+        })
+    });
+
     group.finish();
 }
 
-criterion_group!(benches, bench_allocator);
-criterion_main!(benches);
+fn mean_ns(c: &Criterion, id: &str) -> f64 {
+    c.results
+        .iter()
+        .find(|(name, _)| name == &format!("allocator/{id}"))
+        .map(|(_, ns)| *ns)
+        .unwrap_or(f64::NAN)
+}
+
+fn write_summary(criterion: &Criterion) {
+    let full = mean_ns(criterion, "candidate_eval_full");
+    let incremental = mean_ns(criterion, "candidate_eval_incremental");
+    let allocate = mean_ns(criterion, "allocate/vgg16bn");
+    let reference = mean_ns(criterion, "allocate_reference/vgg16bn");
+    let summary = serde_json::json!({
+        "bench": "allocator",
+        "model": "vgg16bn (reduced scale)",
+        "cluster": "a:2,2",
+        "smoke": smoke(),
+        "candidate_eval_full_us": full / 1e3,
+        "candidate_eval_incremental_us": incremental / 1e3,
+        "candidate_eval_speedup": full / incremental,
+        "allocate_us": allocate / 1e3,
+        "allocate_reference_us": reference / 1e3,
+        "allocate_speedup": reference / allocate,
+    });
+    let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    println!("{text}");
+    // cargo sets a bench's cwd to its package root (crates/bench); anchor the summary
+    // at the workspace root, where CI validates it and the committed copy lives.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_allocator.json");
+    std::fs::write(path, text).expect("write BENCH_allocator.json");
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_allocator(&mut criterion);
+    write_summary(&criterion);
+}

@@ -237,6 +237,53 @@ impl ModelDag {
     }
 }
 
+/// Precomputed traversal context over one [`ModelDag`]: the topological order, each
+/// node's position in it, and the successor adjacency.
+///
+/// [`ModelDag::topo_order`] and [`ModelDag::succs`] recompute their answers on every
+/// call; hot loops (the allocator's precision-recovery heap, the incremental plan
+/// evaluator) instead build a `DagTopology` once and reuse it for every candidate.
+#[derive(Debug, Clone)]
+pub struct DagTopology {
+    topo: Vec<NodeId>,
+    position: Vec<usize>,
+    succs: Vec<Vec<NodeId>>,
+}
+
+impl DagTopology {
+    /// Precompute the traversal context of a graph.
+    pub fn new(dag: &ModelDag) -> Self {
+        let topo = dag.topo_order();
+        let mut position = vec![0usize; dag.len()];
+        for (i, id) in topo.iter().enumerate() {
+            position[id.0] = i;
+        }
+        let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); dag.len()];
+        for node in dag.nodes() {
+            for inp in &node.inputs {
+                succs[inp.0].push(node.id);
+            }
+        }
+        DagTopology { topo, position, succs }
+    }
+
+    /// The cached topological order (identical to [`ModelDag::topo_order`]).
+    pub fn topo(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Position of a node within the topological order.
+    pub fn position(&self, id: NodeId) -> usize {
+        self.position[id.0]
+    }
+
+    /// Successors (consumers) of a node, without the per-call scan of
+    /// [`ModelDag::succs`].
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.0]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

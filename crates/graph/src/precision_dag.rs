@@ -9,7 +9,9 @@ use serde::{Deserialize, Serialize};
 
 use qsync_lp_kernels::precision::Precision;
 
-use crate::dag::{ModelDag, NodeId};
+use std::collections::BTreeSet;
+
+use crate::dag::{DagTopology, ModelDag, NodeId};
 use crate::op::OpCategory;
 
 /// The precision assignment of one device's copy of the model.
@@ -70,6 +72,96 @@ impl PrecisionDag {
             .filter(|&i| self.bits[i] != before[i])
             .map(NodeId)
             .collect()
+    }
+
+    /// Incremental variant of [`PrecisionDag::set`]: assign an adjustable node and
+    /// re-derive only the dependent operators reachable from it, using a worklist in
+    /// topological order instead of re-propagating over the whole graph.
+    ///
+    /// Starting from any consistent assignment (one where [`PrecisionDag::propagate`]
+    /// is a fixed point — every constructor and every `set` leaves the DAG in that
+    /// state), this computes exactly the same result as `set` and returns the same
+    /// changed-node list (ascending by id), in `O(|changed| · degree)` instead of
+    /// `O(|V| · degree)` plus an `O(|V|)` clone.
+    pub fn set_incremental(
+        &mut self,
+        dag: &ModelDag,
+        topology: &DagTopology,
+        id: NodeId,
+        precision: Precision,
+    ) -> Vec<NodeId> {
+        let mut log = Vec::new();
+        self.set_incremental_logged(dag, topology, id, precision, &mut log);
+        let mut changed: Vec<NodeId> = log.into_iter().map(|(n, _)| n).collect();
+        changed.sort_unstable();
+        changed
+    }
+
+    /// [`PrecisionDag::set_incremental`] with an undo log: appends a
+    /// `(node, previous precision)` pair for every node that changes, so the caller can
+    /// revert the whole change with [`PrecisionDag::revert`] without snapshotting the
+    /// assignment. Returns the number of pairs appended.
+    pub fn set_incremental_logged(
+        &mut self,
+        dag: &ModelDag,
+        topology: &DagTopology,
+        id: NodeId,
+        precision: Precision,
+        undo: &mut Vec<(NodeId, Precision)>,
+    ) -> usize {
+        assert_eq!(
+            dag.node(id).kind.category(),
+            OpCategory::PrecisionAdjustable,
+            "only precision-adjustable operators can be assigned directly"
+        );
+        if self.bits[id.0] == precision {
+            return 0;
+        }
+        let before = undo.len();
+        undo.push((id, self.bits[id.0]));
+        self.bits[id.0] = precision;
+        // Worklist of dependent nodes to re-derive, ordered by topological position so
+        // every node sees its inputs' final values.
+        let mut work: BTreeSet<(usize, NodeId)> = BTreeSet::new();
+        for &s in topology.succs(id) {
+            work.insert((topology.position(s), s));
+        }
+        while let Some((_, n)) = work.pop_first() {
+            let node = dag.node(n);
+            if node.kind.category() != OpCategory::PrecisionDependent {
+                // Adjustable nodes keep their assigned value; fixed nodes stay FP32.
+                continue;
+            }
+            let derived = node
+                .inputs
+                .iter()
+                .map(|p| self.output_precision(*p))
+                .fold(None::<Precision>, |acc, p| {
+                    Some(match acc {
+                        None => p,
+                        Some(a) => a.promote(p),
+                    })
+                })
+                .unwrap_or(Precision::Fp32);
+            if self.bits[n.0] != derived {
+                undo.push((n, self.bits[n.0]));
+                self.bits[n.0] = derived;
+                for &s in topology.succs(n) {
+                    work.insert((topology.position(s), s));
+                }
+            }
+        }
+        undo.len() - before
+    }
+
+    /// Undo changes recorded by [`PrecisionDag::set_incremental_logged`]: restores the
+    /// logged previous precisions in reverse order. The log must describe changes made
+    /// from this assignment's current state (possibly across several `..._logged`
+    /// calls — the whole log is reverted at once).
+    pub fn revert(&mut self, undo: &[(NodeId, Precision)]) {
+        for &(n, p) in undo.iter().rev() {
+            self.bits[n.0] = p;
+        }
     }
 
     /// Re-derive precision of dependent operators from their inputs, in topological order.
@@ -209,6 +301,37 @@ mod tests {
         let total: usize = pd.histogram().iter().map(|(_, c)| c).sum();
         assert_eq!(total, g.len());
         assert_eq!(pd.count_adjustable_at(&g, Precision::Fp16), 2);
+    }
+
+    #[test]
+    fn set_incremental_matches_full_set() {
+        let g = chain();
+        let topology = DagTopology::new(&g);
+        for start in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+            for target in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+                for &op in &g.adjustable_ops() {
+                    let mut full = PrecisionDag::uniform(&g, start);
+                    let mut incr = full.clone();
+                    let changed_full = full.set(&g, op, target);
+                    let changed_incr = incr.set_incremental(&g, &topology, op, target);
+                    assert_eq!(full, incr, "{start}->{target} at {op:?}");
+                    assert_eq!(changed_full, changed_incr, "{start}->{target} at {op:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_incremental_cascades_through_dependent_chains() {
+        let g = chain();
+        let topology = DagTopology::new(&g);
+        let mut pd = PrecisionDag::uniform(&g, Precision::Fp16);
+        // Lowering linear0 to int8 flips relu (via the fp32 int8-output) and the add.
+        let changed = pd.set_incremental(&g, &topology, NodeId(1), Precision::Int8);
+        let mut reference = PrecisionDag::uniform(&g, Precision::Fp16);
+        let expected = reference.set(&g, NodeId(1), Precision::Int8);
+        assert_eq!(pd, reference);
+        assert_eq!(changed, expected);
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //!    repeatedly pops the largest decrement, accepts the promotion if memory still fits
 //!    and the predicted overall throughput does not drop below the initial plan's
 //!    throughput (`T_min`), and pushes the operator's next step back onto the heap.
+//!
+//! Both phases run on the incremental [`DeltaEvaluator`]: each candidate is staged as a
+//! transaction, its memory and latency effects are answered from cached per-operator
+//! deltas, and the move is committed or rolled back — no per-candidate DAG clone, plan
+//! replication or full-DFG rebuild. The non-incremental code paths are preserved as
+//! `*_reference` methods; the differential tests assert both produce byte-identical
+//! plans, and `bench_allocator` quantifies the gap.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -20,6 +27,7 @@ use std::collections::BinaryHeap;
 use qsync_lp_kernels::precision::Precision;
 use qsync_graph::{find_repeating_subgraphs, NodeId, PrecisionDag};
 
+use crate::eval::DeltaEvaluator;
 use crate::indicator::SensitivityIndicator;
 use crate::plan::PrecisionPlan;
 use crate::replayer::CostMapper;
@@ -61,6 +69,14 @@ pub struct AllocationReport {
     /// Number of operators demoted while clamping a warm-start plan to the
     /// (possibly shrunk) device memory. Always 0 for cold allocations.
     pub warm_demotions: usize,
+    /// Candidate evaluations answered incrementally (recovery promotions plus
+    /// warm-start demotions). 0 on the `*_reference` paths.
+    pub candidates_evaluated: usize,
+    /// Full-plan predictor invocations (`PrecisionPlan` build + global-DFG replay).
+    /// The incremental paths keep this O(1) per allocation — the warm re-plan
+    /// regression test pins that down — while the `*_reference` paths pay one per
+    /// candidate.
+    pub full_predicts: usize,
 }
 
 /// The QSync allocator.
@@ -77,22 +93,27 @@ impl<'a> Allocator<'a> {
 
     /// Phase 1: the fastest feasible precision DAG for one inference device.
     pub fn initial_for_device(&self, rank: usize) -> PrecisionDag {
+        self.initial_eval(rank).into_pdag()
+    }
+
+    /// Phase 1 on the incremental evaluator, returning it positioned at the initial
+    /// assignment so phase 2 can continue without rebuilding caches.
+    fn initial_eval(&self, rank: usize) -> DeltaEvaluator<'a> {
         let sys = self.system;
         let dag = &sys.dag;
         let device = &sys.cluster.devices[rank];
         let candidates = sys.candidates_for(rank);
         let lowest = candidates[0];
-        let mut pdag = PrecisionDag::uniform(dag, lowest);
+        let mut eval = DeltaEvaluator::new(sys, rank, PrecisionDag::uniform(dag, lowest));
         if candidates.len() == 1 {
-            return pdag;
+            return eval;
         }
 
         // Memory headroom left after the most compressed assignment.
-        let base_mem = sys.memory_bytes(rank, &pdag);
+        let base_mem = eval.memory_bytes();
         let capacity = device.available_memory_bytes();
         let slack = capacity.saturating_sub(base_mem);
 
-        let mapper = CostMapper::new(dag, sys.profile(rank), sys.casting(rank), device, sys.config.n_buckets);
         let groups = find_repeating_subgraphs(dag);
         let total_lowest_bytes: u64 = groups
             .iter()
@@ -107,82 +128,22 @@ impl<'a> Allocator<'a> {
                 if instance.len() > 6 {
                     continue; // brute force only on small blocks; large ones stay lowest
                 }
-                let inst_lowest: u64 = instance.iter().map(|id| instance_bytes(dag, *id, lowest)).sum();
+                let inst_lowest: u64 =
+                    instance.iter().map(|id| instance_bytes(dag, *id, lowest)).sum();
                 let budget = (slack as u128 * inst_lowest as u128 / total_lowest_bytes as u128) as u64;
-                let best = self.brute_force_instance(&mapper, &mut pdag, instance, &candidates, lowest, budget);
+                let best = brute_force_instance(&mut eval, rank, instance, &candidates, lowest, budget);
+                eval.begin();
                 for (id, p) in instance.iter().zip(best) {
-                    if pdag.get(*id) != p {
-                        let _ = pdag.set(dag, *id, p);
-                    }
+                    eval.stage(*id, p);
                 }
+                eval.commit();
             }
         }
         // Safety: if the brute force overshot the device memory, fall back to uniform lowest.
-        if !sys.memory_ok(rank, &pdag) {
-            pdag = PrecisionDag::uniform(dag, lowest);
+        if !eval.memory_ok() {
+            eval = DeltaEvaluator::new(sys, rank, PrecisionDag::uniform(dag, lowest));
         }
-        pdag
-    }
-
-    /// Enumerate the precision combinations of one subgraph instance and return the
-    /// latency-minimal one whose extra memory (relative to all-lowest) fits `budget`.
-    fn brute_force_instance(
-        &self,
-        mapper: &CostMapper<'_>,
-        pdag: &mut PrecisionDag,
-        instance: &[NodeId],
-        candidates: &[Precision],
-        lowest: Precision,
-        budget: u64,
-    ) -> Vec<Precision> {
-        let dag = &self.system.dag;
-        let k = instance.len();
-        let n_comb = candidates.len().pow(k as u32);
-        let mut best_combo = vec![lowest; k];
-        let mut best_cost = f64::INFINITY;
-        let saved: Vec<Precision> = instance.iter().map(|id| pdag.get(*id)).collect();
-        for combo_idx in 0..n_comb {
-            let mut idx = combo_idx;
-            let combo: Vec<Precision> = (0..k)
-                .map(|_| {
-                    let c = candidates[idx % candidates.len()];
-                    idx /= candidates.len();
-                    c
-                })
-                .collect();
-            // Extra memory over the all-lowest assignment.
-            let extra: u64 = instance
-                .iter()
-                .zip(&combo)
-                .map(|(id, &p)| instance_bytes(dag, *id, p).saturating_sub(instance_bytes(dag, *id, lowest)))
-                .sum();
-            if extra > budget {
-                continue;
-            }
-            // Local latency of the instance under this combo (op cost + casting).
-            for (id, &p) in instance.iter().zip(&combo) {
-                let _ = pdag.set(dag, *id, p);
-            }
-            let cost: f64 = instance
-                .iter()
-                .map(|&id| {
-                    let p = pdag.get(id);
-                    let op = self.system.profile(mapper.device.id).get_or_fp32(id, p);
-                    op.fwd_us + op.bwd_us + mapper.forward_cast_us(pdag, id) + mapper.backward_cast_us(pdag, id)
-                })
-                .sum();
-            if cost < best_cost {
-                best_cost = cost;
-                best_combo = combo;
-            }
-        }
-        // Restore the pdag to its state before the enumeration.
-        for (id, &p) in instance.iter().zip(&saved) {
-            if pdag.get(*id) != p {
-                let _ = pdag.set(dag, *id, p);
-            }
-        }
-        best_combo
+        eval
     }
 
     /// Run the full allocation: initial fastest plan, then indicator-guided recovery.
@@ -192,17 +153,18 @@ impl<'a> Allocator<'a> {
         if inference.is_empty() {
             let plan = PrecisionPlan::oracle(&sys.dag, &sys.cluster);
             let t = sys.predict_iteration_us(&plan);
-            return (plan, AllocationReport { t_min_us: t, final_us: t, ..Default::default() });
+            return (
+                plan,
+                AllocationReport { t_min_us: t, final_us: t, full_predicts: 1, ..Default::default() },
+            );
         }
         // All inference devices in the paper's clusters are identical; compute the plan
         // for the first one and replicate it.
         let rank = inference[0];
-        let pdag = self.initial_for_device(rank);
-        let initial_plan =
-            PrecisionPlan::from_inference_pdag("qsync_initial", &sys.dag, &sys.cluster, &pdag);
-        let t_min = sys.predict_iteration_us(&initial_plan);
+        let eval = self.initial_eval(rank);
+        let t_min = eval.iteration_us();
         let report = AllocationReport { t_min_us: t_min, final_us: t_min, ..Default::default() };
-        self.recover(indicator, pdag, rank, t_min, report)
+        self.recover(indicator, eval, t_min, report)
     }
 
     /// Warm-start allocation for elastic re-planning: skip the brute-force
@@ -238,16 +200,9 @@ impl<'a> Allocator<'a> {
         let candidates = sys.candidates_for(rank);
         let lowest = candidates[0];
 
-        // Re-derive the warm assignment on this DAG, clamping unsupported
-        // precisions down to the nearest supported candidate.
-        let mut pdag = PrecisionDag::uniform(dag, lowest);
-        for id in dag.adjustable_ops() {
-            let wanted = warm.get(id);
-            let clamped = candidates.iter().copied().rfind(|c| *c <= wanted).unwrap_or(lowest);
-            if pdag.get(id) != clamped {
-                let _ = pdag.set(dag, id, clamped);
-            }
-        }
+        let mut eval =
+            DeltaEvaluator::new(sys, rank, clamp_warm(sys, warm, &candidates, lowest));
+        let mut report = AllocationReport::default();
 
         // The cheapest single demotion: smallest indicator increase (the
         // inverse of the recovery heap's order). None when already uniform
@@ -268,13 +223,14 @@ impl<'a> Allocator<'a> {
         };
 
         // Demote until the assignment fits device memory.
-        let mut warm_demotions = 0usize;
-        while !sys.memory_ok(rank, &pdag) {
-            let Some((id, lower)) = cheapest_demotion(&pdag) else {
+        while !eval.memory_ok() {
+            let Some((id, lower)) = cheapest_demotion(eval.pdag()) else {
                 break; // already uniform lowest; nothing left to demote
             };
-            let _ = pdag.set(dag, id, lower);
-            warm_demotions += 1;
+            eval.propose(id, lower);
+            eval.commit();
+            report.warm_demotions += 1;
+            report.candidates_evaluated += 1;
         }
 
         // Demote until the assignment honours the throughput bound the cold
@@ -282,6 +238,362 @@ impl<'a> Allocator<'a> {
         // (mostly recovered) assignment far slower than `T_min * tol`, and
         // recovery can only promote, never repair that.
         let t_min = sys.predict_iteration_us(&PrecisionPlan::uniform(dag, &sys.cluster, lowest));
+        report.full_predicts += 1;
+        let tol = 1.0 + sys.config.throughput_tolerance;
+        let mut warm_t = eval.iteration_us();
+        while warm_t > t_min * tol {
+            let Some((id, lower)) = cheapest_demotion(eval.pdag()) else {
+                break;
+            };
+            eval.propose(id, lower);
+            eval.commit();
+            report.warm_demotions += 1;
+            report.candidates_evaluated += 1;
+            warm_t = eval.iteration_us();
+        }
+
+        report.t_min_us = t_min;
+        report.final_us = warm_t;
+        self.recover(indicator, eval, t_min, report)
+    }
+
+    /// Phase 2: indicator-guided precision recovery from the evaluator's current
+    /// assignment under the `t_min` throughput bound. Shared by cold and warm
+    /// allocations.
+    fn recover(
+        &self,
+        indicator: &dyn SensitivityIndicator,
+        mut eval: DeltaEvaluator<'a>,
+        t_min: f64,
+        mut report: AllocationReport,
+    ) -> (PrecisionPlan, AllocationReport) {
+        let sys = self.system;
+        let dag = &sys.dag;
+        let tol = 1.0 + sys.config.throughput_tolerance;
+        let candidates = sys.candidates_for(eval.rank());
+        let next_of = |p: Precision| -> Option<Precision> {
+            candidates.iter().copied().find(|c| *c > p)
+        };
+
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        for id in dag.adjustable_ops() {
+            let current = eval.pdag().get(id);
+            if let Some(next) = next_of(current) {
+                let dec = indicator.omega(dag, id, current) - indicator.omega(dag, id, next);
+                heap.push(Candidate { decrement: dec, node: id, next });
+            }
+        }
+
+        while let Some(c) = heap.pop() {
+            eval.propose(c.node, c.next);
+            report.candidates_evaluated += 1;
+            if !eval.memory_ok() {
+                eval.rollback();
+                report.promotions_rejected += 1;
+                continue;
+            }
+            let t = eval.iteration_us();
+            if t <= t_min * tol {
+                eval.commit();
+                report.promotions_accepted += 1;
+                report.final_us = t;
+                if let Some(next) = next_of(c.next) {
+                    let dec = indicator.omega(dag, c.node, c.next) - indicator.omega(dag, c.node, next);
+                    heap.push(Candidate { decrement: dec, node: c.node, next });
+                }
+            } else {
+                eval.rollback();
+                report.promotions_rejected += 1;
+            }
+        }
+
+        let plan = PrecisionPlan::from_inference_pdag("qsync", dag, &sys.cluster, eval.pdag());
+        (plan, report)
+    }
+}
+
+/// Re-derive a warm assignment on the system's DAG, clamping operator precisions the
+/// device no longer supports down to the nearest supported candidate.
+fn clamp_warm(
+    sys: &QSyncSystem,
+    warm: &PrecisionDag,
+    candidates: &[Precision],
+    lowest: Precision,
+) -> PrecisionDag {
+    let dag = &sys.dag;
+    let mut pdag = PrecisionDag::uniform(dag, lowest);
+    for id in dag.adjustable_ops() {
+        let wanted = warm.get(id);
+        let clamped = candidates.iter().copied().rfind(|c| *c <= wanted).unwrap_or(lowest);
+        if pdag.get(id) != clamped {
+            let _ = pdag.set(dag, id, clamped);
+        }
+    }
+    pdag
+}
+
+/// Enumerate the precision combinations of one subgraph instance and return the
+/// latency-minimal one whose extra memory (relative to all-lowest) fits `budget`.
+///
+/// Per-node byte costs are tabulated once per (instance, candidate set) before the
+/// enumeration — the loop no longer recomputes `instance_bytes` for every combination —
+/// and each combination is scored from the evaluator's cached node costs inside a
+/// staged transaction that is rolled back afterwards.
+fn brute_force_instance(
+    eval: &mut DeltaEvaluator<'_>,
+    rank: usize,
+    instance: &[NodeId],
+    candidates: &[Precision],
+    lowest: Precision,
+    budget: u64,
+) -> Vec<Precision> {
+    let k = instance.len();
+    let n_comb = candidates.len().pow(k as u32);
+    let mut best_combo = vec![lowest; k];
+    let mut best_cost = f64::INFINITY;
+    // Byte tables: bytes of each instance node at each candidate precision, and the
+    // extra over the all-lowest assignment (the only quantity the budget check needs).
+    let extra_bytes: Vec<Vec<u64>> = {
+        let dag = &eval.system().dag;
+        instance
+            .iter()
+            .map(|id| {
+                let lowest_b = instance_bytes(dag, *id, lowest);
+                candidates
+                    .iter()
+                    .map(|&p| instance_bytes(dag, *id, p).saturating_sub(lowest_b))
+                    .collect()
+            })
+            .collect()
+    };
+    let mut combo_idx_digits = vec![0usize; k];
+    for combo_idx in 0..n_comb {
+        let mut idx = combo_idx;
+        for digit in combo_idx_digits.iter_mut() {
+            *digit = idx % candidates.len();
+            idx /= candidates.len();
+        }
+        // Extra memory over the all-lowest assignment, served from the byte tables.
+        let extra: u64 = combo_idx_digits
+            .iter()
+            .enumerate()
+            .map(|(node_i, &ci)| extra_bytes[node_i][ci])
+            .sum();
+        if extra > budget {
+            continue;
+        }
+        // Local latency of the instance under this combo (op cost + casting), answered
+        // from the evaluator's cached per-node costs.
+        eval.begin();
+        for (id, &ci) in instance.iter().zip(&combo_idx_digits) {
+            eval.stage(*id, candidates[ci]);
+        }
+        let cost = eval.instance_cost(rank, instance);
+        eval.rollback();
+        if cost < best_cost {
+            best_cost = cost;
+            best_combo = combo_idx_digits.iter().map(|&ci| candidates[ci]).collect();
+        }
+    }
+    best_combo
+}
+
+/// Bytes attributable to one operator at one precision (saved activation + weight copy),
+/// used for the per-subgraph memory budgeting.
+fn instance_bytes(dag: &qsync_graph::ModelDag, id: NodeId, p: Precision) -> u64 {
+    let node = dag.node(id);
+    (node.output_numel() as u64 + node.weight_numel() as u64) * p.bytes() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Reference (non-incremental) implementations.
+//
+// These are the pre-DeltaEvaluator code paths, kept verbatim so the differential
+// tests can assert that the incremental allocator produces byte-identical plans and
+// so `bench_allocator` can quantify the speedup. They clone the precision DAG,
+// replicate it into a full `PrecisionPlan` and replay the global DFG for every
+// candidate — do not use them outside tests and benches.
+// ---------------------------------------------------------------------------
+
+impl<'a> Allocator<'a> {
+    /// Reference phase 1: the non-incremental [`Allocator::initial_for_device`].
+    pub fn initial_for_device_reference(&self, rank: usize) -> PrecisionDag {
+        let sys = self.system;
+        let dag = &sys.dag;
+        let device = &sys.cluster.devices[rank];
+        let candidates = sys.candidates_for(rank);
+        let lowest = candidates[0];
+        let mut pdag = PrecisionDag::uniform(dag, lowest);
+        if candidates.len() == 1 {
+            return pdag;
+        }
+
+        let base_mem = sys.memory_bytes(rank, &pdag);
+        let capacity = device.available_memory_bytes();
+        let slack = capacity.saturating_sub(base_mem);
+
+        let mapper = CostMapper::new(dag, sys.profile(rank), sys.casting(rank), device, sys.config.n_buckets);
+        let groups = find_repeating_subgraphs(dag);
+        let total_lowest_bytes: u64 = groups
+            .iter()
+            .flat_map(|g| g.instances.iter())
+            .flat_map(|inst| inst.iter())
+            .map(|id| instance_bytes(dag, *id, lowest))
+            .sum::<u64>()
+            .max(1);
+
+        for group in &groups {
+            for instance in &group.instances {
+                if instance.len() > 6 {
+                    continue;
+                }
+                let inst_lowest: u64 = instance.iter().map(|id| instance_bytes(dag, *id, lowest)).sum();
+                let budget = (slack as u128 * inst_lowest as u128 / total_lowest_bytes as u128) as u64;
+                let best =
+                    self.brute_force_instance_reference(&mapper, &mut pdag, instance, &candidates, lowest, budget);
+                for (id, p) in instance.iter().zip(best) {
+                    if pdag.get(*id) != p {
+                        let _ = pdag.set(dag, *id, p);
+                    }
+                }
+            }
+        }
+        if !sys.memory_ok(rank, &pdag) {
+            pdag = PrecisionDag::uniform(dag, lowest);
+        }
+        pdag
+    }
+
+    /// Reference brute force: recomputes `instance_bytes` per combination and applies
+    /// combos through full `PrecisionDag::set` propagation.
+    fn brute_force_instance_reference(
+        &self,
+        mapper: &CostMapper<'_>,
+        pdag: &mut PrecisionDag,
+        instance: &[NodeId],
+        candidates: &[Precision],
+        lowest: Precision,
+        budget: u64,
+    ) -> Vec<Precision> {
+        let dag = &self.system.dag;
+        let k = instance.len();
+        let n_comb = candidates.len().pow(k as u32);
+        let mut best_combo = vec![lowest; k];
+        let mut best_cost = f64::INFINITY;
+        let saved: Vec<Precision> = instance.iter().map(|id| pdag.get(*id)).collect();
+        for combo_idx in 0..n_comb {
+            let mut idx = combo_idx;
+            let combo: Vec<Precision> = (0..k)
+                .map(|_| {
+                    let c = candidates[idx % candidates.len()];
+                    idx /= candidates.len();
+                    c
+                })
+                .collect();
+            let extra: u64 = instance
+                .iter()
+                .zip(&combo)
+                .map(|(id, &p)| instance_bytes(dag, *id, p).saturating_sub(instance_bytes(dag, *id, lowest)))
+                .sum();
+            if extra > budget {
+                continue;
+            }
+            for (id, &p) in instance.iter().zip(&combo) {
+                let _ = pdag.set(dag, *id, p);
+            }
+            let cost: f64 = instance
+                .iter()
+                .map(|&id| {
+                    let p = pdag.get(id);
+                    let op = self.system.profile(mapper.device.id).get_or_fp32(id, p);
+                    op.fwd_us + op.bwd_us + mapper.forward_cast_us(pdag, id) + mapper.backward_cast_us(pdag, id)
+                })
+                .sum();
+            if cost < best_cost {
+                best_cost = cost;
+                best_combo = combo;
+            }
+        }
+        for (id, &p) in instance.iter().zip(&saved) {
+            if pdag.get(*id) != p {
+                let _ = pdag.set(dag, *id, p);
+            }
+        }
+        best_combo
+    }
+
+    /// Reference cold allocation: the non-incremental [`Allocator::allocate`].
+    pub fn allocate_reference(
+        &self,
+        indicator: &dyn SensitivityIndicator,
+    ) -> (PrecisionPlan, AllocationReport) {
+        let sys = self.system;
+        let inference = sys.cluster.inference_ranks();
+        if inference.is_empty() {
+            let plan = PrecisionPlan::oracle(&sys.dag, &sys.cluster);
+            let t = sys.predict_iteration_us(&plan);
+            return (
+                plan,
+                AllocationReport { t_min_us: t, final_us: t, full_predicts: 1, ..Default::default() },
+            );
+        }
+        let rank = inference[0];
+        let pdag = self.initial_for_device_reference(rank);
+        let initial_plan =
+            PrecisionPlan::from_inference_pdag("qsync_initial", &sys.dag, &sys.cluster, &pdag);
+        let t_min = sys.predict_iteration_us(&initial_plan);
+        let report =
+            AllocationReport { t_min_us: t_min, final_us: t_min, full_predicts: 1, ..Default::default() };
+        self.recover_reference(indicator, pdag, rank, t_min, report)
+    }
+
+    /// Reference warm allocation: the non-incremental [`Allocator::allocate_warm`],
+    /// rebuilding a full `PrecisionPlan` per demotion.
+    pub fn allocate_warm_reference(
+        &self,
+        indicator: &dyn SensitivityIndicator,
+        warm: &PrecisionDag,
+    ) -> (PrecisionPlan, AllocationReport) {
+        let sys = self.system;
+        let dag = &sys.dag;
+        let inference = sys.cluster.inference_ranks();
+        if inference.is_empty() {
+            return self.allocate_reference(indicator);
+        }
+        if warm.len() != dag.len() {
+            return self.allocate_reference(indicator);
+        }
+        let rank = inference[0];
+        let candidates = sys.candidates_for(rank);
+        let lowest = candidates[0];
+        let mut pdag = clamp_warm(sys, warm, &candidates, lowest);
+
+        let cheapest_demotion = |pdag: &PrecisionDag| {
+            let mut best: Option<(f64, qsync_graph::NodeId, Precision)> = None;
+            for id in dag.adjustable_ops() {
+                let current = pdag.get(id);
+                let Some(lower) = candidates.iter().copied().rfind(|c| *c < current) else {
+                    continue;
+                };
+                let increase = indicator.omega(dag, id, lower) - indicator.omega(dag, id, current);
+                if best.is_none_or(|(b, _, _)| increase < b) {
+                    best = Some((increase, id, lower));
+                }
+            }
+            best.map(|(_, id, lower)| (id, lower))
+        };
+
+        let mut report = AllocationReport::default();
+        while !sys.memory_ok(rank, &pdag) {
+            let Some((id, lower)) = cheapest_demotion(&pdag) else {
+                break;
+            };
+            let _ = pdag.set(dag, id, lower);
+            report.warm_demotions += 1;
+        }
+
+        let t_min = sys.predict_iteration_us(&PrecisionPlan::uniform(dag, &sys.cluster, lowest));
+        report.full_predicts += 1;
         let tol = 1.0 + sys.config.throughput_tolerance;
         let mut warm_t = sys.predict_iteration_us(&PrecisionPlan::from_inference_pdag(
             "qsync_warm",
@@ -289,32 +601,30 @@ impl<'a> Allocator<'a> {
             &sys.cluster,
             &pdag,
         ));
+        report.full_predicts += 1;
         while warm_t > t_min * tol {
             let Some((id, lower)) = cheapest_demotion(&pdag) else {
                 break;
             };
             let _ = pdag.set(dag, id, lower);
-            warm_demotions += 1;
+            report.warm_demotions += 1;
             warm_t = sys.predict_iteration_us(&PrecisionPlan::from_inference_pdag(
                 "qsync_warm",
                 dag,
                 &sys.cluster,
                 &pdag,
             ));
+            report.full_predicts += 1;
         }
 
-        let report = AllocationReport {
-            t_min_us: t_min,
-            final_us: warm_t,
-            warm_demotions,
-            ..Default::default()
-        };
-        self.recover(indicator, pdag, rank, t_min, report)
+        report.t_min_us = t_min;
+        report.final_us = warm_t;
+        self.recover_reference(indicator, pdag, rank, t_min, report)
     }
 
-    /// Phase 2: indicator-guided precision recovery from `pdag` under the
-    /// `t_min` throughput bound. Shared by cold and warm allocations.
-    fn recover(
+    /// Reference phase 2: clones the DAG and replays a freshly built plan per
+    /// candidate.
+    fn recover_reference(
         &self,
         indicator: &dyn SensitivityIndicator,
         mut pdag: PrecisionDag,
@@ -348,6 +658,7 @@ impl<'a> Allocator<'a> {
             }
             let plan = PrecisionPlan::from_inference_pdag("qsync_tentative", dag, &sys.cluster, &tentative);
             let t = sys.predict_iteration_us(&plan);
+            report.full_predicts += 1;
             if t <= t_min * tol {
                 pdag = tentative;
                 report.promotions_accepted += 1;
@@ -364,13 +675,6 @@ impl<'a> Allocator<'a> {
         let plan = PrecisionPlan::from_inference_pdag("qsync", dag, &sys.cluster, &pdag);
         (plan, report)
     }
-}
-
-/// Bytes attributable to one operator at one precision (saved activation + weight copy),
-/// used for the per-subgraph memory budgeting.
-fn instance_bytes(dag: &qsync_graph::ModelDag, id: NodeId, p: Precision) -> u64 {
-    let node = dag.node(id);
-    (node.output_numel() as u64 + node.weight_numel() as u64) * p.bytes() as u64
 }
 
 #[cfg(test)]
@@ -461,6 +765,20 @@ mod tests {
         assert!(
             sys.memory_ok(rank, &pdag)
                 || sys.memory_bytes(rank, &pdag) <= sys.memory_bytes(rank, &most_compressed)
+        );
+    }
+
+    #[test]
+    fn incremental_allocation_avoids_per_candidate_full_predictions() {
+        let sys = system(ClusterSpec::hybrid_small());
+        let alloc = Allocator::new(&sys);
+        let (_, report) = alloc.allocate(&sys.indicator());
+        assert!(report.candidates_evaluated > 0);
+        assert_eq!(report.full_predicts, 0, "cold allocation should never replay a full plan");
+        let (_, reference) = alloc.allocate_reference(&sys.indicator());
+        assert!(
+            reference.full_predicts > report.full_predicts,
+            "the reference path pays one full replay per candidate"
         );
     }
 }

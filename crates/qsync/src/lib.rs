@@ -12,6 +12,9 @@
 //! * [`allocator`] — the precision allocator: fastest-feasible initial plan per
 //!   repeating subgraph, then max-heap precision recovery under memory and throughput
 //!   constraints.
+//! * [`eval`] — the incremental plan evaluator backing the allocator's hot loops:
+//!   per-candidate memory and latency answers from cached per-operator deltas, with
+//!   commit/rollback transactions.
 //! * [`baselines`] — uniform precision, dynamic batch sizing and the ORACLE.
 //! * [`plan`] — serializable per-device precision plans.
 
@@ -19,12 +22,14 @@
 
 pub mod allocator;
 pub mod baselines;
+pub mod eval;
 pub mod indicator;
 pub mod plan;
 pub mod replayer;
 pub mod system;
 
 pub use allocator::{AllocationReport, Allocator};
+pub use eval::DeltaEvaluator;
 pub use baselines::{dbs_accuracy, dynamic_batch_sizing, oracle_accuracy, uniform_precision_plan, DbsOutcome};
 pub use indicator::{
     HessianIndicator, ModelStatistics, RandomIndicator, SensitivityIndicator, VarianceIndicator,

@@ -20,6 +20,24 @@ use qsync_cluster::profiler::ProfileDb;
 use qsync_lp_kernels::precision::Precision;
 use qsync_graph::{DfgNode, DfgOp, LocalDfg, ModelDag, NodeId, OpCategory, PrecisionDag};
 
+/// The four timeline contributions of one operator under a precision assignment: the
+/// two cast slots and the two pure-execution slots the cost mapper would emit for it.
+///
+/// This is the unit of incremental re-evaluation: when an operator's precision changes,
+/// only its own `NodeCost` and the `NodeCost` of its direct successors (whose input
+/// casts see a different producer precision) can change.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeCost {
+    /// Forward-pass casting cost ([`CostMapper::forward_cast_us`]).
+    pub fwd_cast_us: f64,
+    /// Pure forward execution cost (profiled).
+    pub fwd_us: f64,
+    /// Backward-pass casting cost ([`CostMapper::backward_cast_us`]).
+    pub bwd_cast_us: f64,
+    /// Pure backward execution cost (profiled).
+    pub bwd_us: f64,
+}
+
 /// Builds timed local DFGs from a model, a precision assignment, profiled operator costs
 /// and a casting-cost calculator.
 pub struct CostMapper<'a> {
@@ -104,6 +122,22 @@ impl<'a> CostMapper<'a> {
             cost += self.casting.predict_us(p, Precision::Fp32, node.weight_numel());
         }
         cost * self.casting_scale
+    }
+
+    /// Incremental cost hook: the four timeline contributions of one node under `pdag`.
+    ///
+    /// The values are exactly the durations [`CostMapper::build_local_dfg`] would assign
+    /// to the node's cast/forward/backward entries, so an evaluator that caches them per
+    /// node and re-sums along the DFG skeleton reproduces the full build bit-for-bit.
+    pub fn node_cost(&self, pdag: &PrecisionDag, id: NodeId) -> NodeCost {
+        let p = pdag.get(id);
+        let op = self.profile.get_or_fp32(id, p);
+        NodeCost {
+            fwd_cast_us: self.forward_cast_us(pdag, id),
+            fwd_us: op.fwd_us,
+            bwd_cast_us: self.backward_cast_us(pdag, id),
+            bwd_us: op.bwd_us,
+        }
     }
 
     /// Optimizer-step latency: three memory passes over every FP32 parameter.

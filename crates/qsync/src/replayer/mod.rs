@@ -3,5 +3,5 @@
 pub mod cost_mapper;
 pub mod simulator;
 
-pub use cost_mapper::CostMapper;
+pub use cost_mapper::{CostMapper, NodeCost};
 pub use simulator::{SimResult, Simulator};

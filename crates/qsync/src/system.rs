@@ -250,6 +250,12 @@ impl QSyncSystem {
         &self.castings[rank]
     }
 
+    /// The memory estimator `M_i(·)` (exposed for the incremental plan evaluator, which
+    /// mirrors its per-operator accounting with exact integer deltas).
+    pub fn memory_estimator(&self) -> &MemoryEstimator {
+        &self.mem_estimator
+    }
+
     /// The communication model of the job.
     pub fn comm(&self) -> &CommModel {
         &self.comm

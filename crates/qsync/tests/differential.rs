@@ -1,0 +1,204 @@
+//! Differential tests: the incremental allocator (DeltaEvaluator-backed) must produce
+//! **byte-identical** plans to the reference (clone-and-replay) allocator, and the
+//! evaluator itself must agree bit-for-bit with the full predictor and the memory
+//! estimator over arbitrary promotion/demotion sequences.
+
+use proptest::prelude::*;
+
+use qsync_cluster::topology::ClusterSpec;
+use qsync_core::allocator::Allocator;
+use qsync_core::eval::DeltaEvaluator;
+use qsync_core::plan::PrecisionPlan;
+use qsync_core::system::{QSyncConfig, QSyncSystem};
+use qsync_lp_kernels::precision::Precision;
+use qsync_graph::models::{small_cnn, small_mlp, vgg16bn};
+use qsync_graph::{ModelDag, OpKind, PrecisionDag};
+
+fn test_clusters() -> Vec<ClusterSpec> {
+    vec![
+        ClusterSpec::hybrid_small(),
+        ClusterSpec::cluster_a(1, 1),
+        ClusterSpec::cluster_a(2, 2),
+        ClusterSpec::cluster_b(1, 1, 0.3),
+        ClusterSpec::cluster_b(1, 2, 0.05),
+    ]
+}
+
+#[test]
+fn cold_allocation_is_byte_identical_to_the_reference_allocator() {
+    for cluster in test_clusters() {
+        let name = cluster.name.clone();
+        let sys = QSyncSystem::new(small_mlp(64, 512, 1024, 16), cluster, QSyncConfig::default());
+        let alloc = Allocator::new(&sys);
+        let (plan, report) = alloc.allocate(&sys.indicator());
+        let (reference, ref_report) = alloc.allocate_reference(&sys.indicator());
+        assert_eq!(
+            plan.to_json().as_bytes(),
+            reference.to_json().as_bytes(),
+            "plans diverge on {name}"
+        );
+        assert_eq!(report.t_min_us.to_bits(), ref_report.t_min_us.to_bits(), "{name}");
+        assert_eq!(report.final_us.to_bits(), ref_report.final_us.to_bits(), "{name}");
+        assert_eq!(report.promotions_accepted, ref_report.promotions_accepted, "{name}");
+        assert_eq!(report.promotions_rejected, ref_report.promotions_rejected, "{name}");
+    }
+}
+
+#[test]
+fn cold_allocation_is_byte_identical_on_a_branchy_model() {
+    // small_cnn exercises convolutions, pooling and a deeper dependent-op chain.
+    let sys = QSyncSystem::new(small_cnn(4, 16, 8), ClusterSpec::hybrid_small(), QSyncConfig::default());
+    let alloc = Allocator::new(&sys);
+    let (plan, _) = alloc.allocate(&sys.indicator());
+    let (reference, _) = alloc.allocate_reference(&sys.indicator());
+    assert_eq!(plan.to_json().as_bytes(), reference.to_json().as_bytes());
+}
+
+#[test]
+fn warm_allocation_is_byte_identical_to_the_reference_allocator() {
+    // Plan on the roomy cluster, then warm re-plan against a shrunk device — the path
+    // qsync-serve's elasticity layer exercises.
+    let dag = small_mlp(64, 512, 1024, 16);
+    let roomy = QSyncSystem::new(dag.clone(), ClusterSpec::cluster_a(1, 1), QSyncConfig::default());
+    let (cached, _) = Allocator::new(&roomy).allocate(&roomy.indicator());
+    let warm = cached.device(roomy.cluster.inference_ranks()[0]).clone();
+
+    for fraction in [0.05, 0.3, 0.7] {
+        let shrunk = QSyncSystem::new(
+            dag.clone(),
+            ClusterSpec::cluster_b(1, 1, fraction),
+            QSyncConfig::default(),
+        );
+        let alloc = Allocator::new(&shrunk);
+        let (plan, report) = alloc.allocate_warm(&shrunk.indicator(), &warm);
+        let (reference, ref_report) = alloc.allocate_warm_reference(&shrunk.indicator(), &warm);
+        assert_eq!(
+            plan.to_json().as_bytes(),
+            reference.to_json().as_bytes(),
+            "warm plans diverge at memory fraction {fraction}"
+        );
+        assert_eq!(report.warm_demotions, ref_report.warm_demotions, "{fraction}");
+        assert_eq!(report.final_us.to_bits(), ref_report.final_us.to_bits(), "{fraction}");
+    }
+}
+
+#[test]
+fn warm_replan_performs_constant_full_predictions_regardless_of_demotions() {
+    // Regression for the warm-start demotion loops: they used to rebuild a full
+    // `PrecisionPlan` (and replay the global DFG) once per demotion; on the evaluator
+    // they cost one full prediction total (the uniform-lowest `T_min` bound).
+    // VGG-16BN's ~550 MB of FP32 weights actually pressure a shrunk T4, unlike the MLP.
+    let dag = vgg16bn(2, 32);
+    let roomy = QSyncSystem::new(dag.clone(), ClusterSpec::cluster_a(1, 1), QSyncConfig::default());
+    let (cached, _) = Allocator::new(&roomy).allocate(&roomy.indicator());
+    let warm = cached.device(roomy.cluster.inference_ranks()[0]).clone();
+
+    let mut demotions = Vec::new();
+    let mut full_predicts = Vec::new();
+    for fraction in [0.7, 0.3, 0.05] {
+        let shrunk = QSyncSystem::new(
+            dag.clone(),
+            ClusterSpec::cluster_b(1, 1, fraction),
+            QSyncConfig::default(),
+        );
+        let (_, report) = Allocator::new(&shrunk).allocate_warm(&shrunk.indicator(), &warm);
+        demotions.push(report.warm_demotions);
+        full_predicts.push(report.full_predicts);
+    }
+    assert!(
+        demotions.iter().any(|&d| d > 0),
+        "expected at least one shrunk cluster to force demotions, got {demotions:?}"
+    );
+    assert!(
+        full_predicts.iter().all(|&f| f == 1),
+        "warm re-plan must do exactly one full prediction (T_min), got {full_predicts:?} \
+         for demotion counts {demotions:?}"
+    );
+}
+
+/// Random layered model with optional ReLU and residual adds, so the differential
+/// proptest exercises dependent-precision cascades and stored-bytes min-propagation.
+fn random_layered_model(widths: Vec<usize>, relu: Vec<bool>, residual: Vec<bool>) -> ModelDag {
+    let batch = 4usize;
+    let mut g = ModelDag::new("random_layered", batch);
+    let mut prev = g.add_node("input", OpKind::Input, vec![], vec![batch, widths[0]], None, None);
+    let mut prev_width = widths[0];
+    let mut skip = prev;
+    for (i, &w) in widths.iter().enumerate().skip(1) {
+        let lin = g.add_node(
+            format!("fc{i}"),
+            OpKind::Linear { in_features: prev_width, out_features: w },
+            vec![prev],
+            vec![batch, w],
+            Some(vec![w, prev_width]),
+            Some(format!("block_{i}")),
+        );
+        prev = lin;
+        if relu.get(i).copied().unwrap_or(false) {
+            prev = g.add_node(format!("relu{i}"), OpKind::ReLU, vec![prev], vec![batch, w], None, None);
+        }
+        if residual.get(i).copied().unwrap_or(false) && g.node(skip).output_shape == vec![batch, w] {
+            prev = g.add_node(format!("add{i}"), OpKind::Add, vec![prev, skip], vec![batch, w], None, None);
+        }
+        skip = prev;
+        prev_width = w;
+    }
+    let _ = g.add_node("loss", OpKind::CrossEntropyLoss, vec![prev], vec![1], None, None);
+    g
+}
+
+fn model_strategy() -> impl Strategy<Value = ModelDag> {
+    (
+        prop::collection::vec(2usize..32, 2..7),
+        prop::collection::vec(any::<bool>(), 8),
+        prop::collection::vec(any::<bool>(), 8),
+    )
+        .prop_map(|(widths, relu, residual)| random_layered_model(widths, relu, residual))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Over random DAGs and random promotion/demotion sequences (with random
+    /// commit/rollback decisions), the evaluator's latency answer is bit-identical to
+    /// the full predictor and its memory answer equals the memory estimator exactly.
+    #[test]
+    fn delta_evaluator_agrees_with_full_recomputation(
+        dag in model_strategy(),
+        moves in prop::collection::vec(
+            (
+                0usize..64,
+                prop::sample::select(vec![Precision::Int8, Precision::Fp16, Precision::Fp32]),
+                any::<bool>(),
+            ),
+            1..24,
+        ),
+        start in prop::sample::select(vec![Precision::Int8, Precision::Fp16, Precision::Fp32]),
+    ) {
+        let sys = QSyncSystem::new(dag, ClusterSpec::hybrid_small(), QSyncConfig::default());
+        let rank = sys.cluster.inference_ranks()[0];
+        let ops = sys.dag.adjustable_ops();
+        prop_assert!(!ops.is_empty()); // widths.len() >= 2 guarantees a linear layer
+
+        // Shadow state maintained with the non-incremental primitives.
+        let mut shadow = PrecisionDag::uniform(&sys.dag, start);
+        let mut eval = DeltaEvaluator::new(&sys, rank, shadow.clone());
+
+        for (pick, precision, keep) in moves {
+            let op = ops[pick % ops.len()];
+            eval.propose(op, precision);
+            if keep {
+                eval.commit();
+                let _ = shadow.set(&sys.dag, op, precision);
+            } else {
+                eval.rollback();
+            }
+            prop_assert_eq!(eval.pdag(), &shadow);
+            let full = sys.predict_iteration_us(&PrecisionPlan::from_inference_pdag(
+                "diff", &sys.dag, &sys.cluster, &shadow,
+            ));
+            prop_assert_eq!(eval.iteration_us().to_bits(), full.to_bits());
+            prop_assert_eq!(eval.memory_bytes(), sys.memory_bytes(rank, &shadow));
+        }
+    }
+}

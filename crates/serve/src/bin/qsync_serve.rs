@@ -1,7 +1,7 @@
 //! `qsync-serve` — the plan-serving daemon and its one-shot/load-test modes.
 //!
 //! ```text
-//! qsync-serve serve [--workers N] [--tcp ADDR]
+//! qsync-serve serve [--workers N] [--tcp ADDR] [--cache-capacity N] [--cache-shards N]
 //!     Serve ServerCommand JSON lines: from stdin (default) or a TCP socket.
 //!
 //! qsync-serve plan --model SPEC [--cluster SPEC] [--indicator NAME]
@@ -9,9 +9,10 @@
 //!     One-shot: plan and print the PlanResponse JSON to stdout.
 //!
 //! qsync-serve bench-load [--requests N] [--clients N] [--model SPEC] [--cluster SPEC]
+//!                        [--cache-capacity N] [--cache-shards N]
 //!     In-process load generation against a shared engine; prints a latency
-//!     summary (see also benches/bench_plan_server.rs for the cold/hit/warm
-//!     comparison).
+//!     summary with the cache hit/miss/eviction counters (see also
+//!     benches/bench_plan_server.rs for the cold/hit/warm comparison).
 //!
 //! Model SPEC:   family[:batch[,extra]]   e.g. bert:2,16  resnet50:2,32  small_mlp
 //! Cluster SPEC: a:V,T | b:V,T,MEMFRAC    e.g. a:2,2  b:2,2,0.3   (V100s, T4s)
@@ -22,7 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use qsync_cluster::topology::ClusterSpec;
-use qsync_serve::{IndicatorChoice, ModelSpec, PlanEngine, PlanRequest, PlanServer};
+use qsync_serve::{CacheConfig, IndicatorChoice, ModelSpec, PlanEngine, PlanRequest, PlanServer};
 
 fn parse_cluster(s: &str) -> Result<ClusterSpec, String> {
     let (kind, rest) = s.split_once(':').unwrap_or((s, ""));
@@ -94,10 +95,24 @@ fn build_request(id: u64, flags: &Flags) -> Result<PlanRequest, String> {
     Ok(request)
 }
 
+fn parse_cache_config(flags: &Flags) -> Result<CacheConfig, String> {
+    let defaults = CacheConfig::default();
+    let capacity = match flags.get("cache-capacity") {
+        Some(v) => v.parse().map_err(|e| format!("bad --cache-capacity: {e}"))?,
+        None => defaults.capacity,
+    };
+    let shards = match flags.get("cache-shards") {
+        Some(v) => v.parse().map_err(|e| format!("bad --cache-shards: {e}"))?,
+        None => defaults.shards,
+    };
+    Ok(CacheConfig { capacity, shards })
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let workers: usize =
         flags.get("workers").unwrap_or("8").parse().map_err(|e| format!("bad --workers: {e}"))?;
-    let server = PlanServer::new(workers);
+    let engine = Arc::new(PlanEngine::with_cache_config(parse_cache_config(flags)?));
+    let server = PlanServer::with_engine(engine, workers);
     match flags.get("tcp") {
         Some(addr) => server.serve_tcp(addr).map_err(|e| e.to_string()),
         None => {
@@ -121,7 +136,7 @@ fn cmd_bench_load(flags: &Flags) -> Result<(), String> {
     let clients: usize =
         flags.get("clients").unwrap_or("8").parse().map_err(|e| format!("bad --clients: {e}"))?;
     let template = build_request(0, flags)?;
-    let engine: Arc<PlanEngine> = PlanEngine::shared();
+    let engine = Arc::new(PlanEngine::with_cache_config(parse_cache_config(flags)?));
 
     let started = Instant::now();
     let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
@@ -168,7 +183,13 @@ fn cmd_bench_load(flags: &Flags) -> Result<(), String> {
         "p90_us": pct(0.90),
         "p99_us": pct(0.99),
         "max_us": latencies_us.last().copied().unwrap_or(0),
-        "cache": { "hits": stats.hits, "misses": stats.misses, "entries": stats.entries },
+        "cache": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evicted": stats.evicted,
+            "invalidated": stats.invalidated,
+            "entries": stats.entries,
+        },
     });
     println!("{}", serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?);
     Ok(())

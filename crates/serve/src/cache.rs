@@ -1,16 +1,23 @@
-//! The content-addressed plan cache.
+//! The content-addressed plan cache: N-way sharded, bounded, LRU-evicting.
 //!
 //! Entries are keyed by [`PlanRequest::cache_key`] — a stable fingerprint of
 //! (canonicalized model DAG, effective cluster, constraints) — and store the
 //! structured response; plan serialization is deterministic, so a cache hit
 //! returns **byte-identical** output to the request that populated it.
 //!
+//! The map is split into [`CacheConfig::shards`] independently locked shards
+//! (selected by an FNV-1a hash of the key), so concurrent hits on different
+//! keys scale past one core instead of serialising on a single mutex. Each
+//! shard holds at most `capacity / shards` entries; inserting past that bound
+//! evicts the shard's least-recently-used entry (hits refresh recency) and
+//! bumps the `evicted` counter.
+//!
 //! Invalidation is fingerprint-scoped: an elasticity event names a cluster,
 //! and only entries planned against that cluster (matched by
 //! [`ClusterSpec::fingerprint`](qsync_cluster::topology::ClusterSpec::fingerprint))
 //! are evicted; plans for unrelated clusters stay hot.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -35,6 +42,21 @@ pub struct CachedPlan {
     pub cluster_fingerprint: u128,
 }
 
+/// Sizing of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total entry budget across all shards (rounded up to a multiple of `shards`).
+    pub capacity: usize,
+    /// Number of independently locked shards.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity: 1024, shards: 16 }
+    }
+}
+
 /// Cache observability counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
@@ -44,23 +66,100 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted by elasticity invalidations.
     pub invalidated: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evicted: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
 
-/// A thread-safe, content-addressed map from cache key to [`CachedPlan`].
+/// One cache slot: the entry plus its recency stamp.
+#[derive(Debug)]
+struct Slot {
+    entry: CachedPlan,
+    last_used: u64,
+}
+
+/// One shard: the entries plus a recency index (`last_used -> key`) so the LRU
+/// victim is found in O(log n) instead of a full scan. Stamps come from a
+/// cache-global atomic counter, so they are unique and the index never
+/// collides.
 #[derive(Debug, Default)]
+struct Shard {
+    slots: HashMap<String, Slot>,
+    recency: BTreeMap<u64, String>,
+}
+
+impl Shard {
+    /// Refresh a resident key's recency stamp.
+    fn touch(&mut self, key: &str, now: u64) -> Option<&Slot> {
+        let slot = self.slots.get_mut(key)?;
+        self.recency.remove(&slot.last_used);
+        self.recency.insert(now, key.to_owned());
+        slot.last_used = now;
+        Some(slot)
+    }
+
+    /// Remove a key from both the slot map and the recency index.
+    fn remove(&mut self, key: &str) -> Option<CachedPlan> {
+        let slot = self.slots.remove(key)?;
+        self.recency.remove(&slot.last_used);
+        Some(slot.entry)
+    }
+}
+
+/// A thread-safe, content-addressed, sharded LRU map from cache key to
+/// [`CachedPlan`].
+#[derive(Debug)]
 pub struct PlanCache {
-    entries: Mutex<HashMap<String, CachedPlan>>,
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidated: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_config(CacheConfig::default())
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with the default sizing.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache with explicit capacity and shard count.
+    pub fn with_config(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let per_shard_capacity = config.capacity.max(1).div_ceil(shards);
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of resident entries.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// The shard a key lives in (FNV-1a over the key bytes).
+    fn shard_of(&self, key: &str) -> &Mutex<Shard> {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in key.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
     /// Look up a key, counting a hit or miss.
@@ -77,11 +176,14 @@ impl PlanCache {
         }
     }
 
-    /// Look up a key without touching the hit/miss counters. The engine's
-    /// single-flight path uses this so that a request which waits for an
-    /// in-flight computation still counts as exactly one hit or miss.
+    /// Look up a key without touching the hit/miss counters (recency is still
+    /// refreshed). The engine's single-flight path uses this so that a request
+    /// which waits for an in-flight computation still counts as exactly one
+    /// hit or miss.
     pub fn peek(&self, key: &str) -> Option<CachedPlan> {
-        self.entries.lock().expect("plan cache poisoned").get(key).cloned()
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(key).lock().expect("plan cache poisoned");
+        shard.touch(key, now).map(|slot| slot.entry.clone())
     }
 
     /// Count one cache hit.
@@ -94,30 +196,45 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Insert (or replace) an entry.
+    /// Insert (or replace) an entry, evicting the shard's least-recently-used
+    /// entries while it sits over its capacity share.
     pub fn insert(&self, key: String, entry: CachedPlan) {
-        self.entries.lock().expect("plan cache poisoned").insert(key, entry);
+        let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(&key).lock().expect("plan cache poisoned");
+        shard.remove(&key); // drop a replaced entry's stale recency stamp
+        shard.recency.insert(last_used, key.clone());
+        shard.slots.insert(key, Slot { entry, last_used });
+        while shard.slots.len() > self.per_shard_capacity {
+            let Some((_, coldest)) = shard.recency.pop_first() else {
+                break;
+            };
+            shard.slots.remove(&coldest);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Evict every entry planned against the cluster with this fingerprint,
     /// returning the evicted entries (the elasticity layer re-plans them).
     pub fn invalidate_cluster(&self, cluster_fingerprint: u128) -> Vec<(String, CachedPlan)> {
-        let mut entries = self.entries.lock().expect("plan cache poisoned");
-        let keys: Vec<String> = entries
-            .iter()
-            .filter(|(_, e)| e.cluster_fingerprint == cluster_fingerprint)
-            .map(|(k, _)| k.clone())
-            .collect();
-        let mut evicted = Vec::with_capacity(keys.len());
-        for key in keys {
-            if let Some(entry) = entries.remove(&key) {
-                evicted.push((key, entry));
+        let mut evicted = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("plan cache poisoned");
+            let keys: Vec<String> = shard
+                .slots
+                .iter()
+                .filter(|(_, slot)| slot.entry.cluster_fingerprint == cluster_fingerprint)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in keys {
+                if let Some(entry) = shard.remove(&key) {
+                    evicted.push((key, entry));
+                }
             }
         }
         self.invalidated.fetch_add(evicted.len() as u64, Ordering::Relaxed);
-        // Deterministic re-plan order regardless of HashMap iteration: sort by
-        // the cache key, which is unique (request ids are client-chosen and
-        // may collide).
+        // Deterministic re-plan order regardless of shard/HashMap iteration:
+        // sort by the cache key, which is unique (request ids are
+        // client-chosen and may collide).
         evicted.sort_by(|(a, _), (b, _)| a.cmp(b));
         evicted
     }
@@ -128,13 +245,17 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("plan cache poisoned").len(),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            entries: self.len(),
         }
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("plan cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache poisoned").slots.len())
+            .sum()
     }
 
     /// `true` when no entries are resident.
@@ -175,6 +296,18 @@ mod tests {
         )
     }
 
+    /// Distinct keys: vary the request's throughput tolerance (hashed verbatim into
+    /// the cache key) so the model and cluster stay fixed but every key is unique.
+    fn keyed_entries(n: usize, cluster: &ClusterSpec) -> Vec<(String, CachedPlan)> {
+        (0..n)
+            .map(|i| {
+                let (_, mut e) = entry(i as u64, cluster);
+                e.request.throughput_tolerance = Some(0.001 + i as f64 * 1e-6);
+                (e.request.cache_key(), e)
+            })
+            .collect()
+    }
+
     #[test]
     fn hits_and_misses_are_counted() {
         let cache = PlanCache::new();
@@ -200,5 +333,59 @@ mod tests {
         assert_eq!(evicted[0].0, ka);
         assert_eq!(cache.len(), 1);
         assert!(cache.lookup(&kb).is_some());
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn capacity_bound_is_enforced() {
+        let cluster = ClusterSpec::hybrid_small();
+        let cache = PlanCache::with_config(CacheConfig { capacity: 4, shards: 2 });
+        for (key, e) in keyed_entries(32, &cluster) {
+            cache.insert(key, e);
+        }
+        assert!(
+            cache.len() <= cache.capacity(),
+            "{} entries resident with capacity {}",
+            cache.len(),
+            cache.capacity()
+        );
+        assert_eq!(cache.stats().evicted as usize, 32 - cache.len());
+    }
+
+    #[test]
+    fn least_recently_used_entries_are_evicted_first() {
+        let cluster = ClusterSpec::hybrid_small();
+        // One shard so every entry competes in the same LRU domain.
+        let cache = PlanCache::with_config(CacheConfig { capacity: 3, shards: 1 });
+        let entries = keyed_entries(4, &cluster);
+        for (key, e) in entries.iter().take(3).cloned() {
+            cache.insert(key, e);
+        }
+        // Touch entry 0 so entry 1 becomes the coldest, then overflow.
+        assert!(cache.peek(&entries[0].0).is_some());
+        cache.insert(entries[3].0.clone(), entries[3].1.clone());
+        assert!(cache.peek(&entries[0].0).is_some(), "recently used entry survived");
+        assert!(cache.peek(&entries[1].0).is_none(), "coldest entry was evicted");
+        assert!(cache.peek(&entries[2].0).is_some());
+        assert!(cache.peek(&entries[3].0).is_some());
+        assert_eq!(cache.stats().evicted, 1);
+    }
+
+    #[test]
+    fn shards_spread_keys() {
+        let cluster = ClusterSpec::hybrid_small();
+        // Capacity well above n: shard load is uneven, and a shard over its share
+        // would otherwise evict (capacity is enforced per shard).
+        let cache = PlanCache::with_config(CacheConfig { capacity: 256, shards: 8 });
+        for (key, e) in keyed_entries(64, &cluster) {
+            cache.insert(key, e);
+        }
+        let populated = cache
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().slots.is_empty())
+            .count();
+        assert!(populated > 1, "FNV sharding left every key in one shard");
+        assert_eq!(cache.len(), 64);
     }
 }

@@ -22,7 +22,7 @@ use qsync_core::indicator::{HessianIndicator, RandomIndicator, SensitivityIndica
 use qsync_core::plan::PrecisionPlan;
 use qsync_core::system::QSyncSystem;
 
-use crate::cache::{CachedPlan, PlanCache};
+use crate::cache::{CacheConfig, CachedPlan, PlanCache};
 use crate::elastic::{DeltaRequest, DeltaResponse};
 use crate::request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
 
@@ -54,9 +54,18 @@ impl Drop for FlightGuard<'_> {
 }
 
 impl PlanEngine {
-    /// An engine with an empty cache.
+    /// An engine with an empty cache of the default sizing.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An engine with an explicitly sized (capacity, shards) cache.
+    pub fn with_cache_config(config: CacheConfig) -> Self {
+        PlanEngine {
+            cache: PlanCache::with_config(config),
+            in_flight: Mutex::new(HashSet::new()),
+            flight_done: Condvar::new(),
+        }
     }
 
     /// A shared handle, ready for worker threads.
@@ -267,6 +276,37 @@ mod tests {
         assert_eq!(outcome.invalidated, 0);
         assert!(outcome.replanned.is_empty());
         assert_eq!(engine.cache().len(), 1);
+    }
+
+    #[test]
+    fn single_flight_stays_correct_under_lru_eviction() {
+        // Two keys fighting over a one-entry cache: evictions must never deadlock the
+        // single-flight protocol or hand a request the wrong plan.
+        let engine = Arc::new(PlanEngine::with_cache_config(crate::cache::CacheConfig {
+            capacity: 1,
+            shards: 1,
+        }));
+        let requests = [
+            mlp_request(0, ClusterSpec::hybrid_small()),
+            mlp_request(0, ClusterSpec::cluster_a(1, 1)),
+        ];
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let engine = Arc::clone(&engine);
+                let requests = requests.clone();
+                scope.spawn(move || {
+                    for i in 0..6 {
+                        let request = &requests[(t + i) % 2];
+                        let response = engine.plan(request).unwrap();
+                        assert_eq!(response.key, request.cache_key());
+                    }
+                });
+            }
+        });
+        let stats = engine.cache().stats();
+        assert!(stats.entries <= 1);
+        assert!(stats.evicted > 0, "two keys over one slot must evict");
+        assert_eq!(stats.hits + stats.misses, 24);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod model;
 pub mod request;
 pub mod server;
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheConfig, CacheStats, PlanCache};
 pub use elastic::{ClusterDelta, DeltaRequest, DeltaResponse};
 pub use engine::PlanEngine;
 pub use model::ModelSpec;
