@@ -9,16 +9,13 @@
 
 use criterion::{BenchmarkId, Criterion};
 use qsync_bench::experiments::setup;
+use qsync_bench::smoke;
 use qsync_cluster::topology::ClusterSpec;
 use qsync_core::allocator::Allocator;
 use qsync_core::eval::DeltaEvaluator;
 use qsync_core::plan::PrecisionPlan;
 use qsync_core::system::QSyncSystem;
 use qsync_lp_kernels::precision::Precision;
-
-fn smoke() -> bool {
-    std::env::var("QSYNC_BENCH_SMOKE").is_ok_and(|v| v != "0")
-}
 
 /// The candidate moves the recovery loop would evaluate from the initial assignment:
 /// every adjustable operator stepped up to its next supported precision.
@@ -120,11 +117,9 @@ fn write_summary(criterion: &Criterion) {
     });
     let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
     println!("{text}");
-    // cargo sets a bench's cwd to its package root (crates/bench); anchor the summary
-    // at the workspace root, where CI validates it and the committed copy lives.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_allocator.json");
-    std::fs::write(path, text).expect("write BENCH_allocator.json");
-    eprintln!("wrote {path}");
+    let path = qsync_bench::workspace_root_path("BENCH_allocator.json");
+    std::fs::write(&path, text).expect("write BENCH_allocator.json");
+    eprintln!("wrote {}", path.display());
 }
 
 fn main() {

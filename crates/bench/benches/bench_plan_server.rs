@@ -8,11 +8,19 @@
 //! quantifies. Both re-plan variants include the `QSyncSystem` rebuild
 //! (profiling the new cluster), exactly like the serving path.
 //!
+//! A multi-core cache-hit-throughput sweep (1/2/4/8 threads hammering one
+//! warm key) quantifies the sharded `RwLock` cache's read scaling — the hit
+//! path takes shard read locks only, so throughput should grow with cores.
+//!
 //! Besides the stdout report, a machine-readable summary is written to
-//! `BENCH_plan_server.json` in the working directory.
+//! `BENCH_plan_server.json` at the workspace root.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use criterion::{Bencher, Criterion};
 
+use qsync_bench::smoke;
 use qsync_cluster::topology::ClusterSpec;
 use qsync_core::allocator::Allocator;
 use qsync_core::system::QSyncSystem;
@@ -53,7 +61,7 @@ fn bench_plan_server(c: &mut Criterion) {
     let warm_pdag = cold_response.plan.device(rank).clone();
 
     let mut group = c.benchmark_group("plan_server");
-    group.sample_size(10);
+    group.sample_size(if smoke() { 3 } else { 10 });
 
     group.bench_function("cold_plan", |b| bench_cold(b, &base_cluster()));
     group.bench_function("cold_replan_after_delta", |b| bench_cold(b, &degraded_cluster()));
@@ -77,6 +85,29 @@ fn bench_plan_server(c: &mut Criterion) {
     group.finish();
 }
 
+/// Multi-core cache-hit throughput (ROADMAP: "Cache-hit scaling
+/// measurement"): `threads` workers hammer `engine.plan` on one warm key for
+/// a fixed per-thread iteration count; returns hits per second. The sharded
+/// cache serves hits under shard *read* locks, so this should scale with
+/// cores instead of serialising on a mutex.
+fn hit_throughput(engine: &Arc<PlanEngine>, request: &PlanRequest, threads: usize) -> f64 {
+    let iters: usize = if smoke() { 2_000 } else { 20_000 };
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let engine = Arc::clone(engine);
+            let request = request.clone();
+            scope.spawn(move || {
+                for _ in 0..iters {
+                    let response = engine.plan(&request).expect("valid bench request");
+                    assert_eq!(response.outcome, PlanOutcome::CacheHit);
+                }
+            });
+        }
+    });
+    (threads * iters) as f64 / started.elapsed().as_secs_f64()
+}
+
 fn mean_ns(c: &Criterion, id: &str) -> f64 {
     c.results
         .iter()
@@ -89,6 +120,22 @@ fn main() {
     let mut criterion = Criterion::default();
     bench_plan_server(&mut criterion);
 
+    // Hit-throughput sweep on a dedicated warm engine.
+    let engine = Arc::new(PlanEngine::new());
+    let request = PlanRequest::new(0, model(), base_cluster());
+    engine.plan(&request).expect("warm the key");
+    let sweep: Vec<(usize, f64)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let per_sec = hit_throughput(&engine, &request, threads);
+            eprintln!("hit_throughput/{threads}t: {:.0} hits/s", per_sec);
+            (threads, per_sec)
+        })
+        .collect();
+    let per_sec_at = |threads: usize| {
+        sweep.iter().find(|(t, _)| *t == threads).map(|(_, p)| *p).unwrap_or(f64::NAN)
+    };
+
     let cold = mean_ns(&criterion, "cold_plan");
     let cold_replan = mean_ns(&criterion, "cold_replan_after_delta");
     let hit = mean_ns(&criterion, "cache_hit");
@@ -97,15 +144,27 @@ fn main() {
         "bench": "plan_server",
         "model": "vgg16bn:2,32",
         "cluster": "a:2,2 (delta: rank degraded to 40% memory, 90% compute)",
+        "smoke": smoke(),
         "cold_plan_us": cold / 1e3,
         "cold_replan_after_delta_us": cold_replan / 1e3,
         "cache_hit_us": hit / 1e3,
         "warm_replan_after_delta_us": warm / 1e3,
         "hit_speedup_vs_cold": cold / hit,
         "warm_speedup_vs_cold_replan": cold_replan / warm,
+        "hit_throughput": {
+            // Scaling is bounded by the cores actually available — on a
+            // single-core host the sweep only shows absence of degradation.
+            "available_cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            "threads_1_per_sec": per_sec_at(1),
+            "threads_2_per_sec": per_sec_at(2),
+            "threads_4_per_sec": per_sec_at(4),
+            "threads_8_per_sec": per_sec_at(8),
+            "scaling_4t_vs_1t": per_sec_at(4) / per_sec_at(1),
+        },
     });
     let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
     println!("{text}");
-    std::fs::write("BENCH_plan_server.json", text).expect("write BENCH_plan_server.json");
-    eprintln!("wrote BENCH_plan_server.json");
+    let path = qsync_bench::workspace_root_path("BENCH_plan_server.json");
+    std::fs::write(&path, text).expect("write BENCH_plan_server.json");
+    eprintln!("wrote {}", path.display());
 }

@@ -1,0 +1,177 @@
+//! Scheduler bench: FIFO vs DRR tail latency under a mixed workload, plus
+//! raw submit/dispatch overhead.
+//!
+//! The tail-latency comparison is a deterministic **virtual-time** simulation
+//! (a single worker pops jobs and advances a `ManualClock` by each job's
+//! service time), so the numbers are exact and reproducible — they measure
+//! scheduling policy, not machine noise. Three scenarios:
+//!
+//! * `burst_skew` — four equal clients whose bursts land back-to-back. FIFO
+//!   spreads per-client p99 queue waits ~4x; DRR keeps them within 2x (the
+//!   ISSUE's acceptance criterion).
+//! * `flood` — one client floods 300 jobs, three light clients follow with 10
+//!   each. DRR shields the light clients' tails.
+//! * `edf` — 20 deadline-tagged jobs behind a 200-job flood. The EDF lane
+//!   meets every deadline; FIFO misses all of them.
+//!
+//! The raw `submit_dispatch` Criterion measure times one submit+dispatch+
+//! complete cycle through a DRR scheduler with live queues.
+//!
+//! Besides the stdout report, a machine-readable summary is written to
+//! `BENCH_scheduler.json` at the workspace root (CI smoke-runs this bench
+//! with `QSYNC_BENCH_SMOKE=1` and validates that file).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use criterion::Criterion;
+use qsync_bench::smoke;
+use qsync_sched::{JobMeta, ManualClock, Priority, SchedConfig, SchedPolicy, Scheduler};
+
+/// Jobs per client in the burst-skew scenario (flood scenario scales off it).
+fn scale() -> usize {
+    if smoke() { 50 } else { 200 }
+}
+
+fn scheduler(policy: SchedPolicy) -> (Scheduler<&'static str>, Arc<ManualClock>) {
+    let clock = Arc::new(ManualClock::new());
+    let config = SchedConfig { policy, class_caps: [1 << 20; 3], ..SchedConfig::default() };
+    (Scheduler::with_clock(config, clock.clone()), clock)
+}
+
+/// Drain all queued jobs under one worker, advancing the clock by 1 ms per
+/// job; returns per-client queue waits.
+fn drain_timed(
+    sched: &Scheduler<&'static str>,
+    clock: &ManualClock,
+) -> BTreeMap<&'static str, Vec<u64>> {
+    let mut waits: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    while let Some(mut job) = sched.try_next() {
+        waits.entry(job.take_payload()).or_default().push(job.queue_wait_ms());
+        clock.advance(1);
+        drop(job);
+    }
+    waits
+}
+
+fn p99(waits: &[u64]) -> u64 {
+    let mut sorted = waits.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() - 1) * 99 / 100]
+}
+
+/// Burst-skew scenario → (max p99 / min p99) across clients.
+fn burst_skew_ratio(policy: SchedPolicy) -> f64 {
+    let (sched, clock) = scheduler(policy);
+    for client in ["a", "b", "c", "d"] {
+        for _ in 0..scale() {
+            sched.submit(client, JobMeta::new(client, Priority::Interactive)).unwrap();
+        }
+    }
+    let waits = drain_timed(&sched, &clock);
+    let p99s: Vec<u64> = waits.values().map(|w| p99(w)).collect();
+    let max = *p99s.iter().max().unwrap() as f64;
+    let min = (*p99s.iter().min().unwrap()).max(1) as f64;
+    max / min
+}
+
+/// Flood scenario → worst light-client p99 wait (virtual ms).
+fn flood_light_p99(policy: SchedPolicy) -> u64 {
+    let (sched, clock) = scheduler(policy);
+    for _ in 0..(3 * scale() / 2) {
+        sched.submit("flood", JobMeta::new("flood", Priority::Interactive)).unwrap();
+    }
+    for client in ["l1", "l2", "l3"] {
+        for _ in 0..10 {
+            sched.submit(client, JobMeta::new(client, Priority::Interactive)).unwrap();
+        }
+    }
+    let waits = drain_timed(&sched, &clock);
+    ["l1", "l2", "l3"].iter().map(|c| p99(&waits[c])).max().unwrap()
+}
+
+/// EDF scenario → (misses, met) for the 20 deadline-tagged jobs.
+fn edf_outcome(policy: SchedPolicy) -> (u64, u64) {
+    let (sched, clock) = scheduler(policy);
+    for _ in 0..scale() {
+        sched.submit("flood", JobMeta::new("flood", Priority::Interactive)).unwrap();
+    }
+    for _ in 0..20 {
+        sched.submit("dl", JobMeta::new("dl", Priority::Interactive).with_deadline_ms(30)).unwrap();
+    }
+    drain_timed(&sched, &clock);
+    let stats = sched.stats();
+    (stats.deadline_misses, stats.deadline_met)
+}
+
+/// Raw overhead: one submit+dispatch+complete cycle against queues that stay
+/// ~64 jobs deep across 8 clients.
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(if smoke() { 1_000 } else { 100_000 });
+    let sched: Scheduler<u64> = Scheduler::new(SchedConfig {
+        policy: SchedPolicy::Drr,
+        class_caps: [1 << 20; 3],
+        ..SchedConfig::default()
+    });
+    let clients = ["c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"];
+    for i in 0..64u64 {
+        sched.submit(i, JobMeta::new(clients[(i % 8) as usize], Priority::Interactive)).unwrap();
+    }
+    let mut i = 64u64;
+    group.bench_function("submit_dispatch", |b| {
+        b.iter(|| {
+            sched.submit(i, JobMeta::new(clients[(i % 8) as usize], Priority::Interactive)).unwrap();
+            i += 1;
+            let job = sched.try_next().expect("queue is never empty");
+            drop(job);
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_overhead(&mut criterion);
+    let submit_dispatch_ns = criterion
+        .results
+        .iter()
+        .find(|(name, _)| name == "scheduler/submit_dispatch")
+        .map(|(_, ns)| *ns)
+        .unwrap_or(f64::NAN);
+
+    let fifo_ratio = burst_skew_ratio(SchedPolicy::Fifo);
+    let drr_ratio = burst_skew_ratio(SchedPolicy::Drr);
+    let fifo_light = flood_light_p99(SchedPolicy::Fifo);
+    let drr_light = flood_light_p99(SchedPolicy::Drr);
+    let (fifo_misses, fifo_met) = edf_outcome(SchedPolicy::Fifo);
+    let (drr_misses, drr_met) = edf_outcome(SchedPolicy::Drr);
+
+    let summary = serde_json::json!({
+        "bench": "scheduler",
+        "smoke": smoke(),
+        "jobs_per_client": scale(),
+        "burst_skew": {
+            "fifo_p99_ratio": fifo_ratio,
+            "drr_p99_ratio": drr_ratio,
+        },
+        "flood": {
+            "fifo_light_p99_ms": fifo_light,
+            "drr_light_p99_ms": drr_light,
+            "light_tail_improvement": fifo_light as f64 / (drr_light.max(1)) as f64,
+        },
+        "edf": {
+            "deadline_jobs": 20,
+            "fifo_deadline_misses": fifo_misses,
+            "fifo_deadline_met": fifo_met,
+            "drr_deadline_misses": drr_misses,
+            "drr_deadline_met": drr_met,
+        },
+        "submit_dispatch_ns": submit_dispatch_ns,
+    });
+    let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    println!("{text}");
+    let path = qsync_bench::workspace_root_path("BENCH_scheduler.json");
+    std::fs::write(&path, text).expect("write BENCH_scheduler.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,107 @@
+//! Job classification: priority classes and per-job scheduling metadata.
+
+use serde::{Deserialize, Serialize};
+
+/// The scheduling class of a job. Classes are strict: a queued job of a
+/// higher class is always dispatched before any job of a lower class
+/// (deadline-tagged jobs in the EDF lane come first of all under
+/// [`SchedPolicy::Drr`](crate::SchedPolicy::Drr)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Priority {
+    /// Latency-sensitive foreground requests — the default.
+    #[default]
+    Interactive,
+    /// Throughput work: elastic re-plan waves, bulk pre-warming.
+    Batch,
+    /// Best-effort work that must never delay the other classes.
+    Background,
+}
+
+impl Priority {
+    /// Every class, highest priority first.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::Background];
+
+    /// Dense index of the class (0 = highest priority).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+            Priority::Background => 2,
+        }
+    }
+
+    /// Lower-case class name, as used in stats and flag values.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::Background => "background",
+        }
+    }
+}
+
+/// Per-job scheduling metadata supplied at submit time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMeta {
+    /// Fair-queuing identity. Jobs sharing a client id share one DRR queue;
+    /// the empty string is a valid (shared) identity and is the default.
+    pub client: String,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Relative deadline: the job should complete within this many
+    /// milliseconds of submission. Routes the job through the EDF lane under
+    /// [`SchedPolicy::Drr`](crate::SchedPolicy::Drr); completion past the
+    /// deadline is counted as a miss either way.
+    pub deadline_after_ms: Option<u64>,
+    /// DRR weight of this job's client (latest submit wins; minimum 1). A
+    /// client of weight `w` receives `w` quantums of deficit per round.
+    pub weight: u32,
+    /// Deficit units this job consumes when dispatched (minimum 1).
+    pub cost: u32,
+}
+
+impl Default for JobMeta {
+    fn default() -> Self {
+        JobMeta {
+            client: String::new(),
+            priority: Priority::Interactive,
+            deadline_after_ms: None,
+            weight: 1,
+            cost: 1,
+        }
+    }
+}
+
+impl JobMeta {
+    /// Metadata for `client` at `priority`, with default weight and cost.
+    pub fn new(client: impl Into<String>, priority: Priority) -> Self {
+        JobMeta { client: client.into(), priority, ..JobMeta::default() }
+    }
+
+    /// This metadata with a relative deadline attached.
+    pub fn with_deadline_ms(mut self, deadline_after_ms: u64) -> Self {
+        self.deadline_after_ms = Some(deadline_after_ms);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_indices_are_dense_and_ordered() {
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Priority::default(), Priority::Interactive);
+    }
+
+    #[test]
+    fn priority_serializes_as_a_string() {
+        let text = serde_json::to_string(&Priority::Batch).unwrap();
+        assert_eq!(text, "\"Batch\"");
+        let back: Priority = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, Priority::Batch);
+    }
+}

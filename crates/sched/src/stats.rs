@@ -1,0 +1,62 @@
+//! Scheduler observability counters.
+//!
+//! A [`SchedStats`] snapshot is cheap (one lock) and is what the serving
+//! layer embeds in `Stats` protocol replies: queue depths, per-class
+//! throughput, sheds, cancellations and deadline accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters of one priority class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Jobs currently queued (including this class's EDF-lane jobs).
+    pub depth: usize,
+    /// Jobs accepted by `submit`.
+    pub submitted: u64,
+    /// Jobs handed to a worker.
+    pub dispatched: u64,
+    /// Jobs whose dispatch handle was dropped (worker finished with them).
+    pub completed: u64,
+    /// Submits rejected because the class queue was at its cap.
+    pub shed: u64,
+}
+
+/// A point-in-time snapshot of the scheduler's counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Active policy (`"fifo"` or `"drr"`).
+    pub policy: String,
+    /// Interactive-class counters.
+    pub interactive: ClassStats,
+    /// Batch-class counters.
+    pub batch: ClassStats,
+    /// Background-class counters.
+    pub background: ClassStats,
+    /// Total jobs currently queued across all classes.
+    pub queued: usize,
+    /// Jobs dispatched to a worker and not yet completed.
+    pub active: usize,
+    /// Queued jobs removed by [`Scheduler::cancel`](crate::Scheduler::cancel).
+    pub cancelled: u64,
+    /// Jobs dispatched already past their deadline with
+    /// [`shed_expired`](crate::SchedConfig::shed_expired) set — handed to the
+    /// worker flagged expired instead of being run. Every expired job is also
+    /// counted in `deadline_misses` when its handle drops.
+    pub expired: u64,
+    /// Deadline-tagged jobs completed on or before their deadline.
+    pub deadline_met: u64,
+    /// Deadline-tagged jobs completed after their deadline.
+    pub deadline_misses: u64,
+}
+
+impl SchedStats {
+    /// The class counters in priority order (interactive, batch, background).
+    pub fn classes(&self) -> [ClassStats; 3] {
+        [self.interactive, self.batch, self.background]
+    }
+
+    /// Total sheds across all classes.
+    pub fn shed_total(&self) -> u64 {
+        self.interactive.shed + self.batch.shed + self.background.shed
+    }
+}

@@ -2,7 +2,14 @@
 //!
 //! ```text
 //! qsync-serve serve [--workers N] [--tcp ADDR] [--cache-capacity N] [--cache-shards N]
+//!                   [--sched-policy fifo|drr] [--queue-cap N]
+//!                   [--queue-cap-interactive N] [--queue-cap-batch N] [--queue-cap-background N]
+//!                   [--drr-quantum N] [--shed-expired true|false]
 //!     Serve ServerCommand JSON lines: from stdin (default) or a TCP socket.
+//!     Plan requests may carry optional "priority" ("Interactive"|"Batch"|
+//!     "Background"), "client_id" (fair-share identity) and "deadline_ms"
+//!     fields; the scheduler dispatches accordingly (EDF lane > classes,
+//!     deficit round robin across clients within a class).
 //!
 //! qsync-serve plan --model SPEC [--cluster SPEC] [--indicator NAME]
 //!                  [--tolerance F] [--memory-fraction F]
@@ -23,7 +30,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use qsync_cluster::topology::ClusterSpec;
-use qsync_serve::{CacheConfig, IndicatorChoice, ModelSpec, PlanEngine, PlanRequest, PlanServer};
+use qsync_serve::{
+    CacheConfig, IndicatorChoice, ModelSpec, PlanEngine, PlanRequest, PlanServer, SchedConfig,
+};
 
 fn parse_cluster(s: &str) -> Result<ClusterSpec, String> {
     let (kind, rest) = s.split_once(':').unwrap_or((s, ""));
@@ -108,11 +117,39 @@ fn parse_cache_config(flags: &Flags) -> Result<CacheConfig, String> {
     Ok(CacheConfig { capacity, shards })
 }
 
+fn parse_sched_config(flags: &Flags) -> Result<SchedConfig, String> {
+    let mut config = SchedConfig::default();
+    if let Some(policy) = flags.get("sched-policy") {
+        config.policy = policy.parse()?;
+    }
+    if let Some(cap) = flags.get("queue-cap") {
+        let cap: usize = cap.parse().map_err(|e| format!("bad --queue-cap: {e}"))?;
+        config.class_caps = [cap; 3];
+    }
+    for (i, class) in ["interactive", "batch", "background"].iter().enumerate() {
+        if let Some(cap) = flags.get(&format!("queue-cap-{class}")) {
+            config.class_caps[i] =
+                cap.parse().map_err(|e| format!("bad --queue-cap-{class}: {e}"))?;
+        }
+    }
+    if let Some(quantum) = flags.get("drr-quantum") {
+        config.quantum = quantum.parse().map_err(|e| format!("bad --drr-quantum: {e}"))?;
+    }
+    if let Some(shed) = flags.get("shed-expired") {
+        config.shed_expired = match shed {
+            "true" | "1" => true,
+            "false" | "0" => false,
+            other => return Err(format!("bad --shed-expired {other:?} (true|false)")),
+        };
+    }
+    Ok(config)
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let workers: usize =
         flags.get("workers").unwrap_or("8").parse().map_err(|e| format!("bad --workers: {e}"))?;
     let engine = Arc::new(PlanEngine::with_cache_config(parse_cache_config(flags)?));
-    let server = PlanServer::with_engine(engine, workers);
+    let server = PlanServer::with_sched(engine, workers, parse_sched_config(flags)?);
     match flags.get("tcp") {
         Some(addr) => server.serve_tcp(addr).map_err(|e| e.to_string()),
         None => {

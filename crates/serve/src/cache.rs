@@ -7,9 +7,13 @@
 //!
 //! The map is split into [`CacheConfig::shards`] independently locked shards
 //! (selected by an FNV-1a hash of the key), so concurrent hits on different
-//! keys scale past one core instead of serialising on a single mutex. Each
-//! shard holds at most `capacity / shards` entries; inserting past that bound
-//! evicts the shard's least-recently-used entry (hits refresh recency) and
+//! keys scale past one core instead of serialising on a single mutex. Shards
+//! are guarded by an `RwLock`: the hit path takes a **read** lock (recency is
+//! refreshed through a per-slot atomic stamp, so hits on the *same* shard —
+//! and even the same key — also run concurrently); only inserts, evictions
+//! and invalidations take the write lock. Each shard holds at most
+//! `capacity / shards` entries; inserting past that bound evicts the shard's
+//! least-recently-stamped entry (exact, computed under the write lock) and
 //! bumps the `evicted` counter.
 //!
 //! Invalidation is fingerprint-scoped: an elasticity event names a cluster,
@@ -17,9 +21,9 @@
 //! [`ClusterSpec::fingerprint`](qsync_cluster::topology::ClusterSpec::fingerprint))
 //! are evicted; plans for unrelated clusters stay hot.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -72,46 +76,40 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// One cache slot: the entry plus its recency stamp.
+/// One cache slot: the entry plus its recency stamp. The stamp is atomic so
+/// the hit path can refresh it under a shard **read** lock.
 #[derive(Debug)]
 struct Slot {
     entry: CachedPlan,
-    last_used: u64,
+    last_used: AtomicU64,
 }
 
-/// One shard: the entries plus a recency index (`last_used -> key`) so the LRU
-/// victim is found in O(log n) instead of a full scan. Stamps come from a
-/// cache-global atomic counter, so they are unique and the index never
-/// collides.
+/// One shard. The LRU victim is found by scanning for the minimum recency
+/// stamp under the write lock — O(shard size), but evictions are rare and
+/// shards are small, and in exchange the hit path never writes shared state
+/// beyond one atomic store. Stamps come from a cache-global atomic counter,
+/// so they are unique and the scan is deterministic.
 #[derive(Debug, Default)]
 struct Shard {
     slots: HashMap<String, Slot>,
-    recency: BTreeMap<u64, String>,
 }
 
 impl Shard {
-    /// Refresh a resident key's recency stamp.
-    fn touch(&mut self, key: &str, now: u64) -> Option<&Slot> {
-        let slot = self.slots.get_mut(key)?;
-        self.recency.remove(&slot.last_used);
-        self.recency.insert(now, key.to_owned());
-        slot.last_used = now;
-        Some(slot)
-    }
-
-    /// Remove a key from both the slot map and the recency index.
-    fn remove(&mut self, key: &str) -> Option<CachedPlan> {
-        let slot = self.slots.remove(key)?;
-        self.recency.remove(&slot.last_used);
-        Some(slot.entry)
+    /// The key of the least-recently-stamped slot.
+    fn coldest(&self) -> Option<String> {
+        self.slots
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+            .map(|(key, _)| key.clone())
     }
 }
 
 /// A thread-safe, content-addressed, sharded LRU map from cache key to
-/// [`CachedPlan`].
+/// [`CachedPlan`]. Hits take shard read locks and scale across cores (see
+/// `hit_throughput` in `BENCH_plan_server.json`).
 #[derive(Debug)]
 pub struct PlanCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<RwLock<Shard>>,
     per_shard_capacity: usize,
     clock: AtomicU64,
     hits: AtomicU64,
@@ -137,7 +135,7 @@ impl PlanCache {
         let shards = config.shards.max(1);
         let per_shard_capacity = config.capacity.max(1).div_ceil(shards);
         PlanCache {
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
             per_shard_capacity,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -153,7 +151,7 @@ impl PlanCache {
     }
 
     /// The shard a key lives in (FNV-1a over the key bytes).
-    fn shard_of(&self, key: &str) -> &Mutex<Shard> {
+    fn shard_of(&self, key: &str) -> &RwLock<Shard> {
         let mut h: u64 = 0xcbf29ce484222325;
         for b in key.as_bytes() {
             h ^= *b as u64;
@@ -179,11 +177,14 @@ impl PlanCache {
     /// Look up a key without touching the hit/miss counters (recency is still
     /// refreshed). The engine's single-flight path uses this so that a request
     /// which waits for an in-flight computation still counts as exactly one
-    /// hit or miss.
+    /// hit or miss. Takes only a shard **read** lock.
     pub fn peek(&self, key: &str) -> Option<CachedPlan> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_of(key).lock().expect("plan cache poisoned");
-        shard.touch(key, now).map(|slot| slot.entry.clone())
+        let shard = self.shard_of(key).read().expect("plan cache poisoned");
+        shard.slots.get(key).map(|slot| {
+            slot.last_used.store(now, Ordering::Relaxed);
+            slot.entry.clone()
+        })
     }
 
     /// Count one cache hit.
@@ -200,12 +201,10 @@ impl PlanCache {
     /// entries while it sits over its capacity share.
     pub fn insert(&self, key: String, entry: CachedPlan) {
         let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_of(&key).lock().expect("plan cache poisoned");
-        shard.remove(&key); // drop a replaced entry's stale recency stamp
-        shard.recency.insert(last_used, key.clone());
-        shard.slots.insert(key, Slot { entry, last_used });
+        let mut shard = self.shard_of(&key).write().expect("plan cache poisoned");
+        shard.slots.insert(key, Slot { entry, last_used: AtomicU64::new(last_used) });
         while shard.slots.len() > self.per_shard_capacity {
-            let Some((_, coldest)) = shard.recency.pop_first() else {
+            let Some(coldest) = shard.coldest() else {
                 break;
             };
             shard.slots.remove(&coldest);
@@ -218,7 +217,7 @@ impl PlanCache {
     pub fn invalidate_cluster(&self, cluster_fingerprint: u128) -> Vec<(String, CachedPlan)> {
         let mut evicted = Vec::new();
         for shard in &self.shards {
-            let mut shard = shard.lock().expect("plan cache poisoned");
+            let mut shard = shard.write().expect("plan cache poisoned");
             let keys: Vec<String> = shard
                 .slots
                 .iter()
@@ -226,8 +225,8 @@ impl PlanCache {
                 .map(|(k, _)| k.clone())
                 .collect();
             for key in keys {
-                if let Some(entry) = shard.remove(&key) {
-                    evicted.push((key, entry));
+                if let Some(slot) = shard.slots.remove(&key) {
+                    evicted.push((key, slot.entry));
                 }
             }
         }
@@ -254,7 +253,7 @@ impl PlanCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("plan cache poisoned").slots.len())
+            .map(|s| s.read().expect("plan cache poisoned").slots.len())
             .sum()
     }
 
@@ -372,6 +371,48 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_hits_keep_counters_exact() {
+        // 8 threads hammering lookups (read locks) while inserts and
+        // invalidations (write locks) interleave: counters must stay exact
+        // and the capacity bound must hold.
+        let cluster = ClusterSpec::hybrid_small();
+        let cache = std::sync::Arc::new(PlanCache::with_config(CacheConfig {
+            capacity: 64,
+            shards: 4,
+        }));
+        let entries = keyed_entries(16, &cluster);
+        for (key, e) in &entries {
+            cache.insert(key.clone(), e.clone());
+        }
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = std::sync::Arc::clone(&cache);
+                let entries = entries.clone();
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let (key, _) = &entries[(t * 7 + i) % entries.len()];
+                        assert!(cache.lookup(key).is_some());
+                    }
+                });
+            }
+            // One writer re-inserting resident keys: write locks interleave
+            // with the readers, and overwrites must not disturb presence.
+            let cache = std::sync::Arc::clone(&cache);
+            let entries = entries.clone();
+            scope.spawn(move || {
+                for i in 0..100 {
+                    let (key, e) = &entries[i % entries.len()];
+                    cache.insert(key.clone(), e.clone());
+                }
+            });
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 8 * 200);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.entries, 16);
+    }
+
+    #[test]
     fn shards_spread_keys() {
         let cluster = ClusterSpec::hybrid_small();
         // Capacity well above n: shard load is uneven, and a shard over its share
@@ -383,7 +424,7 @@ mod tests {
         let populated = cache
             .shards
             .iter()
-            .filter(|s| !s.lock().unwrap().slots.is_empty())
+            .filter(|s| !s.read().unwrap().slots.is_empty())
             .count();
         assert!(populated > 1, "FNV sharding left every key in one shard");
         assert_eq!(cache.len(), 64);

@@ -6,12 +6,24 @@
 //! [`ClusterDelta`] describes one such event; the engine applies it to the
 //! affected cluster, invalidates exactly the cache entries planned against the
 //! old shape, and re-plans them warm.
+//!
+//! Elasticity events cluster in time — a spot reclaim degrades several
+//! devices at once, a scale-down removes ranks back to back. The
+//! [`DeltaCoalescer`] merges deltas submitted concurrently (by different
+//! server connections or threads) into shared **waves**: one caller leads the
+//! wave, the engine composes same-cluster deltas and invalidates once, and
+//! the re-plan chains run as a single batch the leader can fan out across a
+//! worker pool (the server submits them to the scheduler's batch class).
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
 
 use serde::{Deserialize, Serialize};
 
 use qsync_cluster::device::{Device, GpuModel};
 use qsync_cluster::topology::ClusterSpec;
 
+use crate::engine::{PlanEngine, ReplanChain};
 use crate::request::PlanResponse;
 
 /// One cluster elasticity event.
@@ -128,14 +140,104 @@ pub struct DeltaRequest {
 pub struct DeltaResponse {
     /// Echo of the request id.
     pub id: u64,
-    /// Fingerprint (hex) of the cluster before the event.
+    /// Fingerprint (hex) of the cluster this delta's step applied to. For a
+    /// delta composed behind others in a coalesced group this is the
+    /// intermediate shape, not the named base cluster.
     pub old_cluster_fingerprint: String,
-    /// Fingerprint (hex) of the cluster after the event.
+    /// Fingerprint (hex) of the cluster after this delta's step.
     pub new_cluster_fingerprint: String,
-    /// Cache entries invalidated by the event.
+    /// Cache entries invalidated by this delta's wave group (the base
+    /// cluster's entries are invalidated once per group, and every member
+    /// reports the same count).
     pub invalidated: usize,
-    /// Warm re-plans of the invalidated entries, keyed under the new cluster.
+    /// Number of deltas composed into this delta's group (1 when the delta
+    /// was applied alone — the pre-batching behavior).
+    pub coalesced: usize,
+    /// Warm re-plans of the invalidated entries, keyed under the group's
+    /// final cluster shape. Carried by the **last** delta of the group;
+    /// earlier members report an empty list.
     pub replanned: Vec<PlanResponse>,
+}
+
+/// Counters of the batched elasticity layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DeltaStats {
+    /// Delta waves applied (one [`PlanEngine::apply_deltas_with`] batch each).
+    pub waves: u64,
+    /// Delta events carried by those waves (`events > waves` means
+    /// coalescing happened).
+    pub events: u64,
+    /// Re-plan chains produced across all waves.
+    pub batched_replans: u64,
+}
+
+/// Merges concurrently submitted deltas into shared waves.
+///
+/// Every caller enqueues its request; the first caller to find no wave in
+/// flight becomes the **leader**, takes everything pending, and applies it as
+/// one [`PlanEngine::apply_deltas_with`] batch using its own executor (the
+/// server's executor fans re-plan chains out across the scheduler). Deltas
+/// arriving while a wave is applying accumulate into the next wave. Each
+/// caller gets exactly its own delta's [`DeltaResponse`] back.
+#[derive(Debug, Default)]
+pub struct DeltaCoalescer {
+    state: Mutex<CoalesceState>,
+    wave_done: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct CoalesceState {
+    next_ticket: u64,
+    pending: Vec<(u64, DeltaRequest)>,
+    results: HashMap<u64, Result<DeltaResponse, String>>,
+    applying: bool,
+}
+
+impl DeltaCoalescer {
+    /// Apply `request`, coalescing with any deltas submitted concurrently.
+    /// Blocks until this delta's wave has been applied (by this caller or a
+    /// concurrent leader).
+    pub fn apply_with<F>(
+        &self,
+        engine: &PlanEngine,
+        request: &DeltaRequest,
+        exec: F,
+    ) -> Result<DeltaResponse, String>
+    where
+        F: FnOnce(Vec<ReplanChain>) -> Vec<PlanResponse>,
+    {
+        let ticket;
+        {
+            let mut state = self.state.lock().expect("delta coalescer poisoned");
+            ticket = state.next_ticket;
+            state.next_ticket += 1;
+            state.pending.push((ticket, request.clone()));
+        }
+        let mut exec = Some(exec);
+        let mut state = self.state.lock().expect("delta coalescer poisoned");
+        loop {
+            if let Some(result) = state.results.remove(&ticket) {
+                return result;
+            }
+            if state.applying {
+                state = self.wave_done.wait(state).expect("delta coalescer poisoned");
+                continue;
+            }
+            // Lead a wave over everything pending (at least our own request).
+            state.applying = true;
+            let batch = std::mem::take(&mut state.pending);
+            drop(state);
+            let requests: Vec<DeltaRequest> = batch.iter().map(|(_, r)| r.clone()).collect();
+            let outcomes = engine
+                .apply_deltas_with(&requests, exec.take().expect("a caller leads at most once"));
+            state = self.state.lock().expect("delta coalescer poisoned");
+            for ((ticket, _), outcome) in batch.into_iter().zip(outcomes) {
+                state.results.insert(ticket, outcome);
+            }
+            state.applying = false;
+            self.wave_done.notify_all();
+        }
+    }
 }
 
 #[cfg(test)]

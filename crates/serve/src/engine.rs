@@ -8,11 +8,24 @@
 //!    returned byte-identically.
 //! 2. **Cold plan** — build the [`QSyncSystem`] (profiling every device), run
 //!    the full allocator, cache and return.
-//! 3. **Warm re-plan** — on a [`ClusterDelta`], evict exactly the entries
-//!    planned against the old cluster fingerprint and re-plan each by warm
-//!    starting the allocator's recovery phase from the cached assignment.
+//! 3. **Warm re-plan** — on a [`ClusterDelta`](crate::elastic::ClusterDelta),
+//!    evict exactly the entries planned against the old cluster fingerprint
+//!    and re-plan each by warm starting the allocator's recovery phase from
+//!    the cached assignment.
+//!
+//! Elasticity events are **batched**: [`PlanEngine::apply_deltas_with`] takes
+//! a whole wave of deltas at once, composes the deltas that name the same
+//! base cluster into one shape chain, invalidates that cluster's entries
+//! once, and emits one [`ReplanChain`] per evicted entry. The caller decides
+//! how chains run — inline ([`PlanEngine::apply_delta`]) or fanned out across
+//! a worker pool (the server submits them to the scheduler's batch class).
+//! Chains re-plan through every intermediate shape, so the final plans are
+//! **byte-identical** to applying the deltas one at a time. Concurrent
+//! callers coalesce into shared waves through a
+//! [`DeltaCoalescer`](crate::elastic::DeltaCoalescer).
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -23,7 +36,7 @@ use qsync_core::plan::PrecisionPlan;
 use qsync_core::system::QSyncSystem;
 
 use crate::cache::{CacheConfig, CachedPlan, PlanCache};
-use crate::elastic::{DeltaRequest, DeltaResponse};
+use crate::elastic::{DeltaCoalescer, DeltaRequest, DeltaResponse, DeltaStats};
 use crate::request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
 
 /// The cache-fronted planning engine. Cheap to share: wrap in an [`Arc`] and
@@ -37,6 +50,22 @@ pub struct PlanEngine {
     cache: PlanCache,
     in_flight: Mutex<HashSet<String>>,
     flight_done: Condvar,
+    coalescer: DeltaCoalescer,
+    delta_waves: AtomicU64,
+    delta_events: AtomicU64,
+    batched_replans: AtomicU64,
+}
+
+/// One evicted cache entry plus the shape chain it must be re-planned
+/// through. Produced by [`PlanEngine::apply_deltas_with`], executed by
+/// [`PlanEngine::run_replan_chain`] — on the calling thread or a worker pool.
+#[derive(Debug, Clone)]
+pub struct ReplanChain {
+    /// The evicted entry (request + cached warm-start assignment).
+    pub entry: CachedPlan,
+    /// The successive cluster shapes of the composed deltas (never empty);
+    /// only the final shape's plan is cached and reported.
+    pub shapes: Vec<ClusterSpec>,
 }
 
 /// Removes a key from the in-flight set even if planning panics, so waiters
@@ -61,11 +90,7 @@ impl PlanEngine {
 
     /// An engine with an explicitly sized (capacity, shards) cache.
     pub fn with_cache_config(config: CacheConfig) -> Self {
-        PlanEngine {
-            cache: PlanCache::with_config(config),
-            in_flight: Mutex::new(HashSet::new()),
-            flight_done: Condvar::new(),
-        }
+        PlanEngine { cache: PlanCache::with_config(config), ..PlanEngine::default() }
     }
 
     /// A shared handle, ready for worker threads.
@@ -110,50 +135,198 @@ impl PlanEngine {
         Ok(self.plan_and_cache(request, key, PlanOutcome::ColdPlanned, None, started))
     }
 
-    /// Apply an elasticity event: invalidate every cached plan for the event's
-    /// cluster, then re-plan each against the new shape, warm-starting from
-    /// the cached assignment.
+    /// Apply one elasticity event inline: invalidate every cached plan for
+    /// the event's cluster, then re-plan each against the new shape,
+    /// warm-starting from the cached assignment. Equivalent to a
+    /// single-delta [`apply_deltas_with`](Self::apply_deltas_with) wave whose
+    /// chains run on the calling thread.
     pub fn apply_delta(&self, request: &DeltaRequest) -> Result<DeltaResponse, String> {
-        let old_fingerprint = request.cluster.fingerprint();
-        let new_cluster = request.delta.apply(&request.cluster)?;
-        let new_fingerprint = new_cluster.fingerprint();
-        let evicted = self.cache.invalidate_cluster(old_fingerprint);
-        let mut replanned = Vec::with_capacity(evicted.len());
-        for (_, entry) in &evicted {
-            replanned.push(self.replan_warm(entry, &new_cluster));
-        }
-        Ok(DeltaResponse {
-            id: request.id,
-            old_cluster_fingerprint: format!("{old_fingerprint:032x}"),
-            new_cluster_fingerprint: format!("{new_fingerprint:032x}"),
-            invalidated: evicted.len(),
-            replanned,
+        self.apply_deltas_with(std::slice::from_ref(request), |chains| {
+            chains.iter().map(|chain| self.run_replan_chain(chain)).collect()
         })
+        .pop()
+        .expect("one delta produces one result")
     }
 
-    /// Warm re-plan one evicted entry against a new cluster shape.
-    fn replan_warm(&self, entry: &CachedPlan, new_cluster: &ClusterSpec) -> PlanResponse {
-        let started = Instant::now();
-        let mut request = entry.request.clone();
-        request.cluster = new_cluster.clone();
-        let key = request.cache_key();
-        // The new shape may already be cached (e.g. two entries converge).
-        // `peek`: warm re-plans are server-initiated, so they stay out of the
-        // request-path hit/miss counters.
-        if let Some(hit) = self.cache.peek(&key) {
-            let mut response = hit.response.clone();
-            response.id = request.id;
-            response.outcome = PlanOutcome::CacheHit;
-            response.elapsed_us = started.elapsed().as_micros() as u64;
-            return response;
+    /// Apply one elasticity event through the engine-wide coalescer:
+    /// concurrent callers (e.g. several server connections) merge into shared
+    /// waves, each wave applied as one [`apply_deltas_with`](Self::apply_deltas_with)
+    /// batch. `exec` runs the wave's re-plan chains if this caller ends up
+    /// leading the wave (the server fans them out across its worker pool).
+    pub fn apply_delta_coalesced_with<F>(
+        &self,
+        request: &DeltaRequest,
+        exec: F,
+    ) -> Result<DeltaResponse, String>
+    where
+        F: FnOnce(Vec<ReplanChain>) -> Vec<PlanResponse>,
+    {
+        self.coalescer.apply_with(self, request, exec)
+    }
+
+    /// Apply a wave of elasticity events as one batch.
+    ///
+    /// Deltas naming the same base cluster (by fingerprint) are **composed**
+    /// in order into a single shape chain; the base cluster's cache entries
+    /// are invalidated once and each becomes a [`ReplanChain`] through every
+    /// shape of its group — so the final plans are byte-identical to applying
+    /// the deltas serially, while the (dominant) re-plan work runs as one
+    /// parallelizable wave. `exec` receives every chain of the wave and must
+    /// return one response per chain, in order.
+    ///
+    /// Per-delta results: a delta whose event fails to apply (e.g. a rank
+    /// made out-of-bounds by an earlier delta in its group) gets an `Err` and
+    /// is skipped from the composition. Successful deltas report the
+    /// fingerprints of their step in the chain, the group's invalidation
+    /// count and the group size ([`DeltaResponse::coalesced`]); the **last**
+    /// delta of each group carries the final re-planned responses.
+    pub fn apply_deltas_with<F>(
+        &self,
+        requests: &[DeltaRequest],
+        exec: F,
+    ) -> Vec<Result<DeltaResponse, String>>
+    where
+        F: FnOnce(Vec<ReplanChain>) -> Vec<PlanResponse>,
+    {
+        struct Member {
+            idx: usize,
+            old_fingerprint: u128,
+            new_fingerprint: u128,
         }
-        self.plan_and_cache(
-            &request,
-            key,
-            PlanOutcome::WarmReplanned,
-            entry.inference_pdag.as_ref(),
-            started,
-        )
+        struct Group {
+            base_fingerprint: u128,
+            shapes: Vec<ClusterSpec>,
+            members: Vec<Member>,
+            invalidated: usize,
+            chains: std::ops::Range<usize>,
+        }
+
+        let mut groups: Vec<Group> = Vec::new();
+        let mut results: Vec<Option<Result<DeltaResponse, String>>> =
+            requests.iter().map(|_| None).collect();
+        for (idx, request) in requests.iter().enumerate() {
+            let base_fingerprint = request.cluster.fingerprint();
+            let group = match groups.iter_mut().find(|g| g.base_fingerprint == base_fingerprint) {
+                Some(group) => group,
+                None => {
+                    groups.push(Group {
+                        base_fingerprint,
+                        shapes: Vec::new(),
+                        members: Vec::new(),
+                        invalidated: 0,
+                        chains: 0..0,
+                    });
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            let current = group.shapes.last().unwrap_or(&request.cluster);
+            match request.delta.apply(current) {
+                Ok(next) => {
+                    group.members.push(Member {
+                        idx,
+                        old_fingerprint: current.fingerprint(),
+                        new_fingerprint: next.fingerprint(),
+                    });
+                    group.shapes.push(next);
+                }
+                Err(message) => results[idx] = Some(Err(message)),
+            }
+        }
+        groups.retain(|g| !g.members.is_empty());
+
+        let mut chains: Vec<ReplanChain> = Vec::new();
+        for group in &mut groups {
+            let evicted = self.cache.invalidate_cluster(group.base_fingerprint);
+            group.invalidated = evicted.len();
+            let start = chains.len();
+            for (_, entry) in evicted {
+                chains.push(ReplanChain { entry, shapes: group.shapes.clone() });
+            }
+            group.chains = start..chains.len();
+        }
+        self.delta_waves.fetch_add(1, Ordering::Relaxed);
+        self.delta_events.fetch_add(requests.len() as u64, Ordering::Relaxed);
+        self.batched_replans.fetch_add(chains.len() as u64, Ordering::Relaxed);
+
+        let total = chains.len();
+        let responses = if chains.is_empty() { Vec::new() } else { exec(chains) };
+        assert_eq!(responses.len(), total, "exec must return one response per chain");
+
+        for group in &groups {
+            let members = group.members.len();
+            for (k, member) in group.members.iter().enumerate() {
+                let replanned = if k + 1 == members {
+                    responses[group.chains.clone()].to_vec()
+                } else {
+                    Vec::new()
+                };
+                results[member.idx] = Some(Ok(DeltaResponse {
+                    id: requests[member.idx].id,
+                    old_cluster_fingerprint: format!("{:032x}", member.old_fingerprint),
+                    new_cluster_fingerprint: format!("{:032x}", member.new_fingerprint),
+                    invalidated: group.invalidated,
+                    coalesced: members,
+                    replanned,
+                }));
+            }
+        }
+        results
+            .into_iter()
+            .map(|result| result.expect("every delta got a result"))
+            .collect()
+    }
+
+    /// Counters of the elasticity layer: waves applied, events batched into
+    /// them, and re-plan chains fanned out.
+    pub fn delta_stats(&self) -> DeltaStats {
+        DeltaStats {
+            waves: self.delta_waves.load(Ordering::Relaxed),
+            events: self.delta_events.load(Ordering::Relaxed),
+            batched_replans: self.batched_replans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Warm re-plan one evicted entry through its group's shape chain.
+    ///
+    /// Intermediate shapes thread the warm-start assignment exactly as serial
+    /// delta application would (consulting the cache at each step), but only
+    /// the **final** shape's plan is cached and returned — intermediate
+    /// results would be invalidated by the very next delta of the chain.
+    pub fn run_replan_chain(&self, chain: &ReplanChain) -> PlanResponse {
+        let started = Instant::now();
+        let mut request = chain.entry.request.clone();
+        let mut warm = chain.entry.inference_pdag.clone();
+        let last = chain.shapes.len() - 1;
+        for (step, shape) in chain.shapes.iter().enumerate() {
+            request.cluster = shape.clone();
+            let key = request.cache_key();
+            // The shape may already be cached (e.g. two entries converge).
+            // `peek`: warm re-plans are server-initiated, so they stay out of
+            // the request-path hit/miss counters.
+            if let Some(hit) = self.cache.peek(&key) {
+                if step == last {
+                    let mut response = hit.response.clone();
+                    response.id = request.id;
+                    response.outcome = PlanOutcome::CacheHit;
+                    response.elapsed_us = started.elapsed().as_micros() as u64;
+                    return response;
+                }
+                warm = hit.inference_pdag.clone();
+                continue;
+            }
+            if step == last {
+                return self.plan_and_cache(
+                    &request,
+                    key,
+                    PlanOutcome::WarmReplanned,
+                    warm.as_ref(),
+                    started,
+                );
+            }
+            let (plan, _, system) = run_allocator(&request, warm.as_ref());
+            warm = system.cluster.inference_ranks().first().map(|&rank| plan.device(rank).clone());
+        }
+        unreachable!("ReplanChain.shapes is never empty")
     }
 
     /// Run the allocator (cold or warm) and populate the cache.

@@ -18,10 +18,21 @@
 //!   planned against the affected cluster, then re-plan them by warm-starting
 //!   the allocator's precision-recovery phase from the cached assignment
 //!   instead of re-running the brute-force initial-setting phase.
-//! * **Worker-pool concurrency** ([`server::PlanServer`]): planning is CPU
-//!   bound, so the server runs N planner threads over an MPSC job queue and
-//!   streams responses back as they complete (responses carry the request id;
-//!   ordering across concurrent requests is not guaranteed).
+//! * **Scheduled worker-pool concurrency** ([`server::PlanServer`]): planning
+//!   is CPU bound, so the server runs N planner threads — fed by a
+//!   [`qsync_sched::Scheduler`] rather than a FIFO channel. Requests may
+//!   carry a priority class (interactive > batch > background), a fair-share
+//!   `client_id` (deficit round robin across clients) and a `deadline_ms`
+//!   (EDF lane + miss accounting); requests without them behave exactly like
+//!   the original FIFO server. Queues are bounded (load shedding) and queued
+//!   requests are cancellable. Responses stream back as they complete
+//!   (responses carry the request id; ordering across concurrent requests is
+//!   not guaranteed).
+//! * **Delta batching** ([`elastic::DeltaCoalescer`]): concurrent elasticity
+//!   events coalesce into waves; same-cluster deltas compose into one shape
+//!   chain, entries are invalidated once, and the warm re-plans fan out
+//!   through the scheduler's batch class — byte-identical to serial
+//!   application, without serialising on the event thread.
 //!
 //! The `qsync-serve` binary exposes `serve`, `plan` (one-shot) and
 //! `bench-load` subcommands; `examples/plan_server.rs` in the workspace root
@@ -37,9 +48,10 @@ pub mod request;
 pub mod server;
 
 pub use cache::{CacheConfig, CacheStats, PlanCache};
-pub use elastic::{ClusterDelta, DeltaRequest, DeltaResponse};
-pub use engine::PlanEngine;
+pub use elastic::{ClusterDelta, DeltaCoalescer, DeltaRequest, DeltaResponse, DeltaStats};
+pub use engine::{PlanEngine, ReplanChain};
 pub use model::ModelSpec;
 pub use qsync_core::plan::PrecisionPlan;
+pub use qsync_sched::{Priority, SchedConfig, SchedPolicy, SchedStats};
 pub use request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
 pub use server::{PlanServer, ServerCommand, ServerReply};

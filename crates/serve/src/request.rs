@@ -11,6 +11,7 @@ use qsync_cluster::topology::ClusterSpec;
 use qsync_core::plan::PrecisionPlan;
 use qsync_core::system::QSyncConfig;
 use qsync_graph::Fingerprint;
+use qsync_sched::{JobMeta, Priority};
 
 use crate::model::ModelSpec;
 
@@ -45,6 +46,17 @@ pub struct PlanRequest {
     /// fraction (the paper's ClusterB-style partial sharing). `None` leaves
     /// the cluster as specified.
     pub memory_limit_fraction: Option<f64>,
+    /// Scheduling class of this request. `None` (and absent on the wire)
+    /// defaults to [`Priority::Interactive`] — the pre-scheduler behavior.
+    pub priority: Option<Priority>,
+    /// Fair-queuing identity: requests sharing a `client_id` share one DRR
+    /// queue and cannot starve other clients. `None` joins the anonymous
+    /// shared queue.
+    pub client_id: Option<String>,
+    /// Relative deadline in milliseconds from ingress. Routes the request
+    /// through the scheduler's EDF lane; completion past the deadline is
+    /// counted as a miss in `Stats` replies.
+    pub deadline_ms: Option<u64>,
 }
 
 impl PlanRequest {
@@ -57,6 +69,20 @@ impl PlanRequest {
             indicator: IndicatorChoice::Variance,
             throughput_tolerance: None,
             memory_limit_fraction: None,
+            priority: None,
+            client_id: None,
+            deadline_ms: None,
+        }
+    }
+
+    /// The scheduling metadata this request resolves to (absent fields fall
+    /// back to the scheduler defaults: interactive, anonymous, no deadline).
+    pub fn job_meta(&self) -> JobMeta {
+        JobMeta {
+            client: self.client_id.clone().unwrap_or_default(),
+            priority: self.priority.unwrap_or_default(),
+            deadline_after_ms: self.deadline_ms,
+            ..JobMeta::default()
         }
     }
 
@@ -118,8 +144,10 @@ impl PlanRequest {
 
     /// The content-addressed cache key: a stable fingerprint of the
     /// canonicalized model DAG, the *effective* cluster, and every constraint
-    /// that changes what the allocator would produce. The request `id` is
-    /// deliberately excluded.
+    /// that changes what the allocator would produce. The request `id` and
+    /// the scheduling fields (`priority`, `client_id`, `deadline_ms`) are
+    /// deliberately excluded — they change *when* a plan is computed, never
+    /// *what* is computed.
     pub fn cache_key(&self) -> String {
         let mut fp = Fingerprint::new();
         fp.write_str("qsync_serve::PlanRequest/v1");
@@ -264,9 +292,45 @@ mod tests {
     }
 
     #[test]
+    fn cache_key_ignores_scheduling_fields() {
+        let a = request();
+        let mut b = request();
+        b.priority = Some(Priority::Background);
+        b.client_id = Some("tenant-42".into());
+        b.deadline_ms = Some(250);
+        assert_eq!(a.cache_key(), b.cache_key());
+        let meta = b.job_meta();
+        assert_eq!(meta.priority, Priority::Background);
+        assert_eq!(meta.client, "tenant-42");
+        assert_eq!(meta.deadline_after_ms, Some(250));
+    }
+
+    #[test]
+    fn wire_input_without_scheduling_fields_still_parses() {
+        // A pre-scheduler client request (no priority/client_id/deadline_ms
+        // keys at all) must deserialize to the defaults.
+        let full = serde_json::to_string(&request()).unwrap();
+        let mut value: serde::Value = serde_json::from_str(&full).unwrap();
+        let serde::Value::Object(pairs) = &mut value else { panic!("request serializes as object") };
+        let before = pairs.len();
+        pairs.retain(|(k, _)| !matches!(k.as_str(), "priority" | "client_id" | "deadline_ms"));
+        assert_eq!(pairs.len(), before - 3, "all three scheduling keys were present");
+        let legacy = serde_json::to_string(&value).unwrap();
+        let parsed: PlanRequest = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed, request());
+        let meta = parsed.job_meta();
+        assert_eq!(meta.priority, Priority::Interactive);
+        assert_eq!(meta.client, "");
+        assert_eq!(meta.deadline_after_ms, None);
+    }
+
+    #[test]
     fn request_round_trips_through_json() {
         let mut req = request();
         req.throughput_tolerance = Some(0.01);
+        req.priority = Some(Priority::Batch);
+        req.client_id = Some("tenant-7".into());
+        req.deadline_ms = Some(1500);
         let text = serde_json::to_string_pretty(&req).unwrap();
         let back: PlanRequest = serde_json::from_str(&text).unwrap();
         assert_eq!(back, req);

@@ -1,25 +1,34 @@
 //! The multi-threaded plan server: JSON-line protocol over stdin/stdout or TCP.
 //!
 //! Protocol: one [`ServerCommand`] JSON object per input line, one
-//! [`ServerReply`] JSON object per output line. Plan requests fan out to a
-//! worker pool of planner threads and replies stream back **as they
-//! complete** — callers correlate by the echoed `id`, not by line order.
-//! Elasticity deltas are barriers: the dispatcher drains in-flight plan jobs
+//! [`ServerReply`] JSON object per output line. Plan requests are submitted to
+//! a [`Scheduler`] and executed by a pool of planner threads; replies stream
+//! back **as they complete** — callers correlate by the echoed `id`, not by
+//! line order. Scheduling honors the request's optional `priority`,
+//! `client_id` and `deadline_ms` fields (see [`crate::request::PlanRequest`]);
+//! requests without them behave exactly like the pre-scheduler FIFO server.
+//! Elasticity deltas are barriers: the dispatcher quiesces the scheduler
 //! before applying the delta, so a delta deterministically sees every plan
-//! accepted before it on the input stream. Stats reads answer immediately.
+//! accepted before it on the input stream — and the delta's warm re-plans fan
+//! out through the scheduler's **batch** class instead of running serially.
+//! Stats reads answer immediately. `Cancel` removes a still-queued plan
+//! request (a successfully cancelled plan produces no `Plan` reply; the
+//! `Cancelled` confirmation is its reply).
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 
 use serde::{Deserialize, Serialize};
 
+use qsync_sched::{JobMeta, Priority, SchedConfig, SchedStats, Scheduler};
+
 use crate::cache::CacheStats;
-use crate::elastic::DeltaRequest;
-use crate::engine::PlanEngine;
-use crate::request::PlanRequest;
+use crate::elastic::{DeltaRequest, DeltaStats};
+use crate::engine::{PlanEngine, ReplanChain};
+use crate::request::{PlanRequest, PlanResponse};
 
 /// One input line of the serving protocol.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,10 +37,17 @@ pub enum ServerCommand {
     Plan(PlanRequest),
     /// Apply a cluster elasticity event (invalidate + warm re-plan).
     Delta(DeltaRequest),
-    /// Read cache counters.
+    /// Read cache, scheduler and elasticity counters.
     Stats {
         /// Caller-chosen id echoed in the reply.
         id: u64,
+    },
+    /// Cancel a still-queued plan request by its `id`.
+    Cancel {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+        /// The `id` of the plan request to cancel.
+        plan_id: u64,
     },
 }
 
@@ -42,12 +58,28 @@ pub enum ServerReply {
     Plan(crate::request::PlanResponse),
     /// A delta outcome.
     Delta(crate::elastic::DeltaResponse),
-    /// Cache counters.
+    /// Cache, scheduler and elasticity counters.
     Stats {
         /// Echo of the command id.
         id: u64,
-        /// Counters at read time.
+        /// Cache counters at read time.
         stats: CacheStats,
+        /// Scheduler counters (queue depths, per-class throughput, sheds,
+        /// deadline accounting). `None` from the schedulerless one-shot
+        /// [`PlanServer::handle`] path.
+        sched: Option<SchedStats>,
+        /// Elasticity counters (delta waves, coalesced events, batched
+        /// re-plans).
+        deltas: DeltaStats,
+    },
+    /// Outcome of a `Cancel` command.
+    Cancelled {
+        /// Echo of the command id.
+        id: u64,
+        /// The plan request id the cancel targeted.
+        plan_id: u64,
+        /// `true` if the plan was still queued and has been removed.
+        cancelled: bool,
     },
     /// The command on this line could not be served.
     Error {
@@ -58,22 +90,44 @@ pub enum ServerReply {
     },
 }
 
-/// The plan server: a shared [`PlanEngine`] plus a worker-pool size.
+/// One scheduler job of the serving layer.
+enum ServeJob {
+    /// A client plan request (reply written by the worker).
+    Plan(PlanRequest),
+    /// One re-plan chain of a delta wave; the result is sent back to the
+    /// wave leader.
+    Replan {
+        index: usize,
+        chain: Box<ReplanChain>,
+        tx: mpsc::Sender<(usize, PlanResponse)>,
+    },
+}
+
+/// The plan server: a shared [`PlanEngine`], a worker-pool size and the
+/// scheduler configuration.
 #[derive(Debug, Clone)]
 pub struct PlanServer {
     engine: Arc<PlanEngine>,
     workers: usize,
+    sched: SchedConfig,
 }
 
 impl PlanServer {
-    /// A server over a fresh engine with `workers` planner threads (min 1).
+    /// A server over a fresh engine with `workers` planner threads (min 1)
+    /// and the default scheduler (DRR, generous per-class caps).
     pub fn new(workers: usize) -> Self {
         Self::with_engine(PlanEngine::shared(), workers)
     }
 
     /// A server over an existing engine (e.g. to pre-warm the cache).
     pub fn with_engine(engine: Arc<PlanEngine>, workers: usize) -> Self {
-        PlanServer { engine, workers: workers.max(1) }
+        Self::with_sched(engine, workers, SchedConfig::default())
+    }
+
+    /// A server with an explicit scheduler configuration (policy, per-class
+    /// queue caps, quantum, expired-job shedding).
+    pub fn with_sched(engine: Arc<PlanEngine>, workers: usize, sched: SchedConfig) -> Self {
+        PlanServer { engine, workers: workers.max(1), sched }
     }
 
     /// The shared engine.
@@ -81,7 +135,8 @@ impl PlanServer {
         &self.engine
     }
 
-    /// Serve one command synchronously.
+    /// Serve one command synchronously, without a scheduler (one-shot use;
+    /// the streaming path is [`serve_lines`](Self::serve_lines)).
     pub fn handle(&self, command: ServerCommand) -> ServerReply {
         match command {
             ServerCommand::Plan(request) => match self.engine.plan(&request) {
@@ -92,42 +147,73 @@ impl PlanServer {
                 Ok(outcome) => ServerReply::Delta(outcome),
                 Err(message) => ServerReply::Error { id: Some(request.id), message },
             },
-            ServerCommand::Stats { id } => {
-                ServerReply::Stats { id, stats: self.engine.cache().stats() }
+            ServerCommand::Stats { id } => ServerReply::Stats {
+                id,
+                stats: self.engine.cache().stats(),
+                sched: None,
+                deltas: self.engine.delta_stats(),
+            },
+            ServerCommand::Cancel { id, plan_id } => {
+                // Nothing queues outside serve_lines; there is nothing to cancel.
+                ServerReply::Cancelled { id, plan_id, cancelled: false }
             }
         }
     }
 
-    /// Serve a JSON-line stream until EOF. Plan commands run on the worker
-    /// pool; deltas and stats are handled by the dispatcher (deltas after
-    /// draining in-flight plans).
+    /// Serve a JSON-line stream until EOF. Plan commands are scheduled onto
+    /// the worker pool; stats answer immediately; deltas quiesce the
+    /// scheduler (barrier), coalesce with concurrent deltas from other
+    /// connections, and fan their re-plans out through the batch class.
     pub fn serve_lines<R: BufRead, W: Write + Send>(
         &self,
         reader: R,
         writer: W,
     ) -> std::io::Result<()> {
         let writer = Mutex::new(writer);
-        let inflight = Arc::new((Mutex::new(0usize), Condvar::new()));
-        let (tx, rx) = mpsc::channel::<PlanRequest>();
-        let rx = Mutex::new(rx);
+        let sched: Scheduler<ServeJob> = Scheduler::new(self.sched.clone());
+        // Plan-request id → scheduler ticket, so `Cancel` can find the job.
+        // Workers remove their entry at dispatch; cancels remove it early.
+        let tickets: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
         let mut io_error: Option<std::io::Error> = None;
 
         thread::scope(|scope| {
             for _ in 0..self.workers {
-                let rx = &rx;
+                let sched = &sched;
                 let writer = &writer;
-                let inflight = Arc::clone(&inflight);
-                scope.spawn(move || loop {
-                    let job = rx.lock().expect("job queue poisoned").recv();
-                    let Ok(request) = job else { break };
-                    // Decrement on drop, so a panicking planner cannot strand
-                    // the delta barrier.
-                    let _guard = InflightGuard(&inflight);
-                    let reply = match self.engine.plan(&request) {
-                        Ok(response) => ServerReply::Plan(response),
-                        Err(message) => ServerReply::Error { id: Some(request.id), message },
-                    };
-                    let _ = write_reply(writer, &reply);
+                let tickets = &tickets;
+                scope.spawn(move || {
+                    while let Some(mut job) = sched.next() {
+                        let expired = job.expired();
+                        let wait_ms = job.queue_wait_ms();
+                        match job.take_payload() {
+                            ServeJob::Plan(request) => {
+                                let mut pending = tickets.lock().expect("ticket map poisoned");
+                                if pending.get(&request.id) == Some(&job.id()) {
+                                    pending.remove(&request.id);
+                                }
+                                drop(pending);
+                                let reply = if expired {
+                                    ServerReply::Error {
+                                        id: Some(request.id),
+                                        message: format!(
+                                            "deadline exceeded before planning started (queued {wait_ms} ms)"
+                                        ),
+                                    }
+                                } else {
+                                    match self.engine.plan(&request) {
+                                        Ok(response) => ServerReply::Plan(response),
+                                        Err(message) => {
+                                            ServerReply::Error { id: Some(request.id), message }
+                                        }
+                                    }
+                                };
+                                let _ = write_reply(writer, &reply);
+                            }
+                            ServeJob::Replan { index, chain, tx } => {
+                                let _ = tx.send((index, self.engine.run_replan_chain(&chain)));
+                            }
+                        }
+                    }
                 });
             }
 
@@ -151,31 +237,63 @@ impl PlanServer {
                         let _ = write_reply(&writer, &reply);
                     }
                     Ok(ServerCommand::Plan(request)) => {
-                        let (count, _) = &*inflight;
-                        *count.lock().expect("inflight poisoned") += 1;
-                        // Workers only exit after this sender drops; send cannot fail.
-                        tx.send(request).expect("worker pool gone");
+                        let meta = request.job_meta();
+                        let request_id = request.id;
+                        // Hold the ticket-map lock across the submit: a woken
+                        // worker checks the map at dispatch, so inserting
+                        // after an unlocked submit could leave a stale entry
+                        // for an already-dispatched job.
+                        let mut pending = tickets.lock().expect("ticket map poisoned");
+                        match sched.submit(ServeJob::Plan(request), meta) {
+                            Ok(ticket) => {
+                                pending.insert(request_id, ticket);
+                            }
+                            Err(rejected) => {
+                                drop(pending);
+                                // Admission control: shed immediately.
+                                let reply = ServerReply::Error {
+                                    id: Some(request_id),
+                                    message: rejected.error.to_string(),
+                                };
+                                let _ = write_reply(&writer, &reply);
+                            }
+                        }
                     }
-                    Ok(stats @ ServerCommand::Stats { .. }) => {
+                    Ok(ServerCommand::Stats { id }) => {
                         // Stats are a monitoring read: answer immediately,
-                        // without waiting behind in-flight planning work.
-                        let reply = self.handle(stats);
+                        // without waiting behind queued planning work.
+                        let reply = ServerReply::Stats {
+                            id,
+                            stats: self.engine.cache().stats(),
+                            sched: Some(sched.stats()),
+                            deltas: self.engine.delta_stats(),
+                        };
                         let _ = write_reply(&writer, &reply);
                     }
-                    Ok(delta @ ServerCommand::Delta(_)) => {
-                        // Barrier: a delta must observe every prior plan.
-                        let (count, cv) = &*inflight;
-                        let mut pending = count.lock().expect("inflight poisoned");
-                        while *pending > 0 {
-                            pending = cv.wait(pending).expect("inflight poisoned");
-                        }
-                        drop(pending);
-                        let reply = self.handle(delta);
+                    Ok(ServerCommand::Cancel { id, plan_id }) => {
+                        let ticket = tickets.lock().expect("ticket map poisoned").remove(&plan_id);
+                        let cancelled = ticket.is_some_and(|t| sched.cancel(t));
+                        let reply = ServerReply::Cancelled { id, plan_id, cancelled };
+                        let _ = write_reply(&writer, &reply);
+                    }
+                    Ok(ServerCommand::Delta(request)) => {
+                        // Barrier: a delta must observe every prior plan of
+                        // this stream.
+                        sched.quiesce();
+                        let reply = match self.engine.apply_delta_coalesced_with(
+                            &request,
+                            |chains| fan_out_replans(&sched, &self.engine, chains),
+                        ) {
+                            Ok(outcome) => ServerReply::Delta(outcome),
+                            Err(message) => {
+                                ServerReply::Error { id: Some(request.id), message }
+                            }
+                        };
                         let _ = write_reply(&writer, &reply);
                     }
                 }
             }
-            drop(tx);
+            sched.close();
         });
 
         match io_error {
@@ -213,15 +331,40 @@ impl PlanServer {
     }
 }
 
-/// Decrements the in-flight plan counter on drop (including unwinds).
-struct InflightGuard<'a>(&'a (Mutex<usize>, Condvar));
-
-impl Drop for InflightGuard<'_> {
-    fn drop(&mut self) {
-        let (count, cv) = self.0;
-        *count.lock().expect("inflight poisoned") -= 1;
-        cv.notify_all();
+/// Execute a delta wave's re-plan chains on the worker pool: submit each as a
+/// batch-class job, collect the results, and return them in chain order. A
+/// chain the batch queue sheds (cap reached) runs inline on the calling
+/// thread — re-plans are never lost.
+fn fan_out_replans(
+    sched: &Scheduler<ServeJob>,
+    engine: &PlanEngine,
+    chains: Vec<ReplanChain>,
+) -> Vec<PlanResponse> {
+    let total = chains.len();
+    let (tx, rx) = mpsc::channel();
+    let mut inline: Vec<(usize, Box<ReplanChain>)> = Vec::new();
+    for (index, chain) in chains.into_iter().enumerate() {
+        let job = ServeJob::Replan { index, chain: Box::new(chain), tx: tx.clone() };
+        let meta = JobMeta::new("__elastic", Priority::Batch);
+        if let Err(rejected) = sched.submit(job, meta) {
+            let ServeJob::Replan { index, chain, .. } = rejected.payload else {
+                unreachable!("rejected payload is the submitted replan job")
+            };
+            inline.push((index, chain));
+        }
     }
+    drop(tx);
+    let mut responses: Vec<Option<PlanResponse>> = (0..total).map(|_| None).collect();
+    for (index, chain) in inline {
+        responses[index] = Some(engine.run_replan_chain(&chain));
+    }
+    for (index, response) in rx {
+        responses[index] = Some(response);
+    }
+    responses
+        .into_iter()
+        .map(|r| r.expect("every replan chain completed"))
+        .collect()
 }
 
 fn write_reply<W: Write>(writer: &Mutex<W>, reply: &ServerReply) -> std::io::Result<()> {
@@ -281,5 +424,57 @@ mod tests {
         let replies = parse_replies(&out);
         assert_eq!(replies.len(), 1);
         assert!(matches!(&replies[0], ServerReply::Error { id: None, .. }));
+    }
+
+    #[test]
+    fn queue_cap_zero_sheds_every_plan() {
+        let engine = PlanEngine::shared();
+        let sched = SchedConfig { class_caps: [0; 3], ..SchedConfig::default() };
+        let server = PlanServer::with_sched(engine, 2, sched);
+        let input = format!("{}\n{}\n", plan_line(1), plan_line(2));
+        let mut out: Vec<u8> = Vec::new();
+        server.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let replies = parse_replies(&out);
+        assert_eq!(replies.len(), 2);
+        for reply in &replies {
+            match reply {
+                ServerReply::Error { id: Some(_), message } => {
+                    assert!(message.contains("shed"), "unexpected message {message:?}");
+                }
+                other => panic!("expected shed error, got {other:?}"),
+            }
+        }
+        assert_eq!(server.engine().cache().stats().misses, 0, "nothing was planned");
+    }
+
+    #[test]
+    fn cancel_of_unknown_plan_reports_false() {
+        let input = r#"{"Cancel":{"id":5,"plan_id":99}}"#.to_string() + "\n";
+        let server = PlanServer::new(1);
+        let mut out: Vec<u8> = Vec::new();
+        server.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let replies = parse_replies(&out);
+        assert_eq!(
+            replies,
+            vec![ServerReply::Cancelled { id: 5, plan_id: 99, cancelled: false }]
+        );
+    }
+
+    #[test]
+    fn stats_reply_carries_scheduler_counters() {
+        let input = format!("{}\n{}\n", plan_line(1), r#"{"Stats":{"id":2}}"#);
+        let server = PlanServer::new(1);
+        let mut out: Vec<u8> = Vec::new();
+        server.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let stats = parse_replies(&out)
+            .into_iter()
+            .find_map(|r| match r {
+                ServerReply::Stats { sched, .. } => Some(sched),
+                _ => None,
+            })
+            .expect("stats reply present");
+        let sched = stats.expect("streaming path reports scheduler stats");
+        assert_eq!(sched.policy, "drr");
+        assert_eq!(sched.interactive.submitted, 1);
     }
 }
