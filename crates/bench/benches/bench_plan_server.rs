@@ -12,9 +12,17 @@
 //! warm key) quantifies the sharded `RwLock` cache's read scaling — the hit
 //! path takes shard read locks only, so throughput should grow with cores.
 //!
+//! A **connection-count sweep** exercises the epoll reactor transport: hold
+//! 64/256/1024 concurrent TCP connections on one reactor thread and measure
+//! warm round-trip throughput and tail latency across them — the
+//! thread-per-connection transport this replaced couldn't hold the upper end
+//! of that range without a thousand stacks.
+//!
 //! Besides the stdout report, a machine-readable summary is written to
 //! `BENCH_plan_server.json` at the workspace root.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -24,7 +32,10 @@ use qsync_bench::smoke;
 use qsync_cluster::topology::ClusterSpec;
 use qsync_core::allocator::Allocator;
 use qsync_core::system::QSyncSystem;
-use qsync_serve::{ClusterDelta, ModelSpec, PlanEngine, PlanOutcome, PlanRequest};
+use qsync_serve::{
+    ClusterDelta, ModelSpec, PlanEngine, PlanOutcome, PlanRequest, PlanServer, ServerCommand,
+    ServerReply, ShutdownSignal,
+};
 
 fn model() -> ModelSpec {
     ModelSpec::Vgg16Bn { batch: 2, image: 32 }
@@ -108,6 +119,81 @@ fn hit_throughput(engine: &Arc<PlanEngine>, request: &PlanRequest, threads: usiz
     (threads * iters) as f64 / started.elapsed().as_secs_f64()
 }
 
+/// Reactor connection-scaling measurement: hold `conns` concurrent TCP
+/// connections against a live server, then drive `rounds` warm plan
+/// round-trips on every connection (8 writer threads over disjoint chunks).
+/// Returns `(round_trips_per_sec, p50_us, p99_us)`.
+fn connection_round_trips(
+    engine: &Arc<PlanEngine>,
+    request: &PlanRequest,
+    conns: usize,
+    rounds: usize,
+) -> (f64, u64, u64) {
+    const WRITERS: usize = 8;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = ShutdownSignal::new();
+    let server = PlanServer::with_engine(Arc::clone(engine), 4);
+    let signal = shutdown.clone();
+    let server_thread = std::thread::spawn(move || server.serve_listener(listener, signal));
+
+    // Hold every connection open for the whole measurement.
+    let mut clients: Vec<(TcpStream, BufReader<TcpStream>)> = (0..conns)
+        .map(|_| {
+            let stream = TcpStream::connect(addr).expect("connect");
+            // One write per request and no Nagle, or the measurement turns
+            // into a delayed-ACK benchmark.
+            stream.set_nodelay(true).expect("nodelay");
+            let reader = BufReader::new(stream.try_clone().expect("clone"));
+            (stream, reader)
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(conns * rounds);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, chunk) in clients.chunks_mut(conns.div_ceil(WRITERS)).enumerate() {
+            let request = request.clone();
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::with_capacity(chunk.len() * rounds);
+                for round in 0..rounds {
+                    for (i, (stream, reader)) in chunk.iter_mut().enumerate() {
+                        let mut request = request.clone();
+                        request.id = (w * 1_000_000 + round * 10_000 + i) as u64;
+                        let mut line = serde_json::to_string(&ServerCommand::Plan(request.clone()))
+                            .expect("serializes");
+                        line.push('\n');
+                        let t0 = Instant::now();
+                        stream.write_all(line.as_bytes()).expect("write");
+                        let mut reply = String::new();
+                        reader.read_line(&mut reply).expect("read");
+                        local.push(t0.elapsed().as_micros() as u64);
+                        let reply: ServerReply =
+                            serde_json::from_str(&reply).expect("reply parses");
+                        match reply {
+                            ServerReply::Plan(p) => assert_eq!(p.id, request.id),
+                            other => panic!("unexpected reply {other:?}"),
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            latencies_us.extend(handle.join().expect("writer thread panicked"));
+        }
+    });
+    let per_sec = latencies_us.len() as f64 / started.elapsed().as_secs_f64();
+    drop(clients);
+    shutdown.shutdown();
+    server_thread.join().expect("server thread").expect("server ran");
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+    (per_sec, pct(0.50), pct(0.99))
+}
+
 fn mean_ns(c: &Criterion, id: &str) -> f64 {
     c.results
         .iter()
@@ -136,6 +222,35 @@ fn main() {
         sweep.iter().find(|(t, _)| *t == threads).map(|(_, p)| *p).unwrap_or(f64::NAN)
     };
 
+    // Connection-count sweep on the reactor transport: a cheap warm key, so
+    // the measurement is transport + scheduler + cache-hit, not planning.
+    qsync_serve::transport::ensure_fd_limit(8192).expect("raise fd limit");
+    let reactor_engine = Arc::new(PlanEngine::new());
+    let reactor_request = PlanRequest::new(
+        0,
+        ModelSpec::SmallMlp { batch: 16, in_features: 32, hidden: 64, classes: 8 },
+        base_cluster(),
+    );
+    reactor_engine.plan(&reactor_request).expect("warm the key");
+    let rounds = if smoke() { 1 } else { 4 };
+    let connection_sweep: Vec<serde_json::Value> = [64usize, 256, 1024]
+        .iter()
+        .map(|&conns| {
+            let (per_sec, p50_us, p99_us) =
+                connection_round_trips(&reactor_engine, &reactor_request, conns, rounds);
+            eprintln!(
+                "connections/{conns}: {per_sec:.0} round-trips/s (p50 {p50_us} us, p99 {p99_us} us)"
+            );
+            serde_json::json!({
+                "connections": conns,
+                "rounds": rounds,
+                "round_trips_per_sec": per_sec,
+                "p50_us": p50_us,
+                "p99_us": p99_us,
+            })
+        })
+        .collect();
+
     let cold = mean_ns(&criterion, "cold_plan");
     let cold_replan = mean_ns(&criterion, "cold_replan_after_delta");
     let hit = mean_ns(&criterion, "cache_hit");
@@ -161,6 +276,9 @@ fn main() {
             "threads_8_per_sec": per_sec_at(8),
             "scaling_4t_vs_1t": per_sec_at(4) / per_sec_at(1),
         },
+        // Warm round-trips over the epoll reactor while holding N concurrent
+        // TCP connections (one reactor thread for all of them).
+        "connection_sweep": connection_sweep,
     });
     let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
     println!("{text}");

@@ -122,6 +122,7 @@ pub struct Dispatch<T> {
     payload: Option<T>,
     meta: JobMeta,
     id: u64,
+    seq: u64,
     enqueued_ms: u64,
     dispatched_ms: u64,
     deadline_ms: Option<u64>,
@@ -196,6 +197,7 @@ impl<T> Drop for Dispatch<T> {
         let now = self.shared.clock.now_ms();
         let mut st = self.shared.state.lock().expect("scheduler state poisoned");
         st.active -= 1;
+        st.inflight.remove(&self.seq);
         st.counters.completed[self.meta.priority.index()] += 1;
         if let Some(deadline) = self.deadline_ms {
             if now > deadline {
@@ -328,6 +330,9 @@ pub(crate) struct State<T> {
     fifo: VecDeque<u64>,
     /// EDF lane (DRR policy): (absolute deadline, seq, id), earliest first.
     edf: BTreeSet<(u64, u64, u64)>,
+    /// Submission seqs of every job not yet completed (queued **or** active),
+    /// the epoch set behind [`Scheduler::quiesce_until`].
+    inflight: BTreeSet<u64>,
     classes: [ClassState; 3],
     closed: bool,
     /// Dispatched but not yet completed.
@@ -375,6 +380,7 @@ impl<T> Scheduler<T> {
                     jobs: HashMap::new(),
                     fifo: VecDeque::new(),
                     edf: BTreeSet::new(),
+                    inflight: BTreeSet::new(),
                     classes: Default::default(),
                     closed: false,
                     active: 0,
@@ -435,6 +441,7 @@ impl<T> Scheduler<T> {
         }
         st.classes[class].depth += 1;
         st.counters.submitted[class] += 1;
+        st.inflight.insert(seq);
         st.jobs.insert(id, Queued { payload, meta, seq, enqueued_ms: now, deadline_ms });
         drop(st);
         self.shared.available.notify_one();
@@ -464,6 +471,7 @@ impl<T> Scheduler<T> {
             },
         }
         st.classes[class].depth -= 1;
+        st.inflight.remove(&job.seq);
         st.counters.cancelled += 1;
         drop(st);
         self.shared.idle.notify_all();
@@ -505,6 +513,7 @@ impl<T> Scheduler<T> {
             payload: Some(job.payload),
             meta: job.meta,
             id,
+            seq: job.seq,
             enqueued_ms: job.enqueued_ms,
             dispatched_ms: now,
             deadline_ms: job.deadline_ms,
@@ -542,12 +551,28 @@ impl<T> Scheduler<T> {
         self.shared.available.notify_all();
     }
 
-    /// Block until no job is queued or running — the serving layer's delta
-    /// barrier. Requires workers to be draining the queue (or the queue to be
-    /// empty) to return.
+    /// An epoch cutoff covering every job submitted so far, for
+    /// [`quiesce_until`](Scheduler::quiesce_until).
+    pub fn barrier(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// Block until every job submitted **before the call** has completed or
+    /// been cancelled — the serving layer's delta barrier. Jobs submitted
+    /// after the call (e.g. by other connections of a shared-scheduler
+    /// server) are *not* waited for, so a barrier cannot starve under
+    /// continuous traffic. Requires workers to be draining the queue (or the
+    /// queue to be empty) to return.
     pub fn quiesce(&self) {
+        let cutoff = self.barrier();
+        self.quiesce_until(cutoff);
+    }
+
+    /// Block until every job submitted before the [`barrier`](Scheduler::barrier)
+    /// snapshot `cutoff` has completed or been cancelled.
+    pub fn quiesce_until(&self, cutoff: u64) {
         let mut st = self.lock();
-        while !st.jobs.is_empty() || st.active > 0 {
+        while st.inflight.iter().next().is_some_and(|&seq| seq < cutoff) {
             st = self.shared.idle.wait(st).expect("scheduler state poisoned");
         }
     }
@@ -794,6 +819,37 @@ mod tests {
             assert_eq!(stats.active, 0);
             sched.close();
         });
+    }
+
+    #[test]
+    fn quiesce_barrier_ignores_jobs_submitted_after_the_cutoff() {
+        let sched: Scheduler<&str> = Scheduler::new(drr_config());
+        sched.submit("before", JobMeta::default()).unwrap();
+        let cutoff = sched.barrier();
+        sched.submit("after", JobMeta::default()).unwrap();
+        // Same client, arrival order: "before" dispatches first.
+        let mut before = sched.try_next().unwrap();
+        assert_eq!(before.take_payload(), "before");
+        std::thread::scope(|scope| {
+            let barrier = scope.spawn(|| sched.quiesce_until(cutoff));
+            // Completing the lone pre-cutoff job releases the barrier even
+            // though "after" is still queued — the scope would deadlock (and
+            // the test time out) if the barrier waited for it.
+            drop(before);
+            barrier.join().unwrap();
+        });
+        assert_eq!(sched.stats().queued, 1, "the post-cutoff job is untouched");
+    }
+
+    #[test]
+    fn cancellation_releases_the_quiesce_barrier() {
+        let sched: Scheduler<&str> = Scheduler::new(drr_config());
+        let ticket = sched.submit("doomed", JobMeta::default()).unwrap();
+        let cutoff = sched.barrier();
+        assert!(sched.cancel(ticket));
+        // Nothing pre-cutoff is left in flight: returns without any worker.
+        sched.quiesce_until(cutoff);
+        sched.quiesce();
     }
 
     #[test]

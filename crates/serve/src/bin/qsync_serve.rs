@@ -151,7 +151,15 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let engine = Arc::new(PlanEngine::with_cache_config(parse_cache_config(flags)?));
     let server = PlanServer::with_sched(engine, workers, parse_sched_config(flags)?);
     match flags.get("tcp") {
-        Some(addr) => server.serve_tcp(addr).map_err(|e| e.to_string()),
+        Some(addr) => {
+            // The reactor multiplexes every connection on one thread; make
+            // sure the fd budget, not the default soft ulimit, is the cap.
+            match qsync_serve::transport::ensure_fd_limit(65_536) {
+                Ok(limit) => eprintln!("qsync-serve: fd limit {limit}"),
+                Err(e) => eprintln!("qsync-serve: could not raise fd limit: {e}"),
+            }
+            server.serve_tcp(addr).map_err(|e| e.to_string())
+        }
         None => {
             let reader = BufReader::new(stdin());
             server.serve_lines(reader, stdout()).map_err(|e| e.to_string())

@@ -22,12 +22,19 @@
 //!   is CPU bound, so the server runs N planner threads — fed by a
 //!   [`qsync_sched::Scheduler`] rather than a FIFO channel. Requests may
 //!   carry a priority class (interactive > batch > background), a fair-share
-//!   `client_id` (deficit round robin across clients) and a `deadline_ms`
-//!   (EDF lane + miss accounting); requests without them behave exactly like
-//!   the original FIFO server. Queues are bounded (load shedding) and queued
-//!   requests are cancellable. Responses stream back as they complete
-//!   (responses carry the request id; ordering across concurrent requests is
-//!   not guaranteed).
+//!   `client_id` (deficit round robin across clients; absent, the
+//!   *connection identity* is the client) and a `deadline_ms` (EDF lane +
+//!   miss accounting); requests without them behave exactly like the
+//!   original FIFO server. Queues are bounded (load shedding) and queued
+//!   requests are cancellable by the connection that submitted them.
+//!   Responses stream back as they complete (responses carry the request id;
+//!   ordering across concurrent requests is not guaranteed).
+//! * **Reactor transport** ([`transport`]): TCP connections are multiplexed
+//!   onto one epoll event loop (vendored [`polling`]), so thousands of idle
+//!   connections cost buffers, not threads — and every connection shares
+//!   **one** scheduler, engine and worker pool, making DRR fairness and
+//!   delta quiescing global across clients instead of per connection. The
+//!   stdin JSONL path is a thin blocking adapter over the same core.
 //! * **Delta batching** ([`elastic::DeltaCoalescer`]): concurrent elasticity
 //!   events coalesce into waves; same-cluster deltas compose into one shape
 //!   chain, entries are invalidated once, and the warm re-plans fan out
@@ -46,6 +53,7 @@ pub mod engine;
 pub mod model;
 pub mod request;
 pub mod server;
+pub mod transport;
 
 pub use cache::{CacheConfig, CacheStats, PlanCache};
 pub use elastic::{ClusterDelta, DeltaCoalescer, DeltaRequest, DeltaResponse, DeltaStats};
@@ -55,3 +63,4 @@ pub use qsync_core::plan::PrecisionPlan;
 pub use qsync_sched::{Priority, SchedConfig, SchedPolicy, SchedStats};
 pub use request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
 pub use server::{PlanServer, ServerCommand, ServerReply};
+pub use transport::{ShutdownSignal, TransportConfig};

@@ -50,8 +50,10 @@ pub struct PlanRequest {
     /// defaults to [`Priority::Interactive`] — the pre-scheduler behavior.
     pub priority: Option<Priority>,
     /// Fair-queuing identity: requests sharing a `client_id` share one DRR
-    /// queue and cannot starve other clients. `None` joins the anonymous
-    /// shared queue.
+    /// queue and cannot starve other clients. `None` defaults to the
+    /// **connection identity** on the streaming paths (each connection gets
+    /// its own queue), so an anonymous flood on one connection cannot starve
+    /// the rest of the fleet.
     pub client_id: Option<String>,
     /// Relative deadline in milliseconds from ingress. Routes the request
     /// through the scheduler's EDF lane; completion past the deadline is
@@ -76,7 +78,9 @@ impl PlanRequest {
     }
 
     /// The scheduling metadata this request resolves to (absent fields fall
-    /// back to the scheduler defaults: interactive, anonymous, no deadline).
+    /// back to the scheduler defaults: interactive, the anonymous client —
+    /// which the streaming server replaces with the connection identity —
+    /// and no deadline).
     pub fn job_meta(&self) -> JobMeta {
         JobMeta {
             client: self.client_id.clone().unwrap_or_default(),

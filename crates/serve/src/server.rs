@@ -1,4 +1,5 @@
-//! The multi-threaded plan server: JSON-line protocol over stdin/stdout or TCP.
+//! The plan server: JSON-line protocol over stdin/stdout or TCP, executed by
+//! one shared scheduling core.
 //!
 //! Protocol: one [`ServerCommand`] JSON object per input line, one
 //! [`ServerReply`] JSON object per output line. Plan requests are submitted to
@@ -6,19 +7,33 @@
 //! back **as they complete** — callers correlate by the echoed `id`, not by
 //! line order. Scheduling honors the request's optional `priority`,
 //! `client_id` and `deadline_ms` fields (see [`crate::request::PlanRequest`]);
-//! requests without them behave exactly like the pre-scheduler FIFO server.
-//! Elasticity deltas are barriers: the dispatcher quiesces the scheduler
-//! before applying the delta, so a delta deterministically sees every plan
-//! accepted before it on the input stream — and the delta's warm re-plans fan
-//! out through the scheduler's **batch** class instead of running serially.
-//! Stats reads answer immediately. `Cancel` removes a still-queued plan
-//! request (a successfully cancelled plan produces no `Plan` reply; the
-//! `Cancelled` confirmation is its reply).
+//! a request without a `client_id` is fair-queued under its **connection
+//! identity**, so one flooding connection cannot starve the others.
+//!
+//! Since the transport rewrite there is exactly **one** scheduler, one
+//! [`PlanEngine`] (and thus one delta coalescer) and one worker pool per
+//! server, shared by every connection ([`ServeCore`]): DRR fairness, delta
+//! quiescing and the plan cache are all global. The blocking JSONL path
+//! ([`PlanServer::serve_lines`]) is a thin adapter over that core; the TCP
+//! path multiplexes all connections onto an epoll reactor
+//! ([`crate::transport`]).
+//!
+//! Elasticity deltas are barriers: a delta waits for every plan submitted
+//! (on any connection) before it, then applies — coalescing with concurrent
+//! deltas — and fans its warm re-plans out through the scheduler's **batch**
+//! class. Deltas run on dedicated executor threads so the connection that
+//! submitted one keeps streaming; in particular a `Stats` read taken
+//! mid-quiesce answers immediately from counters instead of blocking behind
+//! the barrier. `Cancel` removes a still-queued plan request submitted **on
+//! the same connection** (a successfully cancelled plan produces no `Plan`
+//! reply; the `Cancelled` confirmation is its reply); plans queued by other
+//! connections are out of reach and report `cancelled: false`.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::{mpsc, Arc, Mutex};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 
 use serde::{Deserialize, Serialize};
@@ -29,6 +44,7 @@ use crate::cache::CacheStats;
 use crate::elastic::{DeltaRequest, DeltaStats};
 use crate::engine::{PlanEngine, ReplanChain};
 use crate::request::{PlanRequest, PlanResponse};
+use crate::transport::{Outbox, TransportConfig};
 
 /// One input line of the serving protocol.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,7 +58,7 @@ pub enum ServerCommand {
         /// Caller-chosen id echoed in the reply.
         id: u64,
     },
-    /// Cancel a still-queued plan request by its `id`.
+    /// Cancel a still-queued plan request submitted on this connection.
     Cancel {
         /// Caller-chosen id echoed in the reply.
         id: u64,
@@ -65,7 +81,8 @@ pub enum ServerReply {
         /// Cache counters at read time.
         stats: CacheStats,
         /// Scheduler counters (queue depths, per-class throughput, sheds,
-        /// deadline accounting). `None` from the schedulerless one-shot
+        /// deadline accounting), global across every connection of the
+        /// server. `None` from the schedulerless one-shot
         /// [`PlanServer::handle`] path.
         sched: Option<SchedStats>,
         /// Elasticity counters (delta waves, coalesced events, batched
@@ -78,7 +95,8 @@ pub enum ServerReply {
         id: u64,
         /// The plan request id the cancel targeted.
         plan_id: u64,
-        /// `true` if the plan was still queued and has been removed.
+        /// `true` if the plan was still queued (on this connection) and has
+        /// been removed.
         cancelled: bool,
     },
     /// The command on this line could not be served.
@@ -92,8 +110,12 @@ pub enum ServerReply {
 
 /// One scheduler job of the serving layer.
 enum ServeJob {
-    /// A client plan request (reply written by the worker).
-    Plan(PlanRequest),
+    /// A client plan request; the reply is routed back to the submitting
+    /// connection.
+    Plan {
+        request: PlanRequest,
+        conn: Arc<ConnState>,
+    },
     /// One re-plan chain of a delta wave; the result is sent back to the
     /// wave leader.
     Replan {
@@ -103,13 +125,344 @@ enum ServeJob {
     },
 }
 
-/// The plan server: a shared [`PlanEngine`], a worker-pool size and the
-/// scheduler configuration.
+/// Where a connection's replies go.
+pub(crate) enum Sink {
+    /// The blocking-adapter path: serialized replies flow through a channel
+    /// to a dedicated writer thread.
+    Line(mpsc::Sender<String>),
+    /// The reactor path: bytes are buffered per connection and flushed by the
+    /// event loop under write-readiness.
+    Outbox(Arc<Outbox>),
+}
+
+/// Per-connection serving state, shared between the transport (which reads
+/// commands) and the workers (which produce replies).
+pub(crate) struct ConnState {
+    /// Server-unique connection number; the default fair-queuing identity.
+    id: u64,
+    /// Commands accepted but not yet replied to (plans queued or running,
+    /// deltas pending). The transport closes a connection only once this
+    /// returns to zero.
+    pending: Mutex<usize>,
+    /// Signalled when `pending` returns to zero.
+    idle: Condvar,
+    sink: Sink,
+}
+
+impl ConnState {
+    /// The fair-queuing identity of requests that don't name a `client_id`.
+    pub(crate) fn identity(&self) -> String {
+        format!("conn-{}", self.id)
+    }
+
+    /// The connection number.
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Serialize and enqueue one reply line.
+    pub(crate) fn send(&self, reply: &ServerReply) {
+        let text = serde_json::to_string(reply).expect("reply serialization cannot fail");
+        match &self.sink {
+            // A dropped receiver means the stream ended; nothing to tell.
+            Sink::Line(tx) => drop(tx.send(text)),
+            Sink::Outbox(outbox) => outbox.push_line(&text),
+        }
+    }
+
+    fn begin(&self) {
+        *self.pending.lock().expect("pending counter poisoned") += 1;
+    }
+
+    fn end(&self) {
+        let mut pending = self.pending.lock().expect("pending counter poisoned");
+        *pending -= 1;
+        let idle = *pending == 0;
+        drop(pending);
+        if idle {
+            self.idle.notify_all();
+            // Wake the reactor so it can re-check closability of an EOF'd
+            // connection whose last reply just landed.
+            if let Sink::Outbox(outbox) = &self.sink {
+                outbox.mark_dirty();
+            }
+        }
+    }
+
+    /// Outstanding replies (commands accepted but not yet answered).
+    pub(crate) fn pending_count(&self) -> usize {
+        *self.pending.lock().expect("pending counter poisoned")
+    }
+
+    /// Block until every accepted command has been replied to.
+    fn wait_idle(&self) {
+        let mut pending = self.pending.lock().expect("pending counter poisoned");
+        while *pending > 0 {
+            pending = self.idle.wait(pending).expect("pending counter poisoned");
+        }
+    }
+}
+
+/// A delta handed off to the executor threads.
+struct DeltaTask {
+    request: DeltaRequest,
+    conn: Arc<ConnState>,
+}
+
+/// How many dedicated delta-executor threads a core runs. More than one lets
+/// concurrent deltas coalesce into shared waves; deltas are rare events, so a
+/// small fixed pool is plenty.
+const DELTA_EXECUTORS: usize = 2;
+
+/// The shared serving core: exactly one scheduler, engine (plan cache +
+/// delta coalescer) and worker pool, shared by **every** connection of a
+/// server — fairness and delta barriers are global, as designed.
+pub(crate) struct ServeCore {
+    engine: Arc<PlanEngine>,
+    sched: Scheduler<ServeJob>,
+    /// (connection, plan-request id) → scheduler ticket, so `Cancel` can find
+    /// the job — and only a job queued by the *same* connection. Workers
+    /// remove their entry at dispatch; cancels remove it early.
+    tickets: Mutex<HashMap<(u64, u64), u64>>,
+    /// Delta hand-off to the executor threads; `None` once shutdown started.
+    delta_tx: Mutex<Option<mpsc::Sender<DeltaTask>>>,
+    next_conn: AtomicU64,
+}
+
+/// Owner of a [`ServeCore`]'s threads; [`stop`](CoreHandle::stop) closes the
+/// scheduler, drains and joins.
+pub(crate) struct CoreHandle {
+    pub(crate) core: Arc<ServeCore>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl CoreHandle {
+    /// Stop accepting work, drain queued jobs and join every core thread.
+    pub(crate) fn stop(self) {
+        // New deltas now error out instead of queueing; executor threads
+        // drain what's already queued, then exit on the closed channel.
+        self.core.delta_tx.lock().expect("delta sender poisoned").take();
+        // Workers drain the remaining queue, then exit.
+        self.core.sched.close();
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl ServeCore {
+    /// Start a core: `workers` planner threads plus the delta executors.
+    pub(crate) fn start(engine: Arc<PlanEngine>, workers: usize, config: SchedConfig) -> CoreHandle {
+        let (delta_tx, delta_rx) = mpsc::channel::<DeltaTask>();
+        let core = Arc::new(ServeCore {
+            engine,
+            sched: Scheduler::new(config),
+            tickets: Mutex::new(HashMap::new()),
+            delta_tx: Mutex::new(Some(delta_tx)),
+            next_conn: AtomicU64::new(0),
+        });
+        let mut threads = Vec::with_capacity(workers + DELTA_EXECUTORS);
+        for i in 0..workers.max(1) {
+            let core = Arc::clone(&core);
+            let builder = thread::Builder::new().name(format!("qsync-serve-worker-{i}"));
+            threads.push(builder.spawn(move || core.worker_loop()).expect("spawn worker"));
+        }
+        let delta_rx = Arc::new(Mutex::new(delta_rx));
+        for i in 0..DELTA_EXECUTORS {
+            let core = Arc::clone(&core);
+            let rx = Arc::clone(&delta_rx);
+            let builder = thread::Builder::new().name(format!("qsync-serve-delta-{i}"));
+            threads.push(builder.spawn(move || core.delta_loop(&rx)).expect("spawn delta executor"));
+        }
+        CoreHandle { core, threads }
+    }
+
+    /// Register a new connection over the given reply sink.
+    pub(crate) fn register_conn(&self, sink: Sink) -> Arc<ConnState> {
+        Arc::new(ConnState {
+            id: self.next_conn.fetch_add(1, Ordering::Relaxed),
+            pending: Mutex::new(0),
+            idle: Condvar::new(),
+            sink,
+        })
+    }
+
+    /// Cancel every still-queued plan a (closed) connection submitted.
+    pub(crate) fn cancel_conn(&self, conn_id: u64) {
+        let orphaned: Vec<u64> = {
+            let mut tickets = self.tickets.lock().expect("ticket map poisoned");
+            let doomed: Vec<(u64, u64)> =
+                tickets.keys().filter(|(conn, _)| *conn == conn_id).copied().collect();
+            doomed.into_iter().filter_map(|key| tickets.remove(&key)).collect()
+        };
+        for ticket in orphaned {
+            self.sched.cancel(ticket);
+        }
+    }
+
+    /// Handle one raw input line from a connection: parse errors become
+    /// `Error` replies, everything else dispatches through
+    /// [`handle_command`](Self::handle_command). Blank lines are skipped.
+    pub(crate) fn handle_line(&self, conn: &Arc<ConnState>, line: &str) {
+        if line.trim().is_empty() {
+            return;
+        }
+        match serde_json::from_str::<ServerCommand>(line) {
+            Err(e) => {
+                conn.send(&ServerReply::Error {
+                    id: None,
+                    message: format!("unparseable command: {e}"),
+                });
+            }
+            Ok(command) => self.handle_command(conn, command),
+        }
+    }
+
+    /// Dispatch one parsed command. Never blocks on planning or on the delta
+    /// barrier: plans are queued, stats answer from counters, deltas are
+    /// handed to the executor threads.
+    pub(crate) fn handle_command(&self, conn: &Arc<ConnState>, command: ServerCommand) {
+        match command {
+            ServerCommand::Plan(request) => {
+                let mut meta = request.job_meta();
+                if request.client_id.is_none() {
+                    // Fair-queue anonymous requests per connection, so one
+                    // flooding connection cannot starve the others.
+                    meta.client = conn.identity();
+                }
+                let request_id = request.id;
+                conn.begin();
+                // Hold the ticket-map lock across the submit: a woken worker
+                // checks the map at dispatch, so inserting after an unlocked
+                // submit could leave a stale entry for an already-dispatched
+                // job.
+                let mut tickets = self.tickets.lock().expect("ticket map poisoned");
+                match self.sched.submit(ServeJob::Plan { request, conn: Arc::clone(conn) }, meta) {
+                    Ok(ticket) => {
+                        tickets.insert((conn.id, request_id), ticket);
+                    }
+                    Err(rejected) => {
+                        drop(tickets);
+                        // Admission control: shed immediately.
+                        conn.send(&ServerReply::Error {
+                            id: Some(request_id),
+                            message: rejected.error.to_string(),
+                        });
+                        conn.end();
+                    }
+                }
+            }
+            ServerCommand::Stats { id } => {
+                // Stats are a monitoring read: answer immediately from
+                // counters, never behind queued work or a delta barrier.
+                conn.send(&ServerReply::Stats {
+                    id,
+                    stats: self.engine.cache().stats(),
+                    sched: Some(self.sched.stats()),
+                    deltas: self.engine.delta_stats(),
+                });
+            }
+            ServerCommand::Cancel { id, plan_id } => {
+                let ticket =
+                    self.tickets.lock().expect("ticket map poisoned").remove(&(conn.id, plan_id));
+                let cancelled = ticket.is_some_and(|t| self.sched.cancel(t));
+                conn.send(&ServerReply::Cancelled { id, plan_id, cancelled });
+                if cancelled {
+                    // The cancelled plan will never reply; the confirmation
+                    // above was its reply.
+                    conn.end();
+                }
+            }
+            ServerCommand::Delta(request) => {
+                let request_id = request.id;
+                conn.begin();
+                let tx = self.delta_tx.lock().expect("delta sender poisoned").clone();
+                let handed_off = tx.is_some_and(|tx| {
+                    tx.send(DeltaTask { request, conn: Arc::clone(conn) }).is_ok()
+                });
+                if !handed_off {
+                    conn.send(&ServerReply::Error {
+                        id: Some(request_id),
+                        message: "server is shutting down; delta not applied".into(),
+                    });
+                    conn.end();
+                }
+            }
+        }
+    }
+
+    /// Planner-thread body: drain the scheduler until it closes.
+    fn worker_loop(&self) {
+        while let Some(mut job) = self.sched.next() {
+            let expired = job.expired();
+            let wait_ms = job.queue_wait_ms();
+            match job.take_payload() {
+                ServeJob::Plan { request, conn } => {
+                    let mut tickets = self.tickets.lock().expect("ticket map poisoned");
+                    if tickets.get(&(conn.id, request.id)) == Some(&job.id()) {
+                        tickets.remove(&(conn.id, request.id));
+                    }
+                    drop(tickets);
+                    let reply = if expired {
+                        ServerReply::Error {
+                            id: Some(request.id),
+                            message: format!(
+                                "deadline exceeded before planning started (queued {wait_ms} ms)"
+                            ),
+                        }
+                    } else {
+                        match self.engine.plan(&request) {
+                            Ok(response) => ServerReply::Plan(response),
+                            Err(message) => ServerReply::Error { id: Some(request.id), message },
+                        }
+                    };
+                    conn.send(&reply);
+                    conn.end();
+                }
+                ServeJob::Replan { index, chain, tx } => {
+                    let _ = tx.send((index, self.engine.run_replan_chain(&chain)));
+                }
+            }
+        }
+    }
+
+    /// Delta-executor body: apply deltas off the transport threads so
+    /// connections keep streaming (and stats keep answering) while a barrier
+    /// is pending.
+    fn delta_loop(&self, rx: &Mutex<mpsc::Receiver<DeltaTask>>) {
+        loop {
+            // Hold the receiver lock only while waiting; concurrent tasks
+            // then process in parallel (and coalesce in the engine).
+            let task = match rx.lock().expect("delta receiver poisoned").recv() {
+                Ok(task) => task,
+                Err(_) => return,
+            };
+            // Barrier: every plan submitted (on any connection) before this
+            // delta completes first. Plans submitted after the barrier began
+            // are not waited for, so the barrier cannot starve under
+            // continuous cross-connection traffic.
+            self.sched.quiesce();
+            let reply = match self.engine.apply_delta_coalesced_with(&task.request, |chains| {
+                fan_out_replans(&self.sched, &self.engine, chains)
+            }) {
+                Ok(outcome) => ServerReply::Delta(outcome),
+                Err(message) => ServerReply::Error { id: Some(task.request.id), message },
+            };
+            task.conn.send(&reply);
+            task.conn.end();
+        }
+    }
+
+}
+
+/// The plan server: a shared [`PlanEngine`], a worker-pool size, the
+/// scheduler configuration and the transport tuning.
 #[derive(Debug, Clone)]
 pub struct PlanServer {
     engine: Arc<PlanEngine>,
     workers: usize,
     sched: SchedConfig,
+    transport: TransportConfig,
 }
 
 impl PlanServer {
@@ -127,7 +480,14 @@ impl PlanServer {
     /// A server with an explicit scheduler configuration (policy, per-class
     /// queue caps, quantum, expired-job shedding).
     pub fn with_sched(engine: Arc<PlanEngine>, workers: usize, sched: SchedConfig) -> Self {
-        PlanServer { engine, workers: workers.max(1), sched }
+        PlanServer { engine, workers: workers.max(1), sched, transport: TransportConfig::default() }
+    }
+
+    /// This server with an explicit transport configuration (line-length
+    /// cap, per-connection buffer cap, shutdown drain budget).
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// The shared engine.
@@ -135,8 +495,24 @@ impl PlanServer {
         &self.engine
     }
 
+    /// The worker-pool size.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The scheduler configuration.
+    pub(crate) fn sched_config(&self) -> &SchedConfig {
+        &self.sched
+    }
+
+    /// The transport configuration.
+    pub(crate) fn transport_config(&self) -> &TransportConfig {
+        &self.transport
+    }
+
     /// Serve one command synchronously, without a scheduler (one-shot use;
-    /// the streaming path is [`serve_lines`](Self::serve_lines)).
+    /// the streaming paths are [`serve_lines`](Self::serve_lines) and
+    /// [`serve_listener`](Self::serve_listener)).
     pub fn handle(&self, command: ServerCommand) -> ServerReply {
         match command {
             ServerCommand::Plan(request) => match self.engine.plan(&request) {
@@ -154,147 +530,60 @@ impl PlanServer {
                 deltas: self.engine.delta_stats(),
             },
             ServerCommand::Cancel { id, plan_id } => {
-                // Nothing queues outside serve_lines; there is nothing to cancel.
+                // Nothing queues outside the streaming paths; there is
+                // nothing to cancel.
                 ServerReply::Cancelled { id, plan_id, cancelled: false }
             }
         }
     }
 
-    /// Serve a JSON-line stream until EOF. Plan commands are scheduled onto
-    /// the worker pool; stats answer immediately; deltas quiesce the
-    /// scheduler (barrier), coalesce with concurrent deltas from other
-    /// connections, and fan their re-plans out through the batch class.
+    /// Serve a JSON-line stream until EOF — the blocking adapter over the
+    /// same [`ServeCore`] the TCP reactor uses. Plan commands are scheduled
+    /// onto the worker pool; stats answer immediately; deltas run on the
+    /// executor threads (quiescing the scheduler, coalescing with concurrent
+    /// deltas, fanning re-plans out through the batch class). Returns once
+    /// every accepted command has been answered.
     pub fn serve_lines<R: BufRead, W: Write + Send>(
         &self,
         reader: R,
         writer: W,
     ) -> std::io::Result<()> {
-        let writer = Mutex::new(writer);
-        let sched: Scheduler<ServeJob> = Scheduler::new(self.sched.clone());
-        // Plan-request id → scheduler ticket, so `Cancel` can find the job.
-        // Workers remove their entry at dispatch; cancels remove it early.
-        let tickets: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
+        let handle = ServeCore::start(Arc::clone(&self.engine), self.workers, self.sched.clone());
+        let core = Arc::clone(&handle.core);
+        let (reply_tx, reply_rx) = mpsc::channel::<String>();
+        let conn = core.register_conn(Sink::Line(reply_tx));
         let mut io_error: Option<std::io::Error> = None;
 
         thread::scope(|scope| {
-            for _ in 0..self.workers {
-                let sched = &sched;
-                let writer = &writer;
-                let tickets = &tickets;
-                scope.spawn(move || {
-                    while let Some(mut job) = sched.next() {
-                        let expired = job.expired();
-                        let wait_ms = job.queue_wait_ms();
-                        match job.take_payload() {
-                            ServeJob::Plan(request) => {
-                                let mut pending = tickets.lock().expect("ticket map poisoned");
-                                if pending.get(&request.id) == Some(&job.id()) {
-                                    pending.remove(&request.id);
-                                }
-                                drop(pending);
-                                let reply = if expired {
-                                    ServerReply::Error {
-                                        id: Some(request.id),
-                                        message: format!(
-                                            "deadline exceeded before planning started (queued {wait_ms} ms)"
-                                        ),
-                                    }
-                                } else {
-                                    match self.engine.plan(&request) {
-                                        Ok(response) => ServerReply::Plan(response),
-                                        Err(message) => {
-                                            ServerReply::Error { id: Some(request.id), message }
-                                        }
-                                    }
-                                };
-                                let _ = write_reply(writer, &reply);
-                            }
-                            ServeJob::Replan { index, chain, tx } => {
-                                let _ = tx.send((index, self.engine.run_replan_chain(&chain)));
-                            }
-                        }
+            // Replies are produced by worker/delta threads; a dedicated
+            // writer thread owns the (possibly non-'static) writer. Write
+            // errors are swallowed, as they always were on this path — the
+            // reader side decides when the stream ends.
+            let writer_thread = scope.spawn(move || {
+                let mut writer = writer;
+                for line in reply_rx {
+                    if writeln!(writer, "{line}").is_err() || writer.flush().is_err() {
+                        // Keep draining so reply producers never observe a
+                        // closed channel mid-stream.
                     }
-                });
-            }
-
+                }
+            });
             for line in reader.lines() {
-                let line = match line {
-                    Ok(l) => l,
+                match line {
+                    Ok(line) => core.handle_line(&conn, &line),
                     Err(e) => {
                         io_error = Some(e);
                         break;
                     }
-                };
-                if line.trim().is_empty() {
-                    continue;
-                }
-                match serde_json::from_str::<ServerCommand>(&line) {
-                    Err(e) => {
-                        let reply = ServerReply::Error {
-                            id: None,
-                            message: format!("unparseable command: {e}"),
-                        };
-                        let _ = write_reply(&writer, &reply);
-                    }
-                    Ok(ServerCommand::Plan(request)) => {
-                        let meta = request.job_meta();
-                        let request_id = request.id;
-                        // Hold the ticket-map lock across the submit: a woken
-                        // worker checks the map at dispatch, so inserting
-                        // after an unlocked submit could leave a stale entry
-                        // for an already-dispatched job.
-                        let mut pending = tickets.lock().expect("ticket map poisoned");
-                        match sched.submit(ServeJob::Plan(request), meta) {
-                            Ok(ticket) => {
-                                pending.insert(request_id, ticket);
-                            }
-                            Err(rejected) => {
-                                drop(pending);
-                                // Admission control: shed immediately.
-                                let reply = ServerReply::Error {
-                                    id: Some(request_id),
-                                    message: rejected.error.to_string(),
-                                };
-                                let _ = write_reply(&writer, &reply);
-                            }
-                        }
-                    }
-                    Ok(ServerCommand::Stats { id }) => {
-                        // Stats are a monitoring read: answer immediately,
-                        // without waiting behind queued planning work.
-                        let reply = ServerReply::Stats {
-                            id,
-                            stats: self.engine.cache().stats(),
-                            sched: Some(sched.stats()),
-                            deltas: self.engine.delta_stats(),
-                        };
-                        let _ = write_reply(&writer, &reply);
-                    }
-                    Ok(ServerCommand::Cancel { id, plan_id }) => {
-                        let ticket = tickets.lock().expect("ticket map poisoned").remove(&plan_id);
-                        let cancelled = ticket.is_some_and(|t| sched.cancel(t));
-                        let reply = ServerReply::Cancelled { id, plan_id, cancelled };
-                        let _ = write_reply(&writer, &reply);
-                    }
-                    Ok(ServerCommand::Delta(request)) => {
-                        // Barrier: a delta must observe every prior plan of
-                        // this stream.
-                        sched.quiesce();
-                        let reply = match self.engine.apply_delta_coalesced_with(
-                            &request,
-                            |chains| fan_out_replans(&sched, &self.engine, chains),
-                        ) {
-                            Ok(outcome) => ServerReply::Delta(outcome),
-                            Err(message) => {
-                                ServerReply::Error { id: Some(request.id), message }
-                            }
-                        };
-                        let _ = write_reply(&writer, &reply);
-                    }
                 }
             }
-            sched.close();
+            // Every accepted command replies (worker plans, delta executors)
+            // before the reply channel may close.
+            conn.wait_idle();
+            drop(conn);
+            writer_thread.join().expect("writer thread panicked");
         });
+        handle.stop();
 
         match io_error {
             Some(e) => Err(e),
@@ -302,29 +591,10 @@ impl PlanServer {
         }
     }
 
-    /// Serve TCP connections on `addr` forever (one stream-serving thread per
-    /// connection, all sharing the engine and its cache).
-    pub fn serve_tcp(&self, addr: &str) -> std::io::Result<()> {
-        let listener = TcpListener::bind(addr)?;
-        eprintln!("qsync-serve: listening on {}", listener.local_addr()?);
-        thread::scope(|scope| {
-            for stream in listener.incoming() {
-                match stream {
-                    Ok(stream) => {
-                        scope.spawn(move || {
-                            if let Err(e) = self.serve_stream(stream) {
-                                eprintln!("qsync-serve: connection error: {e}");
-                            }
-                        });
-                    }
-                    Err(e) => eprintln!("qsync-serve: accept error: {e}"),
-                }
-            }
-        });
-        Ok(())
-    }
-
-    /// Serve one TCP connection.
+    /// Serve one already-accepted TCP connection with a private core (the
+    /// single-connection helper; fleets should use
+    /// [`serve_listener`](Self::serve_listener), which multiplexes every
+    /// connection onto one shared core).
     pub fn serve_stream(&self, stream: TcpStream) -> std::io::Result<()> {
         let reader = BufReader::new(stream.try_clone()?);
         self.serve_lines(reader, stream)
@@ -365,13 +635,6 @@ fn fan_out_replans(
         .into_iter()
         .map(|r| r.expect("every replan chain completed"))
         .collect()
-}
-
-fn write_reply<W: Write>(writer: &Mutex<W>, reply: &ServerReply) -> std::io::Result<()> {
-    let text = serde_json::to_string(reply).expect("reply serialization cannot fail");
-    let mut w = writer.lock().expect("writer poisoned");
-    writeln!(w, "{text}")?;
-    w.flush()
 }
 
 #[cfg(test)]
@@ -476,5 +739,19 @@ mod tests {
         let sched = stats.expect("streaming path reports scheduler stats");
         assert_eq!(sched.policy, "drr");
         assert_eq!(sched.interactive.submitted, 1);
+    }
+
+    #[test]
+    fn anonymous_requests_fair_queue_under_the_connection_identity() {
+        let engine = PlanEngine::shared();
+        let handle = ServeCore::start(Arc::clone(&engine), 1, SchedConfig::default());
+        let (tx_a, _rx_a) = mpsc::channel();
+        let (tx_b, _rx_b) = mpsc::channel();
+        let a = handle.core.register_conn(Sink::Line(tx_a));
+        let b = handle.core.register_conn(Sink::Line(tx_b));
+        assert_ne!(a.identity(), b.identity(), "each connection gets its own DRR queue");
+        // And an explicit client_id overrides the connection identity — the
+        // submit path is exercised end-to-end by the transport e2e tests.
+        handle.stop();
     }
 }

@@ -1,0 +1,630 @@
+//! Readiness-based TCP transport: every connection multiplexed on one epoll
+//! reactor thread.
+//!
+//! The previous transport spawned a thread (and a private scheduler!) per
+//! connection, so a thousand idle clients pinned a thousand stacks and
+//! fairness stopped at the connection boundary. This reactor holds all
+//! connections on a single [`polling::Poller`]:
+//!
+//! * **Nonblocking accept** — the listener is registered like any other
+//!   source; an accept burst is drained in one readiness event.
+//! * **Incremental JSONL framing** — per-connection read buffers accumulate
+//!   bytes until `\n`; partial lines survive any read-boundary split, and a
+//!   line exceeding [`TransportConfig::max_line_bytes`] draws an `Error`
+//!   reply and a connection close instead of unbounded buffering.
+//! * **Write-side backpressure** — replies land in a per-connection
+//!   [`Outbox`]; the reactor flushes opportunistically and registers
+//!   **write interest only while bytes remain** (level-triggered epoll).
+//!   When a slow reader lets the buffered bytes exceed
+//!   [`TransportConfig::max_buffered_bytes`], the reactor drops the
+//!   connection's *read* interest until the backlog drains below half.
+//! * **Graceful shutdown** — a [`ShutdownSignal`] stops the accept loop,
+//!   stops reading new commands, and drains outstanding replies for up to
+//!   [`TransportConfig::drain_timeout`] before closing.
+//!
+//! Commands are parsed on the reactor thread and dispatched into the shared
+//! [`ServeCore`](crate::server): planning runs on the worker pool, deltas on
+//! the executor threads — the reactor itself never blocks on either, so a
+//! pending delta barrier cannot stall unrelated connections (nor `Stats`
+//! reads, which answer inline from counters).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use polling::{Event, Interest, Poller};
+
+use crate::server::{PlanServer, ServeCore, ServerReply, Sink};
+
+/// Raise the process's soft `RLIMIT_NOFILE` toward `want` (capped at the
+/// hard limit) and return the resulting soft limit. A reactor is bounded by
+/// file descriptors, not threads, so a many-connection server (or test)
+/// should lift the often-1024 default soft limit before serving.
+#[cfg(target_os = "linux")]
+pub fn ensure_fd_limit(want: u64) -> io::Result<u64> {
+    #[repr(C)]
+    struct RLimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: std::os::raw::c_int, rlim: *mut RLimit) -> std::os::raw::c_int;
+        fn setrlimit(resource: std::os::raw::c_int, rlim: *const RLimit) -> std::os::raw::c_int;
+    }
+    const RLIMIT_NOFILE: std::os::raw::c_int = 7;
+
+    let mut limit = RLimit { rlim_cur: 0, rlim_max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut limit) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if limit.rlim_cur >= want {
+        return Ok(limit.rlim_cur);
+    }
+    let target = want.min(limit.rlim_max);
+    let raised = RLimit { rlim_cur: target, rlim_max: limit.rlim_max };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(target)
+}
+
+/// Unsupported off Linux (`RLIMIT_NOFILE`'s value is per-OS, and the
+/// reactor itself is Linux-only anyway).
+#[cfg(not(target_os = "linux"))]
+pub fn ensure_fd_limit(_want: u64) -> io::Result<u64> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "ensure_fd_limit is Linux-only"))
+}
+
+/// Tuning of the reactor transport.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Hard cap on one JSONL command line. A connection that exceeds it
+    /// (i.e. streams this many bytes without a newline) gets an `Error`
+    /// reply and is closed — wire input must not buffer unboundedly.
+    pub max_line_bytes: usize,
+    /// Soft cap on a connection's un-flushed reply bytes. Beyond it the
+    /// reactor stops *reading* from that connection (backpressure) until the
+    /// backlog drains below half.
+    pub max_buffered_bytes: usize,
+    /// How long a graceful shutdown waits for in-flight replies to flush
+    /// before force-closing connections.
+    pub drain_timeout: Duration,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            max_line_bytes: 1 << 20,
+            max_buffered_bytes: 8 << 20,
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Cooperative stop flag for [`PlanServer::serve_listener`]. Clone it before
+/// starting the server; [`shutdown`](ShutdownSignal::shutdown) from any
+/// thread makes the reactor stop accepting, drain and return.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownSignal {
+    inner: Arc<ShutdownInner>,
+}
+
+#[derive(Debug, Default)]
+struct ShutdownInner {
+    stop: AtomicBool,
+    waker: Mutex<Option<Arc<ReactorShared>>>,
+}
+
+impl ShutdownSignal {
+    /// A fresh, un-fired signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request shutdown. Idempotent; safe from any thread.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(shared) = self.inner.waker.lock().expect("shutdown waker poisoned").as_ref() {
+            let _ = shared.poller.notify();
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    fn attach(&self, shared: &Arc<ReactorShared>) {
+        *self.inner.waker.lock().expect("shutdown waker poisoned") = Some(Arc::clone(shared));
+    }
+}
+
+/// State shared between the reactor and the reply producers (workers, delta
+/// executors): the poller plus the list of connections with fresh output.
+#[derive(Debug)]
+pub(crate) struct ReactorShared {
+    poller: Poller,
+    dirty: Mutex<Vec<usize>>,
+}
+
+/// A connection's reply buffer, filled by worker threads and flushed by the
+/// reactor under write readiness.
+#[derive(Debug)]
+pub(crate) struct Outbox {
+    key: usize,
+    buf: Mutex<OutboxBuf>,
+    shared: Arc<ReactorShared>,
+}
+
+#[derive(Debug, Default)]
+struct OutboxBuf {
+    bytes: Vec<u8>,
+    closed: bool,
+}
+
+impl Outbox {
+    /// Queue one reply line and wake the reactor to flush it. Replies to a
+    /// connection that already closed are dropped silently.
+    pub(crate) fn push_line(&self, line: &str) {
+        {
+            let mut buf = self.buf.lock().expect("outbox poisoned");
+            if buf.closed {
+                return;
+            }
+            buf.bytes.extend_from_slice(line.as_bytes());
+            buf.bytes.push(b'\n');
+        }
+        self.mark_dirty();
+    }
+
+    /// Flag this connection for the reactor's next flush/closability pass.
+    pub(crate) fn mark_dirty(&self) {
+        self.shared.dirty.lock().expect("dirty list poisoned").push(self.key);
+        let _ = self.shared.poller.notify();
+    }
+
+    /// Move all buffered bytes into `into`.
+    fn take_into(&self, into: &mut Vec<u8>) {
+        let mut buf = self.buf.lock().expect("outbox poisoned");
+        into.extend_from_slice(&buf.bytes);
+        buf.bytes.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.buf.lock().expect("outbox poisoned").bytes.len()
+    }
+
+    fn close(&self) {
+        let mut buf = self.buf.lock().expect("outbox poisoned");
+        buf.closed = true;
+        buf.bytes.clear();
+    }
+}
+
+/// Reactor key of the listener; connections start above it.
+const LISTENER_KEY: usize = 0;
+
+struct Conn {
+    stream: TcpStream,
+    state: Arc<crate::server::ConnState>,
+    outbox: Arc<Outbox>,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    interest: Interest,
+    /// Peer closed its write side (or the server decided to stop reading):
+    /// finish outstanding replies, flush, then close.
+    peer_eof: bool,
+    /// Read interest withdrawn because the reply backlog passed the cap.
+    paused: bool,
+    /// Hard I/O error: discard without flushing.
+    dropped: bool,
+}
+
+impl Conn {
+    fn unflushed(&self) -> usize {
+        self.write_buf.len() - self.write_pos + self.outbox.len()
+    }
+
+    fn closable(&self) -> bool {
+        self.dropped
+            || (self.peer_eof
+                && self.state.pending_count() == 0
+                && self.write_pos == self.write_buf.len()
+                && self.outbox.len() == 0)
+    }
+}
+
+/// Bytes consumed from one connection per readiness pass. Level-triggered
+/// epoll re-delivers the event while bytes remain, so a flooding connection
+/// is revisited only after every other ready connection (and the
+/// flush/backpressure pass) had its turn — one client can neither starve
+/// the reactor nor buffer unboundedly in a single pass.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// How long accepts stay paused after a resource-exhaustion accept error
+/// (e.g. `EMFILE`): the backlog keeps the listener readable, so without a
+/// pause the reactor would spin hot on the failing `accept`.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(250);
+
+struct Reactor {
+    core: Arc<ServeCore>,
+    shared: Arc<ReactorShared>,
+    listener: TcpListener,
+    conns: HashMap<usize, Conn>,
+    next_key: usize,
+    config: TransportConfig,
+    shutdown: ShutdownSignal,
+    /// While set, listener interest is withdrawn; accepts resume at the
+    /// deadline.
+    accept_paused_until: Option<Instant>,
+}
+
+impl Reactor {
+    fn new(
+        core: Arc<ServeCore>,
+        listener: TcpListener,
+        shutdown: ShutdownSignal,
+        config: TransportConfig,
+    ) -> io::Result<Reactor> {
+        let shared = Arc::new(ReactorShared { poller: Poller::new()?, dirty: Mutex::new(Vec::new()) });
+        shutdown.attach(&shared);
+        listener.set_nonblocking(true)?;
+        shared.poller.add(&listener, LISTENER_KEY, Interest::READ)?;
+        Ok(Reactor {
+            core,
+            shared,
+            listener,
+            conns: HashMap::new(),
+            next_key: LISTENER_KEY + 1,
+            config,
+            shutdown,
+            accept_paused_until: None,
+        })
+    }
+
+    fn run(&mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        while !self.shutdown.is_shutdown() {
+            events.clear();
+            // While accepts are backed off, wake at the deadline instead of
+            // blocking indefinitely.
+            let timeout = self.accept_paused_until.map(|until| {
+                until.saturating_duration_since(Instant::now()).max(Duration::from_millis(1))
+            });
+            self.shared.poller.wait(&mut events, timeout)?;
+            if self.shutdown.is_shutdown() {
+                break;
+            }
+            self.maybe_resume_accepts();
+            let ready = std::mem::take(&mut events);
+            for event in &ready {
+                if event.key == LISTENER_KEY {
+                    self.accept_ready();
+                } else {
+                    if event.readable {
+                        self.read_conn(event.key);
+                    }
+                    self.flush_conn(event.key);
+                }
+            }
+            events = ready;
+            self.flush_dirty();
+            self.reap();
+        }
+        self.drain_on_shutdown()
+    }
+
+    /// Drain the accept backlog (level-triggered: one event may cover many
+    /// queued connections).
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Err(e) = self.register(stream) {
+                        eprintln!("qsync-serve: failed to register connection: {e}");
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // The peer reset before we got to it: just move on.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => {
+                    // Resource exhaustion (EMFILE/ENFILE/ENOMEM): the
+                    // backlog keeps the listener readable, so withdraw
+                    // listener interest and retry after a pause instead of
+                    // spinning hot on the failing accept.
+                    eprintln!("qsync-serve: accept error: {e}; pausing accepts briefly");
+                    let _ =
+                        self.shared.poller.modify(&self.listener, LISTENER_KEY, Interest::NONE);
+                    self.accept_paused_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Re-arm the listener once an accept backoff expires.
+    fn maybe_resume_accepts(&mut self) {
+        if self.accept_paused_until.is_some_and(|until| Instant::now() >= until)
+            && self
+                .shared
+                .poller
+                .modify(&self.listener, LISTENER_KEY, Interest::READ)
+                .is_ok()
+        {
+            self.accept_paused_until = None;
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) -> io::Result<()> {
+        stream.set_nonblocking(true)?;
+        // Replies are whole JSON lines; don't let Nagle sit on them.
+        let _ = stream.set_nodelay(true);
+        let key = self.next_key;
+        self.next_key += 1;
+        let outbox = Arc::new(Outbox {
+            key,
+            buf: Mutex::new(OutboxBuf::default()),
+            shared: Arc::clone(&self.shared),
+        });
+        let state = self.core.register_conn(Sink::Outbox(Arc::clone(&outbox)));
+        self.shared.poller.add(&stream, key, Interest::READ)?;
+        self.conns.insert(
+            key,
+            Conn {
+                stream,
+                state,
+                outbox,
+                read_buf: Vec::new(),
+                write_buf: Vec::new(),
+                write_pos: 0,
+                interest: Interest::READ,
+                peer_eof: false,
+                paused: false,
+                dropped: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Pull everything readable out of a connection, frame complete JSONL
+    /// lines, and dispatch them into the core.
+    fn read_conn(&mut self, key: usize) {
+        let mut lines: Vec<String> = Vec::new();
+        let mut oversized = false;
+        let state = {
+            let Some(conn) = self.conns.get_mut(&key) else { return };
+            if conn.paused || conn.peer_eof || conn.dropped {
+                return;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let mut budget = READ_BUDGET;
+            loop {
+                if budget == 0 {
+                    // Level-triggered: the remaining bytes re-deliver the
+                    // event after other connections get their pass.
+                    break;
+                }
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.peer_eof = true;
+                        // EOF terminates a trailing unterminated line, same
+                        // as `BufRead::lines` on the blocking path.
+                        if !conn.read_buf.is_empty() {
+                            lines.push(String::from_utf8_lossy(&conn.read_buf).into_owned());
+                            conn.read_buf.clear();
+                        }
+                        break;
+                    }
+                    Ok(n) => {
+                        budget = budget.saturating_sub(n);
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                        let mut start = 0;
+                        while let Some(offset) =
+                            conn.read_buf[start..].iter().position(|&b| b == b'\n')
+                        {
+                            lines.push(
+                                String::from_utf8_lossy(&conn.read_buf[start..start + offset])
+                                    .into_owned(),
+                            );
+                            start += offset + 1;
+                        }
+                        conn.read_buf.drain(..start);
+                        if conn.read_buf.len() > self.config.max_line_bytes {
+                            oversized = true;
+                            conn.peer_eof = true;
+                            conn.read_buf.clear();
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dropped = true;
+                        break;
+                    }
+                }
+            }
+            if conn.dropped {
+                return;
+            }
+            Arc::clone(&conn.state)
+        };
+        for line in &lines {
+            self.core.handle_line(&state, line);
+        }
+        if oversized {
+            state.send(&ServerReply::Error {
+                id: None,
+                message: format!(
+                    "input line exceeds {} bytes without a newline; closing connection",
+                    self.config.max_line_bytes
+                ),
+            });
+        }
+    }
+
+    /// Stage outbox bytes and write as much as the socket accepts, then
+    /// recompute interest (write interest only while bytes remain, read
+    /// interest unless EOF'd or backpressured).
+    fn flush_conn(&mut self, key: usize) {
+        let Some(conn) = self.conns.get_mut(&key) else { return };
+        if conn.dropped {
+            return;
+        }
+        if conn.write_pos == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+        }
+        conn.outbox.take_into(&mut conn.write_buf);
+        while conn.write_pos < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    conn.dropped = true;
+                    return;
+                }
+                Ok(n) => conn.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dropped = true;
+                    return;
+                }
+            }
+        }
+        if conn.write_pos == conn.write_buf.len() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+        }
+        let backlog = conn.unflushed();
+        if conn.paused {
+            if backlog <= self.config.max_buffered_bytes / 2 {
+                conn.paused = false;
+            }
+        } else if backlog > self.config.max_buffered_bytes {
+            conn.paused = true;
+        }
+        let interest = Interest {
+            readable: !conn.peer_eof && !conn.paused,
+            writable: backlog > 0,
+        };
+        if interest != conn.interest {
+            match self.shared.poller.modify(&conn.stream, key, interest) {
+                Ok(()) => conn.interest = interest,
+                Err(_) => conn.dropped = true,
+            }
+        }
+    }
+
+    /// Flush every connection a worker flagged since the last pass.
+    fn flush_dirty(&mut self) {
+        loop {
+            let mut dirty =
+                std::mem::take(&mut *self.shared.dirty.lock().expect("dirty list poisoned"));
+            if dirty.is_empty() {
+                return;
+            }
+            dirty.sort_unstable();
+            dirty.dedup();
+            for key in dirty {
+                self.flush_conn(key);
+            }
+        }
+    }
+
+    /// Close every connection that is finished (EOF seen, all replies
+    /// delivered) or broken.
+    fn reap(&mut self) {
+        let done: Vec<usize> =
+            self.conns.iter().filter(|(_, c)| c.closable()).map(|(k, _)| *k).collect();
+        for key in done {
+            self.close_conn(key);
+        }
+    }
+
+    fn close_conn(&mut self, key: usize) {
+        if let Some(conn) = self.conns.remove(&key) {
+            conn.outbox.close();
+            let _ = self.shared.poller.delete(&conn.stream);
+            // A broken connection may still have plans queued; nobody can
+            // receive them, so free the scheduler slots.
+            self.core.cancel_conn(conn.state.id());
+        }
+    }
+
+    /// Graceful shutdown: stop accepting and reading, give in-flight work up
+    /// to `drain_timeout` to reply and flush, then close everything.
+    fn drain_on_shutdown(&mut self) -> io::Result<()> {
+        let _ = self.shared.poller.delete(&self.listener);
+        let keys: Vec<usize> = self.conns.keys().copied().collect();
+        for key in &keys {
+            if let Some(conn) = self.conns.get_mut(key) {
+                conn.peer_eof = true;
+            }
+            self.flush_conn(*key);
+        }
+        self.reap();
+        let deadline = Instant::now() + self.config.drain_timeout;
+        let mut events: Vec<Event> = Vec::new();
+        while !self.conns.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            events.clear();
+            let wait = (deadline - now).min(Duration::from_millis(50));
+            self.shared.poller.wait(&mut events, Some(wait))?;
+            let ready = std::mem::take(&mut events);
+            for event in &ready {
+                if event.key != LISTENER_KEY {
+                    self.flush_conn(event.key);
+                }
+            }
+            events = ready;
+            self.flush_dirty();
+            self.reap();
+        }
+        let leftover: Vec<usize> = self.conns.keys().copied().collect();
+        for key in leftover {
+            self.close_conn(key);
+        }
+        Ok(())
+    }
+}
+
+impl PlanServer {
+    /// Serve TCP connections on `addr` forever: every connection is
+    /// multiplexed onto one epoll reactor and shares one scheduler, plan
+    /// engine and worker pool.
+    pub fn serve_tcp(&self, addr: &str) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        eprintln!("qsync-serve: listening on {}", listener.local_addr()?);
+        self.serve_listener(listener, ShutdownSignal::new())
+    }
+
+    /// Serve an already-bound listener until `shutdown` fires (the testable
+    /// entry point behind [`serve_tcp`](Self::serve_tcp)). On shutdown the
+    /// reactor stops accepting, drains outstanding replies within the
+    /// transport's `drain_timeout`, stops the shared core and returns.
+    pub fn serve_listener(
+        &self,
+        listener: TcpListener,
+        shutdown: ShutdownSignal,
+    ) -> io::Result<()> {
+        let handle =
+            ServeCore::start(Arc::clone(self.engine()), self.workers(), self.sched_config().clone());
+        let result = Reactor::new(
+            Arc::clone(&handle.core),
+            listener,
+            shutdown,
+            self.transport_config().clone(),
+        )
+        .and_then(|mut reactor| reactor.run());
+        handle.stop();
+        result
+    }
+}

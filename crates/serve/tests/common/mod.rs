@@ -1,0 +1,123 @@
+//! Shared helpers for the serve integration tests: spawn a reactor-backed
+//! TCP server on an ephemeral port and talk the JSONL protocol to it with
+//! timeouts (so a server bug fails the test instead of hanging it).
+
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qsync_serve::{PlanServer, ServerCommand, ServerReply, ShutdownSignal};
+
+/// How long a client waits for one reply line before declaring the server
+/// wedged.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A [`PlanServer`] running its TCP reactor on a background thread; shuts
+/// down (and joins) on drop.
+pub struct TestServer {
+    /// The ephemeral address the server listens on.
+    pub addr: SocketAddr,
+    shutdown: ShutdownSignal,
+    thread: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    /// Bind an ephemeral port and serve `server` on it.
+    pub fn spawn(server: PlanServer) -> TestServer {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+        let addr = listener.local_addr().expect("local addr");
+        let shutdown = ShutdownSignal::new();
+        let signal = shutdown.clone();
+        let thread =
+            std::thread::spawn(move || server.serve_listener(listener, signal));
+        TestServer { addr, shutdown, thread: Some(thread) }
+    }
+
+    /// Open a protocol client against this server.
+    pub fn client(&self) -> Client {
+        Client::connect(self.addr)
+    }
+
+    /// Fire the shutdown signal and join the reactor thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shutdown.shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("server thread panicked").expect("server failed");
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// A blocking JSONL protocol client with receive timeouts.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: SocketAddr) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect");
+        writer.set_read_timeout(Some(RECV_TIMEOUT)).expect("read timeout");
+        writer.set_write_timeout(Some(RECV_TIMEOUT)).expect("write timeout");
+        // Request lines must leave as one segment: Nagle + the peer's
+        // delayed ACK would otherwise add ~40 ms to every round-trip.
+        writer.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Client { writer, reader }
+    }
+
+    /// Send one raw line (a `\n` is appended), as a single write.
+    pub fn send_line(&mut self, line: &str) {
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        self.writer.write_all(&framed).expect("write line");
+    }
+
+    /// Send raw bytes as-is (fuzzing: no framing added).
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(bytes)
+    }
+
+    /// Send one command.
+    pub fn send(&mut self, command: &ServerCommand) {
+        self.send_line(&serde_json::to_string(command).expect("command serializes"));
+    }
+
+    /// Receive one reply line, panicking on timeout (a deadlocked server
+    /// must fail the test, not hang it) and on EOF.
+    pub fn recv(&mut self) -> ServerReply {
+        match self.try_recv() {
+            Some(reply) => reply,
+            None => panic!("server closed the connection while a reply was expected"),
+        }
+    }
+
+    /// Receive one reply line; `None` on clean EOF. Panics on timeout.
+    pub fn try_recv(&mut self) -> Option<ServerReply> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(serde_json::from_str(&line).expect("reply parses")),
+            Err(e) => panic!("no reply within {RECV_TIMEOUT:?}: {e}"),
+        }
+    }
+
+    /// Close the write side, signalling EOF to the server.
+    pub fn finish_writes(&mut self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Write);
+    }
+}

@@ -10,6 +10,9 @@ use qsync_serve::{
     Priority, SchedConfig, ServerCommand, ServerReply,
 };
 
+mod common;
+use common::TestServer;
+
 fn mlp() -> ModelSpec {
     ModelSpec::SmallMlp { batch: 16, in_features: 32, hidden: 64, classes: 8 }
 }
@@ -153,50 +156,34 @@ fn concurrent_deltas_coalesce_into_shared_waves() {
 #[test]
 fn delta_through_server_fans_replans_over_the_batch_class() {
     let cluster = ClusterSpec::hybrid_small();
-    let mut input = String::new();
-    for (id, model) in [(1, mlp()), (2, cnn())] {
-        let cmd = ServerCommand::Plan(PlanRequest::new(id, model, cluster.clone()));
-        input.push_str(&serde_json::to_string(&cmd).unwrap());
-        input.push('\n');
+    let engine = PlanEngine::shared();
+    let server = TestServer::spawn(PlanServer::with_engine(Arc::clone(&engine), 4));
+    let mut client = server.client();
+
+    // Interactive exchange so the ordering is deterministic: both plans are
+    // *completed* (replies read) before the delta goes out, and the stats
+    // read happens only after the delta reply lands.
+    for (id, model) in [(1u64, mlp()), (2, cnn())] {
+        client.send(&ServerCommand::Plan(PlanRequest::new(id, model, cluster.clone())));
+        assert!(matches!(client.recv(), ServerReply::Plan(_)));
     }
-    let delta = ServerCommand::Delta(degrade(3, &cluster, 0.5));
-    input.push_str(&serde_json::to_string(&delta).unwrap());
-    input.push('\n');
-    input.push_str(&serde_json::to_string(&ServerCommand::Stats { id: 4 }).unwrap());
-    input.push('\n');
-
-    let server = PlanServer::new(4);
-    let mut out: Vec<u8> = Vec::new();
-    server.serve_lines(input.as_bytes(), &mut out).unwrap();
-    let replies: Vec<ServerReply> = String::from_utf8(out)
-        .unwrap()
-        .lines()
-        .map(|l| serde_json::from_str(l).unwrap())
-        .collect();
-
-    let delta_reply = replies
-        .iter()
-        .find_map(|r| match r {
-            ServerReply::Delta(d) => Some(d),
-            _ => None,
-        })
-        .expect("delta reply");
+    client.send(&ServerCommand::Delta(degrade(3, &cluster, 0.5)));
+    let ServerReply::Delta(delta_reply) = client.recv() else { panic!("delta reply") };
     assert_eq!(delta_reply.invalidated, 2);
     assert_eq!(delta_reply.replanned.len(), 2);
-    // The re-plans ran as batch-class scheduler jobs, not on the dispatcher.
-    let sched = replies
-        .iter()
-        .find_map(|r| match r {
-            ServerReply::Stats { sched: Some(s), .. } => Some(s.clone()),
-            _ => None,
-        })
-        .expect("scheduler stats");
+
+    // The re-plans ran as batch-class scheduler jobs, not on the delta
+    // executor thread.
+    client.send(&ServerCommand::Stats { id: 4 });
+    let ServerReply::Stats { sched: Some(sched), .. } = client.recv() else {
+        panic!("stats reply")
+    };
     // `dispatched` is ordered before the wave's result collection; `completed`
     // (the dispatch-drop counter) may lag the Stats read by a hair.
     assert_eq!(sched.batch.submitted, 2, "two replan chains were submitted batch-class");
     assert_eq!(sched.batch.dispatched, 2, "both replan chains ran on the pool");
     assert_eq!(sched.interactive.completed, 2, "the delta barrier saw both plans complete");
-    assert_eq!(server.engine().delta_stats().batched_replans, 2);
+    assert_eq!(engine.delta_stats().batched_replans, 2);
 }
 
 #[test]

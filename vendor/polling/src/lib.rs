@@ -1,0 +1,390 @@
+//! Offline stand-in for `polling`: a thin, level-triggered epoll wrapper.
+//!
+//! The build environment has no crates.io access, so like every other
+//! `vendor/` crate this is a minimal hand-rolled implementation of the API
+//! surface the workspace needs — here, readiness notification for the
+//! `qsync-serve` reactor transport:
+//!
+//! * [`Poller::new`] — an epoll instance plus an `eventfd` **waker**, so
+//!   other threads can interrupt a blocked [`Poller::wait`] with
+//!   [`Poller::notify`] (reply bytes became available, shutdown requested).
+//! * [`Poller::add`] / [`Poller::modify`] / [`Poller::delete`] — register a
+//!   socket under a caller-chosen `key` with a read/write [`Interest`].
+//! * [`Poller::wait`] — block until readiness [`Event`]s arrive; error/hangup
+//!   conditions are folded into readability/writability so callers observe
+//!   them as an EOF read or a failing write.
+//!
+//! Registration is **level-triggered** (no `EPOLLONESHOT`/`EPOLLET`): an event
+//! repeats while the condition holds, so the reactor only registers write
+//! interest while it actually has buffered bytes — that re-registration *is*
+//! the backpressure mechanism.
+//!
+//! The libc symbols (`epoll_create1`, `epoll_ctl`, `epoll_wait`, `eventfd`,
+//! …) are declared locally: every Rust `std` program on Linux already links
+//! libc, so no external crate is needed. On non-Linux targets the crate
+//! compiles but [`Poller::new`] returns [`std::io::ErrorKind::Unsupported`].
+
+#![warn(missing_docs)]
+
+/// What readiness a registration (or a delivered event) covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the source becomes readable (or hits EOF/error).
+    pub readable: bool,
+    /// Wake when the source becomes writable (or hits error).
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Writable only.
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+    /// Neither: stay registered but deliver nothing (read-side backpressure).
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+}
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the source was registered under.
+    pub key: usize,
+    /// The source is readable — or has hung up: a subsequent read reports EOF
+    /// or the error, which is exactly how callers should discover it.
+    pub readable: bool,
+    /// The source is writable — or errored; the next write surfaces it.
+    pub writable: bool,
+}
+
+/// The key reserved for the poller's internal waker; [`Poller::add`] rejects
+/// it.
+pub const WAKER_KEY: usize = usize::MAX;
+
+pub use sys::Poller;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest, WAKER_KEY};
+    use std::io;
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::time::Duration;
+
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    // `struct epoll_event` is packed on x86; other Linux targets use the
+    // natural C layout (this mirrors the cfg in the real libc crate).
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_NONBLOCK: c_int = 0x800;
+    const EFD_CLOEXEC: c_int = 0x80000;
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn epoll_mask(interest: Interest) -> u32 {
+        let mut mask = 0;
+        if interest.readable {
+            // RDHUP rides with read interest only: a registration that has
+            // withdrawn read interest (backpressure) must not be woken —
+            // level-triggered — for a peer half-close it isn't going to
+            // consume yet.
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// A level-triggered epoll instance with a built-in eventfd waker.
+    ///
+    /// All methods take `&self`; the underlying syscalls are thread-safe, so
+    /// one thread may block in [`wait`](Poller::wait) while others call
+    /// [`notify`](Poller::notify) (the reactor's cross-thread wakeup).
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+        wake_fd: RawFd,
+    }
+
+    impl Poller {
+        /// A new poller with its waker already registered.
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let wake_fd = match cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            let poller = Poller { epfd, wake_fd };
+            poller.ctl(EPOLL_CTL_ADD, wake_fd, WAKER_KEY, Interest::READ)?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut event = EpollEvent { events: epoll_mask(interest), data: key as u64 };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut event) }).map(|_| ())
+        }
+
+        /// Register `source` under `key` with the given interest.
+        pub fn add(&self, source: &impl AsRawFd, key: usize, interest: Interest) -> io::Result<()> {
+            if key == WAKER_KEY {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, "key reserved for the waker"));
+            }
+            self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), key, interest)
+        }
+
+        /// Change the interest of an already registered source.
+        pub fn modify(&self, source: &impl AsRawFd, key: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), key, interest)
+        }
+
+        /// Remove a source from the poller (do this before closing its fd).
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            // A non-null event pointer keeps pre-2.6.9 kernels happy.
+            let mut dummy = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, source.as_raw_fd(), &mut dummy) })
+                .map(|_| ())
+        }
+
+        /// Block until events arrive (or `timeout` elapses, or a
+        /// [`notify`](Poller::notify) lands), appending them to `events` and
+        /// returning how many were added. Waker wakeups are drained internally
+        /// and produce a `0`-event return rather than an [`Event`].
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                // Round up so a 0 < t < 1 ms timeout still sleeps.
+                Some(t) => t.as_millis().min(i32::MAX as u128).max(u128::from(!t.is_zero())) as c_int,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 512];
+            let n = loop {
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms)
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            let mut added = 0;
+            for raw in &buf[..n] {
+                let (mask, key) = (raw.events, raw.data as usize);
+                if key == WAKER_KEY {
+                    // Drain the eventfd counter so the next notify re-arms.
+                    let mut counter = [0u8; 8];
+                    unsafe { read(self.wake_fd, counter.as_mut_ptr() as *mut c_void, 8) };
+                    continue;
+                }
+                events.push(Event {
+                    key,
+                    readable: mask & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                    writable: mask & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+                added += 1;
+            }
+            Ok(added)
+        }
+
+        /// Wake a thread blocked in [`wait`](Poller::wait) from any thread.
+        /// Idempotent until the wakeup is consumed.
+        pub fn notify(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            let ret =
+                unsafe { write(self.wake_fd, (&one as *const u64) as *const c_void, 8) };
+            // EAGAIN means the counter is already at max — a wakeup is
+            // pending, which is all notify promises.
+            if ret < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::WouldBlock {
+                    return Err(e);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.wake_fd);
+                close(self.epfd);
+            }
+        }
+    }
+
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "polling: epoll backend is Linux-only"))
+    }
+
+    /// Stub poller for non-Linux targets; [`Poller::new`] always fails.
+    #[derive(Debug)]
+    pub struct Poller {
+        _private: (),
+    }
+
+    impl Poller {
+        /// Always returns [`io::ErrorKind::Unsupported`] on this target.
+        pub fn new() -> io::Result<Poller> {
+            unsupported()
+        }
+
+        /// Unreachable: no `Poller` value exists on this target.
+        pub fn add(&self, _: &impl AsRawFd, _: usize, _: Interest) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Unreachable: no `Poller` value exists on this target.
+        pub fn modify(&self, _: &impl AsRawFd, _: usize, _: Interest) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Unreachable: no `Poller` value exists on this target.
+        pub fn delete(&self, _: &impl AsRawFd) -> io::Result<()> {
+            unsupported()
+        }
+
+        /// Unreachable: no `Poller` value exists on this target.
+        pub fn wait(&self, _: &mut Vec<Event>, _: Option<Duration>) -> io::Result<usize> {
+            unsupported()
+        }
+
+        /// Unreachable: no `Poller` value exists on this target.
+        pub fn notify(&self) -> io::Result<()> {
+            unsupported()
+        }
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    #[test]
+    fn readiness_round_trip_over_a_socket_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, 7, Interest::READ).unwrap();
+
+        // Nothing to read yet: a short wait times out with no events.
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+
+        // Bytes arrive -> readable event under our key.
+        (&client).write_all(b"ping").unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: the event repeats until the bytes are consumed.
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 7 && e.readable));
+        let mut buf = [0u8; 16];
+        let read = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..read], b"ping");
+
+        // Peer hangup surfaces as readable (EOF read).
+        drop(client);
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 7 && e.readable));
+        assert_eq!((&server).read(&mut buf).unwrap(), 0, "hangup reads as EOF");
+
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn interest_modification_gates_events() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        // NONE interest: readable bytes deliver nothing (read backpressure).
+        poller.add(&server, 1, Interest::NONE).unwrap();
+        (&client).write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+
+        // WRITE interest on an idle socket fires immediately (buffer empty).
+        poller.modify(&server, 1, Interest::BOTH).unwrap();
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 1 && e.readable && e.writable));
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_across_threads() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        // No timeout: only the notify can end this wait.
+        let n = poller.wait(&mut events, None).unwrap();
+        assert_eq!(n, 0, "waker wakeups carry no events");
+        handle.join().unwrap();
+        // Drained: the next short wait times out instead of spinning.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(5))).unwrap(), 0);
+    }
+
+}
