@@ -1,0 +1,223 @@
+//! Cluster elasticity wire types: shape-change events, delta requests and
+//! their outcomes.
+//!
+//! Production hybrid clusters change shape while jobs run: inference servers
+//! join and leave with traffic, and co-located serving workloads squeeze the
+//! memory/compute loaned to training (the paper's partial-sharing regime). A
+//! [`ClusterDelta`] describes one such event; the serving engine applies it to
+//! the affected cluster, invalidates exactly the cache entries planned against
+//! the old shape, and re-plans them warm (see `qsync-serve`'s elasticity
+//! layer, which owns the batching/coalescing machinery).
+
+use serde::{Deserialize, Serialize};
+
+use qsync_cluster::device::{Device, GpuModel};
+use qsync_cluster::topology::ClusterSpec;
+
+use crate::error::ApiError;
+use crate::request::PlanResponse;
+
+/// One cluster elasticity event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClusterDelta {
+    /// A device joined the job. It is appended at the next free rank.
+    RankAdded {
+        /// GPU model of the new device.
+        model: GpuModel,
+        /// Memory fraction available to the job (1.0 = full).
+        memory_fraction: f64,
+        /// Compute fraction available to the job (1.0 = full).
+        compute_fraction: f64,
+    },
+    /// The device at `rank` left the job; later ranks renumber down.
+    RankRemoved {
+        /// Rank of the departing device.
+        rank: usize,
+    },
+    /// The device at `rank` degraded (e.g. a co-located tenant claimed
+    /// resources): its share drops to the given fractions.
+    Degraded {
+        /// Rank of the affected device.
+        rank: usize,
+        /// New memory fraction in (0, 1].
+        memory_fraction: f64,
+        /// New compute fraction in (0, 1].
+        compute_fraction: f64,
+    },
+}
+
+impl ClusterDelta {
+    /// Apply the event, producing the new cluster shape.
+    ///
+    /// Ranks stay dense: removal renumbers subsequent devices down by one,
+    /// mirroring how a collective-communication job would re-rank after a
+    /// membership change. Failures are [`ErrorCode::InvalidField`]
+    /// (`field: "delta"`) with the same messages protocol v0 reported.
+    ///
+    /// [`ErrorCode::InvalidField`]: crate::ErrorCode::InvalidField
+    pub fn apply(&self, cluster: &ClusterSpec) -> Result<ClusterSpec, ApiError> {
+        let invalid = |message: String| ApiError::invalid_field("delta", message);
+        let mut next = cluster.clone();
+        match *self {
+            ClusterDelta::RankAdded { model, memory_fraction, compute_fraction } => {
+                if !(memory_fraction > 0.0
+                    && memory_fraction <= 1.0
+                    && compute_fraction > 0.0
+                    && compute_fraction <= 1.0)
+                {
+                    return Err(invalid(format!(
+                        "RankAdded: fractions must be in (0, 1], got memory {memory_fraction} compute {compute_fraction}"
+                    )));
+                }
+                let rank = next.devices.len();
+                let device = if memory_fraction >= 1.0 && compute_fraction >= 1.0 {
+                    Device::full(rank, model)
+                } else {
+                    Device::partial(rank, model, memory_fraction, compute_fraction)
+                };
+                next.devices.push(device);
+                next.name = format!("{}+1x{:?}", cluster.name, model);
+            }
+            ClusterDelta::RankRemoved { rank } => {
+                if rank >= next.devices.len() {
+                    return Err(invalid(format!(
+                        "RankRemoved: rank {rank} out of bounds (world size {})",
+                        next.devices.len()
+                    )));
+                }
+                next.devices.remove(rank);
+                for (i, d) in next.devices.iter_mut().enumerate() {
+                    d.id = i;
+                }
+                next.name = format!("{}-rank{rank}", cluster.name);
+            }
+            ClusterDelta::Degraded { rank, memory_fraction, compute_fraction } => {
+                let world = next.devices.len();
+                let Some(device) = next.devices.get_mut(rank) else {
+                    return Err(invalid(format!(
+                        "Degraded: rank {rank} out of bounds (world size {world})"
+                    )));
+                };
+                if !(0.0..=1.0).contains(&memory_fraction)
+                    || !(0.0..=1.0).contains(&compute_fraction)
+                    || memory_fraction == 0.0
+                    || compute_fraction == 0.0
+                {
+                    return Err(invalid(format!(
+                        "Degraded: fractions must be in (0, 1], got memory {memory_fraction} compute {compute_fraction}"
+                    )));
+                }
+                *device = Device::partial(rank, device.model, memory_fraction, compute_fraction);
+                next.name = format!("{}~rank{rank}", cluster.name);
+            }
+        }
+        Ok(next)
+    }
+}
+
+/// A delta request: the cluster the event applies to, plus the event.
+///
+/// The server matches cached plans by `cluster.fingerprint()`, so the cluster
+/// given here must be byte-for-byte the shape earlier requests named (the
+/// display name is ignored by the fingerprint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaRequest {
+    /// Caller-chosen id echoed in the response.
+    pub id: u64,
+    /// The cluster shape before the event.
+    pub cluster: ClusterSpec,
+    /// The event.
+    pub delta: ClusterDelta,
+}
+
+/// Result of applying a delta: the invalidation count and the warm re-plans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Fingerprint (hex) of the cluster this delta's step applied to. For a
+    /// delta composed behind others in a coalesced group this is the
+    /// intermediate shape, not the named base cluster.
+    pub old_cluster_fingerprint: String,
+    /// Fingerprint (hex) of the cluster after this delta's step.
+    pub new_cluster_fingerprint: String,
+    /// Cache entries invalidated by this delta's wave group (the base
+    /// cluster's entries are invalidated once per group, and every member
+    /// reports the same count).
+    pub invalidated: usize,
+    /// Number of deltas composed into this delta's group (1 when the delta
+    /// was applied alone — the pre-batching behavior).
+    pub coalesced: usize,
+    /// Warm re-plans of the invalidated entries, keyed under the group's
+    /// final cluster shape. Carried by the **last** delta of the group;
+    /// earlier members report an empty list.
+    pub replanned: Vec<PlanResponse>,
+}
+
+/// Counters of the batched elasticity layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DeltaStats {
+    /// Delta waves applied (one engine batch each).
+    pub waves: u64,
+    /// Delta events carried by those waves (`events > waves` means
+    /// coalescing happened).
+    pub events: u64,
+    /// Re-plan chains produced across all waves.
+    pub batched_replans: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ErrorCode;
+
+    #[test]
+    fn rank_added_appends_at_next_rank() {
+        let base = ClusterSpec::cluster_a(1, 1);
+        let delta = ClusterDelta::RankAdded {
+            model: GpuModel::T4,
+            memory_fraction: 1.0,
+            compute_fraction: 1.0,
+        };
+        let next = delta.apply(&base).unwrap();
+        assert_eq!(next.world_size(), 3);
+        assert_eq!(next.devices[2].id, 2);
+        assert_eq!(next.devices[2].model, GpuModel::T4);
+        assert_ne!(next.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn rank_removed_renumbers_densely() {
+        let base = ClusterSpec::cluster_a(2, 2);
+        let next = ClusterDelta::RankRemoved { rank: 1 }.apply(&base).unwrap();
+        assert_eq!(next.world_size(), 3);
+        let ids: Vec<usize> = next.devices.iter().map(|d| d.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let err = ClusterDelta::RankRemoved { rank: 9 }.apply(&base).unwrap_err();
+        assert_eq!(err.code, ErrorCode::InvalidField);
+        assert_eq!(err.field.as_deref(), Some("delta"));
+    }
+
+    #[test]
+    fn degradation_shrinks_memory() {
+        let base = ClusterSpec::cluster_a(1, 1);
+        let rank = base.inference_ranks()[0];
+        let next = ClusterDelta::Degraded { rank, memory_fraction: 0.3, compute_fraction: 0.9 }
+            .apply(&base)
+            .unwrap();
+        assert!(
+            next.devices[rank].available_memory_bytes() < base.devices[rank].available_memory_bytes()
+        );
+        assert!(ClusterDelta::Degraded { rank, memory_fraction: 0.0, compute_fraction: 1.0 }
+            .apply(&base)
+            .is_err());
+    }
+
+    #[test]
+    fn renaming_does_not_change_the_fingerprint() {
+        let base = ClusterSpec::cluster_a(1, 1);
+        let mut renamed = base.clone();
+        renamed.name = "production-west-2".into();
+        assert_eq!(base.fingerprint(), renamed.fingerprint());
+    }
+}

@@ -1,0 +1,137 @@
+//! Machine-readable protocol errors.
+//!
+//! Protocol v0 reported every failure as a bare string
+//! (`ServerReply::Error { id, message }`). Version 1 replaces it with
+//! [`ApiError`]: a stable [`ErrorCode`] a client can branch on, the
+//! human-readable message (unchanged from v0, so legacy renderings stay
+//! byte-identical), and — for validation failures — the offending field.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable, machine-readable error categories of the serving protocol.
+///
+/// Codes are part of the wire contract: existing codes never change meaning,
+/// new codes may be added in later protocol versions (clients should treat an
+/// unknown code like [`ErrorCode::Internal`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The input line (or an envelope's `cmd`) did not parse as a command.
+    Parse,
+    /// The envelope named a protocol version outside the server's supported
+    /// range (see the `Hello` exchange).
+    UnsupportedVersion,
+    /// A request field failed validation; [`ApiError::field`] names it.
+    InvalidField,
+    /// Admission control shed the request: its class queue was at capacity.
+    QueueFull,
+    /// The request's deadline expired before planning started.
+    DeadlineExceeded,
+    /// The server is shutting down and no longer accepts this command.
+    ShuttingDown,
+    /// The command is not available on this serving path (e.g. `Subscribe`
+    /// on the schedulerless one-shot path).
+    Unsupported,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable lower-snake-case name of the code (for logs and CLIs).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::InvalidField => "invalid_field",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A structured protocol error: code, message, offending field.
+///
+/// `message` carries exactly the string protocol v0 put in its bare
+/// `Error { message }` reply, so rendering an `ApiError` for a legacy (v0)
+/// client is lossless and byte-identical to the pre-v1 server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiError {
+    /// Echo of the failing command's id, when one could be parsed.
+    pub id: Option<u64>,
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable reason (the v0 error string, unchanged).
+    pub message: String,
+    /// The request field that failed validation, if the failure is
+    /// field-scoped ([`ErrorCode::InvalidField`], some
+    /// [`ErrorCode::Parse`] cases).
+    pub field: Option<String>,
+}
+
+impl ApiError {
+    /// An error with a code and message, no id and no field.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ApiError { id: None, code, message: message.into(), field: None }
+    }
+
+    /// This error with the failing command's id attached.
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// This error with the offending field named.
+    pub fn with_field(mut self, field: impl Into<String>) -> Self {
+        self.field = Some(field.into());
+        self
+    }
+
+    /// A field-validation error.
+    pub fn invalid_field(field: impl Into<String>, message: impl Into<String>) -> Self {
+        ApiError::new(ErrorCode::InvalidField, message).with_field(field)
+    }
+}
+
+/// Displays the bare message — exactly what protocol v0 put on the wire and
+/// what the `qsync-serve` CLI prints.
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_the_bare_v0_message() {
+        let err = ApiError::invalid_field("memory_limit_fraction", "must be in (0, 1]").with_id(7);
+        assert_eq!(err.to_string(), "must be in (0, 1]");
+        assert_eq!(err.id, Some(7));
+        assert_eq!(err.field.as_deref(), Some("memory_limit_fraction"));
+    }
+
+    #[test]
+    fn codes_round_trip_through_json() {
+        for code in [
+            ErrorCode::Parse,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::InvalidField,
+            ErrorCode::QueueFull,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Unsupported,
+            ErrorCode::Internal,
+        ] {
+            let text = serde_json::to_string(&code).unwrap();
+            let back: ErrorCode = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, code);
+            assert!(!code.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Observability counters carried by `Stats` replies.
+//!
+//! [`CacheStats`] lives here (rather than next to the cache implementation in
+//! `qsync-serve`) because it is part of the wire contract: clients parse it
+//! out of `Stats` replies. Scheduler counters
+//! ([`SchedStats`](qsync_sched::SchedStats)) are re-exported from
+//! `qsync-sched`, and elasticity counters are
+//! [`DeltaStats`](crate::DeltaStats).
+
+use serde::{Deserialize, Serialize};
+
+/// Plan-cache observability counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that required planning.
+    pub misses: u64,
+    /// Entries evicted by elasticity invalidations.
+    pub invalidated: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evicted: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}

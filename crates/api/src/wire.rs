@@ -1,0 +1,566 @@
+//! The line protocol: commands, replies, the versioned envelope and the
+//! legacy-compatibility parse shim.
+//!
+//! # Versions
+//!
+//! * **v0 (legacy)** — one bare [`ServerCommand`] JSON object per line, one
+//!   bare [`ServerReply`] object per reply line, errors as
+//!   `Error { id, message }`. Every v0 line ever accepted still parses (and
+//!   draws a byte-identical reply); this is pinned by the committed golden
+//!   corpus in `crates/api/tests/golden/`.
+//! * **v1 (enveloped)** — requests wrapped in a [`RequestEnvelope`]
+//!   `{"v":1,"id":…,"cmd":{…}}`, replies in a [`ReplyEnvelope`]
+//!   `{"v":1,"reply":{…}}`. v1 adds the `Hello` version handshake, wire-level
+//!   `Batch` commands, `Subscribe`/[`ServerEvent`] streaming, per-client DRR
+//!   `weight` on plan requests, and structured [`ApiError`]s (the `Fault`
+//!   reply) in place of the bare error string.
+//!
+//! A server distinguishes the two per **line**: an object with a `"v"` key is
+//! an envelope, anything else takes the legacy path ([`parse_line`]). One
+//! connection may mix both; each command is answered in the form it arrived
+//! in.
+//!
+//! # Compatibility policy
+//!
+//! Within a protocol version, changes are additive only: new optional request
+//! fields (absent fields deserialize to their defaults), new reply fields at
+//! the end of a struct, new enum variants. Anything that would change the
+//! meaning or serialized bytes of an existing line is a new protocol version,
+//! negotiated through `Hello`.
+
+use serde::{Deserialize, Serialize};
+
+use qsync_sched::SchedStats;
+
+use crate::delta::{DeltaRequest, DeltaResponse, DeltaStats};
+use crate::error::{ApiError, ErrorCode};
+use crate::request::{PlanOutcome, PlanRequest, PlanResponse};
+use crate::stats::CacheStats;
+
+/// The legacy, un-enveloped line form (bare `ServerCommand`/`ServerReply`).
+pub const LEGACY_PROTOCOL_VERSION: u32 = 0;
+/// The current envelope protocol version.
+pub const PROTOCOL_VERSION: u32 = 1;
+/// Lowest protocol version this crate speaks (the legacy line form).
+pub const MIN_PROTOCOL_VERSION: u32 = LEGACY_PROTOCOL_VERSION;
+/// Highest protocol version this crate speaks.
+pub const MAX_PROTOCOL_VERSION: u32 = PROTOCOL_VERSION;
+
+/// One input line of the serving protocol.
+///
+/// The first four variants are protocol v0 and serialize exactly as they
+/// always have; the remaining variants were introduced with v1 (they parse
+/// un-enveloped too, but v0 clients by definition never send them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerCommand {
+    /// Request a plan.
+    Plan(PlanRequest),
+    /// Apply a cluster elasticity event (invalidate + warm re-plan).
+    Delta(DeltaRequest),
+    /// Read cache, scheduler and elasticity counters.
+    Stats {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+    },
+    /// Cancel a still-queued plan request submitted on this connection.
+    Cancel {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+        /// The `id` of the plan request to cancel.
+        plan_id: u64,
+    },
+    /// Version handshake (v1): the client announces the protocol range it
+    /// speaks; the server replies with [`ServerReply::Hello`] advertising its
+    /// own supported range.
+    Hello {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+        /// Lowest protocol version the client speaks.
+        min_v: u32,
+        /// Highest protocol version the client speaks.
+        max_v: u32,
+    },
+    /// Wire-level batch (v1): the inner commands are dispatched in order and
+    /// each produces its **own** reply (correlate by the inner ids — plans
+    /// may still complete out of order). Nested batches are rejected.
+    Batch {
+        /// Caller-chosen id, echoed only in a `Fault` if the batch itself is
+        /// rejected (the accepted case produces per-command replies only).
+        id: u64,
+        /// The commands to dispatch.
+        cmds: Vec<ServerCommand>,
+    },
+    /// Subscribe this connection to the server's event stream (v1): delta
+    /// invalidation and warm re-plan events arrive as
+    /// [`ServerReply::Event`] lines as they happen, instead of being polled
+    /// out of `Stats` counters.
+    Subscribe {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+    },
+    /// Stop this connection's event stream (v1).
+    Unsubscribe {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+    },
+}
+
+impl ServerCommand {
+    /// The caller-chosen correlation id carried by this command.
+    pub fn id(&self) -> u64 {
+        match self {
+            ServerCommand::Plan(r) => r.id,
+            ServerCommand::Delta(r) => r.id,
+            ServerCommand::Stats { id }
+            | ServerCommand::Cancel { id, .. }
+            | ServerCommand::Hello { id, .. }
+            | ServerCommand::Batch { id, .. }
+            | ServerCommand::Subscribe { id }
+            | ServerCommand::Unsubscribe { id } => *id,
+        }
+    }
+}
+
+/// A server-side event, streamed to [`ServerCommand::Subscribe`]d
+/// connections as [`ServerReply::Event`] lines.
+///
+/// Events let a client *watch* the elasticity machinery instead of polling
+/// `Stats`: a delta wave first announces what it evicted
+/// ([`CacheInvalidated`](Self::CacheInvalidated)), then each entry's warm
+/// re-plan completion ([`Replanned`](Self::Replanned)), then the per-delta
+/// outcome ([`DeltaApplied`](Self::DeltaApplied)) — in that order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerEvent {
+    /// A delta wave evicted cached plans; warm re-planning is starting.
+    CacheInvalidated {
+        /// Cache keys evicted by the wave (deterministic order).
+        keys: Vec<String>,
+    },
+    /// One evicted entry finished its warm re-plan.
+    Replanned {
+        /// The re-planned entry's cache key under the new cluster shape.
+        key: String,
+        /// How the plan was produced (warm re-plan, or a cache hit when two
+        /// entries converged on one shape).
+        outcome: PlanOutcome,
+        /// Predicted iteration latency of the new plan (microseconds).
+        predicted_iteration_us: f64,
+    },
+    /// A delta request completed; its submitter has received the
+    /// [`DeltaResponse`].
+    DeltaApplied {
+        /// The delta request's id.
+        id: u64,
+        /// Fingerprint (hex) of the shape this delta's step applied to.
+        old_cluster_fingerprint: String,
+        /// Fingerprint (hex) of the shape after this delta's step.
+        new_cluster_fingerprint: String,
+        /// Cache entries the delta's wave group invalidated.
+        invalidated: usize,
+        /// Warm re-plans carried by this delta's response.
+        replanned: usize,
+    },
+}
+
+/// One output line of the serving protocol.
+///
+/// The first five variants are protocol v0 and serialize exactly as they
+/// always have; the remaining variants are v1-only (a v0 command is never
+/// answered with one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerReply {
+    /// A plan response.
+    Plan(PlanResponse),
+    /// A delta outcome.
+    Delta(DeltaResponse),
+    /// Cache, scheduler and elasticity counters.
+    Stats {
+        /// Echo of the command id.
+        id: u64,
+        /// Cache counters at read time.
+        stats: CacheStats,
+        /// Scheduler counters (queue depths, per-class throughput, sheds,
+        /// deadline accounting), global across every connection of the
+        /// server. `None` from the schedulerless one-shot path.
+        sched: Option<SchedStats>,
+        /// Elasticity counters (delta waves, coalesced events, batched
+        /// re-plans).
+        deltas: DeltaStats,
+    },
+    /// Outcome of a `Cancel` command.
+    Cancelled {
+        /// Echo of the command id.
+        id: u64,
+        /// The plan request id the cancel targeted.
+        plan_id: u64,
+        /// `true` if the plan was still queued (on this connection) and has
+        /// been removed.
+        cancelled: bool,
+    },
+    /// The command on this line could not be served (protocol v0 form: a
+    /// bare message). v1 commands receive [`ServerReply::Fault`] instead.
+    Error {
+        /// Echo of the command id when it could be parsed.
+        id: Option<u64>,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Response to [`ServerCommand::Hello`]: the server's supported protocol
+    /// range.
+    Hello {
+        /// Echo of the command id.
+        id: u64,
+        /// Lowest protocol version the server accepts
+        /// ([`MIN_PROTOCOL_VERSION`]; 0 means legacy un-enveloped lines).
+        min_v: u32,
+        /// Highest protocol version the server accepts
+        /// ([`MAX_PROTOCOL_VERSION`]).
+        max_v: u32,
+        /// Server software identifier (name/version).
+        server: String,
+    },
+    /// This connection is now subscribed to the event stream.
+    Subscribed {
+        /// Echo of the command id.
+        id: u64,
+    },
+    /// This connection's event stream has ended.
+    Unsubscribed {
+        /// Echo of the command id.
+        id: u64,
+    },
+    /// One server event (only sent to subscribed connections).
+    Event {
+        /// Server-wide monotone event sequence number (gaps mean events
+        /// fired before this connection subscribed).
+        seq: u64,
+        /// The event.
+        event: ServerEvent,
+    },
+    /// The command could not be served (protocol v1 form: structured error).
+    Fault(ApiError),
+}
+
+impl ServerReply {
+    /// The correlation id this reply answers, if any (`Event` lines and
+    /// id-less faults have none).
+    pub fn correlation_id(&self) -> Option<u64> {
+        match self {
+            ServerReply::Plan(p) => Some(p.id),
+            ServerReply::Delta(d) => Some(d.id),
+            ServerReply::Stats { id, .. }
+            | ServerReply::Cancelled { id, .. }
+            | ServerReply::Hello { id, .. }
+            | ServerReply::Subscribed { id }
+            | ServerReply::Unsubscribed { id } => Some(*id),
+            ServerReply::Error { id, .. } => *id,
+            ServerReply::Fault(e) => e.id,
+            ServerReply::Event { .. } => None,
+        }
+    }
+
+    /// The structured error carried by this reply, if it is one. A legacy
+    /// `Error` maps to [`ErrorCode::Internal`] (v0 carried no code).
+    pub fn as_error(&self) -> Option<ApiError> {
+        match self {
+            ServerReply::Fault(e) => Some(e.clone()),
+            ServerReply::Error { id, message } => Some(ApiError {
+                id: *id,
+                code: ErrorCode::Internal,
+                message: message.clone(),
+                field: None,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The v1 request envelope: explicit protocol version, optional envelope-level
+/// correlation id (echoed on envelope-level faults), and the command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Protocol version of this line (currently always [`PROTOCOL_VERSION`]).
+    pub v: u32,
+    /// Optional envelope-level correlation id. Commands carry their own ids;
+    /// this one is echoed when the envelope itself is rejected (bad version,
+    /// unparseable `cmd`).
+    pub id: Option<u64>,
+    /// The command.
+    pub cmd: ServerCommand,
+}
+
+impl RequestEnvelope {
+    /// Wrap a command in a current-version envelope.
+    pub fn v1(cmd: ServerCommand) -> Self {
+        RequestEnvelope { v: PROTOCOL_VERSION, id: Some(cmd.id()), cmd }
+    }
+}
+
+/// The v1 reply envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplyEnvelope {
+    /// Protocol version of this line.
+    pub v: u32,
+    /// The reply.
+    pub reply: ServerReply,
+}
+
+/// Which line form a command arrived in (and so which form its replies take).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireProto {
+    /// Legacy bare-object lines (protocol v0).
+    #[default]
+    V0,
+    /// Enveloped lines (protocol v1).
+    V1,
+}
+
+/// A successfully parsed input line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedLine {
+    /// The form the line arrived in.
+    pub wire: WireProto,
+    /// The envelope-level id (v1 only).
+    pub envelope_id: Option<u64>,
+    /// The command.
+    pub cmd: ServerCommand,
+}
+
+/// A parse failure, tagged with the form the *reply* must take: failures of
+/// legacy lines render as v0 `Error` replies with the exact pre-envelope
+/// message, failures of enveloped lines as v1 `Fault`s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// The form the error reply must take.
+    pub wire: WireProto,
+    /// The structured error.
+    pub error: ApiError,
+}
+
+/// Parse one input line, auto-detecting the protocol form.
+///
+/// This is the **compatibility shim**: a JSON object carrying a `"v"` key is
+/// treated as a [`RequestEnvelope`]; every other line takes the legacy path
+/// and parses as a bare [`ServerCommand`] — with parse failures reported in
+/// the exact `unparseable command: …` form the pre-envelope server used, so
+/// v0 clients observe byte-identical behavior.
+pub fn parse_line(line: &str) -> Result<ParsedLine, WireError> {
+    let legacy_parse_error = |e: &dyn std::fmt::Display| WireError {
+        wire: WireProto::V0,
+        error: ApiError::new(ErrorCode::Parse, format!("unparseable command: {e}")),
+    };
+    // One tokenizer pass; `from_str::<T>` is parse-to-Value + convert, so
+    // converting the parsed Value below reports the same messages it would.
+    let value = match serde_json::from_str::<serde::Value>(line) {
+        Ok(value) => value,
+        Err(e) => return Err(legacy_parse_error(&e)),
+    };
+    if value.get("v").is_none() {
+        return match serde_json::from_value::<ServerCommand>(&value) {
+            Ok(cmd) => Ok(ParsedLine { wire: WireProto::V0, envelope_id: None, cmd }),
+            Err(e) => Err(legacy_parse_error(&e)),
+        };
+    }
+    // Envelope path: all failures from here render as v1 faults.
+    let envelope_id = value.get("id").and_then(serde::Value::as_u64);
+    let fault = |error: ApiError| WireError {
+        wire: WireProto::V1,
+        error: ApiError { id: envelope_id, ..error },
+    };
+    match value.get("v").and_then(serde::Value::as_u64) {
+        Some(v) if (1..=MAX_PROTOCOL_VERSION as u64).contains(&v) => {}
+        Some(v) => {
+            return Err(fault(
+                ApiError::new(
+                    ErrorCode::UnsupportedVersion,
+                    format!(
+                        "unsupported protocol version {v}: this server speaks \
+                         {MIN_PROTOCOL_VERSION}..={MAX_PROTOCOL_VERSION} \
+                         (v0 is the legacy un-enveloped line form)"
+                    ),
+                )
+                .with_field("v"),
+            ))
+        }
+        None => {
+            return Err(fault(
+                ApiError::new(
+                    ErrorCode::Parse,
+                    "envelope field \"v\" must be an unsigned integer protocol version",
+                )
+                .with_field("v"),
+            ))
+        }
+    }
+    match serde_json::from_value::<RequestEnvelope>(&value) {
+        Ok(envelope) => Ok(ParsedLine {
+            wire: WireProto::V1,
+            envelope_id: envelope.id,
+            cmd: envelope.cmd,
+        }),
+        Err(e) => Err(fault(
+            ApiError::new(ErrorCode::Parse, format!("unparseable envelope: {e}")).with_field("cmd"),
+        )),
+    }
+}
+
+/// Serialize one reply line in the given wire form (no trailing newline).
+///
+/// Under [`WireProto::V0`] a [`ServerReply::Fault`] is downgraded to the
+/// legacy `Error { id, message }` shape — the message string is the v0 one,
+/// so legacy clients see byte-identical error lines; every other reply
+/// serializes as the bare object. Under [`WireProto::V1`] the reply is
+/// wrapped in a [`ReplyEnvelope`].
+pub fn render_reply(wire: WireProto, reply: &ServerReply) -> String {
+    match wire {
+        WireProto::V0 => match reply {
+            ServerReply::Fault(e) => serde_json::to_string(&ServerReply::Error {
+                id: e.id,
+                message: e.message.clone(),
+            }),
+            other => serde_json::to_string(other),
+        }
+        .expect("reply serialization cannot fail"),
+        WireProto::V1 => {
+            // Cheap structural wrap — splice the serialized body instead of
+            // cloning the (potentially plan-sized) reply into a
+            // [`ReplyEnvelope`]; a unit test pins byte-equality of the two.
+            let body =
+                serde_json::to_string(reply).expect("reply serialization cannot fail");
+            format!("{{\"v\":{PROTOCOL_VERSION},\"reply\":{body}}}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use qsync_cluster::topology::ClusterSpec;
+
+    fn plan_cmd(id: u64) -> ServerCommand {
+        ServerCommand::Plan(PlanRequest::new(
+            id,
+            ModelSpec::SmallMlp { batch: 8, in_features: 16, hidden: 32, classes: 4 },
+            ClusterSpec::hybrid_small(),
+        ))
+    }
+
+    #[test]
+    fn legacy_lines_parse_as_v0() {
+        let line = serde_json::to_string(&plan_cmd(3)).unwrap();
+        let parsed = parse_line(&line).unwrap();
+        assert_eq!(parsed.wire, WireProto::V0);
+        assert_eq!(parsed.envelope_id, None);
+        assert_eq!(parsed.cmd.id(), 3);
+    }
+
+    #[test]
+    fn enveloped_lines_parse_as_v1() {
+        let line = serde_json::to_string(&RequestEnvelope::v1(plan_cmd(4))).unwrap();
+        let parsed = parse_line(&line).unwrap();
+        assert_eq!(parsed.wire, WireProto::V1);
+        assert_eq!(parsed.envelope_id, Some(4));
+        assert_eq!(parsed.cmd, plan_cmd(4));
+    }
+
+    #[test]
+    fn legacy_parse_failures_keep_the_v0_message_shape() {
+        let err = parse_line("this is not json").unwrap_err();
+        assert_eq!(err.wire, WireProto::V0);
+        assert_eq!(err.error.code, ErrorCode::Parse);
+        assert!(err.error.message.starts_with("unparseable command: "), "{}", err.error.message);
+        // A valid JSON object that is not a command also takes the legacy path.
+        let err = parse_line(r#"{"Nope":1}"#).unwrap_err();
+        assert_eq!(err.wire, WireProto::V0);
+        assert!(err.error.message.starts_with("unparseable command: "));
+    }
+
+    #[test]
+    fn unsupported_versions_fault_with_the_envelope_id() {
+        let err = parse_line(r#"{"v":99,"id":7,"cmd":{"Stats":{"id":7}}}"#).unwrap_err();
+        assert_eq!(err.wire, WireProto::V1);
+        assert_eq!(err.error.code, ErrorCode::UnsupportedVersion);
+        assert_eq!(err.error.id, Some(7));
+        assert_eq!(err.error.field.as_deref(), Some("v"));
+        // v0 in an envelope is explicitly rejected: v0 is the *un-enveloped* form.
+        let err = parse_line(r#"{"v":0,"cmd":{"Stats":{"id":1}}}"#).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::UnsupportedVersion);
+    }
+
+    #[test]
+    fn bad_envelope_cmd_faults_as_v1() {
+        let err = parse_line(r#"{"v":1,"id":9,"cmd":{"Nope":1}}"#).unwrap_err();
+        assert_eq!(err.wire, WireProto::V1);
+        assert_eq!(err.error.code, ErrorCode::Parse);
+        assert_eq!(err.error.id, Some(9));
+        let err = parse_line(r#"{"v":1,"id":9}"#).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::Parse, "missing cmd is a parse fault");
+    }
+
+    #[test]
+    fn render_downgrades_faults_for_v0() {
+        let fault = ServerReply::Fault(
+            ApiError::new(ErrorCode::QueueFull, "interactive queue full (cap 4): request shed")
+                .with_id(5),
+        );
+        let v0 = render_reply(WireProto::V0, &fault);
+        assert_eq!(
+            v0,
+            r#"{"Error":{"id":5,"message":"interactive queue full (cap 4): request shed"}}"#
+        );
+        let v1 = render_reply(WireProto::V1, &fault);
+        assert!(v1.starts_with(r#"{"v":1,"reply":{"Fault":"#), "{v1}");
+        let back: ReplyEnvelope = serde_json::from_str(&v1).unwrap();
+        assert_eq!(back.reply, fault);
+    }
+
+    #[test]
+    fn spliced_v1_rendering_matches_the_envelope_struct_bytes() {
+        for reply in [
+            ServerReply::Subscribed { id: 1 },
+            ServerReply::Cancelled { id: 2, plan_id: 3, cancelled: false },
+            ServerReply::Error { id: None, message: "x\"y".into() },
+            ServerReply::Fault(ApiError::new(ErrorCode::Internal, "boom").with_id(4)),
+        ] {
+            let spliced = render_reply(WireProto::V1, &reply);
+            let structural =
+                serde_json::to_string(&ReplyEnvelope { v: PROTOCOL_VERSION, reply: reply.clone() })
+                    .unwrap();
+            assert_eq!(spliced, structural);
+        }
+    }
+
+    #[test]
+    fn batch_and_subscribe_round_trip_enveloped() {
+        let batch = ServerCommand::Batch {
+            id: 40,
+            cmds: vec![plan_cmd(41), ServerCommand::Stats { id: 42 }],
+        };
+        let line = serde_json::to_string(&RequestEnvelope::v1(batch.clone())).unwrap();
+        let parsed = parse_line(&line).unwrap();
+        assert_eq!(parsed.cmd, batch);
+        let sub = ServerCommand::Subscribe { id: 43 };
+        let line = serde_json::to_string(&RequestEnvelope::v1(sub.clone())).unwrap();
+        assert_eq!(parse_line(&line).unwrap().cmd, sub);
+    }
+
+    #[test]
+    fn correlation_ids_cover_every_reply() {
+        assert_eq!(ServerReply::Subscribed { id: 8 }.correlation_id(), Some(8));
+        assert_eq!(
+            ServerReply::Event {
+                seq: 1,
+                event: ServerEvent::CacheInvalidated { keys: vec![] },
+            }
+            .correlation_id(),
+            None
+        );
+        assert_eq!(
+            ServerReply::Error { id: None, message: "x".into() }.correlation_id(),
+            None
+        );
+        let api = ServerReply::Error { id: Some(3), message: "x".into() }.as_error().unwrap();
+        assert_eq!((api.id, api.code), (Some(3), ErrorCode::Internal));
+    }
+}

@@ -1,0 +1,195 @@
+//! The committed golden wire corpus: every v0 (legacy, un-enveloped) and v1
+//! (enveloped) line in `tests/golden/` must keep parsing forever — that is
+//! the protocol compatibility guarantee, turned from a convention into a
+//! test. `qsync-serve`'s `protocol_compat` suite additionally replays the
+//! corpus against a live server and pins the (normalized) reply bytes.
+//!
+//! Regenerate the canonical corpus after an intentional, additive protocol
+//! change with:
+//!
+//! ```text
+//! QSYNC_REGEN_GOLDEN=1 cargo test -p qsync-api --test golden_corpus
+//! QSYNC_REGEN_GOLDEN=1 cargo test -p qsync-serve --test protocol_compat
+//! ```
+//!
+//! and review the diff — removed or reshaped lines mean a breaking change,
+//! which requires a protocol version bump instead.
+
+use std::path::PathBuf;
+
+use qsync_api::{
+    parse_line, ClusterDelta, DeltaRequest, ModelSpec, PlanRequest, RequestEnvelope,
+    ServerCommand, WireProto,
+};
+use qsync_cluster::topology::ClusterSpec;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn small_plan(id: u64) -> PlanRequest {
+    PlanRequest::new(
+        id,
+        ModelSpec::SmallMlp { batch: 8, in_features: 16, hidden: 32, classes: 4 },
+        ClusterSpec::hybrid_small(),
+    )
+}
+
+fn degrade(id: u64) -> DeltaRequest {
+    let cluster = ClusterSpec::hybrid_small();
+    let rank = cluster.inference_ranks()[0];
+    DeltaRequest {
+        id,
+        cluster,
+        delta: ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 },
+    }
+}
+
+/// A pre-scheduler (PR 1 era) plan line: no `priority`/`client_id`/
+/// `deadline_ms`/`weight` keys at all. Absent keys must keep deserializing
+/// to their defaults — the compat shim's oldest obligation.
+fn pre_scheduler_plan_line() -> String {
+    let full = serde_json::to_string(&ServerCommand::Plan(small_plan(3))).unwrap();
+    let mut value: serde::Value = serde_json::from_str(&full).unwrap();
+    let serde::Value::Object(pairs) = &mut value else { unreachable!("command is an object") };
+    let serde::Value::Object(plan) = &mut pairs[0].1 else { unreachable!("payload is an object") };
+    plan.retain(|(k, _)| !matches!(k.as_str(), "priority" | "client_id" | "deadline_ms" | "weight"));
+    serde_json::to_string(&value).unwrap()
+}
+
+/// The canonical v0 corpus: one legacy command serialization per line.
+fn build_v0_lines() -> Vec<String> {
+    let legacy = |cmd: &ServerCommand| serde_json::to_string(cmd).unwrap();
+    let mut scheduled = small_plan(2);
+    scheduled.priority = Some(Default::default());
+    scheduled.client_id = Some("tenant-a".into());
+    scheduled.deadline_ms = Some(60_000);
+    let mut invalid = small_plan(4);
+    invalid.memory_limit_fraction = Some(9.9);
+    vec![
+        legacy(&ServerCommand::Plan(small_plan(1))),
+        legacy(&ServerCommand::Plan(scheduled)),
+        pre_scheduler_plan_line(),
+        legacy(&ServerCommand::Plan(invalid)),
+        legacy(&ServerCommand::Stats { id: 5 }),
+        legacy(&ServerCommand::Cancel { id: 6, plan_id: 999 }),
+        legacy(&ServerCommand::Delta(degrade(7))),
+        legacy(&ServerCommand::Delta(DeltaRequest {
+            id: 8,
+            cluster: ClusterSpec::hybrid_small(),
+            delta: ClusterDelta::RankRemoved { rank: 99 },
+        })),
+        legacy(&ServerCommand::Stats { id: 9 }),
+    ]
+}
+
+/// The canonical v1 corpus: one envelope per line (including envelope-level
+/// error shapes the server must answer deterministically).
+fn build_v1_lines() -> Vec<String> {
+    let enveloped =
+        |cmd: ServerCommand| serde_json::to_string(&RequestEnvelope::v1(cmd)).unwrap();
+    let mut weighted = small_plan(11);
+    weighted.client_id = Some("tenant-b".into());
+    weighted.weight = Some(4);
+    let mut invalid = small_plan(12);
+    invalid.throughput_tolerance = Some(-1.0);
+    vec![
+        enveloped(ServerCommand::Hello { id: 10, min_v: 0, max_v: 1 }),
+        enveloped(ServerCommand::Plan(weighted)),
+        enveloped(ServerCommand::Plan(invalid)),
+        enveloped(ServerCommand::Stats { id: 13 }),
+        enveloped(ServerCommand::Batch {
+            id: 14,
+            cmds: vec![
+                ServerCommand::Plan(small_plan(15)),
+                ServerCommand::Stats { id: 16 },
+            ],
+        }),
+        enveloped(ServerCommand::Delta(degrade(17))),
+        enveloped(ServerCommand::Cancel { id: 18, plan_id: 999 }),
+        enveloped(ServerCommand::Subscribe { id: 19 }),
+        enveloped(ServerCommand::Unsubscribe { id: 20 }),
+        // Envelope-level failures, pinned: unsupported version, missing cmd.
+        r#"{"v":99,"id":21,"cmd":{"Stats":{"id":21}}}"#.to_string(),
+        r#"{"v":1,"id":22}"#.to_string(),
+    ]
+}
+
+fn read_or_regen(name: &str, build: impl Fn() -> Vec<String>) -> Vec<String> {
+    let path = golden_dir().join(name);
+    if std::env::var_os("QSYNC_REGEN_GOLDEN").is_some() {
+        let text = build().join("\n") + "\n";
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, text).expect("write golden corpus");
+    }
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden corpus {}: {e}", path.display()));
+    text.lines().map(str::to_owned).collect()
+}
+
+#[test]
+fn golden_corpus_is_current() {
+    // The committed corpus must equal what this crate's canonical
+    // serializations produce — a drifted corpus means the wire format
+    // changed, which is exactly what this test exists to catch.
+    assert_eq!(
+        read_or_regen("v0_lines.jsonl", build_v0_lines),
+        build_v0_lines(),
+        "v0 corpus drifted from the canonical serialization; if the change is \
+         intentional AND additive, regenerate with QSYNC_REGEN_GOLDEN=1"
+    );
+    assert_eq!(
+        read_or_regen("v1_lines.jsonl", build_v1_lines),
+        build_v1_lines(),
+        "v1 corpus drifted from the canonical serialization; if the change is \
+         intentional AND additive, regenerate with QSYNC_REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn every_v0_golden_line_parses_and_round_trips() {
+    for (i, line) in read_or_regen("v0_lines.jsonl", build_v0_lines).iter().enumerate() {
+        let parsed = parse_line(line)
+            .unwrap_or_else(|e| panic!("v0 golden line {i} no longer parses: {:?}", e.error));
+        assert_eq!(parsed.wire, WireProto::V0, "line {i} must take the legacy path");
+        // Round trip: re-serializing and re-parsing yields the same command.
+        let reserialized = serde_json::to_string(&parsed.cmd).unwrap();
+        let back = parse_line(&reserialized)
+            .unwrap_or_else(|e| panic!("line {i} reserialization broke: {:?}", e.error));
+        assert_eq!(back.cmd, parsed.cmd, "line {i} does not round-trip");
+    }
+}
+
+#[test]
+fn every_v1_golden_line_parses_or_faults_deterministically() {
+    for (i, line) in read_or_regen("v1_lines.jsonl", build_v1_lines).iter().enumerate() {
+        match parse_line(line) {
+            Ok(parsed) => {
+                assert_eq!(parsed.wire, WireProto::V1, "line {i} must take the envelope path");
+                let reserialized =
+                    serde_json::to_string(&RequestEnvelope::v1(parsed.cmd.clone())).unwrap();
+                let back = parse_line(&reserialized)
+                    .unwrap_or_else(|e| panic!("line {i} reserialization broke: {:?}", e.error));
+                assert_eq!(back.cmd, parsed.cmd, "line {i} does not round-trip");
+            }
+            Err(e) => {
+                // The two committed failure shapes: they must stay failures,
+                // reported on the v1 path with their envelope id echoed.
+                assert_eq!(e.wire, WireProto::V1, "line {i} fails on the wrong path");
+                assert!(e.error.id.is_some(), "line {i} fault lost its envelope id");
+            }
+        }
+    }
+}
+
+#[test]
+fn pre_scheduler_line_defaults_every_scheduling_field() {
+    let parsed = parse_line(&pre_scheduler_plan_line()).expect("pre-scheduler line parses");
+    let ServerCommand::Plan(request) = parsed.cmd else { panic!("plan command") };
+    assert_eq!(request.priority, None);
+    assert_eq!(request.client_id, None);
+    assert_eq!(request.deadline_ms, None);
+    assert_eq!(request.weight, None);
+    let meta = request.job_meta();
+    assert_eq!(meta.weight, 1);
+}

@@ -21,14 +21,14 @@
 //! Besides the stdout report, a machine-readable summary is written to
 //! `BENCH_plan_server.json` at the workspace root.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{Bencher, Criterion};
 
 use qsync_bench::smoke;
+use qsync_client::RawClient;
 use qsync_cluster::topology::ClusterSpec;
 use qsync_core::allocator::Allocator;
 use qsync_core::system::QSyncSystem;
@@ -121,8 +121,9 @@ fn hit_throughput(engine: &Arc<PlanEngine>, request: &PlanRequest, threads: usiz
 
 /// Reactor connection-scaling measurement: hold `conns` concurrent TCP
 /// connections against a live server, then drive `rounds` warm plan
-/// round-trips on every connection (8 writer threads over disjoint chunks).
-/// Returns `(round_trips_per_sec, p50_us, p99_us)`.
+/// round-trips on every connection (8 writer threads over disjoint chunks,
+/// each connection a `qsync_client::RawClient` — single-write frames, no
+/// Nagle). Returns `(round_trips_per_sec, p50_us, p99_us)`.
 fn connection_round_trips(
     engine: &Arc<PlanEngine>,
     request: &PlanRequest,
@@ -138,16 +139,8 @@ fn connection_round_trips(
     let server_thread = std::thread::spawn(move || server.serve_listener(listener, signal));
 
     // Hold every connection open for the whole measurement.
-    let mut clients: Vec<(TcpStream, BufReader<TcpStream>)> = (0..conns)
-        .map(|_| {
-            let stream = TcpStream::connect(addr).expect("connect");
-            // One write per request and no Nagle, or the measurement turns
-            // into a delayed-ACK benchmark.
-            stream.set_nodelay(true).expect("nodelay");
-            let reader = BufReader::new(stream.try_clone().expect("clone"));
-            (stream, reader)
-        })
-        .collect();
+    let mut clients: Vec<RawClient> =
+        (0..conns).map(|_| RawClient::connect(addr).expect("connect")).collect();
 
     let started = Instant::now();
     let mut latencies_us: Vec<u64> = Vec::with_capacity(conns * rounds);
@@ -158,19 +151,15 @@ fn connection_round_trips(
             handles.push(scope.spawn(move || {
                 let mut local = Vec::with_capacity(chunk.len() * rounds);
                 for round in 0..rounds {
-                    for (i, (stream, reader)) in chunk.iter_mut().enumerate() {
+                    for (i, client) in chunk.iter_mut().enumerate() {
                         let mut request = request.clone();
                         request.id = (w * 1_000_000 + round * 10_000 + i) as u64;
-                        let mut line = serde_json::to_string(&ServerCommand::Plan(request.clone()))
-                            .expect("serializes");
-                        line.push('\n');
                         let t0 = Instant::now();
-                        stream.write_all(line.as_bytes()).expect("write");
-                        let mut reply = String::new();
-                        reader.read_line(&mut reply).expect("read");
+                        client
+                            .send_legacy(&ServerCommand::Plan(request.clone()))
+                            .expect("write");
+                        let reply = client.recv().expect("reply");
                         local.push(t0.elapsed().as_micros() as u64);
-                        let reply: ServerReply =
-                            serde_json::from_str(&reply).expect("reply parses");
                         match reply {
                             ServerReply::Plan(p) => assert_eq!(p.id, request.id),
                             other => panic!("unexpected reply {other:?}"),

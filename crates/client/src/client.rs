@@ -1,0 +1,224 @@
+//! The blocking typed client: one request in flight at a time, enveloped v1
+//! lines, structured errors surfaced as [`ClientError::Api`].
+
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use qsync_api::{
+    CacheStats, DeltaRequest, DeltaResponse, DeltaStats, PlanRequest, PlanResponse, SchedStats,
+    ServerCommand, ServerEvent, ServerReply, MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION,
+};
+
+use crate::error::{ClientError, Result};
+use crate::raw::{RawClient, DEFAULT_TIMEOUT};
+
+/// The counters of one `Stats` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+    /// Scheduler counters (absent on the schedulerless one-shot path).
+    pub sched: Option<SchedStats>,
+    /// Elasticity counters.
+    pub deltas: DeltaStats,
+}
+
+/// A blocking, typed protocol client.
+///
+/// `connect` performs the `Hello` version handshake; every call sends one
+/// enveloped (v1) command and blocks until its reply arrives. Event lines
+/// from a [`subscribe`](Client::subscribe)d stream that interleave with a
+/// call's reply are buffered and handed out by
+/// [`next_event`](Client::next_event).
+///
+/// For many requests in flight over one socket, use
+/// [`MuxClient`](crate::MuxClient).
+pub struct Client {
+    raw: RawClient,
+    /// Server-advertised protocol range (from the connect handshake).
+    server_versions: (u32, u32),
+    /// Server software identifier (from the connect handshake).
+    server_ident: String,
+    next_id: u64,
+    /// Events that arrived while waiting for a call's reply.
+    buffered_events: VecDeque<(u64, ServerEvent)>,
+}
+
+impl Client {
+    /// Connect and perform the `Hello` handshake, with the default timeout.
+    pub fn connect(addr: SocketAddr) -> Result<Client> {
+        Self::connect_timeout(addr, DEFAULT_TIMEOUT)
+    }
+
+    /// Connect with an explicit socket read/write timeout.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> Result<Client> {
+        let raw = RawClient::connect_timeout(addr, timeout)?;
+        let mut client = Client {
+            raw,
+            server_versions: (MIN_PROTOCOL_VERSION, MAX_PROTOCOL_VERSION),
+            server_ident: String::new(),
+            next_id: 0,
+            buffered_events: VecDeque::new(),
+        };
+        let id = client.fresh_id();
+        let reply = client.request(ServerCommand::Hello {
+            id,
+            min_v: MIN_PROTOCOL_VERSION,
+            max_v: MAX_PROTOCOL_VERSION,
+        })?;
+        match reply {
+            ServerReply::Hello { min_v, max_v, server, .. } => {
+                client.server_versions = (min_v, max_v);
+                client.server_ident = server;
+                Ok(client)
+            }
+            other => Err(unexpected("Hello", &other)),
+        }
+    }
+
+    /// The protocol range the server advertised at connect time.
+    pub fn server_versions(&self) -> (u32, u32) {
+        self.server_versions
+    }
+
+    /// The server software identifier advertised at connect time.
+    pub fn server_ident(&self) -> &str {
+        &self.server_ident
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Send one enveloped command and block until its reply arrives,
+    /// buffering any event lines that interleave. A `Fault` (or legacy
+    /// `Error`) answering this command returns as [`ClientError::Api`].
+    fn request(&mut self, command: ServerCommand) -> Result<ServerReply> {
+        let id = command.id();
+        self.raw.send_enveloped(&command)?;
+        loop {
+            let reply = self.raw.recv()?;
+            if let ServerReply::Event { seq, event } = reply {
+                self.buffered_events.push_back((seq, event));
+                continue;
+            }
+            if let Some(error) = reply.as_error() {
+                // An id-less fault on a single-in-flight connection can only
+                // concern this request (e.g. a parse failure of its line).
+                if error.id == Some(id) || error.id.is_none() {
+                    return Err(ClientError::Api(error));
+                }
+            }
+            if reply.correlation_id() == Some(id) {
+                return Ok(reply);
+            }
+            return Err(ClientError::Protocol(format!(
+                "reply correlates to id {:?}, expected {id}: {reply:?}",
+                reply.correlation_id()
+            )));
+        }
+    }
+
+    /// Request a plan and block for the response. The request's `id` is
+    /// replaced with a connection-unique one (echoed in the response).
+    pub fn plan(&mut self, mut request: PlanRequest) -> Result<PlanResponse> {
+        request.id = self.fresh_id();
+        match self.request(ServerCommand::Plan(request))? {
+            ServerReply::Plan(response) => Ok(response),
+            other => Err(unexpected("Plan", &other)),
+        }
+    }
+
+    /// Apply a cluster delta and block for the outcome (the delta is a
+    /// barrier server-side; this can wait out queued planning work).
+    pub fn delta(&mut self, mut request: DeltaRequest) -> Result<DeltaResponse> {
+        request.id = self.fresh_id();
+        match self.request(ServerCommand::Delta(request))? {
+            ServerReply::Delta(response) => Ok(response),
+            other => Err(unexpected("Delta", &other)),
+        }
+    }
+
+    /// Read the server's cache/scheduler/elasticity counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot> {
+        let id = self.fresh_id();
+        match self.request(ServerCommand::Stats { id })? {
+            ServerReply::Stats { stats, sched, deltas, .. } => {
+                Ok(StatsSnapshot { cache: stats, sched, deltas })
+            }
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Cancel a still-queued plan by the id echoed from
+    /// [`plan`](Client::plan)'s request. Returns whether the plan was still
+    /// queued (on this connection) and has been removed.
+    ///
+    /// Note: the blocking client waits out every plan it submits, so this is
+    /// chiefly useful against plans submitted through the same connection by
+    /// [`send_raw`](Client::send_raw)-style pipelining in tests; the
+    /// multiplexing client is the natural cancel user.
+    pub fn cancel(&mut self, plan_id: u64) -> Result<bool> {
+        let id = self.fresh_id();
+        match self.request(ServerCommand::Cancel { id, plan_id })? {
+            ServerReply::Cancelled { cancelled, .. } => Ok(cancelled),
+            other => Err(unexpected("Cancel", &other)),
+        }
+    }
+
+    /// Subscribe this connection to the server's event stream; events are
+    /// then read with [`next_event`](Client::next_event).
+    pub fn subscribe(&mut self) -> Result<()> {
+        let id = self.fresh_id();
+        match self.request(ServerCommand::Subscribe { id })? {
+            ServerReply::Subscribed { .. } => Ok(()),
+            other => Err(unexpected("Subscribe", &other)),
+        }
+    }
+
+    /// End this connection's event stream.
+    pub fn unsubscribe(&mut self) -> Result<()> {
+        let id = self.fresh_id();
+        match self.request(ServerCommand::Unsubscribe { id })? {
+            ServerReply::Unsubscribed { .. } => Ok(()),
+            other => Err(unexpected("Unsubscribe", &other)),
+        }
+    }
+
+    /// Block for the next event: buffered first, then from the socket
+    /// (subject to the connection's receive timeout). Returns the server's
+    /// event sequence number and the event.
+    pub fn next_event(&mut self) -> Result<(u64, ServerEvent)> {
+        if let Some(buffered) = self.buffered_events.pop_front() {
+            return Ok(buffered);
+        }
+        match self.raw.recv()? {
+            ServerReply::Event { seq, event } => Ok((seq, event)),
+            other => {
+                Err(ClientError::Protocol(format!("expected an event line, got {other:?}")))
+            }
+        }
+    }
+
+    /// Events received but not yet handed out by
+    /// [`next_event`](Client::next_event).
+    pub fn buffered_event_count(&self) -> usize {
+        self.buffered_events.len()
+    }
+
+    /// Escape hatch for tests and tools: the underlying raw connection.
+    pub fn raw(&mut self) -> &mut RawClient {
+        &mut self.raw
+    }
+
+    /// Send a pre-serialized line as-is (tests pipelining legacy input).
+    pub fn send_raw(&mut self, line: &str) -> Result<()> {
+        self.raw.send_line(line)
+    }
+}
+
+fn unexpected(wanted: &str, got: &ServerReply) -> ClientError {
+    ClientError::Protocol(format!("expected a {wanted} reply, got {got:?}"))
+}

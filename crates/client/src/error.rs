@@ -1,0 +1,54 @@
+//! Client-side error type.
+
+use qsync_api::ApiError;
+
+/// Anything that can go wrong talking to a plan server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server answered with a structured error ([`ApiError`]). Replies
+    /// from legacy (v0) servers surface here too, with code
+    /// [`ErrorCode::Internal`](qsync_api::ErrorCode::Internal) since v0
+    /// carried no code.
+    Api(ApiError),
+    /// The server's bytes did not parse as protocol output, or a reply of an
+    /// unexpected type answered this request.
+    Protocol(String),
+    /// The connection (or the multiplexer's reader) shut down while this
+    /// request was in flight.
+    Closed,
+    /// This request was cancelled by this client
+    /// ([`MuxClient::cancel`](crate::MuxClient::cancel)); the server will
+    /// never reply to it.
+    Cancelled,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Api(e) => write!(f, "server error ({}): {e}", e.code.name()),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Closed => f.write_str("connection closed"),
+            ClientError::Cancelled => f.write_str("request cancelled by this client"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ApiError> for ClientError {
+    fn from(e: ApiError) -> Self {
+        ClientError::Api(e)
+    }
+}
+
+/// Client-side result alias.
+pub type Result<T> = std::result::Result<T, ClientError>;

@@ -1,0 +1,47 @@
+//! # qsync-client — typed clients for the plan-serving protocol
+//!
+//! Three layers over one TCP socket, all speaking the versioned protocol of
+//! [`qsync_api`]:
+//!
+//! * [`RawClient`] — blocking JSONL framing with timeouts; sends legacy (v0)
+//!   or enveloped (v1) lines, parses replies in either form. The substrate
+//!   for tests and fuzzers.
+//! * [`Client`] — blocking typed calls ([`Client::plan`], [`Client::delta`],
+//!   [`Client::stats`], [`Client::subscribe`]/[`Client::next_event`]), one
+//!   request in flight at a time, `Hello` version handshake on connect,
+//!   structured server errors as [`ClientError::Api`].
+//! * [`MuxClient`] — the multiplexing handle: clone it across threads, keep
+//!   many requests in flight over one socket, and a background reader routes
+//!   every reply to its waiter by the echoed correlation id
+//!   ([`Pending`]); `Subscribe` events flow into an [`EventStream`].
+//!
+//! ```no_run
+//! use qsync_api::{ModelSpec, PlanRequest};
+//! use qsync_client::Client;
+//! use qsync_cluster::topology::ClusterSpec;
+//!
+//! # fn main() -> qsync_client::Result<()> {
+//! let mut client = Client::connect("127.0.0.1:7878".parse().unwrap())?;
+//! let response = client.plan(PlanRequest::new(
+//!     0, // replaced with a connection-unique id
+//!     ModelSpec::Vgg16Bn { batch: 2, image: 32 },
+//!     ClusterSpec::cluster_a(2, 2),
+//! ))?;
+//! println!("planned: {} ({:?})", response.key, response.outcome);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+mod mux;
+mod raw;
+
+pub use client::{Client, StatsSnapshot};
+pub use error::{ClientError, Result};
+pub use mux::{EventStream, MuxClient, Pending};
+pub use raw::{parse_reply_line, RawClient, DEFAULT_TIMEOUT};
+
+pub use qsync_api as api;

@@ -1,0 +1,387 @@
+//! The multiplexing client: many in-flight requests over one socket.
+//!
+//! A background reader thread parses reply lines and routes each to its
+//! waiter by the echoed correlation id; submitting threads block (or poll)
+//! on their own [`Pending`] handle. One `MuxClient` is `Clone` + `Send`, so
+//! a whole thread pool can share a single connection — the server fair-queues
+//! all of it under one connection identity unless requests name a
+//! `client_id`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use qsync_api::{
+    DeltaRequest, DeltaResponse, PlanRequest, PlanResponse, ServerCommand, ServerEvent,
+    ServerReply, MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION,
+};
+
+use crate::client::StatsSnapshot;
+use crate::error::{ClientError, Result};
+use crate::raw::parse_reply_line;
+
+/// One in-flight request's reply slot.
+#[derive(Default)]
+struct Slot {
+    reply: Mutex<Option<Result<ServerReply>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, reply: Result<ServerReply>) {
+        *self.reply.lock().expect("reply slot poisoned") = Some(reply);
+        self.ready.notify_all();
+    }
+}
+
+/// Shared state between submitters and the reader thread.
+struct MuxState {
+    /// Correlation id → waiting slot.
+    waiters: Mutex<HashMap<u64, Arc<Slot>>>,
+    /// Live event subscription, if any.
+    events: Mutex<Option<mpsc::Sender<(u64, ServerEvent)>>>,
+    next_id: AtomicU64,
+}
+
+impl MuxState {
+    /// Fail every waiter and end the event stream (reader exit path).
+    fn poison_all(&self) {
+        let waiters = std::mem::take(&mut *self.waiters.lock().expect("waiter map poisoned"));
+        for slot in waiters.into_values() {
+            slot.fill(Err(ClientError::Closed));
+        }
+        self.events.lock().expect("event channel poisoned").take();
+    }
+}
+
+/// Connection ownership: shuts the socket down on drop so the reader thread
+/// exits even if it is blocked on a read.
+struct MuxInner {
+    stream: TcpStream,
+    writer: Mutex<TcpStream>,
+    state: Arc<MuxState>,
+    server_versions: (u32, u32),
+    server_ident: String,
+}
+
+impl Drop for MuxInner {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A handle to one reply, filled by the reader thread.
+///
+/// Dropping a `Pending` abandons the reply (it is discarded on arrival).
+pub struct Pending<T> {
+    slot: Arc<Slot>,
+    id: u64,
+    state: Arc<MuxState>,
+    convert: fn(ServerReply) -> Result<T>,
+}
+
+impl<T> Pending<T> {
+    /// The connection-unique correlation id of this request (usable with
+    /// [`MuxClient::cancel`] while the reply has not arrived).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the reply arrives.
+    pub fn wait(self) -> Result<T> {
+        let mut reply = self.slot.reply.lock().expect("reply slot poisoned");
+        loop {
+            if let Some(outcome) = reply.take() {
+                return outcome.and_then(self.convert);
+            }
+            reply = self.slot.ready.wait(reply).expect("reply slot poisoned");
+        }
+    }
+
+    /// Block up to `timeout` for the reply; `Err(Io(TimedOut))` if it does
+    /// not arrive in time (the request stays in flight — the reply will be
+    /// discarded on arrival).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut reply = self.slot.reply.lock().expect("reply slot poisoned");
+        loop {
+            if let Some(outcome) = reply.take() {
+                return outcome.and_then(self.convert);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                drop(reply);
+                self.state.waiters.lock().expect("waiter map poisoned").remove(&self.id);
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no reply within the wait timeout",
+                )));
+            }
+            let (guard, _) = self
+                .slot
+                .ready
+                .wait_timeout(reply, deadline - now)
+                .expect("reply slot poisoned");
+            reply = guard;
+        }
+    }
+}
+
+/// A subscription's event receiver (see [`MuxClient::subscribe`]).
+pub struct EventStream {
+    rx: mpsc::Receiver<(u64, ServerEvent)>,
+}
+
+impl EventStream {
+    /// Block for the next event; `None` once the connection closes or the
+    /// subscription is replaced.
+    pub fn next(&self) -> Option<(u64, ServerEvent)> {
+        self.rx.recv().ok()
+    }
+
+    /// Block up to `timeout` for the next event.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<(u64, ServerEvent)> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// A multiplexing protocol client: clone it across threads, submit many
+/// requests, and every reply finds its submitter.
+///
+/// ```no_run
+/// # use qsync_client::MuxClient;
+/// # use qsync_api::{ModelSpec, PlanRequest};
+/// # use qsync_cluster::topology::ClusterSpec;
+/// # fn demo(addr: std::net::SocketAddr) -> qsync_client::Result<()> {
+/// let client = MuxClient::connect(addr)?;
+/// let a = client.submit_plan(PlanRequest::new(
+///     0,
+///     ModelSpec::SmallMlp { batch: 8, in_features: 16, hidden: 32, classes: 4 },
+///     ClusterSpec::hybrid_small(),
+/// ))?;
+/// let b = client.stats()?; // interleaves with the in-flight plan
+/// let plan = a.wait()?;    // routed back by id
+/// # let _ = (b, plan);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct MuxClient {
+    inner: Arc<MuxInner>,
+}
+
+impl MuxClient {
+    /// Connect, spawn the reader thread, and perform the `Hello` handshake.
+    pub fn connect(addr: SocketAddr) -> Result<MuxClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let state = Arc::new(MuxState {
+            waiters: Mutex::new(HashMap::new()),
+            events: Mutex::new(None),
+            next_id: AtomicU64::new(1),
+        });
+        let reader = BufReader::new(stream.try_clone()?);
+        {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("qsync-client-mux-reader".into())
+                .spawn(move || reader_loop(reader, &state))
+                .expect("spawn mux reader");
+        }
+        let mut client = MuxClient {
+            inner: Arc::new(MuxInner {
+                writer: Mutex::new(stream.try_clone()?),
+                stream,
+                state,
+                server_versions: (MIN_PROTOCOL_VERSION, MAX_PROTOCOL_VERSION),
+                server_ident: String::new(),
+            }),
+        };
+        let hello = client
+            .submit(
+                |id| ServerCommand::Hello { id, min_v: MIN_PROTOCOL_VERSION, max_v: MAX_PROTOCOL_VERSION },
+                Ok,
+            )?
+            .wait()?;
+        if let ServerReply::Hello { min_v, max_v, server, .. } = hello {
+            let inner = Arc::get_mut(&mut client.inner)
+                .expect("no clones exist before connect returns");
+            inner.server_versions = (min_v, max_v);
+            inner.server_ident = server;
+        }
+        Ok(client)
+    }
+
+    /// The protocol range the server advertised at connect time.
+    pub fn server_versions(&self) -> (u32, u32) {
+        self.inner.server_versions
+    }
+
+    /// The server software identifier advertised at connect time.
+    pub fn server_ident(&self) -> &str {
+        &self.inner.server_ident
+    }
+
+    /// Register a waiter, build the command with the fresh id, and send it.
+    fn submit<T>(
+        &self,
+        build: impl FnOnce(u64) -> ServerCommand,
+        convert: fn(ServerReply) -> Result<T>,
+    ) -> Result<Pending<T>> {
+        let state = &self.inner.state;
+        let id = state.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot::default());
+        state.waiters.lock().expect("waiter map poisoned").insert(id, Arc::clone(&slot));
+        let command = build(id);
+        let envelope = qsync_api::RequestEnvelope::v1(command);
+        let mut line = serde_json::to_string(&envelope).expect("envelope serializes");
+        line.push('\n');
+        let sent = {
+            let mut writer = self.inner.writer.lock().expect("writer poisoned");
+            writer.write_all(line.as_bytes())
+        };
+        if let Err(e) = sent {
+            state.waiters.lock().expect("waiter map poisoned").remove(&id);
+            return Err(ClientError::Io(e));
+        }
+        Ok(Pending { slot, id, state: Arc::clone(state), convert })
+    }
+
+    /// Submit a plan request; returns immediately with the [`Pending`]
+    /// reply handle. The request's `id` is replaced with a
+    /// connection-unique one (echoed in the response and usable with
+    /// [`cancel`](MuxClient::cancel)).
+    pub fn submit_plan(&self, request: PlanRequest) -> Result<Pending<PlanResponse>> {
+        self.submit(
+            move |id| ServerCommand::Plan(PlanRequest { id, ..request }),
+            |reply| match reply {
+                ServerReply::Plan(response) => Ok(response),
+                other => Err(unexpected("Plan", &other)),
+            },
+        )
+    }
+
+    /// Request a plan and block for the response.
+    pub fn plan(&self, request: PlanRequest) -> Result<PlanResponse> {
+        self.submit_plan(request)?.wait()
+    }
+
+    /// Submit a cluster delta; returns immediately with the reply handle.
+    pub fn submit_delta(&self, request: DeltaRequest) -> Result<Pending<DeltaResponse>> {
+        self.submit(
+            move |id| ServerCommand::Delta(DeltaRequest { id, ..request }),
+            |reply| match reply {
+                ServerReply::Delta(response) => Ok(response),
+                other => Err(unexpected("Delta", &other)),
+            },
+        )
+    }
+
+    /// Apply a cluster delta and block for the outcome.
+    pub fn delta(&self, request: DeltaRequest) -> Result<DeltaResponse> {
+        self.submit_delta(request)?.wait()
+    }
+
+    /// Read the server's counters.
+    pub fn stats(&self) -> Result<StatsSnapshot> {
+        self.submit(
+            |id| ServerCommand::Stats { id },
+            |reply| match reply {
+                ServerReply::Stats { stats, sched, deltas, .. } => {
+                    Ok(StatsSnapshot { cache: stats, sched, deltas })
+                }
+                other => Err(unexpected("Stats", &other)),
+            },
+        )?
+        .wait()
+    }
+
+    /// Cancel a still-queued plan by its [`Pending::id`]. Returns whether it
+    /// was still queued and has been removed — in which case the server will
+    /// never reply to it, so the plan's waiter is deregistered here and its
+    /// `Pending` resolves to [`ClientError::Cancelled`].
+    pub fn cancel(&self, plan_id: u64) -> Result<bool> {
+        let cancelled = self
+            .submit(
+                move |id| ServerCommand::Cancel { id, plan_id },
+                |reply| match reply {
+                    ServerReply::Cancelled { cancelled, .. } => Ok(cancelled),
+                    other => Err(unexpected("Cancel", &other)),
+                },
+            )?
+            .wait()?;
+        if cancelled {
+            // No reply will ever arrive for the cancelled plan: release its
+            // waiter now instead of leaking the slot (and any blocked
+            // `Pending::wait`) for the life of the connection.
+            let waiter =
+                self.inner.state.waiters.lock().expect("waiter map poisoned").remove(&plan_id);
+            if let Some(slot) = waiter {
+                slot.fill(Err(ClientError::Cancelled));
+            }
+        }
+        Ok(cancelled)
+    }
+
+    /// Subscribe to the server's event stream. Events flow into the returned
+    /// [`EventStream`] from the moment the server confirms the subscription;
+    /// a later `subscribe` replaces the stream.
+    pub fn subscribe(&self) -> Result<EventStream> {
+        let (tx, rx) = mpsc::channel();
+        *self.inner.state.events.lock().expect("event channel poisoned") = Some(tx);
+        self.submit(
+            |id| ServerCommand::Subscribe { id },
+            |reply| match reply {
+                ServerReply::Subscribed { .. } => Ok(()),
+                other => Err(unexpected("Subscribe", &other)),
+            },
+        )?
+        .wait()?;
+        Ok(EventStream { rx })
+    }
+}
+
+/// Reader-thread body: route every reply line to its waiter (or the event
+/// stream), then poison the remaining waiters on EOF or transport error.
+fn reader_loop(reader: BufReader<TcpStream>, state: &MuxState) {
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_reply_line(&line) {
+            Ok(reply) => reply,
+            // A server that emits unparseable lines is broken: stop routing.
+            Err(_) => break,
+        };
+        if let ServerReply::Event { seq, event } = reply {
+            let events = state.events.lock().expect("event channel poisoned");
+            if let Some(tx) = events.as_ref() {
+                let _ = tx.send((seq, event));
+            }
+            continue;
+        }
+        let Some(id) = reply.correlation_id() else {
+            // An id-less fault (e.g. to a malformed line) cannot be routed;
+            // surface nothing — submit-side serialization makes these
+            // unreachable for well-formed clients.
+            continue;
+        };
+        let waiter = state.waiters.lock().expect("waiter map poisoned").remove(&id);
+        if let Some(slot) = waiter {
+            if let Some(error) = reply.as_error() {
+                slot.fill(Err(ClientError::Api(error)));
+            } else {
+                slot.fill(Ok(reply));
+            }
+        }
+    }
+    state.poison_all();
+}
+
+fn unexpected(wanted: &str, got: &ServerReply) -> ClientError {
+    ClientError::Protocol(format!("expected a {wanted} reply, got {got:?}"))
+}

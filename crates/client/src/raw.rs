@@ -1,0 +1,122 @@
+//! The raw JSONL client: a blocking socket speaking protocol lines, with
+//! receive timeouts.
+//!
+//! This is the lowest layer — it frames lines, serializes commands (bare v0
+//! or enveloped v1) and parses replies in either form, but imposes no
+//! request/reply discipline. The typed [`Client`](crate::Client) and the
+//! multiplexing [`MuxClient`](crate::MuxClient) are built on it; tests (e.g.
+//! protocol fuzzers) use it directly to send arbitrary bytes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use qsync_api::{ReplyEnvelope, RequestEnvelope, ServerCommand, ServerReply};
+
+use crate::error::{ClientError, Result};
+
+/// Default receive/send timeout: long enough for a cold plan on a loaded CI
+/// host, short enough that a wedged server fails a test instead of hanging it.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Parse one reply line, auto-detecting the envelope form: an object with a
+/// `"v"` key is a [`ReplyEnvelope`], anything else a bare [`ServerReply`].
+pub fn parse_reply_line(line: &str) -> Result<ServerReply> {
+    let value: serde::Value = serde_json::from_str(line)
+        .map_err(|e| ClientError::Protocol(format!("unparseable reply line: {e}")))?;
+    if value.get("v").is_some() {
+        let envelope: ReplyEnvelope = serde_json::from_value(&value)
+            .map_err(|e| ClientError::Protocol(format!("unparseable reply envelope: {e}")))?;
+        Ok(envelope.reply)
+    } else {
+        serde_json::from_value(&value)
+            .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))
+    }
+}
+
+/// A blocking JSONL protocol connection with receive timeouts.
+pub struct RawClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawClient {
+    /// Connect to `addr` with the [`DEFAULT_TIMEOUT`].
+    pub fn connect(addr: SocketAddr) -> Result<RawClient> {
+        Self::connect_timeout(addr, DEFAULT_TIMEOUT)
+    }
+
+    /// Connect to `addr` with an explicit socket read/write timeout.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> Result<RawClient> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_read_timeout(Some(timeout))?;
+        writer.set_write_timeout(Some(timeout))?;
+        // Request lines must leave as one segment: Nagle + the peer's
+        // delayed ACK would otherwise add ~40 ms to every round-trip.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(RawClient { writer, reader })
+    }
+
+    /// Send one raw line (a `\n` is appended), as a single write.
+    pub fn send_line(&mut self, line: &str) -> Result<()> {
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        self.writer.write_all(&framed)?;
+        Ok(())
+    }
+
+    /// Send raw bytes as-is (fuzzing: no framing added).
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(bytes)
+    }
+
+    /// Send one command as a legacy (v0, un-enveloped) line.
+    pub fn send_legacy(&mut self, command: &ServerCommand) -> Result<()> {
+        self.send_line(&serde_json::to_string(command).expect("command serializes"))
+    }
+
+    /// Send one command wrapped in a current-version envelope.
+    pub fn send_enveloped(&mut self, command: &ServerCommand) -> Result<()> {
+        let envelope = RequestEnvelope::v1(command.clone());
+        self.send_line(&serde_json::to_string(&envelope).expect("envelope serializes"))
+    }
+
+    /// Receive one reply line (bare or enveloped). Errors on timeout or EOF.
+    pub fn recv(&mut self) -> Result<ServerReply> {
+        match self.try_recv()? {
+            Some(reply) => Ok(reply),
+            None => Err(ClientError::Closed),
+        }
+    }
+
+    /// Receive one reply line; `Ok(None)` on clean EOF, `Err` on timeout.
+    pub fn try_recv(&mut self) -> Result<Option<ServerReply>> {
+        match self.recv_raw_line()? {
+            None => Ok(None),
+            Some(line) => parse_reply_line(&line).map(Some),
+        }
+    }
+
+    /// Receive one raw reply line (no trailing newline), unparsed — for
+    /// byte-level protocol assertions. `Ok(None)` on clean EOF.
+    pub fn recv_raw_line(&mut self) -> Result<Option<String>> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Ok(None),
+            Ok(_) => {
+                if line.ends_with('\n') {
+                    line.pop();
+                }
+                Ok(Some(line))
+            }
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// Close the write side, signalling EOF to the server.
+    pub fn finish_writes(&mut self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Write);
+    }
+}

@@ -176,9 +176,12 @@ impl<'a> Allocator<'a> {
     /// precisions the device no longer supports fall to the nearest supported
     /// candidate, and while the assignment exceeds the (possibly shrunk)
     /// memory budget, the operator whose demotion costs the least indicator
-    /// increase is stepped down. `T_min` is taken from the uniform
-    /// lowest-precision plan — the cheap stand-in for the brute-force fastest
-    /// plan, which warm starting exists to avoid recomputing.
+    /// increase is stepped down. `T_min` is the brute-force fastest plan's
+    /// latency — the **same bound the cold allocator enforces** — recomputed
+    /// for the current cluster on the incremental evaluator (cheap since the
+    /// initial phase runs there too; it used to be approximated by the
+    /// uniform lowest-precision plan, which overstated `T_min` and let warm
+    /// re-plans drift from cold-plan quality).
     ///
     /// Falls back to a cold [`Allocator::allocate`] when the warm DAG does not
     /// match the system's model (different node count).
@@ -236,9 +239,10 @@ impl<'a> Allocator<'a> {
         // Demote until the assignment honours the throughput bound the cold
         // allocator enforces. A compute-degraded device can make the cached
         // (mostly recovered) assignment far slower than `T_min * tol`, and
-        // recovery can only promote, never repair that.
-        let t_min = sys.predict_iteration_us(&PrecisionPlan::uniform(dag, &sys.cluster, lowest));
-        report.full_predicts += 1;
+        // recovery can only promote, never repair that. The bound is the
+        // initial (brute-force fastest) plan's latency, answered entirely
+        // from the incremental evaluator — no full-plan prediction at all.
+        let t_min = self.initial_eval(rank).iteration_us();
         let tol = 1.0 + sys.config.throughput_tolerance;
         let mut warm_t = eval.iteration_us();
         while warm_t > t_min * tol {
@@ -592,7 +596,16 @@ impl<'a> Allocator<'a> {
             report.warm_demotions += 1;
         }
 
-        let t_min = sys.predict_iteration_us(&PrecisionPlan::uniform(dag, &sys.cluster, lowest));
+        // Mirror of the incremental path's bound: the brute-force fastest
+        // plan's latency on the current cluster (the cold allocator's
+        // `T_min`), not the uniform lowest-precision stand-in.
+        let initial = self.initial_for_device_reference(rank);
+        let t_min = sys.predict_iteration_us(&PrecisionPlan::from_inference_pdag(
+            "qsync_initial",
+            dag,
+            &sys.cluster,
+            &initial,
+        ));
         report.full_predicts += 1;
         let tol = 1.0 + sys.config.throughput_tolerance;
         let mut warm_t = sys.predict_iteration_us(&PrecisionPlan::from_inference_pdag(

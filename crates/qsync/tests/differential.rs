@@ -83,10 +83,11 @@ fn warm_allocation_is_byte_identical_to_the_reference_allocator() {
 }
 
 #[test]
-fn warm_replan_performs_constant_full_predictions_regardless_of_demotions() {
+fn warm_replan_performs_zero_full_predictions_regardless_of_demotions() {
     // Regression for the warm-start demotion loops: they used to rebuild a full
     // `PrecisionPlan` (and replay the global DFG) once per demotion; on the evaluator
-    // they cost one full prediction total (the uniform-lowest `T_min` bound).
+    // they cost **no** full prediction at all — even the `T_min` bound (the
+    // brute-force initial setting) is answered incrementally.
     // VGG-16BN's ~550 MB of FP32 weights actually pressure a shrunk T4, unlike the MLP.
     let dag = vgg16bn(2, 32);
     let roomy = QSyncSystem::new(dag.clone(), ClusterSpec::cluster_a(1, 1), QSyncConfig::default());
@@ -110,10 +111,56 @@ fn warm_replan_performs_constant_full_predictions_regardless_of_demotions() {
         "expected at least one shrunk cluster to force demotions, got {demotions:?}"
     );
     assert!(
-        full_predicts.iter().all(|&f| f == 1),
-        "warm re-plan must do exactly one full prediction (T_min), got {full_predicts:?} \
-         for demotion counts {demotions:?}"
+        full_predicts.iter().all(|&f| f == 0),
+        "warm re-plan must answer everything (including T_min) incrementally, \
+         got {full_predicts:?} full predictions for demotion counts {demotions:?}"
     );
+}
+
+#[test]
+fn warm_t_min_matches_the_cold_allocators_bound() {
+    // ROADMAP "warm-start fidelity": `allocate_warm` used to bound `T_min` by
+    // the uniform lowest-precision plan instead of the brute-force fastest
+    // plan. It now computes the cold allocator's bound exactly — warm and
+    // cold allocations on the same system report bit-identical `T_min` — and
+    // this test quantifies the gap the stand-in used to leave.
+    let dag = vgg16bn(2, 32);
+    let roomy = QSyncSystem::new(dag.clone(), ClusterSpec::cluster_a(1, 1), QSyncConfig::default());
+    let (cached, _) = Allocator::new(&roomy).allocate(&roomy.indicator());
+    let warm = cached.device(roomy.cluster.inference_ranks()[0]).clone();
+
+    for fraction in [0.3, 0.7] {
+        let shrunk = QSyncSystem::new(
+            dag.clone(),
+            ClusterSpec::cluster_b(1, 1, fraction),
+            QSyncConfig::default(),
+        );
+        let alloc = Allocator::new(&shrunk);
+        let (_, cold) = alloc.allocate(&shrunk.indicator());
+        let (_, warm_report) = alloc.allocate_warm(&shrunk.indicator(), &warm);
+        assert_eq!(
+            warm_report.t_min_us.to_bits(),
+            cold.t_min_us.to_bits(),
+            "warm T_min must equal the cold allocator's bound at fraction {fraction}"
+        );
+        // The former stand-in, for the record: the uniform lowest-precision
+        // plan is never *faster* than the brute-force fastest plan, so the
+        // old bound overstated T_min by `gap`.
+        let rank = shrunk.cluster.inference_ranks()[0];
+        let lowest = shrunk.candidates_for(rank)[0];
+        let uniform =
+            shrunk.predict_iteration_us(&PrecisionPlan::uniform(&shrunk.dag, &shrunk.cluster, lowest));
+        let gap = uniform - warm_report.t_min_us;
+        assert!(
+            gap >= -1e-9,
+            "brute-force fastest plan slower than uniform lowest at fraction {fraction}: gap {gap}"
+        );
+        eprintln!(
+            "fraction {fraction}: T_min {:.1} us (uniform-lowest stand-in {uniform:.1} us, \
+             former gap {gap:.1} us)",
+            warm_report.t_min_us
+        );
+    }
 }
 
 /// Random layered model with optional ReLU and residual adds, so the differential

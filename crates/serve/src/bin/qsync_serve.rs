@@ -4,34 +4,42 @@
 //! qsync-serve serve [--workers N] [--tcp ADDR] [--cache-capacity N] [--cache-shards N]
 //!                   [--sched-policy fifo|drr] [--queue-cap N]
 //!                   [--queue-cap-interactive N] [--queue-cap-batch N] [--queue-cap-background N]
-//!                   [--drr-quantum N] [--shed-expired true|false]
-//!     Serve ServerCommand JSON lines: from stdin (default) or a TCP socket.
-//!     Plan requests may carry optional "priority" ("Interactive"|"Batch"|
-//!     "Background"), "client_id" (fair-share identity) and "deadline_ms"
-//!     fields; the scheduler dispatches accordingly (EDF lane > classes,
-//!     deficit round robin across clients within a class).
+//!                   [--drr-quantum N] [--shed-expired true|false] [--delta-window-ms N]
+//!     Serve protocol lines (legacy v0 objects or v1 envelopes; see
+//!     docs/PROTOCOL.md): from stdin (default) or a TCP socket. Plan
+//!     requests may carry optional "priority" ("Interactive"|"Batch"|
+//!     "Background"), "client_id" (fair-share identity), "weight" (DRR
+//!     share) and "deadline_ms" fields; the scheduler dispatches
+//!     accordingly (EDF lane > classes, deficit round robin across clients
+//!     within a class). --delta-window-ms batches near-concurrent
+//!     elasticity events into one invalidation wave.
 //!
 //! qsync-serve plan --model SPEC [--cluster SPEC] [--indicator NAME]
 //!                  [--tolerance F] [--memory-fraction F]
 //!     One-shot: plan and print the PlanResponse JSON to stdout.
 //!
 //! qsync-serve bench-load [--requests N] [--clients N] [--model SPEC] [--cluster SPEC]
-//!                        [--cache-capacity N] [--cache-shards N]
-//!     In-process load generation against a shared engine; prints a latency
-//!     summary with the cache hit/miss/eviction counters (see also
-//!     benches/bench_plan_server.rs for the cold/hit/warm comparison).
+//!                        [--cache-capacity N] [--cache-shards N] [--workers N]
+//!     Load generation through the real stack: an in-process TCP server and
+//!     one multiplexed qsync-client connection shared by N client threads;
+//!     prints a latency summary with the cache hit/miss/eviction counters
+//!     (see also benches/bench_plan_server.rs for the cold/hit/warm
+//!     comparison).
 //!
 //! Model SPEC:   family[:batch[,extra]]   e.g. bert:2,16  resnet50:2,32  small_mlp
 //! Cluster SPEC: a:V,T | b:V,T,MEMFRAC    e.g. a:2,2  b:2,2,0.3   (V100s, T4s)
 //! ```
 
 use std::io::{stdin, stdout, BufReader};
+use std::net::TcpListener;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use qsync_client::MuxClient;
 use qsync_cluster::topology::ClusterSpec;
 use qsync_serve::{
     CacheConfig, IndicatorChoice, ModelSpec, PlanEngine, PlanRequest, PlanServer, SchedConfig,
+    ShutdownSignal,
 };
 
 fn parse_cluster(s: &str) -> Result<ClusterSpec, String> {
@@ -145,10 +153,21 @@ fn parse_sched_config(flags: &Flags) -> Result<SchedConfig, String> {
     Ok(config)
 }
 
+fn parse_delta_window(flags: &Flags) -> Result<Duration, String> {
+    match flags.get("delta-window-ms") {
+        Some(v) => {
+            let ms: u64 = v.parse().map_err(|e| format!("bad --delta-window-ms: {e}"))?;
+            Ok(Duration::from_millis(ms))
+        }
+        None => Ok(Duration::ZERO),
+    }
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let workers: usize =
         flags.get("workers").unwrap_or("8").parse().map_err(|e| format!("bad --workers: {e}"))?;
-    let engine = Arc::new(PlanEngine::with_cache_config(parse_cache_config(flags)?));
+    let engine =
+        Arc::new(PlanEngine::with_config(parse_cache_config(flags)?, parse_delta_window(flags)?));
     let server = PlanServer::with_sched(engine, workers, parse_sched_config(flags)?);
     match flags.get("tcp") {
         Some(addr) => {
@@ -170,7 +189,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
 fn cmd_plan(flags: &Flags) -> Result<(), String> {
     let request = build_request(0, flags)?;
     let engine = PlanEngine::new();
-    let response = engine.plan(&request)?;
+    let response = engine.plan(&request).map_err(|e| e.to_string())?;
     println!("{}", serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?);
     Ok(())
 }
@@ -180,25 +199,36 @@ fn cmd_bench_load(flags: &Flags) -> Result<(), String> {
         flags.get("requests").unwrap_or("64").parse().map_err(|e| format!("bad --requests: {e}"))?;
     let clients: usize =
         flags.get("clients").unwrap_or("8").parse().map_err(|e| format!("bad --clients: {e}"))?;
+    let workers: usize =
+        flags.get("workers").unwrap_or("8").parse().map_err(|e| format!("bad --workers: {e}"))?;
     let template = build_request(0, flags)?;
     let engine = Arc::new(PlanEngine::with_cache_config(parse_cache_config(flags)?));
+
+    // The real stack: an ephemeral-port reactor server, one multiplexed
+    // client connection, N submitter threads sharing it.
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let shutdown = ShutdownSignal::new();
+    let server = PlanServer::with_engine(Arc::clone(&engine), workers);
+    let signal = shutdown.clone();
+    let server_thread = std::thread::spawn(move || server.serve_listener(listener, signal));
+    let mux = MuxClient::connect(addr).map_err(|e| format!("connect bench client: {e}"))?;
 
     let started = Instant::now();
     let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for client in 0..clients {
-            let engine = Arc::clone(&engine);
+            let mux = mux.clone();
             let template = template.clone();
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 let mut i = client;
                 while i < requests {
-                    let mut request = template.clone();
-                    request.id = i as u64;
+                    let request = template.clone();
                     let t0 = Instant::now();
-                    let response = engine.plan(&request).expect("valid bench request");
-                    assert_eq!(response.id, i as u64);
+                    let response = mux.plan(request).expect("valid bench request");
+                    assert_eq!(response.key, template.cache_key());
                     local.push(t0.elapsed().as_micros() as u64);
                     i += clients;
                 }
@@ -210,6 +240,12 @@ fn cmd_bench_load(flags: &Flags) -> Result<(), String> {
         }
     });
     let wall_ms = started.elapsed().as_millis();
+    drop(mux);
+    shutdown.shutdown();
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
 
     latencies_us.sort_unstable();
     let pct = |p: f64| -> u64 {
@@ -223,6 +259,7 @@ fn cmd_bench_load(flags: &Flags) -> Result<(), String> {
     let summary = serde_json::json!({
         "requests": requests,
         "clients": clients,
+        "transport": "tcp-mux",
         "wall_ms": wall_ms as u64,
         "p50_us": pct(0.50),
         "p90_us": pct(0.90),

@@ -29,6 +29,8 @@ use serde::{Deserialize, Serialize};
 
 use qsync_graph::PrecisionDag;
 
+pub use qsync_api::CacheStats;
+
 use crate::request::{PlanRequest, PlanResponse};
 
 /// One cached plan: the response to replay plus what warm re-planning needs.
@@ -59,21 +61,6 @@ impl Default for CacheConfig {
     fn default() -> Self {
         CacheConfig { capacity: 1024, shards: 16 }
     }
-}
-
-/// Cache observability counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CacheStats {
-    /// Requests answered from the cache.
-    pub hits: u64,
-    /// Requests that required planning.
-    pub misses: u64,
-    /// Entries evicted by elasticity invalidations.
-    pub invalidated: u64,
-    /// Entries evicted by the LRU capacity bound.
-    pub evicted: u64,
-    /// Entries currently resident.
-    pub entries: usize,
 }
 
 /// One cache slot: the entry plus its recency stamp. The stamp is atomic so

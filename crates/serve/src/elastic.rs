@@ -1,11 +1,10 @@
-//! The elasticity layer: cluster-shape change events and their application.
+//! The elasticity layer: delta coalescing over the wire types of
+//! [`qsync_api`].
 //!
-//! Production hybrid clusters change shape while jobs run: inference servers
-//! join and leave with traffic, and co-located serving workloads squeeze the
-//! memory/compute loaned to training (the paper's partial-sharing regime). A
-//! [`ClusterDelta`] describes one such event; the engine applies it to the
-//! affected cluster, invalidates exactly the cache entries planned against the
-//! old shape, and re-plans them warm.
+//! The shape-change *wire types* — [`ClusterDelta`], [`DeltaRequest`],
+//! [`DeltaResponse`], [`DeltaStats`] — live in the protocol crate
+//! ([`qsync_api::delta`]) and are re-exported here; this module owns the
+//! server-side machinery that batches them.
 //!
 //! Elasticity events cluster in time — a spot reclaim degrades several
 //! devices at once, a scale-down removes ranks back to back. The
@@ -14,168 +13,31 @@
 //! wave, the engine composes same-cluster deltas and invalidates once, and
 //! the re-plan chains run as a single batch the leader can fan out across a
 //! worker pool (the server submits them to the scheduler's batch class).
+//!
+//! With a non-zero **collection window** the leader additionally waits a few
+//! milliseconds before taking the wave, so *near*-concurrent event storms
+//! (deltas trickling in over the window, not just exactly-concurrent
+//! submissions) still batch into one wave — at the cost of that much added
+//! latency on the first delta. The window is off by default
+//! (`--delta-window-ms` on the `qsync-serve` binary).
 
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use serde::{Deserialize, Serialize};
+pub use qsync_api::{ClusterDelta, DeltaRequest, DeltaResponse, DeltaStats};
 
-use qsync_cluster::device::{Device, GpuModel};
-use qsync_cluster::topology::ClusterSpec;
+use qsync_api::ApiError;
 
 use crate::engine::{PlanEngine, ReplanChain};
 use crate::request::PlanResponse;
 
-/// One cluster elasticity event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum ClusterDelta {
-    /// A device joined the job. It is appended at the next free rank.
-    RankAdded {
-        /// GPU model of the new device.
-        model: GpuModel,
-        /// Memory fraction available to the job (1.0 = full).
-        memory_fraction: f64,
-        /// Compute fraction available to the job (1.0 = full).
-        compute_fraction: f64,
-    },
-    /// The device at `rank` left the job; later ranks renumber down.
-    RankRemoved {
-        /// Rank of the departing device.
-        rank: usize,
-    },
-    /// The device at `rank` degraded (e.g. a co-located tenant claimed
-    /// resources): its share drops to the given fractions.
-    Degraded {
-        /// Rank of the affected device.
-        rank: usize,
-        /// New memory fraction in (0, 1].
-        memory_fraction: f64,
-        /// New compute fraction in (0, 1].
-        compute_fraction: f64,
-    },
-}
-
-impl ClusterDelta {
-    /// Apply the event, producing the new cluster shape.
-    ///
-    /// Ranks stay dense: removal renumbers subsequent devices down by one,
-    /// mirroring how a collective-communication job would re-rank after a
-    /// membership change.
-    pub fn apply(&self, cluster: &ClusterSpec) -> Result<ClusterSpec, String> {
-        let mut next = cluster.clone();
-        match *self {
-            ClusterDelta::RankAdded { model, memory_fraction, compute_fraction } => {
-                if !(memory_fraction > 0.0
-                    && memory_fraction <= 1.0
-                    && compute_fraction > 0.0
-                    && compute_fraction <= 1.0)
-                {
-                    return Err(format!(
-                        "RankAdded: fractions must be in (0, 1], got memory {memory_fraction} compute {compute_fraction}"
-                    ));
-                }
-                let rank = next.devices.len();
-                let device = if memory_fraction >= 1.0 && compute_fraction >= 1.0 {
-                    Device::full(rank, model)
-                } else {
-                    Device::partial(rank, model, memory_fraction, compute_fraction)
-                };
-                next.devices.push(device);
-                next.name = format!("{}+1x{:?}", cluster.name, model);
-            }
-            ClusterDelta::RankRemoved { rank } => {
-                if rank >= next.devices.len() {
-                    return Err(format!(
-                        "RankRemoved: rank {rank} out of bounds (world size {})",
-                        next.devices.len()
-                    ));
-                }
-                next.devices.remove(rank);
-                for (i, d) in next.devices.iter_mut().enumerate() {
-                    d.id = i;
-                }
-                next.name = format!("{}-rank{rank}", cluster.name);
-            }
-            ClusterDelta::Degraded { rank, memory_fraction, compute_fraction } => {
-                let world = next.devices.len();
-                let Some(device) = next.devices.get_mut(rank) else {
-                    return Err(format!(
-                        "Degraded: rank {rank} out of bounds (world size {world})"
-                    ));
-                };
-                if !(0.0..=1.0).contains(&memory_fraction)
-                    || !(0.0..=1.0).contains(&compute_fraction)
-                    || memory_fraction == 0.0
-                    || compute_fraction == 0.0
-                {
-                    return Err(format!(
-                        "Degraded: fractions must be in (0, 1], got memory {memory_fraction} compute {compute_fraction}"
-                    ));
-                }
-                *device = Device::partial(rank, device.model, memory_fraction, compute_fraction);
-                next.name = format!("{}~rank{rank}", cluster.name);
-            }
-        }
-        Ok(next)
-    }
-}
-
-/// A delta request: the cluster the event applies to, plus the event.
-///
-/// The server matches cached plans by `cluster.fingerprint()`, so the cluster
-/// given here must be byte-for-byte the shape earlier requests named (the
-/// display name is ignored by the fingerprint).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DeltaRequest {
-    /// Caller-chosen id echoed in the response.
-    pub id: u64,
-    /// The cluster shape before the event.
-    pub cluster: ClusterSpec,
-    /// The event.
-    pub delta: ClusterDelta,
-}
-
-/// Result of applying a delta: the invalidation count and the warm re-plans.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DeltaResponse {
-    /// Echo of the request id.
-    pub id: u64,
-    /// Fingerprint (hex) of the cluster this delta's step applied to. For a
-    /// delta composed behind others in a coalesced group this is the
-    /// intermediate shape, not the named base cluster.
-    pub old_cluster_fingerprint: String,
-    /// Fingerprint (hex) of the cluster after this delta's step.
-    pub new_cluster_fingerprint: String,
-    /// Cache entries invalidated by this delta's wave group (the base
-    /// cluster's entries are invalidated once per group, and every member
-    /// reports the same count).
-    pub invalidated: usize,
-    /// Number of deltas composed into this delta's group (1 when the delta
-    /// was applied alone — the pre-batching behavior).
-    pub coalesced: usize,
-    /// Warm re-plans of the invalidated entries, keyed under the group's
-    /// final cluster shape. Carried by the **last** delta of the group;
-    /// earlier members report an empty list.
-    pub replanned: Vec<PlanResponse>,
-}
-
-/// Counters of the batched elasticity layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct DeltaStats {
-    /// Delta waves applied (one [`PlanEngine::apply_deltas_with`] batch each).
-    pub waves: u64,
-    /// Delta events carried by those waves (`events > waves` means
-    /// coalescing happened).
-    pub events: u64,
-    /// Re-plan chains produced across all waves.
-    pub batched_replans: u64,
-}
-
 /// Merges concurrently submitted deltas into shared waves.
 ///
 /// Every caller enqueues its request; the first caller to find no wave in
-/// flight becomes the **leader**, takes everything pending, and applies it as
-/// one [`PlanEngine::apply_deltas_with`] batch using its own executor (the
+/// flight becomes the **leader**, waits out the collection window (if any),
+/// takes everything pending, and applies it as one
+/// [`PlanEngine::apply_deltas_with`] batch using its own executor (the
 /// server's executor fans re-plan chains out across the scheduler). Deltas
 /// arriving while a wave is applying accumulate into the next wave. Each
 /// caller gets exactly its own delta's [`DeltaResponse`] back.
@@ -183,26 +45,45 @@ pub struct DeltaStats {
 pub struct DeltaCoalescer {
     state: Mutex<CoalesceState>,
     wave_done: Condvar,
+    /// How long a wave leader collects further deltas before applying.
+    window: Duration,
 }
 
 #[derive(Debug, Default)]
 struct CoalesceState {
     next_ticket: u64,
     pending: Vec<(u64, DeltaRequest)>,
-    results: HashMap<u64, Result<DeltaResponse, String>>,
+    results: HashMap<u64, Result<DeltaResponse, ApiError>>,
     applying: bool,
 }
 
 impl DeltaCoalescer {
-    /// Apply `request`, coalescing with any deltas submitted concurrently.
-    /// Blocks until this delta's wave has been applied (by this caller or a
-    /// concurrent leader).
+    /// A coalescer that batches only exactly-concurrent submissions (no
+    /// collection window) — the default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A coalescer whose wave leaders wait `window` for near-concurrent
+    /// deltas before applying.
+    pub fn with_window(window: Duration) -> Self {
+        DeltaCoalescer { window, ..DeltaCoalescer::default() }
+    }
+
+    /// The configured collection window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Apply `request`, coalescing with any deltas submitted concurrently
+    /// (or within the collection window). Blocks until this delta's wave has
+    /// been applied (by this caller or a concurrent leader).
     pub fn apply_with<F>(
         &self,
         engine: &PlanEngine,
         request: &DeltaRequest,
         exec: F,
-    ) -> Result<DeltaResponse, String>
+    ) -> Result<DeltaResponse, ApiError>
     where
         F: FnOnce(Vec<ReplanChain>) -> Vec<PlanResponse>,
     {
@@ -223,8 +104,27 @@ impl DeltaCoalescer {
                 state = self.wave_done.wait(state).expect("delta coalescer poisoned");
                 continue;
             }
-            // Lead a wave over everything pending (at least our own request).
+            // Lead a wave. Mark it applying *before* the collection window so
+            // later arrivals enqueue instead of racing for leadership; they
+            // are swept into this wave as long as they land before the take.
             state.applying = true;
+            if !self.window.is_zero() {
+                let deadline = Instant::now() + self.window;
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    // `wave_done` is only notified at wave completion, so this
+                    // is effectively a sleep that still releases the state
+                    // lock for arriving deltas.
+                    let (st, _timeout) = self
+                        .wave_done
+                        .wait_timeout(state, deadline - now)
+                        .expect("delta coalescer poisoned");
+                    state = st;
+                }
+            }
             let batch = std::mem::take(&mut state.pending);
             drop(state);
             let requests: Vec<DeltaRequest> = batch.iter().map(|(_, r)| r.clone()).collect();
@@ -243,52 +143,65 @@ impl DeltaCoalescer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
-    #[test]
-    fn rank_added_appends_at_next_rank() {
-        let base = ClusterSpec::cluster_a(1, 1);
-        let delta = ClusterDelta::RankAdded {
-            model: GpuModel::T4,
-            memory_fraction: 1.0,
-            compute_fraction: 1.0,
-        };
-        let next = delta.apply(&base).unwrap();
-        assert_eq!(next.world_size(), 3);
-        assert_eq!(next.devices[2].id, 2);
-        assert_eq!(next.devices[2].model, GpuModel::T4);
-        assert_ne!(next.fingerprint(), base.fingerprint());
+    use qsync_api::{ModelSpec, PlanRequest};
+    use qsync_cluster::topology::ClusterSpec;
+
+    fn degrade(id: u64, cluster: &ClusterSpec) -> DeltaRequest {
+        let rank = cluster.inference_ranks()[0];
+        DeltaRequest {
+            id,
+            cluster: cluster.clone(),
+            delta: ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 },
+        }
     }
 
     #[test]
-    fn rank_removed_renumbers_densely() {
-        let base = ClusterSpec::cluster_a(2, 2);
-        let next = ClusterDelta::RankRemoved { rank: 1 }.apply(&base).unwrap();
-        assert_eq!(next.world_size(), 3);
-        let ids: Vec<usize> = next.devices.iter().map(|d| d.id).collect();
-        assert_eq!(ids, vec![0, 1, 2]);
-        assert!(ClusterDelta::RankRemoved { rank: 9 }.apply(&base).is_err());
-    }
-
-    #[test]
-    fn degradation_shrinks_memory() {
-        let base = ClusterSpec::cluster_a(1, 1);
-        let rank = base.inference_ranks()[0];
-        let next = ClusterDelta::Degraded { rank, memory_fraction: 0.3, compute_fraction: 0.9 }
-            .apply(&base)
+    fn collection_window_batches_near_concurrent_deltas_into_one_wave() {
+        let cluster = ClusterSpec::hybrid_small();
+        let engine = Arc::new(PlanEngine::with_delta_window(Duration::from_millis(400)));
+        engine
+            .plan(&PlanRequest::new(
+                1,
+                ModelSpec::SmallMlp { batch: 8, in_features: 16, hidden: 32, classes: 4 },
+                cluster.clone(),
+            ))
             .unwrap();
-        assert!(
-            next.devices[rank].available_memory_bytes() < base.devices[rank].available_memory_bytes()
-        );
-        assert!(ClusterDelta::Degraded { rank, memory_fraction: 0.0, compute_fraction: 1.0 }
-            .apply(&base)
-            .is_err());
-    }
 
-    #[test]
-    fn renaming_does_not_change_the_fingerprint() {
-        let base = ClusterSpec::cluster_a(1, 1);
-        let mut renamed = base.clone();
-        renamed.name = "production-west-2".into();
-        assert_eq!(base.fingerprint(), renamed.fingerprint());
+        // Two deltas staggered well within the window: without the window the
+        // second would miss the first's wave (it only starts once the first
+        // has already *taken* its batch) and form a second wave.
+        std::thread::scope(|scope| {
+            let leader = {
+                let engine = Arc::clone(&engine);
+                let request = degrade(10, &cluster);
+                scope.spawn(move || {
+                    engine
+                        .apply_delta_coalesced_with(&request, |chains| {
+                            chains.iter().map(|c| engine.run_replan_chain(c)).collect()
+                        })
+                        .unwrap()
+                })
+            };
+            std::thread::sleep(Duration::from_millis(60));
+            let late = {
+                let engine = Arc::clone(&engine);
+                let request = degrade(11, &cluster);
+                scope.spawn(move || {
+                    engine
+                        .apply_delta_coalesced_with(&request, |chains| {
+                            chains.iter().map(|c| engine.run_replan_chain(c)).collect()
+                        })
+                        .unwrap()
+                })
+            };
+            let (a, b) = (leader.join().unwrap(), late.join().unwrap());
+            assert_eq!(a.coalesced, 2, "late delta joined the leader's wave");
+            assert_eq!(b.coalesced, 2);
+        });
+        let stats = engine.delta_stats();
+        assert_eq!(stats.waves, 1, "one collection window, one wave");
+        assert_eq!(stats.events, 2);
     }
 }

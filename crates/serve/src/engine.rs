@@ -27,8 +27,9 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use qsync_api::ApiError;
 use qsync_cluster::topology::ClusterSpec;
 use qsync_core::allocator::{AllocationReport, Allocator};
 use qsync_core::indicator::{HessianIndicator, RandomIndicator, SensitivityIndicator};
@@ -90,7 +91,23 @@ impl PlanEngine {
 
     /// An engine with an explicitly sized (capacity, shards) cache.
     pub fn with_cache_config(config: CacheConfig) -> Self {
-        PlanEngine { cache: PlanCache::with_config(config), ..PlanEngine::default() }
+        Self::with_config(config, Duration::ZERO)
+    }
+
+    /// An engine whose delta coalescer collects near-concurrent deltas for
+    /// `window` before applying a wave (see
+    /// [`DeltaCoalescer`](crate::elastic::DeltaCoalescer)).
+    pub fn with_delta_window(window: Duration) -> Self {
+        Self::with_config(CacheConfig::default(), window)
+    }
+
+    /// An engine with explicit cache sizing and delta collection window.
+    pub fn with_config(cache: CacheConfig, delta_window: Duration) -> Self {
+        PlanEngine {
+            cache: PlanCache::with_config(cache),
+            coalescer: DeltaCoalescer::with_window(delta_window),
+            ..PlanEngine::default()
+        }
     }
 
     /// A shared handle, ready for worker threads.
@@ -106,9 +123,10 @@ impl PlanEngine {
     /// Serve one plan request: cache hit, wait on an identical in-flight
     /// computation, or cold plan. Returns `Err` for requests that fail
     /// [`PlanRequest::validate`] — malformed wire input must not reach the
-    /// planning machinery, whose constructors assert.
-    pub fn plan(&self, request: &PlanRequest) -> Result<PlanResponse, String> {
-        request.validate()?;
+    /// planning machinery, whose constructors assert. Errors carry the
+    /// request id and a structured [`ApiError`] code/field.
+    pub fn plan(&self, request: &PlanRequest) -> Result<PlanResponse, ApiError> {
+        request.validate().map_err(|e| e.with_id(request.id))?;
         let started = Instant::now();
         let key = request.cache_key();
         let _guard = loop {
@@ -140,7 +158,7 @@ impl PlanEngine {
     /// warm-starting from the cached assignment. Equivalent to a
     /// single-delta [`apply_deltas_with`](Self::apply_deltas_with) wave whose
     /// chains run on the calling thread.
-    pub fn apply_delta(&self, request: &DeltaRequest) -> Result<DeltaResponse, String> {
+    pub fn apply_delta(&self, request: &DeltaRequest) -> Result<DeltaResponse, ApiError> {
         self.apply_deltas_with(std::slice::from_ref(request), |chains| {
             chains.iter().map(|chain| self.run_replan_chain(chain)).collect()
         })
@@ -157,7 +175,7 @@ impl PlanEngine {
         &self,
         request: &DeltaRequest,
         exec: F,
-    ) -> Result<DeltaResponse, String>
+    ) -> Result<DeltaResponse, ApiError>
     where
         F: FnOnce(Vec<ReplanChain>) -> Vec<PlanResponse>,
     {
@@ -184,7 +202,7 @@ impl PlanEngine {
         &self,
         requests: &[DeltaRequest],
         exec: F,
-    ) -> Vec<Result<DeltaResponse, String>>
+    ) -> Vec<Result<DeltaResponse, ApiError>>
     where
         F: FnOnce(Vec<ReplanChain>) -> Vec<PlanResponse>,
     {
@@ -202,7 +220,7 @@ impl PlanEngine {
         }
 
         let mut groups: Vec<Group> = Vec::new();
-        let mut results: Vec<Option<Result<DeltaResponse, String>>> =
+        let mut results: Vec<Option<Result<DeltaResponse, ApiError>>> =
             requests.iter().map(|_| None).collect();
         for (idx, request) in requests.iter().enumerate() {
             let base_fingerprint = request.cluster.fingerprint();
@@ -229,7 +247,7 @@ impl PlanEngine {
                     });
                     group.shapes.push(next);
                 }
-                Err(message) => results[idx] = Some(Err(message)),
+                Err(error) => results[idx] = Some(Err(error.with_id(request.id))),
             }
         }
         groups.retain(|g| !g.members.is_empty());

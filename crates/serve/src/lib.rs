@@ -7,28 +7,31 @@
 //! dispatches them to a worker pool running the existing allocator, and
 //! returns serialized plans.
 //!
-//! Three properties make it a serving system rather than a batch script:
+//! The **wire contract** — commands, replies, the versioned envelope,
+//! structured errors, events — lives in [`qsync_api`] (shared with
+//! [`qsync-client`](https://crates.io/crates/qsync-client) and re-exported
+//! here); this crate owns the serving machinery:
 //!
 //! * **Content-addressed plan cache** ([`cache::PlanCache`]): requests are
 //!   keyed by a stable fingerprint of the canonicalized model DAG, the cluster
 //!   spec and the planning constraints. A repeated request is a cache hit and
 //!   returns a byte-identical serialized plan.
-//! * **Elastic re-planning** ([`elastic::ClusterDelta`]): device join/leave
-//!   and capability-degradation events invalidate exactly the cache entries
-//!   planned against the affected cluster, then re-plan them by warm-starting
-//!   the allocator's precision-recovery phase from the cached assignment
-//!   instead of re-running the brute-force initial-setting phase.
+//! * **Elastic re-planning** ([`elastic`]): device join/leave and
+//!   capability-degradation events ([`ClusterDelta`]) invalidate exactly the
+//!   cache entries planned against the affected cluster, then re-plan them by
+//!   warm-starting the allocator's precision-recovery phase from the cached
+//!   assignment.
 //! * **Scheduled worker-pool concurrency** ([`server::PlanServer`]): planning
 //!   is CPU bound, so the server runs N planner threads — fed by a
 //!   [`qsync_sched::Scheduler`] rather than a FIFO channel. Requests may
 //!   carry a priority class (interactive > batch > background), a fair-share
 //!   `client_id` (deficit round robin across clients; absent, the
-//!   *connection identity* is the client) and a `deadline_ms` (EDF lane +
-//!   miss accounting); requests without them behave exactly like the
-//!   original FIFO server. Queues are bounded (load shedding) and queued
-//!   requests are cancellable by the connection that submitted them.
-//!   Responses stream back as they complete (responses carry the request id;
-//!   ordering across concurrent requests is not guaranteed).
+//!   *connection identity* is the client), a per-client DRR `weight` and a
+//!   `deadline_ms` (EDF lane + miss accounting); requests without them
+//!   behave exactly like the original FIFO server. Queues are bounded (load
+//!   shedding) and queued requests are cancellable by the connection that
+//!   submitted them. Responses stream back as they complete (responses carry
+//!   the request id; ordering across concurrent requests is not guaranteed).
 //! * **Reactor transport** ([`transport`]): TCP connections are multiplexed
 //!   onto one epoll event loop (vendored [`polling`]), so thousands of idle
 //!   connections cost buffers, not threads — and every connection shares
@@ -36,14 +39,19 @@
 //!   delta quiescing global across clients instead of per connection. The
 //!   stdin JSONL path is a thin blocking adapter over the same core.
 //! * **Delta batching** ([`elastic::DeltaCoalescer`]): concurrent elasticity
-//!   events coalesce into waves; same-cluster deltas compose into one shape
-//!   chain, entries are invalidated once, and the warm re-plans fan out
-//!   through the scheduler's batch class — byte-identical to serial
-//!   application, without serialising on the event thread.
+//!   events coalesce into waves — with an optional collection window
+//!   (`--delta-window-ms`) so *near*-concurrent event storms batch too;
+//!   same-cluster deltas compose into one shape chain, entries are
+//!   invalidated once, and the warm re-plans fan out through the scheduler's
+//!   batch class — byte-identical to serial application, without serialising
+//!   on the event thread.
+//! * **Event stream**: `Subscribe`d connections receive
+//!   [`ServerEvent`](qsync_api::ServerEvent) lines — cache invalidations and
+//!   warm re-plans as they happen — instead of polling `Stats`.
 //!
 //! The `qsync-serve` binary exposes `serve`, `plan` (one-shot) and
 //! `bench-load` subcommands; `examples/plan_server.rs` in the workspace root
-//! is the quickstart.
+//! is the quickstart, and `docs/PROTOCOL.md` documents the wire format.
 
 #![warn(missing_docs)]
 
@@ -59,8 +67,12 @@ pub use cache::{CacheConfig, CacheStats, PlanCache};
 pub use elastic::{ClusterDelta, DeltaCoalescer, DeltaRequest, DeltaResponse, DeltaStats};
 pub use engine::{PlanEngine, ReplanChain};
 pub use model::ModelSpec;
+pub use qsync_api::{
+    ApiError, ErrorCode, ReplyEnvelope, RequestEnvelope, ServerCommand, ServerEvent, ServerReply,
+    WireProto, MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 pub use qsync_core::plan::PrecisionPlan;
 pub use qsync_sched::{Priority, SchedConfig, SchedPolicy, SchedStats};
 pub use request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
-pub use server::{PlanServer, ServerCommand, ServerReply};
+pub use server::PlanServer;
 pub use transport::{ShutdownSignal, TransportConfig};

@@ -1,19 +1,22 @@
 //! The plan server: JSON-line protocol over stdin/stdout or TCP, executed by
 //! one shared scheduling core.
 //!
-//! Protocol: one [`ServerCommand`] JSON object per input line, one
-//! [`ServerReply`] JSON object per output line. Plan requests are submitted to
-//! a [`Scheduler`] and executed by a pool of planner threads; replies stream
-//! back **as they complete** — callers correlate by the echoed `id`, not by
-//! line order. Scheduling honors the request's optional `priority`,
-//! `client_id` and `deadline_ms` fields (see [`crate::request::PlanRequest`]);
-//! a request without a `client_id` is fair-queued under its **connection
-//! identity**, so one flooding connection cannot starve the others.
+//! Protocol: one [`ServerCommand`] per input line — bare (legacy, protocol
+//! v0) or wrapped in a v1 [`qsync_api::RequestEnvelope`] — and one
+//! [`ServerReply`] per output line, rendered in the form the command arrived
+//! in ([`qsync_api::parse_line`] / [`qsync_api::render_reply`]). Plan
+//! requests are submitted to a [`Scheduler`] and executed by a pool of
+//! planner threads; replies stream back **as they complete** — callers
+//! correlate by the echoed `id`, not by line order. Scheduling honors the
+//! request's optional `priority`, `client_id`, `deadline_ms` and `weight`
+//! fields (see [`crate::request::PlanRequest`]); a request without a
+//! `client_id` is fair-queued under its **connection identity**, so one
+//! flooding connection cannot starve the others.
 //!
-//! Since the transport rewrite there is exactly **one** scheduler, one
-//! [`PlanEngine`] (and thus one delta coalescer) and one worker pool per
-//! server, shared by every connection ([`ServeCore`]): DRR fairness, delta
-//! quiescing and the plan cache are all global. The blocking JSONL path
+//! There is exactly **one** scheduler, one [`PlanEngine`] (and thus one
+//! delta coalescer) and one worker pool per server, shared by every
+//! connection ([`ServeCore`]): DRR fairness, delta quiescing and the plan
+//! cache are all global. The blocking JSONL path
 //! ([`PlanServer::serve_lines`]) is a thin adapter over that core; the TCP
 //! path multiplexes all connections onto an epoll reactor
 //! ([`crate::transport`]).
@@ -28,6 +31,14 @@
 //! the same connection** (a successfully cancelled plan produces no `Plan`
 //! reply; the `Cancelled` confirmation is its reply); plans queued by other
 //! connections are out of reach and report `cancelled: false`.
+//!
+//! Connections that [`Subscribe`](ServerCommand::Subscribe) receive the
+//! server's **event stream**: each delta wave broadcasts
+//! [`ServerEvent::CacheInvalidated`] (what was evicted), one
+//! [`ServerEvent::Replanned`] per warm re-plan, then
+//! [`ServerEvent::DeltaApplied`] per composed delta — so a watching client
+//! observes invalidate → re-plan for deltas *other* clients submit, without
+//! polling `Stats`.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -36,85 +47,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 
-use serde::{Deserialize, Serialize};
+use qsync_api::{
+    render_reply, ApiError, ErrorCode, ServerEvent, WireProto, MAX_PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION,
+};
+pub use qsync_api::{ServerCommand, ServerReply};
 
-use qsync_sched::{JobMeta, Priority, SchedConfig, SchedStats, Scheduler};
+use qsync_sched::{JobMeta, Priority, SchedConfig, Scheduler, SubmitError};
 
-use crate::cache::CacheStats;
-use crate::elastic::{DeltaRequest, DeltaStats};
+use crate::elastic::DeltaRequest;
 use crate::engine::{PlanEngine, ReplanChain};
 use crate::request::{PlanRequest, PlanResponse};
 use crate::transport::{Outbox, TransportConfig};
 
-/// One input line of the serving protocol.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum ServerCommand {
-    /// Request a plan.
-    Plan(PlanRequest),
-    /// Apply a cluster elasticity event (invalidate + warm re-plan).
-    Delta(DeltaRequest),
-    /// Read cache, scheduler and elasticity counters.
-    Stats {
-        /// Caller-chosen id echoed in the reply.
-        id: u64,
-    },
-    /// Cancel a still-queued plan request submitted on this connection.
-    Cancel {
-        /// Caller-chosen id echoed in the reply.
-        id: u64,
-        /// The `id` of the plan request to cancel.
-        plan_id: u64,
-    },
-}
-
-/// One output line of the serving protocol.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum ServerReply {
-    /// A plan response.
-    Plan(crate::request::PlanResponse),
-    /// A delta outcome.
-    Delta(crate::elastic::DeltaResponse),
-    /// Cache, scheduler and elasticity counters.
-    Stats {
-        /// Echo of the command id.
-        id: u64,
-        /// Cache counters at read time.
-        stats: CacheStats,
-        /// Scheduler counters (queue depths, per-class throughput, sheds,
-        /// deadline accounting), global across every connection of the
-        /// server. `None` from the schedulerless one-shot
-        /// [`PlanServer::handle`] path.
-        sched: Option<SchedStats>,
-        /// Elasticity counters (delta waves, coalesced events, batched
-        /// re-plans).
-        deltas: DeltaStats,
-    },
-    /// Outcome of a `Cancel` command.
-    Cancelled {
-        /// Echo of the command id.
-        id: u64,
-        /// The plan request id the cancel targeted.
-        plan_id: u64,
-        /// `true` if the plan was still queued (on this connection) and has
-        /// been removed.
-        cancelled: bool,
-    },
-    /// The command on this line could not be served.
-    Error {
-        /// Echo of the command id when it could be parsed.
-        id: Option<u64>,
-        /// Human-readable reason.
-        message: String,
-    },
-}
+/// Software identifier advertised in `Hello` replies.
+const SERVER_IDENT: &str = concat!("qsync-serve/", env!("CARGO_PKG_VERSION"));
 
 /// One scheduler job of the serving layer.
 enum ServeJob {
     /// A client plan request; the reply is routed back to the submitting
-    /// connection.
+    /// connection in the wire form the request arrived in.
     Plan {
         request: PlanRequest,
         conn: Arc<ConnState>,
+        wire: WireProto,
     },
     /// One re-plan chain of a delta wave; the result is sent back to the
     /// wave leader.
@@ -160,13 +116,33 @@ impl ConnState {
         self.id
     }
 
-    /// Serialize and enqueue one reply line.
-    pub(crate) fn send(&self, reply: &ServerReply) {
-        let text = serde_json::to_string(reply).expect("reply serialization cannot fail");
+    /// Serialize and enqueue one reply line in the given wire form.
+    pub(crate) fn send(&self, wire: WireProto, reply: &ServerReply) {
+        let text = render_reply(wire, reply);
         match &self.sink {
             // A dropped receiver means the stream ended; nothing to tell.
             Sink::Line(tx) => drop(tx.send(text)),
             Sink::Outbox(outbox) => outbox.push_line(&text),
+        }
+    }
+
+    /// Send a structured error in the given wire form (legacy connections
+    /// get the byte-identical v0 `Error` line).
+    pub(crate) fn send_err(&self, wire: WireProto, error: ApiError) {
+        self.send(wire, &ServerReply::Fault(error));
+    }
+
+    /// Whether this connection can absorb another server-push event. Replies
+    /// are owed and always buffer; events are droppable, so a subscriber
+    /// whose un-flushed bytes exceed `cap` loses the event instead of
+    /// growing the server's memory without bound (the stream's monotone
+    /// `seq` exposes the gap to the client).
+    fn event_capacity_ok(&self, cap: usize) -> bool {
+        match &self.sink {
+            // The blocking path's writer thread drains continuously into the
+            // caller-owned writer; there is no measurable backlog to bound.
+            Sink::Line(_) => true,
+            Sink::Outbox(outbox) => outbox.len() <= cap,
         }
     }
 
@@ -207,6 +183,7 @@ impl ConnState {
 struct DeltaTask {
     request: DeltaRequest,
     conn: Arc<ConnState>,
+    wire: WireProto,
 }
 
 /// How many dedicated delta-executor threads a core runs. More than one lets
@@ -216,7 +193,7 @@ const DELTA_EXECUTORS: usize = 2;
 
 /// The shared serving core: exactly one scheduler, engine (plan cache +
 /// delta coalescer) and worker pool, shared by **every** connection of a
-/// server — fairness and delta barriers are global, as designed.
+/// server — fairness, delta barriers and the event stream are global.
 pub(crate) struct ServeCore {
     engine: Arc<PlanEngine>,
     sched: Scheduler<ServeJob>,
@@ -226,6 +203,11 @@ pub(crate) struct ServeCore {
     tickets: Mutex<HashMap<(u64, u64), u64>>,
     /// Delta hand-off to the executor threads; `None` once shutdown started.
     delta_tx: Mutex<Option<mpsc::Sender<DeltaTask>>>,
+    /// Event-stream subscribers: connection id → (wire form of the
+    /// `Subscribe`, the connection).
+    subscribers: Mutex<HashMap<u64, (WireProto, Arc<ConnState>)>>,
+    /// Server-wide monotone event sequence.
+    event_seq: AtomicU64,
     next_conn: AtomicU64,
 }
 
@@ -259,6 +241,8 @@ impl ServeCore {
             sched: Scheduler::new(config),
             tickets: Mutex::new(HashMap::new()),
             delta_tx: Mutex::new(Some(delta_tx)),
+            subscribers: Mutex::new(HashMap::new()),
+            event_seq: AtomicU64::new(0),
             next_conn: AtomicU64::new(0),
         });
         let mut threads = Vec::with_capacity(workers + DELTA_EXECUTORS);
@@ -287,8 +271,10 @@ impl ServeCore {
         })
     }
 
-    /// Cancel every still-queued plan a (closed) connection submitted.
-    pub(crate) fn cancel_conn(&self, conn_id: u64) {
+    /// Drop a (closed) connection's server-side footprint: cancel every
+    /// still-queued plan it submitted and end its event subscription.
+    pub(crate) fn drop_conn(&self, conn_id: u64) {
+        self.subscribers.lock().expect("subscriber map poisoned").remove(&conn_id);
         let orphaned: Vec<u64> = {
             let mut tickets = self.tickets.lock().expect("ticket map poisoned");
             let doomed: Vec<(u64, u64)> =
@@ -300,28 +286,46 @@ impl ServeCore {
         }
     }
 
+    /// Broadcast one event to every subscribed connection. A subscriber
+    /// that has stopped reading (its reply buffer past the cap) is skipped:
+    /// events are droppable server push, and an unbounded outbox would let
+    /// one stalled watcher grow server memory with every delta wave. The
+    /// dropped events appear to that client as a gap in the monotone `seq`.
+    fn broadcast(&self, event: ServerEvent) {
+        /// Un-flushed bytes beyond which a subscriber stops receiving
+        /// events (half the transport's default `max_buffered_bytes`, so
+        /// replies the server owes still fit after events stop).
+        const EVENT_OUTBOX_CAP: usize = 4 << 20;
+        let subscribers = self.subscribers.lock().expect("subscriber map poisoned");
+        if subscribers.is_empty() {
+            return;
+        }
+        let seq = self.event_seq.fetch_add(1, Ordering::Relaxed);
+        for (wire, conn) in subscribers.values() {
+            if conn.event_capacity_ok(EVENT_OUTBOX_CAP) {
+                conn.send(*wire, &ServerReply::Event { seq, event: event.clone() });
+            }
+        }
+    }
+
     /// Handle one raw input line from a connection: parse errors become
-    /// `Error` replies, everything else dispatches through
-    /// [`handle_command`](Self::handle_command). Blank lines are skipped.
+    /// error replies (in the wire form of the failing line), everything else
+    /// dispatches through [`handle_command`](Self::handle_command). Blank
+    /// lines are skipped.
     pub(crate) fn handle_line(&self, conn: &Arc<ConnState>, line: &str) {
         if line.trim().is_empty() {
             return;
         }
-        match serde_json::from_str::<ServerCommand>(line) {
-            Err(e) => {
-                conn.send(&ServerReply::Error {
-                    id: None,
-                    message: format!("unparseable command: {e}"),
-                });
-            }
-            Ok(command) => self.handle_command(conn, command),
+        match qsync_api::parse_line(line) {
+            Err(e) => conn.send_err(e.wire, e.error),
+            Ok(parsed) => self.handle_command(conn, parsed.wire, parsed.cmd),
         }
     }
 
     /// Dispatch one parsed command. Never blocks on planning or on the delta
     /// barrier: plans are queued, stats answer from counters, deltas are
-    /// handed to the executor threads.
-    pub(crate) fn handle_command(&self, conn: &Arc<ConnState>, command: ServerCommand) {
+    /// handed to the executor threads, batches fan out inline.
+    pub(crate) fn handle_command(&self, conn: &Arc<ConnState>, wire: WireProto, command: ServerCommand) {
         match command {
             ServerCommand::Plan(request) => {
                 let mut meta = request.job_meta();
@@ -337,17 +341,15 @@ impl ServeCore {
                 // submit could leave a stale entry for an already-dispatched
                 // job.
                 let mut tickets = self.tickets.lock().expect("ticket map poisoned");
-                match self.sched.submit(ServeJob::Plan { request, conn: Arc::clone(conn) }, meta) {
+                match self.sched.submit(ServeJob::Plan { request, conn: Arc::clone(conn), wire }, meta)
+                {
                     Ok(ticket) => {
                         tickets.insert((conn.id, request_id), ticket);
                     }
                     Err(rejected) => {
                         drop(tickets);
                         // Admission control: shed immediately.
-                        conn.send(&ServerReply::Error {
-                            id: Some(request_id),
-                            message: rejected.error.to_string(),
-                        });
+                        conn.send_err(wire, submit_error(&rejected.error).with_id(request_id));
                         conn.end();
                     }
                 }
@@ -355,7 +357,7 @@ impl ServeCore {
             ServerCommand::Stats { id } => {
                 // Stats are a monitoring read: answer immediately from
                 // counters, never behind queued work or a delta barrier.
-                conn.send(&ServerReply::Stats {
+                conn.send(wire, &ServerReply::Stats {
                     id,
                     stats: self.engine.cache().stats(),
                     sched: Some(self.sched.stats()),
@@ -366,7 +368,7 @@ impl ServeCore {
                 let ticket =
                     self.tickets.lock().expect("ticket map poisoned").remove(&(conn.id, plan_id));
                 let cancelled = ticket.is_some_and(|t| self.sched.cancel(t));
-                conn.send(&ServerReply::Cancelled { id, plan_id, cancelled });
+                conn.send(wire, &ServerReply::Cancelled { id, plan_id, cancelled });
                 if cancelled {
                     // The cancelled plan will never reply; the confirmation
                     // above was its reply.
@@ -378,15 +380,54 @@ impl ServeCore {
                 conn.begin();
                 let tx = self.delta_tx.lock().expect("delta sender poisoned").clone();
                 let handed_off = tx.is_some_and(|tx| {
-                    tx.send(DeltaTask { request, conn: Arc::clone(conn) }).is_ok()
+                    tx.send(DeltaTask { request, conn: Arc::clone(conn), wire }).is_ok()
                 });
                 if !handed_off {
-                    conn.send(&ServerReply::Error {
-                        id: Some(request_id),
-                        message: "server is shutting down; delta not applied".into(),
-                    });
+                    conn.send_err(
+                        wire,
+                        ApiError::new(
+                            ErrorCode::ShuttingDown,
+                            "server is shutting down; delta not applied",
+                        )
+                        .with_id(request_id),
+                    );
                     conn.end();
                 }
+            }
+            ServerCommand::Hello { id, .. } => {
+                conn.send(wire, &ServerReply::Hello {
+                    id,
+                    min_v: MIN_PROTOCOL_VERSION,
+                    max_v: MAX_PROTOCOL_VERSION,
+                    server: SERVER_IDENT.to_owned(),
+                });
+            }
+            ServerCommand::Batch { id, cmds } => {
+                if cmds.iter().any(|c| matches!(c, ServerCommand::Batch { .. })) {
+                    conn.send_err(
+                        wire,
+                        ApiError::new(ErrorCode::InvalidField, "nested Batch commands are not allowed")
+                            .with_id(id)
+                            .with_field("cmds"),
+                    );
+                    return;
+                }
+                // Dispatch in order; every inner command produces its own
+                // reply (the batch itself replies only on rejection above).
+                for cmd in cmds {
+                    self.handle_command(conn, wire, cmd);
+                }
+            }
+            ServerCommand::Subscribe { id } => {
+                self.subscribers
+                    .lock()
+                    .expect("subscriber map poisoned")
+                    .insert(conn.id, (wire, Arc::clone(conn)));
+                conn.send(wire, &ServerReply::Subscribed { id });
+            }
+            ServerCommand::Unsubscribe { id } => {
+                self.subscribers.lock().expect("subscriber map poisoned").remove(&conn.id);
+                conn.send(wire, &ServerReply::Unsubscribed { id });
             }
         }
     }
@@ -397,26 +438,29 @@ impl ServeCore {
             let expired = job.expired();
             let wait_ms = job.queue_wait_ms();
             match job.take_payload() {
-                ServeJob::Plan { request, conn } => {
+                ServeJob::Plan { request, conn, wire } => {
                     let mut tickets = self.tickets.lock().expect("ticket map poisoned");
                     if tickets.get(&(conn.id, request.id)) == Some(&job.id()) {
                         tickets.remove(&(conn.id, request.id));
                     }
                     drop(tickets);
                     let reply = if expired {
-                        ServerReply::Error {
-                            id: Some(request.id),
-                            message: format!(
-                                "deadline exceeded before planning started (queued {wait_ms} ms)"
-                            ),
-                        }
+                        ServerReply::Fault(
+                            ApiError::new(
+                                ErrorCode::DeadlineExceeded,
+                                format!(
+                                    "deadline exceeded before planning started (queued {wait_ms} ms)"
+                                ),
+                            )
+                            .with_id(request.id),
+                        )
                     } else {
                         match self.engine.plan(&request) {
                             Ok(response) => ServerReply::Plan(response),
-                            Err(message) => ServerReply::Error { id: Some(request.id), message },
+                            Err(error) => ServerReply::Fault(error),
                         }
                     };
-                    conn.send(&reply);
+                    conn.send(wire, &reply);
                     conn.end();
                 }
                 ServeJob::Replan { index, chain, tx } => {
@@ -443,16 +487,80 @@ impl ServeCore {
             // continuous cross-connection traffic.
             self.sched.quiesce();
             let reply = match self.engine.apply_delta_coalesced_with(&task.request, |chains| {
-                fan_out_replans(&self.sched, &self.engine, chains)
+                // Wave leader: announce the evictions, then fan the re-plans
+                // out (each completion is broadcast as it lands).
+                self.broadcast(ServerEvent::CacheInvalidated {
+                    keys: chains.iter().map(|c| c.entry.response.key.clone()).collect(),
+                });
+                self.fan_out_replans(chains)
             }) {
-                Ok(outcome) => ServerReply::Delta(outcome),
-                Err(message) => ServerReply::Error { id: Some(task.request.id), message },
+                Ok(outcome) => {
+                    self.broadcast(ServerEvent::DeltaApplied {
+                        id: outcome.id,
+                        old_cluster_fingerprint: outcome.old_cluster_fingerprint.clone(),
+                        new_cluster_fingerprint: outcome.new_cluster_fingerprint.clone(),
+                        invalidated: outcome.invalidated,
+                        replanned: outcome.replanned.len(),
+                    });
+                    ServerReply::Delta(outcome)
+                }
+                Err(error) => ServerReply::Fault(error),
             };
-            task.conn.send(&reply);
+            task.conn.send(task.wire, &reply);
             task.conn.end();
         }
     }
 
+    /// Execute a delta wave's re-plan chains on the worker pool: submit each
+    /// as a batch-class job, collect the results, and return them in chain
+    /// order. A chain the batch queue sheds (cap reached) runs inline on the
+    /// calling thread — re-plans are never lost. Every completed re-plan is
+    /// broadcast to subscribers.
+    fn fan_out_replans(&self, chains: Vec<ReplanChain>) -> Vec<PlanResponse> {
+        let total = chains.len();
+        let (tx, rx) = mpsc::channel();
+        let mut inline: Vec<(usize, Box<ReplanChain>)> = Vec::new();
+        for (index, chain) in chains.into_iter().enumerate() {
+            let job = ServeJob::Replan { index, chain: Box::new(chain), tx: tx.clone() };
+            let meta = JobMeta::new("__elastic", Priority::Batch);
+            if let Err(rejected) = self.sched.submit(job, meta) {
+                let ServeJob::Replan { index, chain, .. } = rejected.payload else {
+                    unreachable!("rejected payload is the submitted replan job")
+                };
+                inline.push((index, chain));
+            }
+        }
+        drop(tx);
+        let mut responses: Vec<Option<PlanResponse>> = (0..total).map(|_| None).collect();
+        for (index, chain) in inline {
+            responses[index] = Some(self.engine.run_replan_chain(&chain));
+        }
+        for (index, response) in rx {
+            responses[index] = Some(response);
+        }
+        let responses: Vec<PlanResponse> = responses
+            .into_iter()
+            .map(|r| r.expect("every replan chain completed"))
+            .collect();
+        for response in &responses {
+            self.broadcast(ServerEvent::Replanned {
+                key: response.key.clone(),
+                outcome: response.outcome,
+                predicted_iteration_us: response.predicted_iteration_us,
+            });
+        }
+        responses
+    }
+}
+
+/// Map a scheduler admission failure to its protocol error code, keeping the
+/// v0 message text.
+fn submit_error(error: &SubmitError) -> ApiError {
+    let code = match error {
+        SubmitError::QueueFull { .. } => ErrorCode::QueueFull,
+        SubmitError::Closed => ErrorCode::ShuttingDown,
+    };
+    ApiError::new(code, error.to_string())
 }
 
 /// The plan server: a shared [`PlanEngine`], a worker-pool size, the
@@ -512,16 +620,18 @@ impl PlanServer {
 
     /// Serve one command synchronously, without a scheduler (one-shot use;
     /// the streaming paths are [`serve_lines`](Self::serve_lines) and
-    /// [`serve_listener`](Self::serve_listener)).
+    /// [`serve_listener`](Self::serve_listener)). Streaming-only commands
+    /// (`Batch`, `Subscribe`, `Unsubscribe`) report
+    /// [`ErrorCode::Unsupported`].
     pub fn handle(&self, command: ServerCommand) -> ServerReply {
         match command {
             ServerCommand::Plan(request) => match self.engine.plan(&request) {
                 Ok(response) => ServerReply::Plan(response),
-                Err(message) => ServerReply::Error { id: Some(request.id), message },
+                Err(error) => ServerReply::Fault(error),
             },
             ServerCommand::Delta(request) => match self.engine.apply_delta(&request) {
                 Ok(outcome) => ServerReply::Delta(outcome),
-                Err(message) => ServerReply::Error { id: Some(request.id), message },
+                Err(error) => ServerReply::Fault(error),
             },
             ServerCommand::Stats { id } => ServerReply::Stats {
                 id,
@@ -534,6 +644,21 @@ impl PlanServer {
                 // nothing to cancel.
                 ServerReply::Cancelled { id, plan_id, cancelled: false }
             }
+            ServerCommand::Hello { id, .. } => ServerReply::Hello {
+                id,
+                min_v: MIN_PROTOCOL_VERSION,
+                max_v: MAX_PROTOCOL_VERSION,
+                server: SERVER_IDENT.to_owned(),
+            },
+            ServerCommand::Batch { id, .. }
+            | ServerCommand::Subscribe { id }
+            | ServerCommand::Unsubscribe { id } => ServerReply::Fault(
+                ApiError::new(
+                    ErrorCode::Unsupported,
+                    "this command requires a streaming connection",
+                )
+                .with_id(id),
+            ),
         }
     }
 
@@ -580,6 +705,7 @@ impl PlanServer {
             // Every accepted command replies (worker plans, delta executors)
             // before the reply channel may close.
             conn.wait_idle();
+            core.drop_conn(conn.id());
             drop(conn);
             writer_thread.join().expect("writer thread panicked");
         });
@@ -599,42 +725,6 @@ impl PlanServer {
         let reader = BufReader::new(stream.try_clone()?);
         self.serve_lines(reader, stream)
     }
-}
-
-/// Execute a delta wave's re-plan chains on the worker pool: submit each as a
-/// batch-class job, collect the results, and return them in chain order. A
-/// chain the batch queue sheds (cap reached) runs inline on the calling
-/// thread — re-plans are never lost.
-fn fan_out_replans(
-    sched: &Scheduler<ServeJob>,
-    engine: &PlanEngine,
-    chains: Vec<ReplanChain>,
-) -> Vec<PlanResponse> {
-    let total = chains.len();
-    let (tx, rx) = mpsc::channel();
-    let mut inline: Vec<(usize, Box<ReplanChain>)> = Vec::new();
-    for (index, chain) in chains.into_iter().enumerate() {
-        let job = ServeJob::Replan { index, chain: Box::new(chain), tx: tx.clone() };
-        let meta = JobMeta::new("__elastic", Priority::Batch);
-        if let Err(rejected) = sched.submit(job, meta) {
-            let ServeJob::Replan { index, chain, .. } = rejected.payload else {
-                unreachable!("rejected payload is the submitted replan job")
-            };
-            inline.push((index, chain));
-        }
-    }
-    drop(tx);
-    let mut responses: Vec<Option<PlanResponse>> = (0..total).map(|_| None).collect();
-    for (index, chain) in inline {
-        responses[index] = Some(engine.run_replan_chain(&chain));
-    }
-    for (index, response) in rx {
-        responses[index] = Some(response);
-    }
-    responses
-        .into_iter()
-        .map(|r| r.expect("every replan chain completed"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -686,7 +776,65 @@ mod tests {
         server.serve_lines(input.as_bytes(), &mut out).unwrap();
         let replies = parse_replies(&out);
         assert_eq!(replies.len(), 1);
+        // Legacy lines draw the legacy error shape, byte-compatible with v0.
         assert!(matches!(&replies[0], ServerReply::Error { id: None, .. }));
+    }
+
+    #[test]
+    fn enveloped_commands_get_enveloped_replies() {
+        let plan: ServerCommand = serde_json::from_str(&plan_line(4)).unwrap();
+        let input = format!(
+            "{}\n{}\n",
+            serde_json::to_string(&qsync_api::RequestEnvelope::v1(plan)).unwrap(),
+            r#"{"v":1,"id":9,"cmd":{"Stats":{"id":9}}}"#,
+        );
+        let server = PlanServer::new(2);
+        let mut out: Vec<u8> = Vec::new();
+        server.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let envelopes: Vec<qsync_api::ReplyEnvelope> = String::from_utf8_lossy(&out)
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("enveloped reply parses"))
+            .collect();
+        assert_eq!(envelopes.len(), 2);
+        assert!(envelopes.iter().all(|e| e.v == qsync_api::PROTOCOL_VERSION));
+        assert!(envelopes
+            .iter()
+            .any(|e| matches!(&e.reply, ServerReply::Plan(p) if p.id == 4)));
+        assert!(envelopes.iter().any(|e| matches!(&e.reply, ServerReply::Stats { id: 9, .. })));
+    }
+
+    #[test]
+    fn mixed_wire_forms_share_one_connection() {
+        // A legacy Stats and an enveloped Stats on the same stream: each is
+        // answered in its own form.
+        let input = format!("{}\n{}\n", r#"{"Stats":{"id":1}}"#, r#"{"v":1,"cmd":{"Stats":{"id":2}}}"#);
+        let server = PlanServer::new(1);
+        let mut out: Vec<u8> = Vec::new();
+        server.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let legacy = lines.iter().find(|l| !l.contains("\"v\":")).expect("legacy reply");
+        let enveloped = lines.iter().find(|l| l.contains("\"v\":")).expect("enveloped reply");
+        assert!(matches!(
+            serde_json::from_str::<ServerReply>(legacy).unwrap(),
+            ServerReply::Stats { id: 1, .. }
+        ));
+        let envelope: qsync_api::ReplyEnvelope = serde_json::from_str(enveloped).unwrap();
+        assert!(matches!(envelope.reply, ServerReply::Stats { id: 2, .. }));
+    }
+
+    #[test]
+    fn hello_advertises_the_supported_version_range() {
+        let server = PlanServer::new(1);
+        let reply = server.handle(ServerCommand::Hello { id: 5, min_v: 1, max_v: 1 });
+        let ServerReply::Hello { id, min_v, max_v, server: ident } = reply else {
+            panic!("expected hello reply, got {reply:?}")
+        };
+        assert_eq!(id, 5);
+        assert_eq!(min_v, MIN_PROTOCOL_VERSION);
+        assert_eq!(max_v, MAX_PROTOCOL_VERSION);
+        assert!(ident.starts_with("qsync-serve/"), "{ident}");
     }
 
     #[test]
@@ -708,6 +856,26 @@ mod tests {
             }
         }
         assert_eq!(server.engine().cache().stats().misses, 0, "nothing was planned");
+    }
+
+    #[test]
+    fn shed_of_an_enveloped_plan_reports_the_queue_full_code() {
+        let engine = PlanEngine::shared();
+        let sched = SchedConfig { class_caps: [0; 3], ..SchedConfig::default() };
+        let server = PlanServer::with_sched(engine, 1, sched);
+        let plan: ServerCommand = serde_json::from_str(&plan_line(7)).unwrap();
+        let input =
+            format!("{}\n", serde_json::to_string(&qsync_api::RequestEnvelope::v1(plan)).unwrap());
+        let mut out: Vec<u8> = Vec::new();
+        server.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let envelope: qsync_api::ReplyEnvelope =
+            serde_json::from_str(String::from_utf8_lossy(&out).lines().next().unwrap()).unwrap();
+        let ServerReply::Fault(error) = envelope.reply else {
+            panic!("expected structured fault, got {:?}", envelope.reply)
+        };
+        assert_eq!(error.code, ErrorCode::QueueFull);
+        assert_eq!(error.id, Some(7));
+        assert!(error.message.contains("shed"));
     }
 
     #[test]
@@ -739,6 +907,47 @@ mod tests {
         let sched = stats.expect("streaming path reports scheduler stats");
         assert_eq!(sched.policy, "drr");
         assert_eq!(sched.interactive.submitted, 1);
+    }
+
+    #[test]
+    fn batch_dispatches_inner_commands_in_order() {
+        let plan: ServerCommand = serde_json::from_str(&plan_line(21)).unwrap();
+        let batch = ServerCommand::Batch {
+            id: 20,
+            cmds: vec![plan, ServerCommand::Stats { id: 22 }],
+        };
+        let input = format!(
+            "{}\n",
+            serde_json::to_string(&qsync_api::RequestEnvelope::v1(batch)).unwrap()
+        );
+        let server = PlanServer::new(2);
+        let mut out: Vec<u8> = Vec::new();
+        server.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let replies: Vec<ServerReply> = String::from_utf8_lossy(&out)
+            .lines()
+            .map(|l| serde_json::from_str::<qsync_api::ReplyEnvelope>(l).unwrap().reply)
+            .collect();
+        assert_eq!(replies.len(), 2, "one reply per inner command, none for the batch itself");
+        assert!(replies.iter().any(|r| matches!(r, ServerReply::Plan(p) if p.id == 21)));
+        assert!(replies.iter().any(|r| matches!(r, ServerReply::Stats { id: 22, .. })));
+
+        // Nested batches are rejected with a structured fault.
+        let nested = ServerCommand::Batch {
+            id: 30,
+            cmds: vec![ServerCommand::Batch { id: 31, cmds: vec![] }],
+        };
+        let input = format!(
+            "{}\n",
+            serde_json::to_string(&qsync_api::RequestEnvelope::v1(nested)).unwrap()
+        );
+        let mut out: Vec<u8> = Vec::new();
+        server.serve_lines(input.as_bytes(), &mut out).unwrap();
+        let envelope: qsync_api::ReplyEnvelope =
+            serde_json::from_str(String::from_utf8_lossy(&out).lines().next().unwrap()).unwrap();
+        let ServerReply::Fault(error) = envelope.reply else { panic!("expected fault") };
+        assert_eq!(error.code, ErrorCode::InvalidField);
+        assert_eq!(error.id, Some(30));
+        assert_eq!(error.field.as_deref(), Some("cmds"));
     }
 
     #[test]

@@ -37,6 +37,8 @@ use std::time::{Duration, Instant};
 
 use polling::{Event, Interest, Poller};
 
+use qsync_api::WireProto;
+
 use crate::server::{PlanServer, ServeCore, ServerReply, Sink};
 
 /// Raise the process's soft `RLIMIT_NOFILE` toward `want` (capped at the
@@ -193,7 +195,7 @@ impl Outbox {
         buf.bytes.clear();
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.buf.lock().expect("outbox poisoned").bytes.len()
     }
 
@@ -458,7 +460,9 @@ impl Reactor {
             self.core.handle_line(&state, line);
         }
         if oversized {
-            state.send(&ServerReply::Error {
+            // Connection-level failure: no command (and so no wire form) was
+            // ever parsed, so it renders in the legacy v0 shape.
+            state.send(WireProto::V0, &ServerReply::Error {
                 id: None,
                 message: format!(
                     "input line exceeds {} bytes without a newline; closing connection",
@@ -551,8 +555,9 @@ impl Reactor {
             conn.outbox.close();
             let _ = self.shared.poller.delete(&conn.stream);
             // A broken connection may still have plans queued; nobody can
-            // receive them, so free the scheduler slots.
-            self.core.cancel_conn(conn.state.id());
+            // receive them, so free the scheduler slots (and end any event
+            // subscription).
+            self.core.drop_conn(conn.state.id());
         }
     }
 

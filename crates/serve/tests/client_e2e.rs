@@ -1,0 +1,282 @@
+//! End-to-end tests of the typed client stack (`qsync-client`) against a
+//! live reactor server: the `Hello` handshake, structured errors, the
+//! multiplexing handle (many in-flight requests over one socket, replies
+//! routed by id), per-client DRR weight from the wire, and the
+//! `Subscribe` event stream (a watcher observes invalidate → re-plan for a
+//! delta it did not submit).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qsync_client::ClientError;
+use qsync_cluster::topology::ClusterSpec;
+use qsync_serve::{
+    ClusterDelta, DeltaRequest, ErrorCode, ModelSpec, PlanEngine, PlanOutcome, PlanRequest,
+    PlanServer, Priority, ServerCommand, ServerEvent, ServerReply,
+};
+
+mod common;
+use common::TestServer;
+
+fn mlp() -> ModelSpec {
+    ModelSpec::SmallMlp { batch: 16, in_features: 32, hidden: 64, classes: 8 }
+}
+
+fn mlp_request(id: u64, cluster: &ClusterSpec) -> PlanRequest {
+    PlanRequest::new(id, mlp(), cluster.clone())
+}
+
+#[test]
+fn typed_client_handshakes_and_plans() {
+    let server = TestServer::spawn(PlanServer::new(2));
+    let mut client = server.typed_client();
+    assert_eq!(client.server_versions(), (0, 1), "server speaks v0 (legacy) through v1");
+    assert!(client.server_ident().starts_with("qsync-serve/"), "{}", client.server_ident());
+
+    let cluster = ClusterSpec::hybrid_small();
+    let cold = client.plan(mlp_request(0, &cluster)).expect("plan");
+    assert_eq!(cold.outcome, PlanOutcome::ColdPlanned);
+    let hit = client.plan(mlp_request(0, &cluster)).expect("plan again");
+    assert_eq!(hit.outcome, PlanOutcome::CacheHit);
+    assert_eq!(hit.plan_json(), cold.plan_json());
+    assert_ne!(hit.id, cold.id, "the client assigns connection-unique ids");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache.misses, 1);
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.sched.expect("streaming path has a scheduler").interactive.submitted, 2);
+    server.stop();
+}
+
+#[test]
+fn structured_errors_carry_code_and_field() {
+    let server = TestServer::spawn(PlanServer::new(1));
+    let mut client = server.typed_client();
+    let mut bad = mlp_request(0, &ClusterSpec::hybrid_small());
+    bad.memory_limit_fraction = Some(7.5);
+    match client.plan(bad) {
+        Err(ClientError::Api(error)) => {
+            assert_eq!(error.code, ErrorCode::InvalidField);
+            assert_eq!(error.field.as_deref(), Some("memory_limit_fraction"));
+            assert!(error.message.contains("memory_limit_fraction"), "{}", error.message);
+            assert!(error.id.is_some(), "fault echoes the request id");
+        }
+        other => panic!("expected a structured API error, got {other:?}"),
+    }
+    // The connection survives the fault.
+    let ok = client.plan(mlp_request(0, &ClusterSpec::hybrid_small())).expect("plan after fault");
+    assert_eq!(ok.outcome, PlanOutcome::ColdPlanned);
+    server.stop();
+}
+
+#[test]
+fn mux_client_routes_many_in_flight_replies_by_id() {
+    let engine = PlanEngine::shared();
+    let cluster = ClusterSpec::hybrid_small();
+    engine.plan(&mlp_request(0, &cluster)).expect("pre-warm");
+    let server = TestServer::spawn(PlanServer::with_engine(Arc::clone(&engine), 4));
+    let mux = server.mux_client();
+
+    // 4 threads sharing ONE socket, 16 plans each, stats interleaved: every
+    // reply must resolve the right waiter (keys and outcomes prove routing;
+    // the Pending ids prove uniqueness).
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let mux = mux.clone();
+            let cluster = cluster.clone();
+            scope.spawn(move || {
+                let pendings: Vec<_> = (0..16)
+                    .map(|_| mux.submit_plan(mlp_request(0, &cluster)).expect("submit"))
+                    .collect();
+                let stats = mux.stats().expect("stats interleaves with in-flight plans");
+                assert!(stats.sched.is_some());
+                let mut ids = Vec::new();
+                for pending in pendings {
+                    ids.push(pending.id());
+                    let response = pending.wait_timeout(Duration::from_secs(60)).expect("reply");
+                    assert_eq!(response.outcome, PlanOutcome::CacheHit);
+                    assert_eq!(*ids.last().unwrap(), response.id, "reply routed to its waiter");
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(ids.len(), 16, "connection-unique correlation ids");
+            });
+        }
+    });
+    assert!(engine.cache().stats().hits >= 64);
+    server.stop();
+}
+
+#[test]
+fn mux_cancel_releases_the_pending_waiter() {
+    // One worker occupied by a cold blocker; a queued plan is cancelled
+    // through the same mux connection. The cancel must report true AND the
+    // cancelled plan's Pending must resolve (to Cancelled) instead of
+    // waiting forever for a reply the server will never send.
+    let cluster = ClusterSpec::cluster_a(1, 1);
+    let server = TestServer::spawn(PlanServer::new(1));
+    let mux = server.mux_client();
+    let blocker = mux
+        .submit_plan(PlanRequest::new(
+            0,
+            ModelSpec::Resnet50 { batch: 2, image: 32 },
+            cluster.clone(),
+        ))
+        .expect("submit blocker");
+    let doomed = mux.submit_plan(mlp_request(0, &cluster)).expect("submit doomed plan");
+    let cancelled = mux.cancel(doomed.id()).expect("cancel round-trip");
+    assert!(cancelled, "the queued plan was cancellable");
+    match doomed.wait_timeout(Duration::from_secs(5)) {
+        Err(ClientError::Cancelled) => {}
+        other => panic!("cancelled pending must resolve to Cancelled, got {other:?}"),
+    }
+    blocker.wait_timeout(Duration::from_secs(60)).expect("blocker completes");
+    server.stop();
+}
+
+#[test]
+fn wire_weight_scales_drr_service_share_end_to_end() {
+    // One worker, a cold blocker occupying it, then six cache-hit plans from
+    // two wire-identified clients — "heavy" at weight 2, "light" at weight 1
+    // — pipelined while the blocker runs. With a single worker the reply
+    // order IS the DRR dispatch order: heavy drains two jobs per round to
+    // light's one. (Weight comes straight off the wire; nothing else
+    // distinguishes the clients.)
+    let cluster = ClusterSpec::hybrid_small();
+    let engine = PlanEngine::shared();
+    engine.plan(&mlp_request(0, &cluster)).expect("pre-warm the hit key");
+    let server = TestServer::spawn(PlanServer::with_engine(Arc::clone(&engine), 1));
+    let mut client = server.client();
+
+    let mut batch = String::new();
+    // The blocker: a cold resnet plan, slow enough (debug build) that the
+    // six lines below are all queued before the worker frees up.
+    let blocker =
+        PlanRequest::new(999, ModelSpec::Resnet50 { batch: 1, image: 32 }, cluster.clone());
+    batch.push_str(&serde_json::to_string(&ServerCommand::Plan(blocker)).unwrap());
+    batch.push('\n');
+    let mut tagged = |id: u64, client_id: &str, weight: u32| {
+        let mut request = mlp_request(id, &cluster);
+        request.client_id = Some(client_id.into());
+        request.weight = Some(weight);
+        request.priority = Some(Priority::Interactive);
+        batch.push_str(&serde_json::to_string(&ServerCommand::Plan(request)).unwrap());
+        batch.push('\n');
+    };
+    for id in [10, 11, 12, 13] {
+        tagged(id, "heavy", 2);
+    }
+    for id in [20, 21] {
+        tagged(id, "light", 1);
+    }
+    client.send_bytes(batch.as_bytes()).expect("pipelined batch");
+
+    let mut order = Vec::new();
+    for _ in 0..7 {
+        match client.recv() {
+            ServerReply::Plan(p) => order.push(p.id),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(order[0], 999, "the blocker dispatched first");
+    assert_eq!(
+        &order[1..],
+        &[10, 11, 20, 12, 13, 21],
+        "weight-2 client drains two jobs per DRR round against weight-1's one"
+    );
+    server.stop();
+}
+
+#[test]
+fn subscriber_observes_invalidate_then_replan_for_another_clients_delta() {
+    // The acceptance scenario: a watcher subscribes, a *different* client
+    // submits a delta, and the watcher sees the invalidate → re-plan →
+    // applied event sequence without polling Stats.
+    let cluster = ClusterSpec::hybrid_small();
+    let server = TestServer::spawn(PlanServer::new(2));
+    let mut watcher = server.typed_client();
+    let mut actor = server.typed_client();
+
+    let planned = actor.plan(mlp_request(0, &cluster)).expect("populate the cache");
+    watcher.subscribe().expect("subscribe");
+
+    let rank = cluster.inference_ranks()[0];
+    let delta = DeltaRequest {
+        id: 0,
+        cluster: cluster.clone(),
+        delta: ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 },
+    };
+    let outcome = actor.delta(delta).expect("delta applies");
+    assert_eq!(outcome.invalidated, 1);
+    assert_eq!(outcome.replanned.len(), 1);
+
+    let (seq1, invalidated) = watcher.next_event().expect("first event");
+    match invalidated {
+        ServerEvent::CacheInvalidated { keys } => {
+            assert_eq!(keys, vec![planned.key.clone()], "the watcher saw which entry was evicted");
+        }
+        other => panic!("expected CacheInvalidated first, got {other:?}"),
+    }
+    let (seq2, replanned) = watcher.next_event().expect("second event");
+    match replanned {
+        ServerEvent::Replanned { key, outcome: plan_outcome, .. } => {
+            assert_eq!(key, outcome.replanned[0].key);
+            assert_eq!(plan_outcome, PlanOutcome::WarmReplanned);
+        }
+        other => panic!("expected Replanned second, got {other:?}"),
+    }
+    let (seq3, applied) = watcher.next_event().expect("third event");
+    match applied {
+        ServerEvent::DeltaApplied { id, invalidated, replanned, .. } => {
+            assert_eq!(id, outcome.id);
+            assert_eq!(invalidated, 1);
+            assert_eq!(replanned, 1);
+        }
+        other => panic!("expected DeltaApplied third, got {other:?}"),
+    }
+    assert!(seq1 < seq2 && seq2 < seq3, "event sequence numbers are monotone");
+
+    // After unsubscribe the stream goes quiet: a further delta produces no
+    // buffered events on the watcher's connection.
+    watcher.unsubscribe().expect("unsubscribe");
+    let shape2 = ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 }
+        .apply(&cluster)
+        .unwrap();
+    actor
+        .delta(DeltaRequest {
+            id: 0,
+            cluster: shape2,
+            delta: ClusterDelta::RankRemoved { rank: 0 },
+        })
+        .expect("second delta");
+    let stats = watcher.stats().expect("round-trip after unsubscribe");
+    assert!(stats.deltas.waves >= 2);
+    assert_eq!(watcher.buffered_event_count(), 0, "no events may arrive after unsubscribe");
+    server.stop();
+}
+
+#[test]
+fn mux_event_stream_receives_events() {
+    let cluster = ClusterSpec::hybrid_small();
+    let server = TestServer::spawn(PlanServer::new(2));
+    let mux = server.mux_client();
+    mux.plan(mlp_request(0, &cluster)).expect("populate the cache");
+    let events = mux.subscribe().expect("subscribe");
+
+    let other = server.mux_client();
+    let rank = cluster.inference_ranks()[0];
+    other
+        .delta(DeltaRequest {
+            id: 0,
+            cluster: cluster.clone(),
+            delta: ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.9 },
+        })
+        .expect("delta");
+
+    let (_, first) = events.next_timeout(Duration::from_secs(30)).expect("event arrives");
+    assert!(
+        matches!(first, ServerEvent::CacheInvalidated { .. }),
+        "invalidation leads the stream, got {first:?}"
+    );
+    server.stop();
+}

@@ -1,14 +1,15 @@
 //! Shared helpers for the serve integration tests: spawn a reactor-backed
-//! TCP server on an ephemeral port and talk the JSONL protocol to it with
-//! timeouts (so a server bug fails the test instead of hanging it).
+//! TCP server on an ephemeral port and talk the protocol to it through
+//! `qsync-client` (the hand-rolled socket/JSONL plumbing this module used to
+//! carry now lives there, typed and reusable).
 
 #![allow(dead_code)]
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use qsync_client::{ClientError, RawClient};
 use qsync_serve::{PlanServer, ServerCommand, ServerReply, ShutdownSignal};
 
 /// How long a client waits for one reply line before declaring the server
@@ -36,9 +37,20 @@ impl TestServer {
         TestServer { addr, shutdown, thread: Some(thread) }
     }
 
-    /// Open a protocol client against this server.
+    /// Open a (legacy-speaking) protocol client against this server.
     pub fn client(&self) -> Client {
         Client::connect(self.addr)
+    }
+
+    /// Open a typed blocking client (v1, `Hello`-handshaken).
+    pub fn typed_client(&self) -> qsync_client::Client {
+        qsync_client::Client::connect_timeout(self.addr, RECV_TIMEOUT)
+            .expect("typed client connects")
+    }
+
+    /// Open a multiplexing client.
+    pub fn mux_client(&self) -> qsync_client::MuxClient {
+        qsync_client::MuxClient::connect(self.addr).expect("mux client connects")
     }
 
     /// Fire the shutdown signal and join the reactor thread.
@@ -60,41 +72,37 @@ impl Drop for TestServer {
     }
 }
 
-/// A blocking JSONL protocol client with receive timeouts.
+/// The legacy-line test client: a thin panicking facade over
+/// [`qsync_client::RawClient`], keeping the pre-extraction test API (send a
+/// bare command, expect a reply or a clean close).
 pub struct Client {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    raw: RawClient,
 }
 
 impl Client {
-    /// Connect to `addr`.
+    /// Connect to `addr` with the test receive timeout.
     pub fn connect(addr: SocketAddr) -> Client {
-        let writer = TcpStream::connect(addr).expect("connect");
-        writer.set_read_timeout(Some(RECV_TIMEOUT)).expect("read timeout");
-        writer.set_write_timeout(Some(RECV_TIMEOUT)).expect("write timeout");
-        // Request lines must leave as one segment: Nagle + the peer's
-        // delayed ACK would otherwise add ~40 ms to every round-trip.
-        writer.set_nodelay(true).expect("nodelay");
-        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
-        Client { writer, reader }
+        Client { raw: RawClient::connect_timeout(addr, RECV_TIMEOUT).expect("connect") }
     }
 
     /// Send one raw line (a `\n` is appended), as a single write.
     pub fn send_line(&mut self, line: &str) {
-        let mut framed = Vec::with_capacity(line.len() + 1);
-        framed.extend_from_slice(line.as_bytes());
-        framed.push(b'\n');
-        self.writer.write_all(&framed).expect("write line");
+        self.raw.send_line(line).expect("write line");
     }
 
     /// Send raw bytes as-is (fuzzing: no framing added).
     pub fn send_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
-        self.writer.write_all(bytes)
+        self.raw.send_bytes(bytes)
     }
 
-    /// Send one command.
+    /// Send one command as a legacy (v0) line.
     pub fn send(&mut self, command: &ServerCommand) {
-        self.send_line(&serde_json::to_string(command).expect("command serializes"));
+        self.raw.send_legacy(command).expect("write command");
+    }
+
+    /// Send one command inside a v1 envelope.
+    pub fn send_enveloped(&mut self, command: &ServerCommand) {
+        self.raw.send_enveloped(command).expect("write envelope");
     }
 
     /// Receive one reply line, panicking on timeout (a deadlocked server
@@ -108,16 +116,25 @@ impl Client {
 
     /// Receive one reply line; `None` on clean EOF. Panics on timeout.
     pub fn try_recv(&mut self) -> Option<ServerReply> {
-        let mut line = String::new();
-        match self.reader.read_line(&mut line) {
-            Ok(0) => None,
-            Ok(_) => Some(serde_json::from_str(&line).expect("reply parses")),
+        match self.raw.try_recv() {
+            Ok(reply) => reply,
+            Err(ClientError::Io(e)) => panic!("no reply within {RECV_TIMEOUT:?}: {e}"),
+            Err(e) => panic!("reply did not parse: {e}"),
+        }
+    }
+
+    /// Receive one raw reply line (no trailing newline), unparsed — for
+    /// byte-level protocol assertions. Panics on timeout or EOF.
+    pub fn raw_line(&mut self) -> String {
+        match self.raw.recv_raw_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => panic!("server closed the connection while a reply was expected"),
             Err(e) => panic!("no reply within {RECV_TIMEOUT:?}: {e}"),
         }
     }
 
     /// Close the write side, signalling EOF to the server.
     pub fn finish_writes(&mut self) {
-        let _ = self.writer.shutdown(std::net::Shutdown::Write);
+        self.raw.finish_writes();
     }
 }

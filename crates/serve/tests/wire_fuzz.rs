@@ -14,7 +14,8 @@ use proptest::prelude::*;
 
 use qsync_cluster::topology::ClusterSpec;
 use qsync_serve::{
-    ModelSpec, PlanEngine, PlanRequest, PlanServer, ServerCommand, ServerReply, TransportConfig,
+    ModelSpec, PlanEngine, PlanRequest, PlanServer, Priority, ServerCommand, ServerReply,
+    TransportConfig,
 };
 
 mod common;
@@ -76,8 +77,103 @@ fn probe_alive(client: &mut Client) -> Vec<ServerReply> {
     }
 }
 
+/// A fuzzed command spec: `(kind, id, a, b)` decoded by [`build_command`].
+/// Kinds 0..=4 are *synchronous* commands (the reactor answers them inline,
+/// so reply counting is race-free); kind 5 is a decorated plan request
+/// (answered off the worker pool). Ids stay below the probe-id space
+/// (1 << 32), and plan ids (>= 10_000 by construction of the spec range)
+/// stay disjoint from fuzzed `Cancel` targets (< 4) so a fuzz cancel can
+/// never remove a queued fuzz plan and cost its counted reply.
+type CommandSpec = (u8, u64, u32, u32);
+
+fn build_command((kind, id, a, b): CommandSpec) -> ServerCommand {
+    match kind {
+        0 => ServerCommand::Stats { id },
+        1 => ServerCommand::Cancel { id, plan_id: a as u64 },
+        2 => ServerCommand::Hello { id, min_v: a, max_v: b },
+        3 => ServerCommand::Subscribe { id },
+        4 => ServerCommand::Unsubscribe { id },
+        // Scheduling decorations off the wire (weight/priority/client_id)
+        // must never change the pre-warmed cache key or wedge anything.
+        _ => {
+            let mut request = valid_request(id);
+            request.weight = if a % 2 == 0 { None } else { Some(a) };
+            request.priority = match b % 4 {
+                0 => None,
+                1 => Some(Priority::Interactive),
+                2 => Some(Priority::Batch),
+                _ => Some(Priority::Background),
+            };
+            request.client_id = match a % 3 {
+                0 => None,
+                1 => Some("alpha".into()),
+                _ => Some("beta".into()),
+            };
+            ServerCommand::Plan(request)
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary envelope versions: v == 1 serves the command, anything else
+    /// draws exactly one structured fault — and never wedges the server.
+    #[test]
+    fn arbitrary_envelope_versions_fault_or_serve(v in any::<u64>(), id in 0u64..(1 << 31)) {
+        let mut client = Client::connect(server_addr());
+        client.send_line(&format!(r#"{{"v":{v},"id":{id},"cmd":{{"Stats":{{"id":{id}}}}}}}"#));
+        match client.recv() {
+            ServerReply::Stats { id: got, .. } => prop_assert_eq!(got, id),
+            ServerReply::Fault(error) => {
+                prop_assert!(v != 1, "v1 must be served, got fault {error:?}");
+                prop_assert_eq!(error.id, Some(id), "fault echoes the envelope id");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        probe_alive(&mut client);
+    }
+
+    /// Arbitrary enveloped command mixes (plans, stats, hello, subscribe,
+    /// cancel, batches of synchronous commands) each draw their exact reply
+    /// count, with every reply enveloped.
+    #[test]
+    fn enveloped_command_streams_reply_exactly_once_each(
+        specs in prop::collection::vec((0u8..6, 10_000u64..(1 << 31), 0u32..4, 0u32..4), 1..8),
+        batch_specs in prop::collection::vec((0u8..5, 10_000u64..(1 << 31), 0u32..4, 0u32..4), 0..5),
+    ) {
+        let mut client = Client::connect(server_addr());
+        let mut expected = 0usize;
+        for spec in specs {
+            client.send_enveloped(&build_command(spec));
+            expected += 1;
+        }
+        // A batch of synchronous commands: one reply per inner command,
+        // nothing for the batch itself.
+        expected += batch_specs.len();
+        let batch_tail: Vec<ServerCommand> = batch_specs.into_iter().map(build_command).collect();
+        client.send_enveloped(&ServerCommand::Batch { id: 1 << 31, cmds: batch_tail });
+        // Plan replies come off the worker pool and may legally trail the
+        // probe's synchronous Stats reply: collect until both the count and
+        // the probe are in, in any order.
+        let id = probe_id();
+        client.send(&ServerCommand::Stats { id });
+        let mut counted = 0usize;
+        let mut probe_seen = false;
+        while counted < expected || !probe_seen {
+            match client.recv() {
+                ServerReply::Stats { id: got, .. } if got == id => probe_seen = true,
+                reply => {
+                    prop_assert!(
+                        !matches!(reply, ServerReply::Error { .. }),
+                        "well-formed enveloped commands never draw legacy errors: {reply:?}"
+                    );
+                    counted += 1;
+                }
+            }
+        }
+        prop_assert_eq!(counted, expected);
+    }
 
     /// Arbitrary byte chunks (any framing, any encoding, possibly enormous
     /// unterminated lines) never panic or wedge the server: afterwards either

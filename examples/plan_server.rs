@@ -1,36 +1,61 @@
-//! Quickstart for the `qsync-serve` plan-serving subsystem.
+//! Quickstart for the plan-serving subsystem and its typed client.
 //!
 //! ```text
 //! cargo run --release --example plan_server
 //! ```
 //!
-//! Walks the full serving lifecycle in-process: cold plan → cache hit →
-//! cluster elasticity event → warm re-plan, printing what a client of the
-//! `qsync-serve` binary would observe. The same flow over the wire:
+//! Spins up a real TCP plan server (the epoll reactor, an ephemeral port)
+//! and walks the serving lifecycle **through `qsync-client`**, exactly as a
+//! remote consumer would: version handshake → cold plan → cache hit →
+//! subscribing a watcher → a cluster elasticity event observed as an
+//! invalidate/re-plan event stream → warm re-planned cache state. The same
+//! protocol over a long-lived daemon:
 //!
 //! ```text
+//! cargo run --release --bin qsync-serve -- serve --workers 8 --tcp 127.0.0.1:7878
 //! cargo run --release --bin qsync-serve -- plan --model vgg16bn:2,32 --cluster a:2,2
-//! cargo run --release --bin qsync-serve -- serve --workers 8   # JSON lines on stdin
 //! ```
+//!
+//! See `docs/PROTOCOL.md` for the wire format (envelope, error codes,
+//! events) and compatibility policy.
 
+use std::net::TcpListener;
+
+use qsync_client::{Client, MuxClient};
 use qsync_cluster::topology::ClusterSpec;
-use qsync_serve::{ClusterDelta, DeltaRequest, ModelSpec, PlanEngine, PlanRequest};
+use qsync_serve::{
+    ClusterDelta, DeltaRequest, ModelSpec, PlanServer, ServerEvent, ShutdownSignal,
+};
 
 fn main() {
-    let engine = PlanEngine::new();
+    // A live server on an ephemeral port: 4 planner workers, one shared
+    // scheduler/cache across every connection.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = ShutdownSignal::new();
+    let server_thread = {
+        let signal = shutdown.clone();
+        std::thread::spawn(move || PlanServer::new(4).serve_listener(listener, signal))
+    };
+
     let cluster = ClusterSpec::cluster_a(2, 2);
     let model = ModelSpec::Vgg16Bn { batch: 2, image: 32 };
 
+    // 0. Connect: the client handshakes protocol versions with `Hello`.
+    let mut client = Client::connect(addr).expect("connect");
+    let (min_v, max_v) = client.server_versions();
+    println!("[hello] {} speaks protocol v{min_v}..=v{max_v}", client.server_ident());
+
     // 1. Cold plan: profile the cluster, search precisions, cache the result.
-    let request = PlanRequest::new(1, model.clone(), cluster.clone());
-    let cold = engine.plan(&request).expect("valid request");
+    let request = qsync_serve::PlanRequest::new(0, model.clone(), cluster.clone());
+    let cold = client.plan(request.clone()).expect("valid request");
     println!(
         "[cold]  outcome={:?}  predicted={:.0}us  promotions={}  elapsed={}us\n        key={}",
         cold.outcome, cold.predicted_iteration_us, cold.promotions_accepted, cold.elapsed_us, cold.key
     );
 
     // 2. The same request again: a cache hit, byte-identical plan.
-    let hit = engine.plan(&PlanRequest::new(2, model.clone(), cluster.clone())).expect("valid request");
+    let hit = client.plan(request.clone()).expect("valid request");
     println!(
         "[hit]   outcome={:?}  byte_identical={}  elapsed={}us",
         hit.outcome,
@@ -38,14 +63,22 @@ fn main() {
         hit.elapsed_us
     );
 
-    // 3. Elasticity: a co-located tenant claims most of one inference GPU.
+    // 3. A second consumer — a multiplexing watcher — subscribes to the
+    //    server's event stream.
+    let watcher = MuxClient::connect(addr).expect("watcher connects");
+    let events = watcher.subscribe().expect("subscribe");
+
+    // 4. Elasticity: a co-located tenant claims most of one inference GPU.
+    //    The watcher sees the invalidation and the warm re-plan as events,
+    //    without polling.
     let rank = cluster.inference_ranks()[0];
-    let delta = DeltaRequest {
-        id: 3,
-        cluster: cluster.clone(),
-        delta: ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.9 },
-    };
-    let outcome = engine.apply_delta(&delta).expect("delta applies");
+    let outcome = client
+        .delta(DeltaRequest {
+            id: 0,
+            cluster: cluster.clone(),
+            delta: ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.9 },
+        })
+        .expect("delta applies");
     println!(
         "[delta] invalidated={}  replanned={}  {} -> {}",
         outcome.invalidated,
@@ -62,15 +95,38 @@ fn main() {
         warm.promotions_accepted,
         warm.elapsed_us
     );
+    while let Some((seq, event)) = events.next_timeout(std::time::Duration::from_secs(5)) {
+        match event {
+            ServerEvent::CacheInvalidated { keys } => {
+                println!("[event {seq}] cache invalidated: {} key(s)", keys.len());
+            }
+            ServerEvent::Replanned { key, outcome, .. } => {
+                println!("[event {seq}] re-planned {}… ({outcome:?})", &key[..8]);
+            }
+            ServerEvent::DeltaApplied { invalidated, replanned, .. } => {
+                println!("[event {seq}] delta applied: {invalidated} invalidated, {replanned} re-planned");
+                break; // the wave is complete
+            }
+        }
+    }
 
-    // 4. Requests against the new shape are cache hits from here on.
-    let new_cluster = delta.delta.apply(&cluster).expect("delta applies");
-    let after = engine.plan(&PlanRequest::new(4, model, new_cluster)).expect("valid request");
+    // 5. Requests against the new shape are cache hits from here on.
+    let new_cluster = ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.9 }
+        .apply(&cluster)
+        .expect("delta applies");
+    let after = client
+        .plan(qsync_serve::PlanRequest::new(0, model, new_cluster))
+        .expect("valid request");
     println!("[after] outcome={:?}  elapsed={}us", after.outcome, after.elapsed_us);
 
-    let stats = engine.cache().stats();
+    let stats = client.stats().expect("stats");
     println!(
         "[cache] entries={}  hits={}  misses={}  invalidated={}",
-        stats.entries, stats.hits, stats.misses, stats.invalidated
+        stats.cache.entries, stats.cache.hits, stats.cache.misses, stats.cache.invalidated
     );
+
+    drop(client);
+    drop(watcher);
+    shutdown.shutdown();
+    server_thread.join().expect("server thread").expect("server ran");
 }

@@ -10,8 +10,12 @@
 //! * [`qsync_cluster`] — hybrid-device cluster simulator and profiler
 //! * [`qsync_train`] — executable mixed-precision training engine
 //! * [`qsync_core`] — the QSync system itself (predictor, allocator, baselines)
+//! * [`qsync_api`] — the versioned wire protocol (commands, envelopes, errors, events)
 //! * [`qsync_serve`] — the plan-serving subsystem (plan cache, elastic re-planning)
+//! * [`qsync_client`] — typed blocking + multiplexing protocol clients
 
+pub use qsync_api as api;
+pub use qsync_client as client;
 pub use qsync_cluster as cluster;
 pub use qsync_core as core;
 pub use qsync_graph as graph;
