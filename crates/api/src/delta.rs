@@ -128,6 +128,18 @@ pub struct DeltaRequest {
     pub cluster: ClusterSpec,
     /// The event.
     pub delta: ClusterDelta,
+    /// Observability correlation id (v1): threads through the delta wave —
+    /// invalidation, warm re-plans, and every
+    /// [`ServerEvent`](crate::ServerEvent) the wave emits carry it. Minted by
+    /// the server when absent; echoed in [`DeltaResponse::trace_id`].
+    pub trace_id: Option<u64>,
+}
+
+impl DeltaRequest {
+    /// A delta request with no caller-chosen trace id.
+    pub fn new(id: u64, cluster: ClusterSpec, delta: ClusterDelta) -> Self {
+        DeltaRequest { id, cluster, delta, trace_id: None }
+    }
 }
 
 /// Result of applying a delta: the invalidation count and the warm re-plans.
@@ -152,6 +164,10 @@ pub struct DeltaResponse {
     /// final cluster shape. Carried by the **last** delta of the group;
     /// earlier members report an empty list.
     pub replanned: Vec<PlanResponse>,
+    /// The trace id this delta was applied under (echo of
+    /// [`DeltaRequest::trace_id`], or the server-minted one). `None` from
+    /// untraced paths (the direct engine API).
+    pub trace_id: Option<u64>,
 }
 
 /// Counters of the batched elasticity layer.

@@ -36,7 +36,7 @@ pub use delta::{ClusterDelta, DeltaRequest, DeltaResponse, DeltaStats};
 pub use error::{ApiError, ErrorCode};
 pub use model::ModelSpec;
 pub use request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
-pub use stats::CacheStats;
+pub use stats::{CacheStats, SubscriberStats};
 pub use wire::{
     parse_line, render_reply, ParsedLine, ReplyEnvelope, RequestEnvelope, ServerCommand,
     ServerEvent, ServerReply, WireError, WireProto, LEGACY_PROTOCOL_VERSION, MAX_PROTOCOL_VERSION,
@@ -44,3 +44,7 @@ pub use wire::{
 };
 
 pub use qsync_sched::SchedStats;
+
+pub use qsync_obs::{
+    HistogramSnapshot, MetricsSnapshot, TraceSpan,
+};

@@ -66,6 +66,14 @@ pub struct PlanRequest {
     /// given a larger service share straight from the wire. Like the other
     /// scheduling fields it never enters [`cache_key`](Self::cache_key).
     pub weight: Option<u32>,
+    /// Observability correlation id (v1): when set, the server threads this
+    /// id through parse → scheduler → engine → reply and stamps it on every
+    /// [`ServerEvent`](crate::ServerEvent) the request causes; the `Trace`
+    /// command returns the recorded spans. When absent the server mints one
+    /// and echoes it in [`PlanResponse::trace_id`]. Never part of
+    /// [`cache_key`](Self::cache_key) — it changes *when* a plan is traced,
+    /// never *what* is computed.
+    pub trace_id: Option<u64>,
 }
 
 impl PlanRequest {
@@ -82,6 +90,7 @@ impl PlanRequest {
             client_id: None,
             deadline_ms: None,
             weight: None,
+            trace_id: None,
         }
     }
 
@@ -95,6 +104,7 @@ impl PlanRequest {
             priority: self.priority.unwrap_or_default(),
             deadline_after_ms: self.deadline_ms,
             weight: self.weight.unwrap_or(1).max(1),
+            trace_id: self.trace_id.unwrap_or(0),
             ..JobMeta::default()
         }
     }
@@ -235,6 +245,10 @@ pub struct PlanResponse {
     pub warm_demotions: usize,
     /// Wall-clock time the server spent producing this response (microseconds).
     pub elapsed_us: u64,
+    /// The trace id this request was served under (echo of
+    /// [`PlanRequest::trace_id`], or the server-minted one). `None` from
+    /// paths that do not trace (the schedulerless one-shot engine API).
+    pub trace_id: Option<u64>,
 }
 
 impl PlanResponse {
@@ -333,6 +347,7 @@ mod tests {
         b.client_id = Some("tenant-42".into());
         b.deadline_ms = Some(250);
         b.weight = Some(8);
+        b.trace_id = Some(77);
         assert_eq!(a.cache_key(), b.cache_key());
         let meta = b.job_meta();
         assert_eq!(meta.priority, Priority::Background);
@@ -353,15 +368,15 @@ mod tests {
     #[test]
     fn wire_input_without_scheduling_fields_still_parses() {
         // A pre-scheduler client request (no priority/client_id/deadline_ms/
-        // weight keys at all) must deserialize to the defaults.
+        // weight/trace_id keys at all) must deserialize to the defaults.
         let full = serde_json::to_string(&request()).unwrap();
         let mut value: serde::Value = serde_json::from_str(&full).unwrap();
         let serde::Value::Object(pairs) = &mut value else { panic!("request serializes as object") };
         let before = pairs.len();
         pairs.retain(|(k, _)| {
-            !matches!(k.as_str(), "priority" | "client_id" | "deadline_ms" | "weight")
+            !matches!(k.as_str(), "priority" | "client_id" | "deadline_ms" | "weight" | "trace_id")
         });
-        assert_eq!(pairs.len(), before - 4, "all four scheduling keys were present");
+        assert_eq!(pairs.len(), before - 5, "all five post-v0 keys were present");
         let legacy = serde_json::to_string(&value).unwrap();
         let parsed: PlanRequest = serde_json::from_str(&legacy).unwrap();
         assert_eq!(parsed, request());
@@ -380,6 +395,7 @@ mod tests {
         req.client_id = Some("tenant-7".into());
         req.deadline_ms = Some(1500);
         req.weight = Some(4);
+        req.trace_id = Some(321);
         let text = serde_json::to_string_pretty(&req).unwrap();
         let back: PlanRequest = serde_json::from_str(&text).unwrap();
         assert_eq!(back, req);

@@ -9,6 +9,18 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Per-subscriber event-stream accounting, carried by `Stats` replies from
+/// streaming connections (empty from the one-shot path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SubscriberStats {
+    /// Server-side connection number of the subscriber.
+    pub conn: u64,
+    /// Events this subscriber lost to the slow-consumer cap since it
+    /// subscribed (or since its last `Resync`). Dropped events appear to the
+    /// client as gaps in the monotone event `seq`.
+    pub dropped: u64,
+}
+
 /// Plan-cache observability counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {

@@ -30,12 +30,13 @@
 
 use serde::{Deserialize, Serialize};
 
+use qsync_obs::{MetricsSnapshot, TraceSpan};
 use qsync_sched::SchedStats;
 
 use crate::delta::{DeltaRequest, DeltaResponse, DeltaStats};
 use crate::error::{ApiError, ErrorCode};
 use crate::request::{PlanOutcome, PlanRequest, PlanResponse};
-use crate::stats::CacheStats;
+use crate::stats::{CacheStats, SubscriberStats};
 
 /// The legacy, un-enveloped line form (bare `ServerCommand`/`ServerReply`).
 pub const LEGACY_PROTOCOL_VERSION: u32 = 0;
@@ -103,6 +104,34 @@ pub enum ServerCommand {
         /// Caller-chosen id echoed in the reply.
         id: u64,
     },
+    /// Read the server's full metrics registry (v1): counters, gauges and
+    /// latency histograms across every layer — transport, scheduler, engine,
+    /// cache, delta pipeline. The same data the admin port's text exposition
+    /// renders.
+    Metrics {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+    },
+    /// Fetch the recorded trace spans for one trace id (v1), reconstructing
+    /// a request's journey parse → dispatch → cache → plan → reply write.
+    Trace {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+        /// The trace id to look up (from [`PlanResponse`]`::trace_id`,
+        /// [`DeltaResponse`]`::trace_id`, or a stamped [`ServerEvent`]).
+        trace_id: u64,
+        /// Return at most this many spans (most recent; absent means all
+        /// retained).
+        limit: Option<usize>,
+    },
+    /// Re-baseline this connection's event stream after a gap (v1): the
+    /// reply carries the server's current event `seq` and the cache's
+    /// resident keys, so a slow consumer that lost events can rebuild its
+    /// view instead of resubscribing blind.
+    Resync {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+    },
 }
 
 impl ServerCommand {
@@ -116,7 +145,10 @@ impl ServerCommand {
             | ServerCommand::Hello { id, .. }
             | ServerCommand::Batch { id, .. }
             | ServerCommand::Subscribe { id }
-            | ServerCommand::Unsubscribe { id } => *id,
+            | ServerCommand::Unsubscribe { id }
+            | ServerCommand::Metrics { id }
+            | ServerCommand::Trace { id, .. }
+            | ServerCommand::Resync { id } => *id,
         }
     }
 }
@@ -135,6 +167,8 @@ pub enum ServerEvent {
     CacheInvalidated {
         /// Cache keys evicted by the wave (deterministic order).
         keys: Vec<String>,
+        /// Trace id of the delta leading the wave (0 on untraced paths).
+        trace_id: u64,
     },
     /// One evicted entry finished its warm re-plan.
     Replanned {
@@ -145,6 +179,9 @@ pub enum ServerEvent {
         outcome: PlanOutcome,
         /// Predicted iteration latency of the new plan (microseconds).
         predicted_iteration_us: f64,
+        /// Trace id of the delta whose wave caused this re-plan (0 on
+        /// untraced paths).
+        trace_id: u64,
     },
     /// A delta request completed; its submitter has received the
     /// [`DeltaResponse`].
@@ -159,7 +196,21 @@ pub enum ServerEvent {
         invalidated: usize,
         /// Warm re-plans carried by this delta's response.
         replanned: usize,
+        /// The delta's trace id (0 on untraced paths).
+        trace_id: u64,
     },
+}
+
+impl ServerEvent {
+    /// The trace id stamped on this event (0 means the event was emitted by
+    /// an untraced path).
+    pub fn trace_id(&self) -> u64 {
+        match self {
+            ServerEvent::CacheInvalidated { trace_id, .. }
+            | ServerEvent::Replanned { trace_id, .. }
+            | ServerEvent::DeltaApplied { trace_id, .. } => *trace_id,
+        }
+    }
 }
 
 /// One output line of the serving protocol.
@@ -186,6 +237,10 @@ pub enum ServerReply {
         /// Elasticity counters (delta waves, coalesced events, batched
         /// re-plans).
         deltas: DeltaStats,
+        /// Per-subscriber event accounting (slow-consumer drops). Empty from
+        /// the one-shot path and when no connection is subscribed; absent in
+        /// pre-observability replies (deserializes to empty).
+        subscribers: Vec<SubscriberStats>,
     },
     /// Outcome of a `Cancel` command.
     Cancelled {
@@ -232,10 +287,45 @@ pub enum ServerReply {
     /// One server event (only sent to subscribed connections).
     Event {
         /// Server-wide monotone event sequence number (gaps mean events
-        /// fired before this connection subscribed).
+        /// fired before this connection subscribed — or were dropped on a
+        /// slow consumer; see [`ServerCommand::Resync`]).
         seq: u64,
         /// The event.
         event: ServerEvent,
+    },
+    /// Response to [`ServerCommand::Metrics`]: the full registry snapshot.
+    Metrics {
+        /// Echo of the command id.
+        id: u64,
+        /// Counters, gauges and histograms across every server layer.
+        metrics: MetricsSnapshot,
+    },
+    /// Response to [`ServerCommand::Trace`]: the retained spans for one
+    /// trace id, oldest first.
+    Trace {
+        /// Echo of the command id.
+        id: u64,
+        /// Echo of the queried trace id.
+        trace_id: u64,
+        /// The spans still held by the server's trace ring (empty when the
+        /// id is unknown or its spans have been evicted).
+        spans: Vec<TraceSpan>,
+    },
+    /// Response to [`ServerCommand::Resync`]: the connection's new event
+    /// baseline plus the cache's current residents.
+    Resynced {
+        /// Echo of the command id.
+        id: u64,
+        /// The server's event sequence number at resync time: the next
+        /// event this connection receives will carry a `seq` no less than
+        /// this — the client's new gap-detection baseline.
+        seq: u64,
+        /// Cache keys currently resident (deterministic order), the state a
+        /// consumer that lost invalidation events should rebuild from.
+        keys: Vec<String>,
+        /// Events dropped on this connection's subscription so far (slow
+        /// consumer backlog overflow).
+        dropped: u64,
     },
     /// The command could not be served (protocol v1 form: structured error).
     Fault(ApiError),
@@ -252,7 +342,10 @@ impl ServerReply {
             | ServerReply::Cancelled { id, .. }
             | ServerReply::Hello { id, .. }
             | ServerReply::Subscribed { id }
-            | ServerReply::Unsubscribed { id } => Some(*id),
+            | ServerReply::Unsubscribed { id }
+            | ServerReply::Metrics { id, .. }
+            | ServerReply::Trace { id, .. }
+            | ServerReply::Resynced { id, .. } => Some(*id),
             ServerReply::Error { id, .. } => *id,
             ServerReply::Fault(e) => e.id,
             ServerReply::Event { .. } => None,
@@ -551,7 +644,7 @@ mod tests {
         assert_eq!(
             ServerReply::Event {
                 seq: 1,
-                event: ServerEvent::CacheInvalidated { keys: vec![] },
+                event: ServerEvent::CacheInvalidated { keys: vec![], trace_id: 0 },
             }
             .correlation_id(),
             None

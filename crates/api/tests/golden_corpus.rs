@@ -38,22 +38,25 @@ fn small_plan(id: u64) -> PlanRequest {
 fn degrade(id: u64) -> DeltaRequest {
     let cluster = ClusterSpec::hybrid_small();
     let rank = cluster.inference_ranks()[0];
-    DeltaRequest {
+    DeltaRequest::new(
         id,
         cluster,
-        delta: ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 },
-    }
+        ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 },
+    )
 }
 
 /// A pre-scheduler (PR 1 era) plan line: no `priority`/`client_id`/
-/// `deadline_ms`/`weight` keys at all. Absent keys must keep deserializing
-/// to their defaults — the compat shim's oldest obligation.
+/// `deadline_ms`/`weight` (nor the later `trace_id`) keys at all. Absent
+/// keys must keep deserializing to their defaults — the compat shim's
+/// oldest obligation.
 fn pre_scheduler_plan_line() -> String {
     let full = serde_json::to_string(&ServerCommand::Plan(small_plan(3))).unwrap();
     let mut value: serde::Value = serde_json::from_str(&full).unwrap();
     let serde::Value::Object(pairs) = &mut value else { unreachable!("command is an object") };
     let serde::Value::Object(plan) = &mut pairs[0].1 else { unreachable!("payload is an object") };
-    plan.retain(|(k, _)| !matches!(k.as_str(), "priority" | "client_id" | "deadline_ms" | "weight"));
+    plan.retain(|(k, _)| {
+        !matches!(k.as_str(), "priority" | "client_id" | "deadline_ms" | "weight" | "trace_id")
+    });
     serde_json::to_string(&value).unwrap()
 }
 
@@ -74,11 +77,11 @@ fn build_v0_lines() -> Vec<String> {
         legacy(&ServerCommand::Stats { id: 5 }),
         legacy(&ServerCommand::Cancel { id: 6, plan_id: 999 }),
         legacy(&ServerCommand::Delta(degrade(7))),
-        legacy(&ServerCommand::Delta(DeltaRequest {
-            id: 8,
-            cluster: ClusterSpec::hybrid_small(),
-            delta: ClusterDelta::RankRemoved { rank: 99 },
-        })),
+        legacy(&ServerCommand::Delta(DeltaRequest::new(
+            8,
+            ClusterSpec::hybrid_small(),
+            ClusterDelta::RankRemoved { rank: 99 },
+        ))),
         legacy(&ServerCommand::Stats { id: 9 }),
     ]
 }
@@ -98,11 +101,17 @@ fn build_v1_lines() -> Vec<String> {
         enveloped(ServerCommand::Plan(weighted)),
         enveloped(ServerCommand::Plan(invalid)),
         enveloped(ServerCommand::Stats { id: 13 }),
+        // Stats precedes Plan on purpose: inline commands answer before the
+        // scheduled plan is even submitted, so the lock-step replay
+        // (qsync-serve's protocol_compat) sees one deterministic reply
+        // order. Plan-before-Stats would race the worker thread against the
+        // inline stats read — both the reply order and the hit counters
+        // would depend on timing.
         enveloped(ServerCommand::Batch {
             id: 14,
             cmds: vec![
-                ServerCommand::Plan(small_plan(15)),
                 ServerCommand::Stats { id: 16 },
+                ServerCommand::Plan(small_plan(15)),
             ],
         }),
         enveloped(ServerCommand::Delta(degrade(17))),
@@ -112,6 +121,10 @@ fn build_v1_lines() -> Vec<String> {
         // Envelope-level failures, pinned: unsupported version, missing cmd.
         r#"{"v":99,"id":21,"cmd":{"Stats":{"id":21}}}"#.to_string(),
         r#"{"v":1,"id":22}"#.to_string(),
+        // Observability commands (additive, PR 6 era).
+        enveloped(ServerCommand::Metrics { id: 23 }),
+        enveloped(ServerCommand::Trace { id: 24, trace_id: 999, limit: Some(16) }),
+        enveloped(ServerCommand::Resync { id: 25 }),
     ]
 }
 

@@ -18,6 +18,14 @@
 //! thread-per-connection transport this replaced couldn't hold the upper end
 //! of that range without a thousand stacks.
 //!
+//! Since the observability PR the bench also exercises the serving path's
+//! own instruments: cold/warm/hit latencies driven through [`PlanEngine`]
+//! are re-measured from the `qsync_plan_latency_us` histograms (p50/p90/p99
+//! land in the JSON summary, seeding the perf trajectory), the Prometheus
+//! text exposition is validated line-by-line, and metrics-on vs metrics-off
+//! hit throughput quantifies the instrumentation overhead the registry
+//! claims is negligible.
+//!
 //! Besides the stdout report, a machine-readable summary is written to
 //! `BENCH_plan_server.json` at the workspace root.
 
@@ -33,8 +41,8 @@ use qsync_cluster::topology::ClusterSpec;
 use qsync_core::allocator::Allocator;
 use qsync_core::system::QSyncSystem;
 use qsync_serve::{
-    ClusterDelta, ModelSpec, PlanEngine, PlanOutcome, PlanRequest, PlanServer, ServerCommand,
-    ServerReply, ShutdownSignal,
+    ClusterDelta, DeltaRequest, ModelSpec, PlanEngine, PlanOutcome, PlanRequest, PlanServer,
+    ServeObs, ServerCommand, ServerReply, ShutdownSignal,
 };
 
 fn model() -> ModelSpec {
@@ -183,6 +191,125 @@ fn connection_round_trips(
     (per_sec, pct(0.50), pct(0.99))
 }
 
+/// Drive cold plans, cache hits and elastic warm re-plans through
+/// [`PlanEngine`]s sharing one [`ServeObs`], so the serving path's own
+/// `qsync_plan_latency_us` histograms accumulate real samples; returns the
+/// final engine's snapshot (cold/warm engines are throwaways — a cold plan
+/// needs an empty cache, a warm re-plan a freshly-invalidated one).
+fn obs_latency_snapshot() -> qsync_api::MetricsSnapshot {
+    let obs = Arc::new(ServeObs::new());
+    let request = PlanRequest::new(0, model(), base_cluster());
+    let rank = base_cluster().inference_ranks()[0];
+    let plan_iters = if smoke() { 3 } else { 25 };
+    for _ in 0..plan_iters {
+        let engine = PlanEngine::new().with_obs(Arc::clone(&obs));
+        let cold = engine.plan(&request).expect("valid bench request");
+        assert_eq!(cold.outcome, PlanOutcome::ColdPlanned);
+        let delta = DeltaRequest::new(
+            0,
+            base_cluster(),
+            ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.9 },
+        );
+        let outcome = engine.apply_delta(&delta).expect("delta applies");
+        assert_eq!(outcome.replanned.len(), 1, "the cached entry warm re-plans");
+    }
+    let engine = PlanEngine::new().with_obs(obs);
+    engine.plan(&request).expect("warm the hit key");
+    let hit_iters = if smoke() { 500 } else { 10_000 };
+    for _ in 0..hit_iters {
+        let response = engine.plan(&request).expect("valid bench request");
+        assert_eq!(response.outcome, PlanOutcome::CacheHit);
+    }
+    engine.metrics_snapshot()
+}
+
+/// Validate the Prometheus text exposition line-by-line (the CI smoke
+/// contract: a scrape target that doesn't parse is worse than none).
+/// Returns the number of sample lines.
+fn validate_exposition(text: &str) -> usize {
+    let mut samples = 0;
+    let mut histograms: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("# TYPE carries a metric name");
+            let kind = parts.next().expect("# TYPE carries a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown exposition kind {kind:?} in {line:?}"
+            );
+            if kind == "histogram" {
+                histograms.push(name);
+            }
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line has no value separator: {line:?}");
+        });
+        value.parse::<f64>().unwrap_or_else(|e| {
+            panic!("sample value does not parse ({e}): {line:?}");
+        });
+        assert!(!series.is_empty(), "empty series name: {line:?}");
+        if let Some(open) = series.find('{') {
+            assert!(series.ends_with('}'), "unterminated label block: {line:?}");
+            for label in series[open + 1..series.len() - 1].split(',') {
+                let (key, val) = label
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("label without '=' in {line:?}"));
+                assert!(!key.is_empty() && val.starts_with('"') && val.ends_with('"'),
+                    "malformed label {label:?} in {line:?}");
+            }
+        }
+        samples += 1;
+    }
+    for base in histograms {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            assert!(
+                text.contains(&format!("{base}{suffix}")),
+                "histogram {base} is missing its {suffix} series"
+            );
+        }
+        assert!(
+            text.contains("le=\"+Inf\""),
+            "histogram {base} exposition lacks a +Inf bucket"
+        );
+    }
+    assert!(samples > 0, "exposition rendered no samples");
+    samples
+}
+
+/// Metrics-on vs metrics-off cache-hit throughput (the overhead guard's
+/// measurement, recorded for the trajectory; the enforcing test lives in
+/// `qsync-serve`). Best-of-`trials`, configs interleaved, to damp scheduler
+/// noise on small CI hosts.
+fn obs_overhead_hits_per_sec() -> (f64, f64) {
+    let request = PlanRequest::new(0, model(), base_cluster());
+    let enabled = PlanEngine::new();
+    let disabled = PlanEngine::new().with_obs(Arc::new(ServeObs::disabled()));
+    enabled.plan(&request).expect("warm the enabled engine");
+    disabled.plan(&request).expect("warm the disabled engine");
+    let iters = if smoke() { 2_000 } else { 20_000 };
+    let run = |engine: &PlanEngine| {
+        let started = Instant::now();
+        for _ in 0..iters {
+            let response = engine.plan(&request).expect("valid bench request");
+            assert_eq!(response.outcome, PlanOutcome::CacheHit);
+        }
+        iters as f64 / started.elapsed().as_secs_f64()
+    };
+    let trials = 5;
+    let mut best_on = 0f64;
+    let mut best_off = 0f64;
+    for _ in 0..trials {
+        best_on = best_on.max(run(&enabled));
+        best_off = best_off.max(run(&disabled));
+    }
+    (best_on, best_off)
+}
+
 fn mean_ns(c: &Criterion, id: &str) -> f64 {
     c.results
         .iter()
@@ -240,6 +367,41 @@ fn main() {
         })
         .collect();
 
+    // Serving-path latency histograms (qsync-obs): the same cold/hit/warm
+    // paths measured by the instruments production scrapes, percentiles into
+    // the summary. The exposition those scrapes read must parse.
+    let snapshot = obs_latency_snapshot();
+    let exposition_samples = validate_exposition(&snapshot.render_prometheus());
+    eprintln!("prometheus exposition ok: {exposition_samples} sample lines");
+    let hist_json = |name: &str| {
+        let h = snapshot.histogram(name).expect("latency histogram registered");
+        eprintln!(
+            "{name}: count {} p50 {} us, p90 {} us, p99 {} us",
+            h.count,
+            h.p50(),
+            h.p90(),
+            h.p99()
+        );
+        serde_json::json!({
+            "count": h.count,
+            "p50_us": h.p50(),
+            "p90_us": h.p90(),
+            "p99_us": h.p99(),
+        })
+    };
+    let latency_histograms = serde_json::json!({
+        "cold_plan": hist_json("qsync_plan_latency_us{kind=\"cold\"}"),
+        "warm_replan": hist_json("qsync_plan_latency_us{kind=\"warm\"}"),
+        "cache_hit": hist_json("qsync_plan_latency_us{kind=\"hit\"}"),
+    });
+
+    let (obs_on_per_sec, obs_off_per_sec) = obs_overhead_hits_per_sec();
+    eprintln!(
+        "obs overhead: {obs_on_per_sec:.0} hits/s instrumented vs {obs_off_per_sec:.0} disabled \
+         ({:+.2}%)",
+        (obs_off_per_sec / obs_on_per_sec - 1.0) * 100.0
+    );
+
     let cold = mean_ns(&criterion, "cold_plan");
     let cold_replan = mean_ns(&criterion, "cold_replan_after_delta");
     let hit = mean_ns(&criterion, "cache_hit");
@@ -268,6 +430,18 @@ fn main() {
         // Warm round-trips over the epoll reactor while holding N concurrent
         // TCP connections (one reactor thread for all of them).
         "connection_sweep": connection_sweep,
+        // Percentiles read back from the serving path's own
+        // qsync_plan_latency_us histograms (the numbers a Metrics command or
+        // admin-port scrape reports), plus the validated exposition size.
+        "latency_histograms": latency_histograms,
+        "exposition_samples": exposition_samples,
+        // Cache-hit throughput with instruments recording vs compiled down
+        // to a branch; the enforcing guard is obs_overhead.rs in qsync-serve.
+        "obs_overhead": {
+            "metrics_on_hits_per_sec": obs_on_per_sec,
+            "metrics_off_hits_per_sec": obs_off_per_sec,
+            "on_vs_off": obs_on_per_sec / obs_off_per_sec,
+        },
     });
     let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
     println!("{text}");

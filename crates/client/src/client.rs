@@ -6,8 +6,9 @@ use std::net::SocketAddr;
 use std::time::Duration;
 
 use qsync_api::{
-    CacheStats, DeltaRequest, DeltaResponse, DeltaStats, PlanRequest, PlanResponse, SchedStats,
-    ServerCommand, ServerEvent, ServerReply, MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION,
+    CacheStats, DeltaRequest, DeltaResponse, DeltaStats, MetricsSnapshot, PlanRequest,
+    PlanResponse, SchedStats, ServerCommand, ServerEvent, ServerReply, SubscriberStats,
+    TraceSpan, MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION,
 };
 
 use crate::error::{ClientError, Result};
@@ -22,6 +23,24 @@ pub struct StatsSnapshot {
     pub sched: Option<SchedStats>,
     /// Elasticity counters.
     pub deltas: DeltaStats,
+    /// Per-subscriber dropped-event counters (empty when nobody subscribes).
+    pub subscribers: Vec<SubscriberStats>,
+}
+
+/// The outcome of a `Resync` round-trip: the authoritative cache state and
+/// a fresh event-sequence baseline (see [`Client::resync`] /
+/// [`MuxClient::resync`](crate::MuxClient::resync)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResyncSnapshot {
+    /// The event-seq baseline: every event already broadcast has a smaller
+    /// `seq`; the next one carries at least this value. Feed it to
+    /// [`EventStream::reset_baseline`](crate::EventStream::reset_baseline).
+    pub seq: u64,
+    /// Every key currently cached, sorted — the authoritative state to
+    /// rebuild from after dropped events.
+    pub keys: Vec<String>,
+    /// This connection's dropped-event counter, reset by the resync.
+    pub dropped: u64,
 }
 
 /// A blocking, typed protocol client.
@@ -145,10 +164,44 @@ impl Client {
     pub fn stats(&mut self) -> Result<StatsSnapshot> {
         let id = self.fresh_id();
         match self.request(ServerCommand::Stats { id })? {
-            ServerReply::Stats { stats, sched, deltas, .. } => {
-                Ok(StatsSnapshot { cache: stats, sched, deltas })
+            ServerReply::Stats { stats, sched, deltas, subscribers, .. } => {
+                Ok(StatsSnapshot { cache: stats, sched, deltas, subscribers })
             }
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Read the server's full metrics snapshot (counters, gauges and latency
+    /// histograms across transport, scheduler, engine and delta pipeline).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot> {
+        let id = self.fresh_id();
+        match self.request(ServerCommand::Metrics { id })? {
+            ServerReply::Metrics { metrics, .. } => Ok(metrics),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
+    /// Fetch the recorded spans of one request's trace (oldest first). The
+    /// trace id is echoed in [`PlanResponse::trace_id`] — or chosen by the
+    /// caller via [`PlanRequest::trace_id`]. `limit` caps the span count
+    /// (server-side ring capacity when `None`).
+    pub fn trace(&mut self, trace_id: u64, limit: Option<usize>) -> Result<Vec<TraceSpan>> {
+        let id = self.fresh_id();
+        match self.request(ServerCommand::Trace { id, trace_id, limit })? {
+            ServerReply::Trace { spans, .. } => Ok(spans),
+            other => Err(unexpected("Trace", &other)),
+        }
+    }
+
+    /// Recover from dropped events: returns the authoritative cache state,
+    /// an event-seq baseline, and resets this connection's dropped counter.
+    pub fn resync(&mut self) -> Result<ResyncSnapshot> {
+        let id = self.fresh_id();
+        match self.request(ServerCommand::Resync { id })? {
+            ServerReply::Resynced { seq, keys, dropped, .. } => {
+                Ok(ResyncSnapshot { seq, keys, dropped })
+            }
+            other => Err(unexpected("Resync", &other)),
         }
     }
 

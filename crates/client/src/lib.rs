@@ -39,9 +39,9 @@ mod error;
 mod mux;
 mod raw;
 
-pub use client::{Client, StatsSnapshot};
+pub use client::{Client, ResyncSnapshot, StatsSnapshot};
 pub use error::{ClientError, Result};
-pub use mux::{EventStream, MuxClient, Pending};
+pub use mux::{EventItem, EventStream, MuxClient, Pending};
 pub use raw::{parse_reply_line, RawClient, DEFAULT_TIMEOUT};
 
 pub use qsync_api as api;

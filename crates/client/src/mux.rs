@@ -15,11 +15,11 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use qsync_api::{
-    DeltaRequest, DeltaResponse, PlanRequest, PlanResponse, ServerCommand, ServerEvent,
-    ServerReply, MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION,
+    DeltaRequest, DeltaResponse, MetricsSnapshot, PlanRequest, PlanResponse, ServerCommand,
+    ServerEvent, ServerReply, TraceSpan, MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION,
 };
 
-use crate::client::StatsSnapshot;
+use crate::client::{ResyncSnapshot, StatsSnapshot};
 use crate::error::{ClientError, Result};
 use crate::raw::parse_reply_line;
 
@@ -130,21 +130,116 @@ impl<T> Pending<T> {
     }
 }
 
+/// One item of a subscription's event stream: a live event, or an explicit
+/// marker for events the server dropped (slow consumer) or this client
+/// otherwise missed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventItem {
+    /// A live event with its server-assigned sequence number.
+    Event {
+        /// The server's monotone event sequence number.
+        seq: u64,
+        /// The event itself.
+        event: ServerEvent,
+    },
+    /// The stream skipped from `expected` to `got`: `got - expected` events
+    /// never arrived (the server sheds events to subscribers whose outbox
+    /// exceeds its cap). Recover with [`MuxClient::resync`] +
+    /// [`EventStream::reset_baseline`].
+    Gap {
+        /// The sequence number the stream expected next.
+        expected: u64,
+        /// The sequence number that actually arrived (its event is delivered
+        /// by the next call).
+        got: u64,
+    },
+}
+
+impl EventItem {
+    /// The missed-event count of a gap item (0 for a live event).
+    pub fn missed(&self) -> u64 {
+        match self {
+            EventItem::Event { .. } => 0,
+            EventItem::Gap { expected, got } => got - expected,
+        }
+    }
+}
+
+/// Sequence bookkeeping of one event stream.
+#[derive(Default)]
+struct GapState {
+    /// The next expected seq; `None` until the first event (a subscriber
+    /// joining mid-stream starts at whatever seq arrives first) or an
+    /// explicit [`EventStream::reset_baseline`].
+    expected: Option<u64>,
+    /// An event withheld while its preceding gap is delivered.
+    pending: Option<(u64, ServerEvent)>,
+}
+
 /// A subscription's event receiver (see [`MuxClient::subscribe`]).
+///
+/// Sequence numbers are checked: when the server drops events for this
+/// subscriber (slow consumer) the hole surfaces as an explicit
+/// [`EventItem::Gap`] before the stream resumes.
 pub struct EventStream {
     rx: mpsc::Receiver<(u64, ServerEvent)>,
+    gaps: Mutex<GapState>,
 }
 
 impl EventStream {
-    /// Block for the next event; `None` once the connection closes or the
+    /// Block for the next item; `None` once the connection closes or the
     /// subscription is replaced.
-    pub fn next(&self) -> Option<(u64, ServerEvent)> {
-        self.rx.recv().ok()
+    pub fn next(&self) -> Option<EventItem> {
+        let mut gaps = self.gaps.lock().expect("gap state poisoned");
+        if let Some(item) = Self::take_pending(&mut gaps) {
+            return Some(item);
+        }
+        let (seq, event) = self.rx.recv().ok()?;
+        Some(Self::account(&mut gaps, seq, event))
     }
 
-    /// Block up to `timeout` for the next event.
-    pub fn next_timeout(&self, timeout: Duration) -> Option<(u64, ServerEvent)> {
-        self.rx.recv_timeout(timeout).ok()
+    /// Block up to `timeout` for the next item.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<EventItem> {
+        let mut gaps = self.gaps.lock().expect("gap state poisoned");
+        if let Some(item) = Self::take_pending(&mut gaps) {
+            return Some(item);
+        }
+        let (seq, event) = self.rx.recv_timeout(timeout).ok()?;
+        Some(Self::account(&mut gaps, seq, event))
+    }
+
+    /// Restart sequence tracking at `seq` — the baseline a
+    /// [`MuxClient::resync`] returns. Events already re-delivered by the
+    /// resync's key list may still arrive with a smaller seq; they are
+    /// passed through without raising a gap.
+    pub fn reset_baseline(&self, seq: u64) {
+        let mut gaps = self.gaps.lock().expect("gap state poisoned");
+        gaps.expected = Some(seq);
+        gaps.pending = None;
+    }
+
+    fn take_pending(gaps: &mut GapState) -> Option<EventItem> {
+        let (seq, event) = gaps.pending.take()?;
+        gaps.expected = Some(seq + 1);
+        Some(EventItem::Event { seq, event })
+    }
+
+    /// Fold one arriving `(seq, event)` into the stream: in-order events
+    /// pass through; a skipped-ahead seq yields the gap first and withholds
+    /// the event; a stale seq (below the resync baseline) passes through
+    /// without moving the baseline.
+    fn account(gaps: &mut GapState, seq: u64, event: ServerEvent) -> EventItem {
+        match gaps.expected {
+            Some(expected) if seq > expected => {
+                gaps.pending = Some((seq, event));
+                EventItem::Gap { expected, got: seq }
+            }
+            Some(expected) if seq < expected => EventItem::Event { seq, event },
+            _ => {
+                gaps.expected = Some(seq + 1);
+                EventItem::Event { seq, event }
+            }
+        }
     }
 }
 
@@ -290,10 +385,53 @@ impl MuxClient {
         self.submit(
             |id| ServerCommand::Stats { id },
             |reply| match reply {
-                ServerReply::Stats { stats, sched, deltas, .. } => {
-                    Ok(StatsSnapshot { cache: stats, sched, deltas })
+                ServerReply::Stats { stats, sched, deltas, subscribers, .. } => {
+                    Ok(StatsSnapshot { cache: stats, sched, deltas, subscribers })
                 }
                 other => Err(unexpected("Stats", &other)),
+            },
+        )?
+        .wait()
+    }
+
+    /// Read the server's full metrics snapshot (counters, gauges and latency
+    /// histograms across transport, scheduler, engine and delta pipeline).
+    pub fn metrics(&self) -> Result<MetricsSnapshot> {
+        self.submit(
+            |id| ServerCommand::Metrics { id },
+            |reply| match reply {
+                ServerReply::Metrics { metrics, .. } => Ok(metrics),
+                other => Err(unexpected("Metrics", &other)),
+            },
+        )?
+        .wait()
+    }
+
+    /// Fetch the recorded spans of one request's trace (oldest first). The
+    /// trace id is echoed in [`PlanResponse::trace_id`] — or chosen by the
+    /// caller via [`PlanRequest::trace_id`].
+    pub fn trace(&self, trace_id: u64, limit: Option<usize>) -> Result<Vec<TraceSpan>> {
+        self.submit(
+            move |id| ServerCommand::Trace { id, trace_id, limit },
+            |reply| match reply {
+                ServerReply::Trace { spans, .. } => Ok(spans),
+                other => Err(unexpected("Trace", &other)),
+            },
+        )?
+        .wait()
+    }
+
+    /// Recover from dropped events: returns the authoritative cache state,
+    /// an event-seq baseline (feed it to [`EventStream::reset_baseline`]),
+    /// and resets this connection's dropped counter.
+    pub fn resync(&self) -> Result<ResyncSnapshot> {
+        self.submit(
+            |id| ServerCommand::Resync { id },
+            |reply| match reply {
+                ServerReply::Resynced { seq, keys, dropped, .. } => {
+                    Ok(ResyncSnapshot { seq, keys, dropped })
+                }
+                other => Err(unexpected("Resync", &other)),
             },
         )?
         .wait()
@@ -340,7 +478,7 @@ impl MuxClient {
             },
         )?
         .wait()?;
-        Ok(EventStream { rx })
+        Ok(EventStream { rx, gaps: Mutex::new(GapState::default()) })
     }
 }
 

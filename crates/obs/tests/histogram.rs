@@ -1,0 +1,160 @@
+//! Histogram correctness: quantile error bounds against an exact reference,
+//! determinism of counts under concurrent recording, and merge/snapshot
+//! consistency. The log-linear layout promises every estimate lands within
+//! 1/16 (6.25%) above the true quantile — these tests enforce that bound,
+//! not just "close enough".
+
+use proptest::prelude::*;
+use qsync_obs::{bucket_index, bucket_upper_bound, HistogramSnapshot, Registry};
+
+/// Exact quantile: the value at rank `ceil(q * n)` of the sorted sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[target - 1]
+}
+
+/// The histogram estimate never undershoots the exact quantile and
+/// overshoots by at most 1/16 of it (+1 for integer truncation).
+fn assert_quantile_bounds(sorted: &[u64], snapshot: &HistogramSnapshot, q: f64) {
+    let exact = exact_quantile(sorted, q);
+    let got = snapshot.quantile(q);
+    assert!(got >= exact, "q={q}: estimate {got} under exact {exact}");
+    assert!(
+        got <= exact + exact / 16 + 1,
+        "q={q}: estimate {got} over bound for exact {exact}"
+    );
+}
+
+#[test]
+fn quantiles_bounded_across_bucket_boundaries() {
+    // Values straddling the exact/log-linear boundary (16) and several
+    // power-of-two group boundaries.
+    let values: Vec<u64> = (0..=40)
+        .chain([63, 64, 65, 127, 128, 129, 1023, 1024, 1025, 65_535, 65_536, 1 << 40])
+        .collect();
+    let registry = Registry::new();
+    let h = registry.histogram("h");
+    for &v in &values {
+        h.record(v);
+    }
+    let snapshot = h.snapshot();
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    for q in [0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+        assert_quantile_bounds(&sorted, &snapshot, q);
+    }
+    assert_eq!(snapshot.count, sorted.len() as u64);
+    assert_eq!(snapshot.sum, sorted.iter().sum::<u64>());
+    assert_eq!(snapshot.min, 0);
+    assert_eq!(snapshot.max, 1 << 40);
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    let registry = Registry::new();
+    let h = registry.histogram("concurrent");
+    let threads = 8;
+    let per_thread = 10_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let h = std::sync::Arc::clone(&h);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    // Deterministic per-thread mix hitting many buckets.
+                    h.record((i * 31 + t * 7) % 100_000);
+                }
+            });
+        }
+    });
+    let snapshot = h.snapshot();
+    assert_eq!(snapshot.count, threads * per_thread);
+    let bucket_total: u64 = snapshot.buckets.iter().map(|b| b.count).sum();
+    assert_eq!(bucket_total, threads * per_thread, "bucket counts must sum to count");
+    // The same values recorded serially give the identical distribution.
+    let serial = registry.histogram("serial");
+    for t in 0..threads {
+        for i in 0..per_thread {
+            serial.record((i * 31 + t * 7) % 100_000);
+        }
+    }
+    let serial_snapshot = serial.snapshot();
+    assert_eq!(snapshot.buckets, serial_snapshot.buckets);
+    assert_eq!(snapshot.sum, serial_snapshot.sum);
+    assert_eq!(snapshot.min, serial_snapshot.min);
+    assert_eq!(snapshot.max, serial_snapshot.max);
+}
+
+#[test]
+fn merge_equals_recording_into_one() {
+    let registry = Registry::new();
+    let (a, b, both) =
+        (registry.histogram("a"), registry.histogram("b"), registry.histogram("both"));
+    for v in [0u64, 5, 16, 17, 300, 50_000] {
+        a.record(v);
+        both.record(v);
+    }
+    for v in [3u64, 5, 90, 300, 1 << 33] {
+        b.record(v);
+        both.record(v);
+    }
+    let mut merged = a.snapshot();
+    merged.merge(&b.snapshot());
+    assert_eq!(merged, both.snapshot());
+    // Merging into an empty snapshot copies; merging an empty one is a no-op.
+    let mut empty = HistogramSnapshot::default();
+    empty.merge(&b.snapshot());
+    assert_eq!(empty, b.snapshot());
+    let mut unchanged = a.snapshot();
+    unchanged.merge(&HistogramSnapshot::default());
+    assert_eq!(unchanged, a.snapshot());
+}
+
+#[test]
+fn every_value_lands_within_its_buckets_bounds() {
+    // The invariant quantile correctness rests on: index → [lower, upper]
+    // brackets the value, across all boundary neighborhoods.
+    for shift in 4..63u32 {
+        for delta in -2i64..=2 {
+            let v = ((1u64 << shift) as i64 + delta) as u64;
+            let i = bucket_index(v);
+            assert!(qsync_obs::bucket_lower_bound(i) <= v && bucket_upper_bound(i) >= v, "{v}");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_quantiles_track_exact_reference(
+        values in prop::collection::vec(0u64..=1_000_000_000, 1..200),
+        qs in prop::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let registry = Registry::new();
+        let h = registry.histogram("p");
+        for &v in &values {
+            h.record(v);
+        }
+        let snapshot = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &qs {
+            assert_quantile_bounds(&sorted, &snapshot, q);
+        }
+    }
+
+    #[test]
+    fn prop_merge_is_order_insensitive(
+        xs in prop::collection::vec(0u64..=1_000_000, 0..60),
+        ys in prop::collection::vec(0u64..=1_000_000, 0..60),
+    ) {
+        let registry = Registry::new();
+        let (a, b) = (registry.histogram("a"), registry.histogram("b"));
+        for &v in &xs { a.record(v); }
+        for &v in &ys { b.record(v); }
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        prop_assert_eq!(ab, ba);
+    }
+}

@@ -58,6 +58,10 @@ pub struct JobMeta {
     pub weight: u32,
     /// Deficit units this job consumes when dispatched (minimum 1).
     pub cost: u32,
+    /// Observability trace id carried through the scheduler unchanged (0
+    /// means untraced). The scheduler never interprets it; it lets a
+    /// dispatched job's instrumentation attribute queue time to a request.
+    pub trace_id: u64,
 }
 
 impl Default for JobMeta {
@@ -68,6 +72,7 @@ impl Default for JobMeta {
             deadline_after_ms: None,
             weight: 1,
             cost: 1,
+            trace_id: 0,
         }
     }
 }

@@ -600,6 +600,15 @@ impl<T> Scheduler<T> {
             deadline_misses: st.counters.deadline_misses,
         }
     }
+
+    /// Total DRR deficit currently banked across every class and client —
+    /// credit granted by rotations but not yet spent on dispatches. An
+    /// observability gauge: persistent growth means clients are being
+    /// credited without their jobs fitting in a quantum.
+    pub fn deficit_carry(&self) -> u64 {
+        let st = self.lock();
+        st.classes.iter().map(|c| c.deficit.values().sum::<u64>()).sum()
+    }
 }
 
 #[cfg(test)]

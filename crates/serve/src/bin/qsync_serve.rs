@@ -1,10 +1,12 @@
 //! `qsync-serve` — the plan-serving daemon and its one-shot/load-test modes.
 //!
 //! ```text
-//! qsync-serve serve [--workers N] [--tcp ADDR] [--cache-capacity N] [--cache-shards N]
+//! qsync-serve serve [--workers N] [--tcp ADDR] [--admin-addr ADDR]
+//!                   [--cache-capacity N] [--cache-shards N]
 //!                   [--sched-policy fifo|drr] [--queue-cap N]
 //!                   [--queue-cap-interactive N] [--queue-cap-batch N] [--queue-cap-background N]
 //!                   [--drr-quantum N] [--shed-expired true|false] [--delta-window-ms N]
+//!                   [--event-outbox-cap BYTES]
 //!     Serve protocol lines (legacy v0 objects or v1 envelopes; see
 //!     docs/PROTOCOL.md): from stdin (default) or a TCP socket. Plan
 //!     requests may carry optional "priority" ("Interactive"|"Batch"|
@@ -12,7 +14,11 @@
 //!     share) and "deadline_ms" fields; the scheduler dispatches
 //!     accordingly (EDF lane > classes, deficit round robin across clients
 //!     within a class). --delta-window-ms batches near-concurrent
-//!     elasticity events into one invalidation wave.
+//!     elasticity events into one invalidation wave. --admin-addr serves
+//!     Prometheus-style text metrics over HTTP on a separate port (see
+//!     docs/OBSERVABILITY.md). --event-outbox-cap bounds a subscriber's
+//!     un-flushed bytes before broadcast events are shed (replies are
+//!     never dropped; see "The event stream" in docs/PROTOCOL.md).
 //!
 //! qsync-serve plan --model SPEC [--cluster SPEC] [--indicator NAME]
 //!                  [--tolerance F] [--memory-fraction F]
@@ -39,7 +45,7 @@ use qsync_client::MuxClient;
 use qsync_cluster::topology::ClusterSpec;
 use qsync_serve::{
     CacheConfig, IndicatorChoice, ModelSpec, PlanEngine, PlanRequest, PlanServer, SchedConfig,
-    ShutdownSignal,
+    ShutdownSignal, TransportConfig,
 };
 
 fn parse_cluster(s: &str) -> Result<ClusterSpec, String> {
@@ -168,7 +174,27 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         flags.get("workers").unwrap_or("8").parse().map_err(|e| format!("bad --workers: {e}"))?;
     let engine =
         Arc::new(PlanEngine::with_config(parse_cache_config(flags)?, parse_delta_window(flags)?));
-    let server = PlanServer::with_sched(engine, workers, parse_sched_config(flags)?);
+    if let Some(admin_addr) = flags.get("admin-addr") {
+        let listener = TcpListener::bind(admin_addr)
+            .map_err(|e| format!("bind --admin-addr {admin_addr}: {e}"))?;
+        eprintln!("qsync-serve: metrics on http://{}/metrics", listener.local_addr().unwrap());
+        let admin_engine = Arc::clone(&engine);
+        std::thread::Builder::new()
+            .name("qsync-serve-admin".into())
+            .spawn(move || {
+                if let Err(e) = qsync_serve::serve_admin(admin_engine, listener) {
+                    eprintln!("qsync-serve: admin port failed: {e}");
+                }
+            })
+            .map_err(|e| format!("spawn admin thread: {e}"))?;
+    }
+    let mut server = PlanServer::with_sched(engine, workers, parse_sched_config(flags)?);
+    if let Some(cap) = flags.get("event-outbox-cap") {
+        server = server.with_transport(TransportConfig {
+            event_outbox_cap: cap.parse().map_err(|e| format!("bad --event-outbox-cap: {e}"))?,
+            ..TransportConfig::default()
+        });
+    }
     match flags.get("tcp") {
         Some(addr) => {
             // The reactor multiplexes every connection on one thread; make

@@ -91,12 +91,36 @@ impl Shard {
     }
 }
 
+/// Per-shard hit/miss/evict counters, maintained outside the shard lock so
+/// the hit path stays lock-free for accounting. Snapshot via
+/// [`PlanCache::shard_stats`].
+#[derive(Debug, Default)]
+struct ShardCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evicted: AtomicU64,
+}
+
+/// Point-in-time view of one shard's counters and occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Hits attributed to keys hashing into this shard.
+    pub hits: u64,
+    /// Misses attributed to keys hashing into this shard.
+    pub misses: u64,
+    /// Capacity evictions performed by this shard.
+    pub evicted: u64,
+    /// Entries currently resident in this shard.
+    pub entries: usize,
+}
+
 /// A thread-safe, content-addressed, sharded LRU map from cache key to
 /// [`CachedPlan`]. Hits take shard read locks and scale across cores (see
 /// `hit_throughput` in `BENCH_plan_server.json`).
 #[derive(Debug)]
 pub struct PlanCache {
     shards: Vec<RwLock<Shard>>,
+    counters: Vec<ShardCounters>,
     per_shard_capacity: usize,
     clock: AtomicU64,
     hits: AtomicU64,
@@ -123,6 +147,7 @@ impl PlanCache {
         let per_shard_capacity = config.capacity.max(1).div_ceil(shards);
         PlanCache {
             shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            counters: (0..shards).map(|_| ShardCounters::default()).collect(),
             per_shard_capacity,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -137,25 +162,30 @@ impl PlanCache {
         self.per_shard_capacity * self.shards.len()
     }
 
-    /// The shard a key lives in (FNV-1a over the key bytes).
-    fn shard_of(&self, key: &str) -> &RwLock<Shard> {
+    /// The index of the shard a key lives in (FNV-1a over the key bytes).
+    fn shard_index(&self, key: &str) -> usize {
         let mut h: u64 = 0xcbf29ce484222325;
         for b in key.as_bytes() {
             h ^= *b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// The shard a key lives in.
+    fn shard_of(&self, key: &str) -> &RwLock<Shard> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Look up a key, counting a hit or miss.
     pub fn lookup(&self, key: &str) -> Option<CachedPlan> {
         match self.peek(key) {
             Some(entry) => {
-                self.note_hit();
+                self.note_hit(key);
                 Some(entry)
             }
             None => {
-                self.note_miss();
+                self.note_miss(key);
                 None
             }
         }
@@ -174,21 +204,24 @@ impl PlanCache {
         })
     }
 
-    /// Count one cache hit.
-    pub fn note_hit(&self) {
+    /// Count one cache hit against the shard `key` hashes into.
+    pub fn note_hit(&self, key: &str) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        self.counters[self.shard_index(key)].hits.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Count one cache miss.
-    pub fn note_miss(&self) {
+    /// Count one cache miss against the shard `key` hashes into.
+    pub fn note_miss(&self, key: &str) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters[self.shard_index(key)].misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Insert (or replace) an entry, evicting the shard's least-recently-used
     /// entries while it sits over its capacity share.
     pub fn insert(&self, key: String, entry: CachedPlan) {
         let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_of(&key).write().expect("plan cache poisoned");
+        let index = self.shard_index(&key);
+        let mut shard = self.shards[index].write().expect("plan cache poisoned");
         shard.slots.insert(key, Slot { entry, last_used: AtomicU64::new(last_used) });
         while shard.slots.len() > self.per_shard_capacity {
             let Some(coldest) = shard.coldest() else {
@@ -196,6 +229,7 @@ impl PlanCache {
             };
             shard.slots.remove(&coldest);
             self.evicted.fetch_add(1, Ordering::Relaxed);
+            self.counters[index].evicted.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -236,6 +270,36 @@ impl PlanCache {
         }
     }
 
+    /// Every resident cache key, sorted — the `Resync` reply's payload (a
+    /// consumer that lost invalidation events rebuilds its view from this).
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read().expect("plan cache poisoned").slots.keys().cloned().collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Per-shard counters and occupancy, in shard order. Feeds the metrics
+    /// snapshot's per-shard gauges; the sums equal the totals in
+    /// [`stats`](Self::stats) (minus invalidations, which are cache-global).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .zip(&self.counters)
+            .map(|(shard, counters)| ShardStats {
+                hits: counters.hits.load(Ordering::Relaxed),
+                misses: counters.misses.load(Ordering::Relaxed),
+                evicted: counters.evicted.load(Ordering::Relaxed),
+                entries: shard.read().expect("plan cache poisoned").slots.len(),
+            })
+            .collect()
+    }
+
     /// Number of resident entries.
     pub fn len(&self) -> usize {
         self.shards
@@ -274,6 +338,7 @@ mod tests {
             promotions_accepted: 0,
             warm_demotions: 0,
             elapsed_us: 0,
+            trace_id: None,
         };
         let cluster_fingerprint = request.cluster_fingerprint();
         (
@@ -303,6 +368,27 @@ mod tests {
         assert!(cache.lookup(&key).is_some());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn shard_stats_sum_to_cache_totals() {
+        let cluster = ClusterSpec::hybrid_small();
+        let cache = PlanCache::with_config(CacheConfig { capacity: 4, shards: 2 });
+        let entries = keyed_entries(12, &cluster);
+        for (key, e) in &entries {
+            cache.insert(key.clone(), e.clone());
+        }
+        for (key, _) in &entries {
+            let _ = cache.lookup(key);
+        }
+        let totals = cache.stats();
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), totals.hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), totals.misses);
+        assert_eq!(shards.iter().map(|s| s.evicted).sum::<u64>(), totals.evicted);
+        assert_eq!(shards.iter().map(|s| s.entries).sum::<usize>(), totals.entries);
+        assert!(totals.evicted > 0, "capacity 4 with 12 inserts must evict");
     }
 
     #[test]

@@ -93,6 +93,7 @@ impl DeltaCoalescer {
             ticket = state.next_ticket;
             state.next_ticket += 1;
             state.pending.push((ticket, request.clone()));
+            engine.obs().coalescer_pending.set(state.pending.len() as i64);
         }
         let mut exec = Some(exec);
         let mut state = self.state.lock().expect("delta coalescer poisoned");
@@ -126,6 +127,7 @@ impl DeltaCoalescer {
                 }
             }
             let batch = std::mem::take(&mut state.pending);
+            engine.obs().coalescer_pending.set(0);
             drop(state);
             let requests: Vec<DeltaRequest> = batch.iter().map(|(_, r)| r.clone()).collect();
             let outcomes = engine
@@ -150,11 +152,11 @@ mod tests {
 
     fn degrade(id: u64, cluster: &ClusterSpec) -> DeltaRequest {
         let rank = cluster.inference_ranks()[0];
-        DeltaRequest {
+        DeltaRequest::new(
             id,
-            cluster: cluster.clone(),
-            delta: ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 },
-        }
+            cluster.clone(),
+            ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 },
+        )
     }
 
     #[test]

@@ -38,6 +38,7 @@ use qsync_core::system::QSyncSystem;
 
 use crate::cache::{CacheConfig, CachedPlan, PlanCache};
 use crate::elastic::{DeltaCoalescer, DeltaRequest, DeltaResponse, DeltaStats};
+use crate::metrics::ServeObs;
 use crate::request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
 
 /// The cache-fronted planning engine. Cheap to share: wrap in an [`Arc`] and
@@ -55,6 +56,7 @@ pub struct PlanEngine {
     delta_waves: AtomicU64,
     delta_events: AtomicU64,
     batched_replans: AtomicU64,
+    obs: Arc<ServeObs>,
 }
 
 /// One evicted cache entry plus the shape chain it must be re-planned
@@ -67,6 +69,10 @@ pub struct ReplanChain {
     /// The successive cluster shapes of the composed deltas (never empty);
     /// only the final shape's plan is cached and reported.
     pub shapes: Vec<ClusterSpec>,
+    /// Trace id of the delta wave that evicted the entry (0 = untraced).
+    /// Stamped onto the re-planned response and its trace spans so an
+    /// elasticity event's fan-out is reconstructable end to end.
+    pub trace_id: u64,
 }
 
 /// Removes a key from the in-flight set even if planning panics, so waiters
@@ -120,6 +126,20 @@ impl PlanEngine {
         &self.cache
     }
 
+    /// This engine with an explicit observability bundle (e.g. a disabled
+    /// one for the overhead-guard bench). The default is an enabled
+    /// [`ServeObs`].
+    pub fn with_obs(mut self, obs: Arc<ServeObs>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability bundle: instruments, registry and trace log shared
+    /// by every layer of the server built on this engine.
+    pub fn obs(&self) -> &Arc<ServeObs> {
+        &self.obs
+    }
+
     /// Serve one plan request: cache hit, wait on an identical in-flight
     /// computation, or cold plan. Returns `Err` for requests that fail
     /// [`PlanRequest::validate`] — malformed wire input must not reach the
@@ -129,13 +149,25 @@ impl PlanEngine {
         request.validate().map_err(|e| e.with_id(request.id))?;
         let started = Instant::now();
         let key = request.cache_key();
+        let trace_id = request.trace_id.unwrap_or(0);
         let _guard = loop {
             if let Some(entry) = self.cache.peek(&key) {
-                self.cache.note_hit();
+                self.cache.note_hit(&key);
                 let mut response = entry.response.clone();
                 response.id = request.id;
                 response.outcome = PlanOutcome::CacheHit;
                 response.elapsed_us = started.elapsed().as_micros() as u64;
+                response.trace_id = request.trace_id;
+                self.obs.plan_hit_us.record(response.elapsed_us);
+                if trace_id != 0 {
+                    let now = self.obs.trace.now_us();
+                    self.obs.trace.span(
+                        trace_id,
+                        "cache_hit",
+                        now.saturating_sub(response.elapsed_us),
+                        key.clone(),
+                    );
+                }
                 return Ok(response);
             }
             let mut flights = self.in_flight.lock().expect("in-flight set poisoned");
@@ -145,11 +177,12 @@ impl PlanEngine {
             }
             // Someone else is planning this key; wait for them, then re-check
             // the cache.
+            self.obs.singleflight_coalesced.inc();
             while flights.contains(&key) {
                 flights = self.flight_done.wait(flights).expect("in-flight set poisoned");
             }
         };
-        self.cache.note_miss();
+        self.cache.note_miss(&key);
         Ok(self.plan_and_cache(request, key, PlanOutcome::ColdPlanned, None, started))
     }
 
@@ -257,11 +290,19 @@ impl PlanEngine {
             let evicted = self.cache.invalidate_cluster(group.base_fingerprint);
             group.invalidated = evicted.len();
             let start = chains.len();
+            // The wave's chains trace as the last composed delta of the
+            // group — the one whose reply carries the re-planned responses.
+            let trace_id = group
+                .members
+                .last()
+                .and_then(|m| requests[m.idx].trace_id)
+                .unwrap_or(0);
             for (_, entry) in evicted {
-                chains.push(ReplanChain { entry, shapes: group.shapes.clone() });
+                chains.push(ReplanChain { entry, shapes: group.shapes.clone(), trace_id });
             }
             group.chains = start..chains.len();
         }
+        self.obs.wave_width.record(requests.len() as u64);
         self.delta_waves.fetch_add(1, Ordering::Relaxed);
         self.delta_events.fetch_add(requests.len() as u64, Ordering::Relaxed);
         self.batched_replans.fetch_add(chains.len() as u64, Ordering::Relaxed);
@@ -285,6 +326,7 @@ impl PlanEngine {
                     invalidated: group.invalidated,
                     coalesced: members,
                     replanned,
+                    trace_id: requests[member.idx].trace_id,
                 }));
             }
         }
@@ -304,6 +346,53 @@ impl PlanEngine {
         }
     }
 
+    /// The registry snapshot plus the engine's derived values — cache totals,
+    /// per-shard counters and delta-pipeline totals — appended as dynamic
+    /// metrics. These live in authoritative structures (the cache, the delta
+    /// counters), so they are read at snapshot time instead of being
+    /// double-counted on the hot path. The streaming server appends its
+    /// scheduler and subscriber dynamics on top.
+    pub fn metrics_snapshot(&self) -> qsync_obs::MetricsSnapshot {
+        use qsync_obs::{CounterValue, GaugeValue};
+        let mut snap = self.obs.snapshot();
+        let cache = self.cache.stats();
+        for (name, value) in [
+            ("qsync_cache_hits_total", cache.hits),
+            ("qsync_cache_misses_total", cache.misses),
+            ("qsync_cache_invalidated_total", cache.invalidated),
+            ("qsync_cache_evicted_total", cache.evicted),
+        ] {
+            snap.counters.push(CounterValue { name: name.to_string(), value });
+        }
+        snap.gauges.push(GaugeValue {
+            name: "qsync_cache_entries".to_string(),
+            value: cache.entries as i64,
+        });
+        for (i, shard) in self.cache.shard_stats().iter().enumerate() {
+            for (kind, value) in
+                [("hits", shard.hits), ("misses", shard.misses), ("evicted", shard.evicted)]
+            {
+                snap.counters.push(CounterValue {
+                    name: format!("qsync_cache_shard_{kind}{{shard=\"{i}\"}}"),
+                    value,
+                });
+            }
+            snap.gauges.push(GaugeValue {
+                name: format!("qsync_cache_shard_entries{{shard=\"{i}\"}}"),
+                value: shard.entries as i64,
+            });
+        }
+        let deltas = self.delta_stats();
+        for (name, value) in [
+            ("qsync_delta_waves_total", deltas.waves),
+            ("qsync_delta_events_total", deltas.events),
+            ("qsync_delta_batched_replans_total", deltas.batched_replans),
+        ] {
+            snap.counters.push(CounterValue { name: name.to_string(), value });
+        }
+        snap
+    }
+
     /// Warm re-plan one evicted entry through its group's shape chain.
     ///
     /// Intermediate shapes thread the warm-start assignment exactly as serial
@@ -312,7 +401,9 @@ impl PlanEngine {
     /// results would be invalidated by the very next delta of the chain.
     pub fn run_replan_chain(&self, chain: &ReplanChain) -> PlanResponse {
         let started = Instant::now();
+        self.obs.replan_chain_len.record(chain.shapes.len() as u64);
         let mut request = chain.entry.request.clone();
+        request.trace_id = (chain.trace_id != 0).then_some(chain.trace_id);
         let mut warm = chain.entry.inference_pdag.clone();
         let last = chain.shapes.len() - 1;
         for (step, shape) in chain.shapes.iter().enumerate() {
@@ -327,6 +418,16 @@ impl PlanEngine {
                     response.id = request.id;
                     response.outcome = PlanOutcome::CacheHit;
                     response.elapsed_us = started.elapsed().as_micros() as u64;
+                    response.trace_id = request.trace_id;
+                    if chain.trace_id != 0 {
+                        let now = self.obs.trace.now_us();
+                        self.obs.trace.span(
+                            chain.trace_id,
+                            "replan_hit",
+                            now.saturating_sub(response.elapsed_us),
+                            key.clone(),
+                        );
+                    }
                     return response;
                 }
                 warm = hit.inference_pdag.clone();
@@ -368,6 +469,7 @@ impl PlanEngine {
             promotions_accepted: report.promotions_accepted,
             warm_demotions: report.warm_demotions,
             elapsed_us: started.elapsed().as_micros() as u64,
+            trace_id: request.trace_id,
             plan,
         };
         let entry = CachedPlan {
@@ -377,6 +479,20 @@ impl PlanEngine {
             cluster_fingerprint: request.cluster_fingerprint(),
         };
         self.cache.insert(key, entry);
+        let (hist, stage) = match outcome {
+            PlanOutcome::WarmReplanned => (&self.obs.plan_warm_us, "warm_replan"),
+            _ => (&self.obs.plan_cold_us, "cold_plan"),
+        };
+        hist.record(response.elapsed_us);
+        if let Some(trace_id) = request.trace_id.filter(|&t| t != 0) {
+            let now = self.obs.trace.now_us();
+            self.obs.trace.span(
+                trace_id,
+                stage,
+                now.saturating_sub(response.elapsed_us),
+                response.key.clone(),
+            );
+        }
         response
     }
 }
@@ -436,11 +552,11 @@ mod tests {
         let cold = engine.plan(&request).unwrap();
 
         let rank = cluster.inference_ranks()[0];
-        let delta = DeltaRequest {
-            id: 2,
-            cluster: cluster.clone(),
-            delta: ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.8 },
-        };
+        let delta = DeltaRequest::new(
+            2,
+            cluster.clone(),
+            ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.8 },
+        );
         let outcome = engine.apply_delta(&delta).unwrap();
         assert_eq!(outcome.invalidated, 1);
         assert_eq!(outcome.replanned.len(), 1);
@@ -458,11 +574,7 @@ mod tests {
         let engine = PlanEngine::new();
         engine.plan(&mlp_request(1, ClusterSpec::hybrid_small())).unwrap();
         let other = ClusterSpec::cluster_a(4, 4);
-        let delta = DeltaRequest {
-            id: 2,
-            cluster: other,
-            delta: ClusterDelta::RankRemoved { rank: 0 },
-        };
+        let delta = DeltaRequest::new(2, other, ClusterDelta::RankRemoved { rank: 0 });
         let outcome = engine.apply_delta(&delta).unwrap();
         assert_eq!(outcome.invalidated, 0);
         assert!(outcome.replanned.is_empty());

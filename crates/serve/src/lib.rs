@@ -47,7 +47,15 @@
 //!   on the event thread.
 //! * **Event stream**: `Subscribe`d connections receive
 //!   [`ServerEvent`](qsync_api::ServerEvent) lines — cache invalidations and
-//!   warm re-plans as they happen — instead of polling `Stats`.
+//!   warm re-plans as they happen — instead of polling `Stats`. A slow
+//!   subscriber sheds events rather than buffering unboundedly; the client
+//!   detects the seq gap and recovers with `Resync`.
+//! * **Observability** ([`metrics`], [`admin`]): one [`ServeObs`] instrument
+//!   set (lock-free counters/gauges/histograms from `qsync-obs`) shared by
+//!   transport, scheduler, engine and delta pipeline; exposed through the
+//!   wire `Metrics` command, a Prometheus-style text endpoint
+//!   (`--admin-addr`), and per-request trace ids answering the `Trace`
+//!   command (see `docs/OBSERVABILITY.md`).
 //!
 //! The `qsync-serve` binary exposes `serve`, `plan` (one-shot) and
 //! `bench-load` subcommands; `examples/plan_server.rs` in the workspace root
@@ -55,15 +63,19 @@
 
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod cache;
 pub mod elastic;
 pub mod engine;
+pub mod metrics;
 pub mod model;
 pub mod request;
 pub mod server;
 pub mod transport;
 
-pub use cache::{CacheConfig, CacheStats, PlanCache};
+pub use admin::serve_admin;
+pub use cache::{CacheConfig, CacheStats, PlanCache, ShardStats};
+pub use metrics::ServeObs;
 pub use elastic::{ClusterDelta, DeltaCoalescer, DeltaRequest, DeltaResponse, DeltaStats};
 pub use engine::{PlanEngine, ReplanChain};
 pub use model::ModelSpec;

@@ -1,0 +1,179 @@
+//! Server-wide observability: the [`ServeObs`] bundle of hot-path
+//! instruments plus the request trace log.
+//!
+//! One `ServeObs` lives behind the [`PlanEngine`](crate::engine::PlanEngine)
+//! and is shared by every layer — transport, scheduler dispatch, plan
+//! engine, delta pipeline — so a single `Metrics` command (or a scrape of
+//! the `--admin-addr` text endpoint) sees the whole server. Instruments are
+//! interned once at construction; the record paths are the qsync-obs
+//! primitives (relaxed atomics, no locks, no allocation).
+//!
+//! Cheap-to-derive values (per-class queue depth, cache occupancy, per-shard
+//! hit/miss/evict counts, scheduler shed/deadline counters) are *not*
+//! instrumented on the hot path: they are appended to the snapshot at
+//! `Metrics` time from the authoritative structures — see
+//! [`ServeCore::metrics_snapshot`](crate::server::ServeCore).
+
+use qsync_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry, TraceLog};
+use std::sync::Arc;
+
+/// Hot-path instruments and the trace-span ring for one server instance.
+///
+/// Constructed enabled by default; [`ServeObs::disabled`] builds the same
+/// shape with recording compiled down to a branch, which is what the
+/// overhead-guard bench compares against.
+#[derive(Debug)]
+pub struct ServeObs {
+    /// The registry every instrument below is interned in; snapshot this
+    /// (plus the dynamic gauges) to answer `Metrics`.
+    pub registry: Registry,
+    /// Trace-id mint and bounded span ring; answers `Trace`.
+    pub trace: TraceLog,
+
+    // ---- transport ----
+    /// Connections accepted by the reactor.
+    pub accepts: Arc<Counter>,
+    /// `accept(2)` failures that triggered the resource-exhaustion backoff
+    /// (EMFILE/ENFILE/ENOMEM).
+    pub accept_pauses: Arc<Counter>,
+    /// Bytes read off sockets.
+    pub bytes_in: Arc<Counter>,
+    /// Bytes written to sockets.
+    pub bytes_out: Arc<Counter>,
+    /// Size in bytes of each framed command line.
+    pub frame_bytes: Arc<Histogram>,
+    /// Times a connection consumed its whole per-pass read budget (a
+    /// flooding client being round-robined, not an error).
+    pub read_budget_exhausted: Arc<Counter>,
+    /// Read-interest withdrawals because a connection's reply backlog
+    /// passed `max_buffered_bytes`.
+    pub backpressure_pauses: Arc<Counter>,
+    /// Read-interest restorations after the backlog drained below half.
+    pub backpressure_resumes: Arc<Counter>,
+    /// Connections currently registered with the reactor.
+    pub conns_open: Arc<Gauge>,
+
+    // ---- scheduler ----
+    /// Milliseconds a dispatched job waited in its queue.
+    pub dispatch_wait_ms: Arc<Histogram>,
+
+    // ---- engine / cache ----
+    /// Cold plan latency (full allocator run), microseconds.
+    pub plan_cold_us: Arc<Histogram>,
+    /// Warm re-plan latency (warm-started allocator), microseconds.
+    pub plan_warm_us: Arc<Histogram>,
+    /// Cache-hit service latency, microseconds.
+    pub plan_hit_us: Arc<Histogram>,
+    /// Requests that piggy-backed on an identical in-flight computation
+    /// instead of planning (single-flight coalesces).
+    pub singleflight_coalesced: Arc<Counter>,
+
+    // ---- delta pipeline ----
+    /// Deltas composed into each applied wave.
+    pub wave_width: Arc<Histogram>,
+    /// Deltas currently parked in the coalescer window.
+    pub coalescer_pending: Arc<Gauge>,
+    /// Length of each warm re-plan chain run after an invalidation.
+    pub replan_chain_len: Arc<Histogram>,
+    /// Microseconds from wave application to the last fanned-out re-plan
+    /// completing.
+    pub fanout_us: Arc<Histogram>,
+    /// Server events delivered to subscriber outboxes.
+    pub events_emitted: Arc<Counter>,
+    /// Server events dropped because a subscriber's outbox was over the
+    /// event capacity (per-subscriber detail rides in `Stats`/`Resync`).
+    pub events_dropped: Arc<Counter>,
+}
+
+impl Default for ServeObs {
+    fn default() -> Self {
+        ServeObs::new()
+    }
+}
+
+impl ServeObs {
+    /// An enabled instrument set (the server default).
+    pub fn new() -> Self {
+        Self::build(Registry::new())
+    }
+
+    /// The same instrument set recording nothing — every record call is one
+    /// predictable branch. The overhead-guard bench serves with this to pin
+    /// the cost of the instrumentation itself.
+    pub fn disabled() -> Self {
+        Self::build(Registry::disabled())
+    }
+
+    /// Whether the instruments record.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    fn build(registry: Registry) -> Self {
+        let r = &registry;
+        ServeObs {
+            accepts: r.counter("qsync_transport_accepts_total"),
+            accept_pauses: r.counter("qsync_transport_accept_pauses_total"),
+            bytes_in: r.counter("qsync_transport_bytes_in_total"),
+            bytes_out: r.counter("qsync_transport_bytes_out_total"),
+            frame_bytes: r.histogram("qsync_transport_frame_bytes"),
+            read_budget_exhausted: r.counter("qsync_transport_read_budget_exhausted_total"),
+            backpressure_pauses: r.counter("qsync_transport_backpressure_pauses_total"),
+            backpressure_resumes: r.counter("qsync_transport_backpressure_resumes_total"),
+            conns_open: r.gauge("qsync_transport_conns_open"),
+            dispatch_wait_ms: r.histogram("qsync_sched_dispatch_wait_ms"),
+            plan_cold_us: r.histogram("qsync_plan_latency_us{kind=\"cold\"}"),
+            plan_warm_us: r.histogram("qsync_plan_latency_us{kind=\"warm\"}"),
+            plan_hit_us: r.histogram("qsync_plan_latency_us{kind=\"hit\"}"),
+            singleflight_coalesced: r.counter("qsync_engine_singleflight_coalesced_total"),
+            wave_width: r.histogram("qsync_delta_wave_width"),
+            coalescer_pending: r.gauge("qsync_delta_coalescer_pending"),
+            replan_chain_len: r.histogram("qsync_delta_replan_chain_len"),
+            fanout_us: r.histogram("qsync_delta_fanout_us"),
+            events_emitted: r.counter("qsync_events_emitted_total"),
+            events_dropped: r.counter("qsync_events_dropped_total"),
+            trace: TraceLog::default(),
+            registry,
+        }
+    }
+
+    /// Snapshot the registered instruments (static part of the `Metrics`
+    /// reply; the server appends the derived gauges on top).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_obs_registers_every_instrument_once() {
+        let obs = ServeObs::new();
+        obs.accepts.inc();
+        obs.plan_cold_us.record(1234);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("qsync_transport_accepts_total"), Some(1));
+        assert_eq!(
+            snap.histogram("qsync_plan_latency_us{kind=\"cold\"}").map(|h| h.count),
+            Some(1)
+        );
+        // Distinct label blocks are distinct instruments.
+        assert_eq!(
+            snap.histogram("qsync_plan_latency_us{kind=\"warm\"}").map(|h| h.count),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing_but_snapshots_the_same_names() {
+        let obs = ServeObs::disabled();
+        obs.accepts.inc();
+        obs.frame_bytes.record(77);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("qsync_transport_accepts_total"), Some(0));
+        assert_eq!(snap.histogram("qsync_transport_frame_bytes").map(|h| h.count), Some(0));
+        assert!(!obs.is_enabled());
+    }
+}

@@ -46,11 +46,13 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Instant;
 
 use qsync_api::{
-    render_reply, ApiError, ErrorCode, ServerEvent, WireProto, MAX_PROTOCOL_VERSION,
-    MIN_PROTOCOL_VERSION,
+    render_reply, ApiError, ErrorCode, ServerEvent, SubscriberStats, WireProto,
+    MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION,
 };
+use qsync_obs::{CounterValue, GaugeValue, MetricsSnapshot};
 pub use qsync_api::{ServerCommand, ServerReply};
 
 use qsync_sched::{JobMeta, Priority, SchedConfig, Scheduler, SubmitError};
@@ -186,6 +188,16 @@ struct DeltaTask {
     wire: WireProto,
 }
 
+/// One event-stream subscriber, with its slow-consumer accounting.
+struct Subscriber {
+    /// Wire form of the `Subscribe` command (events render in it).
+    wire: WireProto,
+    conn: Arc<ConnState>,
+    /// Events dropped on this subscription because the connection's reply
+    /// backlog was over the event cap. Reset by `Resync`.
+    dropped: u64,
+}
+
 /// How many dedicated delta-executor threads a core runs. More than one lets
 /// concurrent deltas coalesce into shared waves; deltas are rare events, so a
 /// small fixed pool is plenty.
@@ -203,11 +215,13 @@ pub(crate) struct ServeCore {
     tickets: Mutex<HashMap<(u64, u64), u64>>,
     /// Delta hand-off to the executor threads; `None` once shutdown started.
     delta_tx: Mutex<Option<mpsc::Sender<DeltaTask>>>,
-    /// Event-stream subscribers: connection id → (wire form of the
-    /// `Subscribe`, the connection).
-    subscribers: Mutex<HashMap<u64, (WireProto, Arc<ConnState>)>>,
+    /// Event-stream subscribers by connection id.
+    subscribers: Mutex<HashMap<u64, Subscriber>>,
     /// Server-wide monotone event sequence.
     event_seq: AtomicU64,
+    /// Un-flushed bytes beyond which a subscriber stops receiving events
+    /// ([`TransportConfig::event_outbox_cap`]).
+    event_outbox_cap: usize,
     next_conn: AtomicU64,
 }
 
@@ -234,7 +248,12 @@ impl CoreHandle {
 
 impl ServeCore {
     /// Start a core: `workers` planner threads plus the delta executors.
-    pub(crate) fn start(engine: Arc<PlanEngine>, workers: usize, config: SchedConfig) -> CoreHandle {
+    pub(crate) fn start(
+        engine: Arc<PlanEngine>,
+        workers: usize,
+        config: SchedConfig,
+        event_outbox_cap: usize,
+    ) -> CoreHandle {
         let (delta_tx, delta_rx) = mpsc::channel::<DeltaTask>();
         let core = Arc::new(ServeCore {
             engine,
@@ -243,6 +262,7 @@ impl ServeCore {
             delta_tx: Mutex::new(Some(delta_tx)),
             subscribers: Mutex::new(HashMap::new()),
             event_seq: AtomicU64::new(0),
+            event_outbox_cap,
             next_conn: AtomicU64::new(0),
         });
         let mut threads = Vec::with_capacity(workers + DELTA_EXECUTORS);
@@ -286,39 +306,159 @@ impl ServeCore {
         }
     }
 
+    /// The observability bundle shared with the engine (the transport
+    /// records its instruments through this).
+    pub(crate) fn obs(&self) -> &Arc<crate::metrics::ServeObs> {
+        self.engine.obs()
+    }
+
     /// Broadcast one event to every subscribed connection. A subscriber
     /// that has stopped reading (its reply buffer past the cap) is skipped:
     /// events are droppable server push, and an unbounded outbox would let
     /// one stalled watcher grow server memory with every delta wave. The
-    /// dropped events appear to that client as a gap in the monotone `seq`.
+    /// dropped events appear to that client as a gap in the monotone `seq`;
+    /// they are counted per subscriber (surfaced by `Stats`/`Metrics`) and
+    /// recoverable through `Resync`.
     fn broadcast(&self, event: ServerEvent) {
-        /// Un-flushed bytes beyond which a subscriber stops receiving
-        /// events (half the transport's default `max_buffered_bytes`, so
-        /// replies the server owes still fit after events stop).
-        const EVENT_OUTBOX_CAP: usize = 4 << 20;
-        let subscribers = self.subscribers.lock().expect("subscriber map poisoned");
+        let obs = Arc::clone(self.engine.obs());
+        let mut subscribers = self.subscribers.lock().expect("subscriber map poisoned");
         if subscribers.is_empty() {
             return;
         }
         let seq = self.event_seq.fetch_add(1, Ordering::Relaxed);
-        for (wire, conn) in subscribers.values() {
-            if conn.event_capacity_ok(EVENT_OUTBOX_CAP) {
-                conn.send(*wire, &ServerReply::Event { seq, event: event.clone() });
+        for sub in subscribers.values_mut() {
+            if sub.conn.event_capacity_ok(self.event_outbox_cap) {
+                obs.events_emitted.inc();
+                sub.conn.send(sub.wire, &ServerReply::Event { seq, event: event.clone() });
+            } else {
+                sub.dropped += 1;
+                obs.events_dropped.inc();
             }
         }
+    }
+
+    /// Per-subscriber event accounting (for `Stats` and the metrics
+    /// snapshot), in connection-id order.
+    fn subscriber_stats(&self) -> Vec<SubscriberStats> {
+        let subscribers = self.subscribers.lock().expect("subscriber map poisoned");
+        let mut stats: Vec<SubscriberStats> = subscribers
+            .iter()
+            .map(|(&conn, sub)| SubscriberStats { conn, dropped: sub.dropped })
+            .collect();
+        stats.sort_by_key(|s| s.conn);
+        stats
+    }
+
+    /// The full server metrics snapshot: the engine's registry + derived
+    /// values, plus the scheduler and event-stream dynamics only the
+    /// streaming core knows.
+    pub(crate) fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.engine.metrics_snapshot();
+        let sched = self.sched.stats();
+        for (class, stats) in [
+            ("interactive", sched.interactive),
+            ("batch", sched.batch),
+            ("background", sched.background),
+        ] {
+            snap.gauges.push(GaugeValue {
+                name: format!("qsync_sched_queue_depth{{class=\"{class}\"}}"),
+                value: stats.depth as i64,
+            });
+            for (kind, value) in [
+                ("dispatched", stats.dispatched),
+                ("completed", stats.completed),
+                ("shed", stats.shed),
+            ] {
+                snap.counters.push(CounterValue {
+                    name: format!("qsync_sched_{kind}{{class=\"{class}\"}}"),
+                    value,
+                });
+            }
+        }
+        for (name, value) in [
+            ("qsync_sched_cancelled_total", sched.cancelled),
+            ("qsync_sched_expired_total", sched.expired),
+            ("qsync_sched_deadline_met_total", sched.deadline_met),
+            ("qsync_sched_deadline_misses_total", sched.deadline_misses),
+        ] {
+            snap.counters.push(CounterValue { name: name.to_string(), value });
+        }
+        snap.gauges.push(GaugeValue {
+            name: "qsync_sched_deficit_carry".to_string(),
+            value: self.sched.deficit_carry() as i64,
+        });
+        let subscribers = self.subscriber_stats();
+        snap.gauges.push(GaugeValue {
+            name: "qsync_event_subscribers".to_string(),
+            value: subscribers.len() as i64,
+        });
+        for sub in &subscribers {
+            snap.counters.push(CounterValue {
+                name: format!("qsync_events_dropped{{conn=\"{}\"}}", sub.conn),
+                value: sub.dropped,
+            });
+        }
+        snap
     }
 
     /// Handle one raw input line from a connection: parse errors become
     /// error replies (in the wire form of the failing line), everything else
     /// dispatches through [`handle_command`](Self::handle_command). Blank
     /// lines are skipped.
+    ///
+    /// This is also where requests enter the trace machinery: plan and delta
+    /// payloads that don't carry a client-chosen `trace_id` are stamped with
+    /// a freshly minted one, and a `parse` span is recorded for them — the
+    /// first stage of the request's reconstructable journey.
     pub(crate) fn handle_line(&self, conn: &Arc<ConnState>, line: &str) {
         if line.trim().is_empty() {
             return;
         }
+        let obs = self.engine.obs();
+        obs.frame_bytes.record(line.len() as u64);
+        let parse_start = obs.trace.now_us();
         match qsync_api::parse_line(line) {
             Err(e) => conn.send_err(e.wire, e.error),
-            Ok(parsed) => self.handle_command(conn, parsed.wire, parsed.cmd),
+            Ok(parsed) => {
+                let mut cmd = parsed.cmd;
+                let trace_id = self.stamp_trace(&mut cmd);
+                if trace_id != 0 {
+                    obs.trace.span(
+                        trace_id,
+                        "parse",
+                        parse_start,
+                        format!("{} bytes on {}", line.len(), conn.identity()),
+                    );
+                }
+                self.handle_command(conn, parsed.wire, cmd);
+            }
+        }
+    }
+
+    /// Ensure every plan/delta payload in `cmd` (recursing into batches)
+    /// carries a trace id, minting where the client chose none. Returns the
+    /// id of the outermost stamped payload (0 when the command has none —
+    /// stats reads, cancels and the like are not traced).
+    fn stamp_trace(&self, cmd: &mut ServerCommand) -> u64 {
+        let trace = &self.engine.obs().trace;
+        match cmd {
+            ServerCommand::Plan(request) => {
+                let id = request.trace_id.filter(|&t| t != 0).unwrap_or_else(|| trace.mint());
+                request.trace_id = Some(id);
+                id
+            }
+            ServerCommand::Delta(request) => {
+                let id = request.trace_id.filter(|&t| t != 0).unwrap_or_else(|| trace.mint());
+                request.trace_id = Some(id);
+                id
+            }
+            ServerCommand::Batch { cmds, .. } => {
+                for inner in cmds.iter_mut() {
+                    self.stamp_trace(inner);
+                }
+                0
+            }
+            _ => 0,
         }
     }
 
@@ -362,7 +502,38 @@ impl ServeCore {
                     stats: self.engine.cache().stats(),
                     sched: Some(self.sched.stats()),
                     deltas: self.engine.delta_stats(),
+                    subscribers: self.subscriber_stats(),
                 });
+            }
+            ServerCommand::Metrics { id } => {
+                // Like Stats: a monitoring read answered inline from
+                // counters, never behind queued work or a delta barrier.
+                conn.send(wire, &ServerReply::Metrics { id, metrics: self.metrics_snapshot() });
+            }
+            ServerCommand::Trace { id, trace_id, limit } => {
+                let trace = &self.engine.obs().trace;
+                let limit = limit.unwrap_or(trace.capacity());
+                conn.send(wire, &ServerReply::Trace {
+                    id,
+                    trace_id,
+                    spans: trace.spans_for(trace_id, limit),
+                });
+            }
+            ServerCommand::Resync { id } => {
+                // Baseline first, keys second: any event broadcast between
+                // the two shows up both in `keys` and as a seq at or past
+                // the baseline, so the client double-applies instead of
+                // missing.
+                let seq = self.event_seq.load(Ordering::Relaxed);
+                let keys = self.engine.cache().keys();
+                let dropped = self
+                    .subscribers
+                    .lock()
+                    .expect("subscriber map poisoned")
+                    .get_mut(&conn.id)
+                    .map(|sub| std::mem::take(&mut sub.dropped))
+                    .unwrap_or(0);
+                conn.send(wire, &ServerReply::Resynced { id, seq, keys, dropped });
             }
             ServerCommand::Cancel { id, plan_id } => {
                 let ticket =
@@ -422,7 +593,7 @@ impl ServeCore {
                 self.subscribers
                     .lock()
                     .expect("subscriber map poisoned")
-                    .insert(conn.id, (wire, Arc::clone(conn)));
+                    .insert(conn.id, Subscriber { wire, conn: Arc::clone(conn), dropped: 0 });
                 conn.send(wire, &ServerReply::Subscribed { id });
             }
             ServerCommand::Unsubscribe { id } => {
@@ -434,9 +605,11 @@ impl ServeCore {
 
     /// Planner-thread body: drain the scheduler until it closes.
     fn worker_loop(&self) {
+        let obs = Arc::clone(self.engine.obs());
         while let Some(mut job) = self.sched.next() {
             let expired = job.expired();
             let wait_ms = job.queue_wait_ms();
+            obs.dispatch_wait_ms.record(wait_ms);
             match job.take_payload() {
                 ServeJob::Plan { request, conn, wire } => {
                     let mut tickets = self.tickets.lock().expect("ticket map poisoned");
@@ -444,6 +617,18 @@ impl ServeCore {
                         tickets.remove(&(conn.id, request.id));
                     }
                     drop(tickets);
+                    let trace_id = request.trace_id.unwrap_or(0);
+                    if trace_id != 0 {
+                        // The dispatch span covers the time the job sat in
+                        // its queue, ending now (at worker pickup).
+                        let now = obs.trace.now_us();
+                        obs.trace.span(
+                            trace_id,
+                            "dispatch",
+                            now.saturating_sub(wait_ms.saturating_mul(1000)),
+                            format!("queued {wait_ms} ms"),
+                        );
+                    }
                     let reply = if expired {
                         ServerReply::Fault(
                             ApiError::new(
@@ -460,7 +645,16 @@ impl ServeCore {
                             Err(error) => ServerReply::Fault(error),
                         }
                     };
+                    let write_start = obs.trace.now_us();
                     conn.send(wire, &reply);
+                    if trace_id != 0 {
+                        obs.trace.span(
+                            trace_id,
+                            "reply_write",
+                            write_start,
+                            format!("to {}", conn.identity()),
+                        );
+                    }
                     conn.end();
                 }
                 ServeJob::Replan { index, chain, tx } => {
@@ -486,11 +680,13 @@ impl ServeCore {
             // are not waited for, so the barrier cannot starve under
             // continuous cross-connection traffic.
             self.sched.quiesce();
+            let task_tid = task.request.trace_id.unwrap_or(0);
             let reply = match self.engine.apply_delta_coalesced_with(&task.request, |chains| {
                 // Wave leader: announce the evictions, then fan the re-plans
                 // out (each completion is broadcast as it lands).
                 self.broadcast(ServerEvent::CacheInvalidated {
                     keys: chains.iter().map(|c| c.entry.response.key.clone()).collect(),
+                    trace_id: task_tid,
                 });
                 self.fan_out_replans(chains)
             }) {
@@ -501,6 +697,7 @@ impl ServeCore {
                         new_cluster_fingerprint: outcome.new_cluster_fingerprint.clone(),
                         invalidated: outcome.invalidated,
                         replanned: outcome.replanned.len(),
+                        trace_id: outcome.trace_id.unwrap_or(0),
                     });
                     ServerReply::Delta(outcome)
                 }
@@ -517,6 +714,7 @@ impl ServeCore {
     /// calling thread — re-plans are never lost. Every completed re-plan is
     /// broadcast to subscribers.
     fn fan_out_replans(&self, chains: Vec<ReplanChain>) -> Vec<PlanResponse> {
+        let fanout_start = Instant::now();
         let total = chains.len();
         let (tx, rx) = mpsc::channel();
         let mut inline: Vec<(usize, Box<ReplanChain>)> = Vec::new();
@@ -547,8 +745,13 @@ impl ServeCore {
                 key: response.key.clone(),
                 outcome: response.outcome,
                 predicted_iteration_us: response.predicted_iteration_us,
+                trace_id: response.trace_id.unwrap_or(0),
             });
         }
+        self.engine
+            .obs()
+            .fanout_us
+            .record(fanout_start.elapsed().as_micros() as u64);
         responses
     }
 }
@@ -638,7 +841,17 @@ impl PlanServer {
                 stats: self.engine.cache().stats(),
                 sched: None,
                 deltas: self.engine.delta_stats(),
+                subscribers: Vec::new(),
             },
+            ServerCommand::Metrics { id } => ServerReply::Metrics {
+                id,
+                metrics: self.engine.metrics_snapshot(),
+            },
+            ServerCommand::Trace { id, trace_id, limit } => {
+                let trace = &self.engine.obs().trace;
+                let spans = trace.spans_for(trace_id, limit.unwrap_or_else(|| trace.capacity()));
+                ServerReply::Trace { id, trace_id, spans }
+            }
             ServerCommand::Cancel { id, plan_id } => {
                 // Nothing queues outside the streaming paths; there is
                 // nothing to cancel.
@@ -652,7 +865,8 @@ impl PlanServer {
             },
             ServerCommand::Batch { id, .. }
             | ServerCommand::Subscribe { id }
-            | ServerCommand::Unsubscribe { id } => ServerReply::Fault(
+            | ServerCommand::Unsubscribe { id }
+            | ServerCommand::Resync { id } => ServerReply::Fault(
                 ApiError::new(
                     ErrorCode::Unsupported,
                     "this command requires a streaming connection",
@@ -673,7 +887,12 @@ impl PlanServer {
         reader: R,
         writer: W,
     ) -> std::io::Result<()> {
-        let handle = ServeCore::start(Arc::clone(&self.engine), self.workers, self.sched.clone());
+        let handle = ServeCore::start(
+            Arc::clone(&self.engine),
+            self.workers,
+            self.sched.clone(),
+            self.transport.event_outbox_cap,
+        );
         let core = Arc::clone(&handle.core);
         let (reply_tx, reply_rx) = mpsc::channel::<String>();
         let conn = core.register_conn(Sink::Line(reply_tx));
@@ -953,7 +1172,7 @@ mod tests {
     #[test]
     fn anonymous_requests_fair_queue_under_the_connection_identity() {
         let engine = PlanEngine::shared();
-        let handle = ServeCore::start(Arc::clone(&engine), 1, SchedConfig::default());
+        let handle = ServeCore::start(Arc::clone(&engine), 1, SchedConfig::default(), 4 << 20);
         let (tx_a, _rx_a) = mpsc::channel();
         let (tx_b, _rx_b) = mpsc::channel();
         let a = handle.core.register_conn(Sink::Line(tx_a));

@@ -94,6 +94,12 @@ pub struct TransportConfig {
     /// How long a graceful shutdown waits for in-flight replies to flush
     /// before force-closing connections.
     pub drain_timeout: Duration,
+    /// Cap on a *subscriber's* un-flushed bytes beyond which broadcast
+    /// events are dropped (counted per subscriber; see the `Resync`
+    /// command) rather than buffered without bound. Replies to the
+    /// subscriber's own commands are never dropped — this cap gates only
+    /// the event fan-out.
+    pub event_outbox_cap: usize,
 }
 
 impl Default for TransportConfig {
@@ -102,6 +108,7 @@ impl Default for TransportConfig {
             max_line_bytes: 1 << 20,
             max_buffered_bytes: 8 << 20,
             drain_timeout: Duration::from_secs(10),
+            event_outbox_cap: 4 << 20,
         }
     }
 }
@@ -339,6 +346,7 @@ impl Reactor {
                     // backlog keeps the listener readable, so withdraw
                     // listener interest and retry after a pause instead of
                     // spinning hot on the failing accept.
+                    self.core.obs().accept_pauses.inc();
                     eprintln!("qsync-serve: accept error: {e}; pausing accepts briefly");
                     let _ =
                         self.shared.poller.modify(&self.listener, LISTENER_KEY, Interest::NONE);
@@ -375,6 +383,8 @@ impl Reactor {
         });
         let state = self.core.register_conn(Sink::Outbox(Arc::clone(&outbox)));
         self.shared.poller.add(&stream, key, Interest::READ)?;
+        self.core.obs().accepts.inc();
+        self.core.obs().conns_open.add(1);
         self.conns.insert(
             key,
             Conn {
@@ -396,6 +406,7 @@ impl Reactor {
     /// Pull everything readable out of a connection, frame complete JSONL
     /// lines, and dispatch them into the core.
     fn read_conn(&mut self, key: usize) {
+        let obs = Arc::clone(self.core.obs());
         let mut lines: Vec<String> = Vec::new();
         let mut oversized = false;
         let state = {
@@ -409,6 +420,7 @@ impl Reactor {
                 if budget == 0 {
                     // Level-triggered: the remaining bytes re-deliver the
                     // event after other connections get their pass.
+                    obs.read_budget_exhausted.inc();
                     break;
                 }
                 match conn.stream.read(&mut chunk) {
@@ -424,6 +436,7 @@ impl Reactor {
                     }
                     Ok(n) => {
                         budget = budget.saturating_sub(n);
+                        obs.bytes_in.add(n as u64);
                         conn.read_buf.extend_from_slice(&chunk[..n]);
                         let mut start = 0;
                         while let Some(offset) =
@@ -476,6 +489,7 @@ impl Reactor {
     /// recompute interest (write interest only while bytes remain, read
     /// interest unless EOF'd or backpressured).
     fn flush_conn(&mut self, key: usize) {
+        let obs = Arc::clone(self.core.obs());
         let Some(conn) = self.conns.get_mut(&key) else { return };
         if conn.dropped {
             return;
@@ -491,7 +505,10 @@ impl Reactor {
                     conn.dropped = true;
                     return;
                 }
-                Ok(n) => conn.write_pos += n,
+                Ok(n) => {
+                    obs.bytes_out.add(n as u64);
+                    conn.write_pos += n;
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -508,9 +525,11 @@ impl Reactor {
         if conn.paused {
             if backlog <= self.config.max_buffered_bytes / 2 {
                 conn.paused = false;
+                obs.backpressure_resumes.inc();
             }
         } else if backlog > self.config.max_buffered_bytes {
             conn.paused = true;
+            obs.backpressure_pauses.inc();
         }
         let interest = Interest {
             readable: !conn.peer_eof && !conn.paused,
@@ -553,6 +572,7 @@ impl Reactor {
     fn close_conn(&mut self, key: usize) {
         if let Some(conn) = self.conns.remove(&key) {
             conn.outbox.close();
+            self.core.obs().conns_open.add(-1);
             let _ = self.shared.poller.delete(&conn.stream);
             // A broken connection may still have plans queued; nobody can
             // receive them, so free the scheduler slots (and end any event
@@ -620,8 +640,12 @@ impl PlanServer {
         listener: TcpListener,
         shutdown: ShutdownSignal,
     ) -> io::Result<()> {
-        let handle =
-            ServeCore::start(Arc::clone(self.engine()), self.workers(), self.sched_config().clone());
+        let handle = ServeCore::start(
+            Arc::clone(self.engine()),
+            self.workers(),
+            self.sched_config().clone(),
+            self.transport_config().event_outbox_cap,
+        );
         let result = Reactor::new(
             Arc::clone(&handle.core),
             listener,

@@ -201,18 +201,18 @@ fn subscriber_observes_invalidate_then_replan_for_another_clients_delta() {
     watcher.subscribe().expect("subscribe");
 
     let rank = cluster.inference_ranks()[0];
-    let delta = DeltaRequest {
-        id: 0,
-        cluster: cluster.clone(),
-        delta: ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 },
-    };
+    let delta = DeltaRequest::new(
+        0,
+        cluster.clone(),
+        ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 },
+    );
     let outcome = actor.delta(delta).expect("delta applies");
     assert_eq!(outcome.invalidated, 1);
     assert_eq!(outcome.replanned.len(), 1);
 
     let (seq1, invalidated) = watcher.next_event().expect("first event");
     match invalidated {
-        ServerEvent::CacheInvalidated { keys } => {
+        ServerEvent::CacheInvalidated { keys, .. } => {
             assert_eq!(keys, vec![planned.key.clone()], "the watcher saw which entry was evicted");
         }
         other => panic!("expected CacheInvalidated first, got {other:?}"),
@@ -243,11 +243,7 @@ fn subscriber_observes_invalidate_then_replan_for_another_clients_delta() {
         .apply(&cluster)
         .unwrap();
     actor
-        .delta(DeltaRequest {
-            id: 0,
-            cluster: shape2,
-            delta: ClusterDelta::RankRemoved { rank: 0 },
-        })
+        .delta(DeltaRequest::new(0, shape2, ClusterDelta::RankRemoved { rank: 0 }))
         .expect("second delta");
     let stats = watcher.stats().expect("round-trip after unsubscribe");
     assert!(stats.deltas.waves >= 2);
@@ -266,16 +262,19 @@ fn mux_event_stream_receives_events() {
     let other = server.mux_client();
     let rank = cluster.inference_ranks()[0];
     other
-        .delta(DeltaRequest {
-            id: 0,
-            cluster: cluster.clone(),
-            delta: ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.9 },
-        })
+        .delta(DeltaRequest::new(
+            0,
+            cluster.clone(),
+            ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.9 },
+        ))
         .expect("delta");
 
-    let (_, first) = events.next_timeout(Duration::from_secs(30)).expect("event arrives");
+    let first = events.next_timeout(Duration::from_secs(30)).expect("event arrives");
     assert!(
-        matches!(first, ServerEvent::CacheInvalidated { .. }),
+        matches!(
+            first,
+            qsync_client::EventItem::Event { event: ServerEvent::CacheInvalidated { .. }, .. }
+        ),
         "invalidation leads the stream, got {first:?}"
     );
     server.stop();

@@ -1,0 +1,71 @@
+//! The overhead guard: "cheap enough for the hot path" is enforced, not
+//! asserted. Cache-hit serving — the hottest instrumented path (latency
+//! histogram record, trace branch, cache counters) — is timed with the
+//! instruments recording and with them compiled down to a branch
+//! ([`ServeObs::disabled`]); recording may not cost more than a few percent.
+//!
+//! Timing on a shared 1-core CI host is noisy, so the measurement is damped:
+//! several interleaved trials per configuration, best trial wins (the
+//! minimum per-op time is the one least polluted by scheduler preemption),
+//! and a small absolute floor keeps sub-microsecond jitter from failing a
+//! ratio computed over ~30 µs operations.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use qsync_cluster::topology::ClusterSpec;
+use qsync_serve::{ModelSpec, PlanEngine, PlanOutcome, PlanRequest, ServeObs};
+
+const ITERS: u32 = 4_000;
+const TRIALS: u32 = 5;
+
+/// Best-of-trials nanoseconds per cache hit on `engine`.
+fn best_ns_per_hit(engine: &PlanEngine, request: &PlanRequest) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let started = Instant::now();
+        for _ in 0..ITERS {
+            let response = engine.plan(request).expect("valid request");
+            assert_eq!(response.outcome, PlanOutcome::CacheHit);
+        }
+        best = best.min(started.elapsed().as_nanos() as f64 / f64::from(ITERS));
+    }
+    best
+}
+
+#[test]
+fn metrics_recording_costs_at_most_three_percent_of_hit_serving() {
+    let request = PlanRequest::new(
+        0,
+        ModelSpec::SmallMlp { batch: 16, in_features: 32, hidden: 64, classes: 8 },
+        ClusterSpec::hybrid_small(),
+    );
+    let enabled = PlanEngine::new();
+    let disabled = PlanEngine::new().with_obs(Arc::new(ServeObs::disabled()));
+    assert!(enabled.obs().is_enabled());
+    assert!(!disabled.obs().is_enabled());
+    enabled.plan(&request).expect("warm the enabled engine");
+    disabled.plan(&request).expect("warm the disabled engine");
+
+    // Interleave whole measurement passes so a background load spike hits
+    // both configurations, then keep each one's best.
+    let mut on = f64::INFINITY;
+    let mut off = f64::INFINITY;
+    for _ in 0..2 {
+        on = on.min(best_ns_per_hit(&enabled, &request));
+        off = off.min(best_ns_per_hit(&disabled, &request));
+    }
+
+    // 3% relative, with a 2 µs absolute floor so one preempted timeslice on
+    // a busy single-core host cannot fail the ratio. The claim is about the
+    // optimized record path; unoptimized builds pay real function-call cost
+    // per instrument, so debug only guards against something egregious
+    // (a lock or allocation on the hot path blows far past 25%).
+    let (relative, floor_ns) = if cfg!(debug_assertions) { (0.25, 5_000.0) } else { (0.03, 2_000.0) };
+    let budget_ns = (off * relative).max(floor_ns);
+    assert!(
+        on <= off + budget_ns,
+        "instrumented hit serving is too slow: {on:.0} ns/hit vs {off:.0} ns/hit disabled \
+         (budget {budget_ns:.0} ns)"
+    );
+}

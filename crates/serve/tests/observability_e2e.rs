@@ -1,0 +1,233 @@
+//! End-to-end observability: request traces reconstructable over the wire,
+//! delta-wave events stamped with their originating trace id, the `Metrics`
+//! command reporting every layer, and the slow-subscriber path — dropped
+//! events counted, surfaced as client-side gaps, and recovered via `Resync`.
+
+use std::time::{Duration, Instant};
+
+use qsync_client::EventItem;
+use qsync_cluster::topology::ClusterSpec;
+use qsync_serve::{
+    ClusterDelta, DeltaRequest, ModelSpec, PlanRequest, PlanServer, ServerEvent, TransportConfig,
+};
+
+mod common;
+use common::TestServer;
+
+fn mlp_request(id: u64, cluster: &ClusterSpec) -> PlanRequest {
+    PlanRequest::new(
+        id,
+        ModelSpec::SmallMlp { batch: 8, in_features: 16, hidden: 32, classes: 4 },
+        cluster.clone(),
+    )
+}
+
+fn degrade(cluster: &ClusterSpec, memory_fraction: f64) -> DeltaRequest {
+    let rank = cluster.inference_ranks()[0];
+    DeltaRequest::new(
+        0,
+        cluster.clone(),
+        ClusterDelta::Degraded { rank, memory_fraction, compute_fraction: 0.95 },
+    )
+}
+
+/// Poll `Trace` until the trace contains `stage` (the final span of a
+/// request lands moments after its reply line, so an immediate query can
+/// race it) or the deadline passes.
+fn wait_for_stage(mux: &qsync_client::MuxClient, trace_id: u64, stage: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let spans = mux.trace(trace_id, None).expect("trace query");
+        if spans.iter().any(|s| s.stage == stage) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "trace {trace_id} never grew a {stage:?} span; have {:?}",
+            spans.iter().map(|s| s.stage.clone()).collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn trace_reconstructs_the_request_lifecycle_end_to_end() {
+    let cluster = ClusterSpec::hybrid_small();
+    let server = TestServer::spawn(PlanServer::new(2));
+    let mux = server.mux_client();
+
+    // Cold request: the server mints the trace id and echoes it.
+    let cold = mux.plan(mlp_request(0, &cluster)).expect("cold plan");
+    let cold_tid = cold.trace_id.expect("server minted a trace id");
+    assert_ne!(cold_tid, 0);
+    wait_for_stage(&mux, cold_tid, "reply_write");
+    let spans = mux.trace(cold_tid, None).expect("trace query");
+    let stages: Vec<&str> = spans.iter().map(|s| s.stage.as_str()).collect();
+    for expected in ["parse", "dispatch", "cold_plan", "reply_write"] {
+        assert!(stages.contains(&expected), "missing {expected:?} span in {stages:?}");
+    }
+    // Spans arrive oldest-first and every one carries the same trace id.
+    assert!(spans.windows(2).all(|w| w[0].start_us <= w[1].start_us), "spans out of order");
+    assert!(spans.iter().all(|s| s.trace_id == cold_tid));
+    let cold_span = spans.iter().find(|s| s.stage == "cold_plan").expect("cold_plan span");
+    assert_eq!(cold_span.detail, cold.key, "the planning span names the cache key");
+
+    // Hit request with a caller-chosen trace id: respected, not re-minted.
+    let mut request = mlp_request(0, &cluster);
+    request.trace_id = Some(424_242);
+    let hit = mux.plan(request).expect("cache hit");
+    assert_eq!(hit.trace_id, Some(424_242));
+    wait_for_stage(&mux, 424_242, "reply_write");
+    let spans = mux.trace(424_242, None).expect("trace query");
+    let stages: Vec<&str> = spans.iter().map(|s| s.stage.as_str()).collect();
+    for expected in ["parse", "dispatch", "cache_hit", "reply_write"] {
+        assert!(stages.contains(&expected), "missing {expected:?} span in {stages:?}");
+    }
+
+    server.stop();
+}
+
+#[test]
+fn delta_wave_events_carry_the_originating_trace_id() {
+    let cluster = ClusterSpec::hybrid_small();
+    let server = TestServer::spawn(PlanServer::new(2));
+    let watcher = server.mux_client();
+    let actor = server.mux_client();
+
+    actor.plan(mlp_request(0, &cluster)).expect("populate the cache");
+    let events = watcher.subscribe().expect("subscribe");
+
+    let mut delta = degrade(&cluster, 0.5);
+    delta.trace_id = Some(777);
+    let outcome = actor.delta(delta).expect("delta applies");
+    assert_eq!(outcome.trace_id, Some(777), "the delta reply echoes its trace id");
+
+    let mut kinds = Vec::new();
+    while kinds.len() < 3 {
+        let item = events.next_timeout(Duration::from_secs(30)).expect("wave event");
+        let EventItem::Event { event, .. } = item else {
+            panic!("no events may drop in this test, got {item:?}")
+        };
+        assert_eq!(event.trace_id(), 777, "event lost its originating trace id: {event:?}");
+        kinds.push(match event {
+            ServerEvent::CacheInvalidated { .. } => "invalidated",
+            ServerEvent::Replanned { .. } => "replanned",
+            ServerEvent::DeltaApplied { .. } => "applied",
+        });
+    }
+    assert_eq!(kinds, ["invalidated", "replanned", "applied"]);
+
+    server.stop();
+}
+
+#[test]
+fn metrics_command_reports_every_layer() {
+    let cluster = ClusterSpec::hybrid_small();
+    let server = TestServer::spawn(PlanServer::new(2));
+    let mux = server.mux_client();
+
+    mux.plan(mlp_request(0, &cluster)).expect("cold");
+    mux.plan(mlp_request(0, &cluster)).expect("hit");
+    mux.delta(degrade(&cluster, 0.5)).expect("delta");
+
+    let metrics = mux.metrics().expect("metrics");
+    // Transport layer.
+    assert!(metrics.counter("qsync_transport_accepts_total").unwrap() >= 1);
+    assert!(metrics.counter("qsync_transport_bytes_in_total").unwrap() > 0);
+    assert!(metrics.histogram("qsync_transport_frame_bytes").unwrap().count >= 3);
+    assert!(metrics.gauge("qsync_transport_conns_open").unwrap() >= 1);
+    // Scheduler layer: dispatch latency plus per-class derived counters.
+    assert!(metrics.histogram("qsync_sched_dispatch_wait_ms").unwrap().count >= 2);
+    assert!(metrics.counter("qsync_sched_dispatched{class=\"interactive\"}").is_some());
+    assert!(metrics.gauge("qsync_sched_queue_depth{class=\"batch\"}").is_some());
+    // Engine / cache layer.
+    assert_eq!(metrics.counter("qsync_cache_hits_total"), Some(1));
+    assert_eq!(metrics.counter("qsync_cache_misses_total"), Some(1));
+    assert_eq!(metrics.histogram("qsync_plan_latency_us{kind=\"cold\"}").unwrap().count, 1);
+    assert_eq!(metrics.histogram("qsync_plan_latency_us{kind=\"hit\"}").unwrap().count, 1);
+    let cold = metrics.histogram("qsync_plan_latency_us{kind=\"cold\"}").unwrap();
+    assert!(cold.p50() > 0, "cold latency histogram records real time");
+    // Delta pipeline.
+    assert_eq!(metrics.counter("qsync_delta_waves_total"), Some(1));
+    assert_eq!(metrics.histogram("qsync_delta_wave_width").unwrap().count, 1);
+    assert_eq!(metrics.histogram("qsync_plan_latency_us{kind=\"warm\"}").unwrap().count, 1);
+    assert!(metrics.histogram("qsync_delta_fanout_us").unwrap().count >= 1);
+    // And the whole snapshot renders as parseable text exposition.
+    let text = metrics.render_prometheus();
+    assert!(text.contains("# TYPE qsync_plan_latency_us histogram"));
+    assert!(text.contains("qsync_cache_hits_total 1"));
+
+    server.stop();
+}
+
+#[test]
+fn slow_subscriber_drops_are_counted_surfaced_as_gaps_and_resynced() {
+    let cluster = ClusterSpec::hybrid_small();
+    // A zero event-outbox cap sheds any event broadcast while the previous
+    // one is still un-flushed — with each wave emitting several events
+    // back-to-back from the executor thread, drops are guaranteed under
+    // load while replies stay lossless.
+    let server = TestServer::spawn(
+        PlanServer::new(2)
+            .with_transport(TransportConfig { event_outbox_cap: 0, ..TransportConfig::default() }),
+    );
+    let watcher = server.mux_client();
+    let actor = server.mux_client();
+
+    actor.plan(mlp_request(0, &cluster)).expect("populate the cache");
+    let events = watcher.subscribe().expect("subscribe");
+
+    // Flood: a chain of 8 degrade waves, each invalidating and re-planning
+    // the (single) cached entry, each broadcasting 3 events.
+    let mut shape = cluster.clone();
+    for i in 0..8 {
+        let fraction = 0.9 - 0.05 * i as f64;
+        let delta = degrade(&shape, fraction);
+        shape = delta.delta.apply(&shape).expect("delta applies to the running shape");
+        actor.delta(delta).expect("delta applies");
+    }
+
+    // Drain what made it through; gaps surface as explicit items.
+    let mut delivered = 0u64;
+    let mut missed = 0u64;
+    while let Some(item) = events.next_timeout(Duration::from_millis(300)) {
+        match item {
+            EventItem::Event { .. } => delivered += 1,
+            EventItem::Gap { .. } => missed += item.missed(),
+        }
+    }
+
+    let stats = actor.stats().expect("stats");
+    assert_eq!(stats.subscribers.len(), 1, "one subscriber registered");
+    let dropped = stats.subscribers[0].dropped;
+    assert!(dropped > 0, "the flood must shed events under a zero outbox cap");
+    assert!(missed > 0, "shed events must surface as explicit gap items");
+    assert!(missed <= dropped, "gaps cannot exceed the server's drop count");
+
+    // Resync: authoritative state, a fresh baseline, and a reset counter.
+    let resync = watcher.resync().expect("resync");
+    assert_eq!(resync.dropped, dropped, "resync reports (and claims) the dropped count");
+    assert_eq!(
+        resync.seq,
+        delivered + dropped,
+        "every broadcast either arrived or was counted dropped"
+    );
+    assert_eq!(resync.keys.len(), 1, "one entry cached after the degrade chain");
+    let after = actor.stats().expect("stats after resync");
+    assert_eq!(after.subscribers[0].dropped, 0, "resync resets the dropped counter");
+
+    // The stream resumes against the new baseline: the next wave's events
+    // either arrive at (or past) the baseline or raise a gap anchored on it.
+    events.reset_baseline(resync.seq);
+    actor.delta(degrade(&shape, 0.45)).expect("post-resync delta");
+    let item = events.next_timeout(Duration::from_secs(30)).expect("stream resumes");
+    match item {
+        EventItem::Event { seq, .. } => assert!(seq >= resync.seq),
+        EventItem::Gap { expected, got } => {
+            assert_eq!(expected, resync.seq);
+            assert!(got > expected);
+        }
+    }
+
+    server.stop();
+}

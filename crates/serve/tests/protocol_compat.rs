@@ -6,10 +6,12 @@
 //! the pre-envelope server's bytes.
 //!
 //! Normalization (documented, mechanical): `elapsed_us` values are zeroed
-//! (wall-clock), and `sched` objects inside `Stats` replies are nulled (the
-//! `completed`/`active` counters race the worker's dispatch-drop by design).
-//! Everything else — plans, fingerprints, error strings, cache counters — is
-//! deterministic and compared verbatim.
+//! (wall-clock), `sched` objects inside `Stats` replies are nulled (the
+//! `completed`/`active` counters race the worker's dispatch-drop by design),
+//! and `metrics` payloads are nulled (latency histograms are wall-clock
+//! through and through; the snapshot's *shape* is pinned by `qsync-obs`'s
+//! own tests). Everything else — plans, fingerprints, error strings, cache
+//! counters — is deterministic and compared verbatim.
 //!
 //! Regenerate after an intentional change with
 //! `QSYNC_REGEN_GOLDEN=1 cargo test -p qsync-serve --test protocol_compat`
@@ -44,7 +46,7 @@ fn scrub(value: &mut serde::Value) {
             for (key, val) in pairs.iter_mut() {
                 match key.as_str() {
                     "elapsed_us" => *val = serde::Value::Number(serde::Number::U64(0)),
-                    "sched" => *val = serde::Value::Null,
+                    "sched" | "metrics" => *val = serde::Value::Null,
                     _ => scrub(val),
                 }
             }

@@ -24,11 +24,11 @@ fn cnn() -> ModelSpec {
 /// Degrade the cluster's first inference rank to the given memory fraction.
 fn degrade(id: u64, cluster: &ClusterSpec, memory_fraction: f64) -> DeltaRequest {
     let rank = cluster.inference_ranks()[0];
-    DeltaRequest {
+    DeltaRequest::new(
         id,
-        cluster: cluster.clone(),
-        delta: ClusterDelta::Degraded { rank, memory_fraction, compute_fraction: 0.9 },
-    }
+        cluster.clone(),
+        ClusterDelta::Degraded { rank, memory_fraction, compute_fraction: 0.9 },
+    )
 }
 
 /// Pre-warm an engine with two model entries on `cluster`.
@@ -54,15 +54,15 @@ fn batched_deltas_match_serial_application_byte_identically() {
     let d2 = degrade(11, &shape1, 0.4);
     let shape2 = d2.delta.apply(&shape1).unwrap();
     let r2 = serial.apply_delta(&d2).unwrap();
-    let d3 = DeltaRequest {
-        id: 12,
-        cluster: shape2.clone(),
-        delta: ClusterDelta::RankAdded {
+    let d3 = DeltaRequest::new(
+        12,
+        shape2.clone(),
+        ClusterDelta::RankAdded {
             model: qsync_cluster::device::GpuModel::T4,
             memory_fraction: 1.0,
             compute_fraction: 1.0,
         },
-    };
+    );
     let shape3 = d3.delta.apply(&shape2).unwrap();
     let r3 = serial.apply_delta(&d3).unwrap();
     assert_eq!(r2.replanned.len(), 2);
@@ -74,7 +74,7 @@ fn batched_deltas_match_serial_application_byte_identically() {
     let concurrent = [
         degrade(20, &base, 0.6),
         degrade(21, &base, 0.4),
-        DeltaRequest { id: 22, cluster: base.clone(), delta: d3.delta.clone() },
+        DeltaRequest::new(22, base.clone(), d3.delta.clone()),
     ];
     let outcomes = batched.apply_deltas_with(&concurrent, |chains| {
         chains.iter().map(|c| batched.run_replan_chain(c)).collect()

@@ -35,11 +35,11 @@ fn full_lifecycle_request_plan_delta_replan() {
     // 3. An inference device degrades; the cached entry is invalidated and
     //    re-planned warm against the new shape.
     let rank = cluster.inference_ranks()[0];
-    let delta = DeltaRequest {
-        id: 3,
-        cluster: cluster.clone(),
-        delta: ClusterDelta::Degraded { rank, memory_fraction: 0.35, compute_fraction: 0.9 },
-    };
+    let delta = DeltaRequest::new(
+        3,
+        cluster.clone(),
+        ClusterDelta::Degraded { rank, memory_fraction: 0.35, compute_fraction: 0.9 },
+    );
     let outcome = engine.apply_delta(&delta).unwrap();
     assert_eq!(outcome.invalidated, 1);
     assert_eq!(outcome.replanned.len(), 1);
@@ -68,26 +68,22 @@ fn rank_changes_invalidate_and_replan() {
     engine.plan(&PlanRequest::new(1, mlp(), cluster.clone())).unwrap();
 
     // A T4 joins.
-    let join = DeltaRequest {
-        id: 2,
-        cluster: cluster.clone(),
-        delta: ClusterDelta::RankAdded {
+    let join = DeltaRequest::new(
+        2,
+        cluster.clone(),
+        ClusterDelta::RankAdded {
             model: GpuModel::T4,
             memory_fraction: 1.0,
             compute_fraction: 1.0,
         },
-    };
+    );
     let joined = engine.apply_delta(&join).unwrap();
     assert_eq!(joined.invalidated, 1);
     let grown = join.delta.apply(&cluster).unwrap();
     assert_eq!(grown.world_size(), 3);
 
     // The same T4 leaves again: plans keyed to the grown cluster are evicted.
-    let leave = DeltaRequest {
-        id: 3,
-        cluster: grown.clone(),
-        delta: ClusterDelta::RankRemoved { rank: 2 },
-    };
+    let leave = DeltaRequest::new(3, grown.clone(), ClusterDelta::RankRemoved { rank: 2 });
     let left = engine.apply_delta(&leave).unwrap();
     assert_eq!(left.invalidated, 1);
     assert_eq!(left.replanned.len(), 1);
@@ -137,11 +133,11 @@ fn line_protocol_serves_plans_and_deltas_in_order() {
         input.push('\n');
     }
     let rank = cluster.inference_ranks()[0];
-    let delta = ServerCommand::Delta(DeltaRequest {
-        id: 100,
-        cluster: cluster.clone(),
-        delta: ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 1.0 },
-    });
+    let delta = ServerCommand::Delta(DeltaRequest::new(
+        100,
+        cluster.clone(),
+        ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 1.0 },
+    ));
     input.push_str(&serde_json::to_string(&delta).unwrap());
     input.push('\n');
     input.push_str(&serde_json::to_string(&ServerCommand::Stats { id: 101 }).unwrap());

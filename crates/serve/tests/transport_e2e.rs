@@ -243,11 +243,11 @@ fn stats_mid_delta_quiesce_answers_immediately() {
         batch.push('\n');
     }
     let rank = cluster.inference_ranks()[0];
-    let delta = DeltaRequest {
-        id: 500,
-        cluster: cluster.clone(),
-        delta: ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 },
-    };
+    let delta = DeltaRequest::new(
+        500,
+        cluster.clone(),
+        ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 0.9 },
+    );
     batch.push_str(&serde_json::to_string(&ServerCommand::Delta(delta)).unwrap());
     batch.push('\n');
     batch.push_str(&serde_json::to_string(&ServerCommand::Stats { id: 600 }).unwrap());

@@ -73,11 +73,11 @@ fn main() {
     //    without polling.
     let rank = cluster.inference_ranks()[0];
     let outcome = client
-        .delta(DeltaRequest {
-            id: 0,
-            cluster: cluster.clone(),
-            delta: ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.9 },
-        })
+        .delta(DeltaRequest::new(
+            0,
+            cluster.clone(),
+            ClusterDelta::Degraded { rank, memory_fraction: 0.4, compute_fraction: 0.9 },
+        ))
         .expect("delta applies");
     println!(
         "[delta] invalidated={}  replanned={}  {} -> {}",
@@ -95,9 +95,12 @@ fn main() {
         warm.promotions_accepted,
         warm.elapsed_us
     );
-    while let Some((seq, event)) = events.next_timeout(std::time::Duration::from_secs(5)) {
+    while let Some(item) = events.next_timeout(std::time::Duration::from_secs(5)) {
+        let qsync_client::EventItem::Event { seq, event } = item else {
+            continue; // a gap marker: this demo has no slow consumer
+        };
         match event {
-            ServerEvent::CacheInvalidated { keys } => {
+            ServerEvent::CacheInvalidated { keys, .. } => {
                 println!("[event {seq}] cache invalidated: {} key(s)", keys.len());
             }
             ServerEvent::Replanned { key, outcome, .. } => {

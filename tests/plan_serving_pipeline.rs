@@ -52,11 +52,11 @@ fn served_plans_respect_pipeline_invariants_across_the_lifecycle() {
 
     // Degrade an inference device and warm re-plan.
     let rank = cluster.inference_ranks()[0];
-    let delta = DeltaRequest {
-        id: 3,
-        cluster: cluster.clone(),
-        delta: ClusterDelta::Degraded { rank, memory_fraction: 0.3, compute_fraction: 0.8 },
-    };
+    let delta = DeltaRequest::new(
+        3,
+        cluster.clone(),
+        ClusterDelta::Degraded { rank, memory_fraction: 0.3, compute_fraction: 0.8 },
+    );
     let outcome = engine.apply_delta(&delta).unwrap();
     assert_eq!(outcome.replanned.len(), 1);
     let warm = &outcome.replanned[0];
@@ -82,11 +82,11 @@ fn warm_and_cold_replans_agree_on_feasibility() {
     engine.plan(&PlanRequest::new(1, spec(), cluster.clone())).unwrap();
 
     let rank = cluster.inference_ranks()[0];
-    let delta = DeltaRequest {
-        id: 2,
-        cluster: cluster.clone(),
-        delta: ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 1.0 },
-    };
+    let delta = DeltaRequest::new(
+        2,
+        cluster.clone(),
+        ClusterDelta::Degraded { rank, memory_fraction: 0.5, compute_fraction: 1.0 },
+    );
     let warm = engine.apply_delta(&delta).unwrap().replanned[0].clone();
 
     let degraded = delta.delta.apply(&cluster).unwrap();
