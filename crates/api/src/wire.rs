@@ -167,7 +167,9 @@ pub enum ServerEvent {
     CacheInvalidated {
         /// Cache keys evicted by the wave (deterministic order).
         keys: Vec<String>,
-        /// Trace id of the delta leading the wave (0 on untraced paths).
+        /// Trace id of the delta leading the wave (0 on untraced paths;
+        /// absent in pre-observability events, deserializing to 0).
+        #[serde(default)]
         trace_id: u64,
     },
     /// One evicted entry finished its warm re-plan.
@@ -180,7 +182,9 @@ pub enum ServerEvent {
         /// Predicted iteration latency of the new plan (microseconds).
         predicted_iteration_us: f64,
         /// Trace id of the delta whose wave caused this re-plan (0 on
-        /// untraced paths).
+        /// untraced paths; absent in pre-observability events, deserializing
+        /// to 0).
+        #[serde(default)]
         trace_id: u64,
     },
     /// A delta request completed; its submitter has received the
@@ -196,7 +200,9 @@ pub enum ServerEvent {
         invalidated: usize,
         /// Warm re-plans carried by this delta's response.
         replanned: usize,
-        /// The delta's trace id (0 on untraced paths).
+        /// The delta's trace id (0 on untraced paths; absent in
+        /// pre-observability events, deserializing to 0).
+        #[serde(default)]
         trace_id: u64,
     },
 }
@@ -240,6 +246,7 @@ pub enum ServerReply {
         /// Per-subscriber event accounting (slow-consumer drops). Empty from
         /// the one-shot path and when no connection is subscribed; absent in
         /// pre-observability replies (deserializes to empty).
+        #[serde(default)]
         subscribers: Vec<SubscriberStats>,
     },
     /// Outcome of a `Cancel` command.
@@ -636,6 +643,43 @@ mod tests {
         let sub = ServerCommand::Subscribe { id: 43 };
         let line = serde_json::to_string(&RequestEnvelope::v1(sub.clone())).unwrap();
         assert_eq!(parse_line(&line).unwrap().cmd, sub);
+    }
+
+    #[test]
+    fn pre_observability_reply_lines_still_parse() {
+        // Golden lines captured from a pre-observability server (no
+        // `subscribers` in Stats, no `trace_id` on events). A client built
+        // from this crate must keep deserializing them: both sides still
+        // negotiate protocol v1, so version negotiation cannot shield a
+        // mixed-version deployment from a missing-field break.
+        let stats_line = r#"{"Stats":{"id":1,"stats":{"hits":4,"misses":2,"invalidated":1,"evicted":0,"entries":3},"sched":null,"deltas":{"waves":1,"events":2,"batched_replans":3}}}"#;
+        let reply: ServerReply = serde_json::from_str(stats_line).unwrap();
+        match reply {
+            ServerReply::Stats { id, stats, subscribers, .. } => {
+                assert_eq!(id, 1);
+                assert_eq!(stats.hits, 4);
+                assert!(subscribers.is_empty(), "absent subscribers deserialize to empty");
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        let event_lines = [
+            r#"{"Event":{"seq":5,"event":{"CacheInvalidated":{"keys":["k1","k2"]}}}}"#,
+            r#"{"Event":{"seq":6,"event":{"Replanned":{"key":"k1","outcome":"WarmReplanned","predicted_iteration_us":12.5}}}}"#,
+            r#"{"Event":{"seq":7,"event":{"DeltaApplied":{"id":9,"old_cluster_fingerprint":"aa","new_cluster_fingerprint":"bb","invalidated":2,"replanned":2}}}}"#,
+        ];
+        for line in event_lines {
+            let reply: ServerReply = serde_json::from_str(line).unwrap();
+            match reply {
+                ServerReply::Event { event, .. } => {
+                    assert_eq!(event.trace_id(), 0, "absent trace_id deserializes to 0: {line}");
+                }
+                other => panic!("expected Event, got {other:?}"),
+            }
+            // The v1-enveloped form of the same lines must parse too.
+            let enveloped = format!(r#"{{"v":1,"reply":{}}}"#, line);
+            let back: ReplyEnvelope = serde_json::from_str(&enveloped).unwrap();
+            assert_eq!(back.v, 1);
+        }
     }
 
     #[test]

@@ -377,46 +377,77 @@ impl MetricsSnapshot {
         self.histograms.iter().find(|h| h.name == name).map(|h| &h.histogram)
     }
 
-    /// Render the Prometheus-style text exposition: `# TYPE` lines, one
-    /// sample per counter/gauge, and cumulative `_bucket{le="…"}` series
-    /// (plus `_sum`/`_count`) per histogram. Names carrying a
-    /// `{label="value"}` block keep it; the `le` label is spliced in.
+    /// Render the Prometheus-style text exposition: one `# TYPE` line per
+    /// *base* metric name (labeled series sharing a base — e.g.
+    /// `qsync_plan_latency_us{kind="cold"|"warm"}` — are grouped under a
+    /// single declaration, as the text-format parser requires), one sample
+    /// per counter/gauge, and cumulative `_bucket{le="…"}` series (plus
+    /// `_sum`/`_count`) per histogram. Names carrying a `{label="value"}`
+    /// block keep it; the `le` label is spliced in.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        for c in &self.counters {
-            let (base, _) = split_labels(&c.name);
-            out.push_str(&format!("# TYPE {base} counter\n{} {}\n", c.name, c.value));
-        }
-        for g in &self.gauges {
-            let (base, _) = split_labels(&g.name);
-            out.push_str(&format!("# TYPE {base} gauge\n{} {}\n", g.name, g.value));
-        }
-        for h in &self.histograms {
-            let (base, labels) = split_labels(&h.name);
-            out.push_str(&format!("# TYPE {base} histogram\n"));
-            let mut cumulative = 0u64;
-            for bucket in &h.histogram.buckets {
-                cumulative += bucket.count;
-                let le = bucket_upper_bound(bucket.index as usize);
-                out.push_str(&format!(
-                    "{base}_bucket{{{}le=\"{le}\"}} {cumulative}\n",
-                    labels_prefix(labels)
-                ));
+        let counter_names: Vec<&str> = self.counters.iter().map(|c| c.name.as_str()).collect();
+        for (base, idxs) in group_by_base(&counter_names) {
+            out.push_str(&format!("# TYPE {base} counter\n"));
+            for i in idxs {
+                let c = &self.counters[i];
+                out.push_str(&format!("{} {}\n", c.name, c.value));
             }
-            out.push_str(&format!(
-                "{base}_bucket{{{}le=\"+Inf\"}} {}\n",
-                labels_prefix(labels),
-                h.histogram.count
-            ));
-            let suffix = match labels {
-                Some(l) => format!("{{{l}}}"),
-                None => String::new(),
-            };
-            out.push_str(&format!("{base}_sum{suffix} {}\n", h.histogram.sum));
-            out.push_str(&format!("{base}_count{suffix} {}\n", h.histogram.count));
+        }
+        let gauge_names: Vec<&str> = self.gauges.iter().map(|g| g.name.as_str()).collect();
+        for (base, idxs) in group_by_base(&gauge_names) {
+            out.push_str(&format!("# TYPE {base} gauge\n"));
+            for i in idxs {
+                let g = &self.gauges[i];
+                out.push_str(&format!("{} {}\n", g.name, g.value));
+            }
+        }
+        let hist_names: Vec<&str> = self.histograms.iter().map(|h| h.name.as_str()).collect();
+        for (base, idxs) in group_by_base(&hist_names) {
+            out.push_str(&format!("# TYPE {base} histogram\n"));
+            for i in idxs {
+                let h = &self.histograms[i];
+                let (_, labels) = split_labels(&h.name);
+                let mut cumulative = 0u64;
+                for bucket in &h.histogram.buckets {
+                    cumulative += bucket.count;
+                    let le = bucket_upper_bound(bucket.index as usize);
+                    out.push_str(&format!(
+                        "{base}_bucket{{{}le=\"{le}\"}} {cumulative}\n",
+                        labels_prefix(labels)
+                    ));
+                }
+                out.push_str(&format!(
+                    "{base}_bucket{{{}le=\"+Inf\"}} {}\n",
+                    labels_prefix(labels),
+                    h.histogram.count
+                ));
+                let suffix = match labels {
+                    Some(l) => format!("{{{l}}}"),
+                    None => String::new(),
+                };
+                out.push_str(&format!("{base}_sum{suffix} {}\n", h.histogram.sum));
+                out.push_str(&format!("{base}_count{suffix} {}\n", h.histogram.count));
+            }
         }
         out
     }
+}
+
+/// Group metric names by base (label block stripped), preserving the
+/// first-appearance order of bases and the entry order within each group.
+/// The Prometheus text format allows at most one `# TYPE` line per metric
+/// name and wants all of a name's series contiguous.
+fn group_by_base(names: &[&str]) -> Vec<(String, Vec<usize>)> {
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let (base, _) = split_labels(name);
+        match groups.iter_mut().find(|(b, _)| b == base) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((base.to_string(), vec![i])),
+        }
+    }
+    groups
 }
 
 /// Split `name{a="b"}` into `("name", Some("a=\"b\""))`.
@@ -705,6 +736,42 @@ mod tests {
         assert!(text.contains("qsync_plan_us_bucket{kind=\"cold\",le=\"+Inf\"} 2"), "{text}");
         assert!(text.contains("qsync_plan_us_sum{kind=\"cold\"} 30"), "{text}");
         assert!(text.contains("qsync_plan_us_count{kind=\"cold\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_rendering_declares_each_base_name_once() {
+        // Labeled series sharing a base name — the normal case for every
+        // per-kind/per-shard instrument — must sit under a single `# TYPE`
+        // declaration with all their samples contiguous, or the Prometheus
+        // text-format parser rejects the scrape.
+        let registry = Registry::new();
+        registry.counter("qsync_cache_hits{shard=\"0\"}").inc();
+        registry.gauge("qsync_queue_depth{class=\"interactive\"}").set(1);
+        for kind in ["cold", "warm", "hit"] {
+            registry.histogram(&format!("qsync_plan_latency_us{{kind=\"{kind}\"}}")).record(10);
+        }
+        registry.counter("qsync_accepts_total").inc();
+        registry.counter("qsync_cache_hits{shard=\"1\"}").inc();
+        registry.gauge("qsync_queue_depth{class=\"batch\"}").set(2);
+        let text = registry.snapshot().render_prometheus();
+        let mut declared = std::collections::HashSet::new();
+        let mut current = String::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(declared.insert(name.to_string()), "duplicate # TYPE for {name}:\n{text}");
+                current = name.to_string();
+            } else {
+                assert!(
+                    line.starts_with(&current),
+                    "sample outside its base's TYPE block: {line}\n{text}"
+                );
+            }
+        }
+        assert!(declared.contains("qsync_plan_latency_us"), "{text}");
+        assert!(text.contains("qsync_cache_hits{shard=\"0\"} 1"), "{text}");
+        assert!(text.contains("qsync_cache_hits{shard=\"1\"} 1"), "{text}");
+        assert!(text.contains("qsync_queue_depth{class=\"batch\"} 2"), "{text}");
     }
 
     #[test]

@@ -150,6 +150,7 @@ impl PlanEngine {
         let started = Instant::now();
         let key = request.cache_key();
         let trace_id = request.trace_id.unwrap_or(0);
+        let mut coalesced = false;
         let _guard = loop {
             if let Some(entry) = self.cache.peek(&key) {
                 self.cache.note_hit(&key);
@@ -176,8 +177,12 @@ impl PlanEngine {
                 break FlightGuard { engine: self, key: key.clone() };
             }
             // Someone else is planning this key; wait for them, then re-check
-            // the cache.
-            self.obs.singleflight_coalesced.inc();
+            // the cache. One request counts at most one coalesce, however
+            // many wait/miss passes it takes before it is served.
+            if !coalesced {
+                coalesced = true;
+                self.obs.singleflight_coalesced.inc();
+            }
             while flights.contains(&key) {
                 flights = self.flight_done.wait(flights).expect("in-flight set poisoned");
             }

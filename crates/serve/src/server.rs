@@ -421,8 +421,9 @@ impl ServeCore {
             Err(e) => conn.send_err(e.wire, e.error),
             Ok(parsed) => {
                 let mut cmd = parsed.cmd;
-                let trace_id = self.stamp_trace(&mut cmd);
-                if trace_id != 0 {
+                let mut stamped = Vec::new();
+                self.stamp_trace(&mut cmd, &mut stamped);
+                for trace_id in stamped {
                     obs.trace.span(
                         trace_id,
                         "parse",
@@ -436,29 +437,29 @@ impl ServeCore {
     }
 
     /// Ensure every plan/delta payload in `cmd` (recursing into batches)
-    /// carries a trace id, minting where the client chose none. Returns the
-    /// id of the outermost stamped payload (0 when the command has none —
-    /// stats reads, cancels and the like are not traced).
-    fn stamp_trace(&self, cmd: &mut ServerCommand) -> u64 {
+    /// carries a trace id, minting where the client chose none. Every
+    /// stamped id is pushed onto `stamped` — batch members included — so the
+    /// caller can record a `parse` span per traced payload (commands with no
+    /// payload — stats reads, cancels and the like — are not traced).
+    fn stamp_trace(&self, cmd: &mut ServerCommand, stamped: &mut Vec<u64>) {
         let trace = &self.engine.obs().trace;
         match cmd {
             ServerCommand::Plan(request) => {
                 let id = request.trace_id.filter(|&t| t != 0).unwrap_or_else(|| trace.mint());
                 request.trace_id = Some(id);
-                id
+                stamped.push(id);
             }
             ServerCommand::Delta(request) => {
                 let id = request.trace_id.filter(|&t| t != 0).unwrap_or_else(|| trace.mint());
                 request.trace_id = Some(id);
-                id
+                stamped.push(id);
             }
             ServerCommand::Batch { cmds, .. } => {
                 for inner in cmds.iter_mut() {
-                    self.stamp_trace(inner);
+                    self.stamp_trace(inner, stamped);
                 }
-                0
             }
-            _ => 0,
+            _ => {}
         }
     }
 
@@ -1167,6 +1168,45 @@ mod tests {
         assert_eq!(error.code, ErrorCode::InvalidField);
         assert_eq!(error.id, Some(30));
         assert_eq!(error.field.as_deref(), Some("cmds"));
+    }
+
+    #[test]
+    fn batch_members_get_parse_spans() {
+        let engine = PlanEngine::shared();
+        let handle = ServeCore::start(Arc::clone(&engine), 1, SchedConfig::default(), 4 << 20);
+        let (tx, _rx) = mpsc::channel();
+        let conn = handle.core.register_conn(Sink::Line(tx));
+        let plan: ServerCommand = serde_json::from_str(&plan_line(21)).unwrap();
+        let ServerCommand::Plan(mut request) = plan else { panic!("plan_line yields a Plan") };
+        request.trace_id = Some(555);
+        let mut delta_request = DeltaRequest::new(
+            22,
+            ClusterSpec::hybrid_small(),
+            qsync_api::ClusterDelta::Degraded {
+                rank: 0,
+                memory_fraction: 0.9,
+                compute_fraction: 0.9,
+            },
+        );
+        delta_request.trace_id = Some(556);
+        let batch = ServerCommand::Batch {
+            id: 20,
+            cmds: vec![ServerCommand::Plan(request), ServerCommand::Delta(delta_request)],
+        };
+        let line =
+            serde_json::to_string(&qsync_api::RequestEnvelope::v1(batch)).unwrap();
+        // The parse span is recorded synchronously in handle_line, before the
+        // inner commands dispatch — so it is visible as soon as the call
+        // returns, for every traced payload of the batch.
+        handle.core.handle_line(&conn, &line);
+        for trace_id in [555, 556] {
+            let spans = engine.obs().trace.spans_for(trace_id, 16);
+            assert!(
+                spans.iter().any(|s| s.stage == "parse"),
+                "batch member trace {trace_id} is missing its parse span: {spans:?}"
+            );
+        }
+        handle.stop();
     }
 
     #[test]

@@ -11,17 +11,29 @@
 //! * enums with unit, tuple and struct variants (externally tagged, like
 //!   serde's default representation).
 //!
-//! Generics and `#[serde(...)]` attributes are not supported and panic with a
-//! clear message at expansion time.
+//! Of serde's field attributes, only `#[serde(default)]` is supported: a
+//! missing (or `null`) field deserializes via `Default::default()`, matching
+//! crates.io serde — this is what keeps newer clients compatible with reply
+//! lines from older servers. Generics and every other `#[serde(...)]`
+//! attribute are not supported and panic with a clear message at expansion
+//! time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Data {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing or null value deserializes via
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -34,7 +46,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 /// Skip attributes (`#[...]`, including doc comments) and visibility
@@ -59,15 +71,62 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
     }
 }
 
-/// Parse the field names of a named-field body `{ a: T, b: U, ... }`.
-fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+/// Whether `attr` (the bracket group of a `#[...]` attribute) is a
+/// `#[serde(...)]` attribute containing `default`. Any other `#[serde(...)]`
+/// content panics: silently ignoring an attribute the caller wrote (rename,
+/// skip, flatten, ...) would change wire behavior without warning.
+fn serde_attr_is_default(attr: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            for t in args.stream() {
+                match &t {
+                    TokenTree::Ident(i) if i.to_string() == "default" => {}
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => panic!(
+                        "serde_derive (vendored): unsupported #[serde(...)] attribute content {other:?}; only `default` is implemented"
+                    ),
+                }
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Parse the fields of a named-field body `{ a: T, b: U, ... }`, honoring
+/// `#[serde(default)]` on each field.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attrs_and_vis(&tokens, i);
+        let mut default = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if serde_attr_is_default(g) {
+                            default = true;
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
         let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
-        fields.push(name.to_string());
+        fields.push(Field { name: name.to_string(), default });
         i += 1;
         // Expect `:` then the type; skip tokens until a comma at angle-depth 0.
         match tokens.get(i) {
@@ -203,6 +262,7 @@ fn gen_serialize(name: &str, data: &Data) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))"
                     )
@@ -241,10 +301,12 @@ fn gen_serialize(name: &str, data: &Data) -> String {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds =
+                                fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value({f}))"
                                     )
@@ -266,17 +328,27 @@ fn gen_serialize(name: &str, data: &Data) -> String {
     )
 }
 
+/// The deserialization expression for one named field read from the object
+/// value expression `src` (e.g. `__v` or `__payload`): default-marked fields
+/// fall back to `Default::default()` when the key is missing or null.
+fn named_field_init(type_name: &str, field: &Field, src: &str) -> String {
+    let f = &field.name;
+    if field.default {
+        format!(
+            "{f}: match {src}.get(\"{f}\") {{ ::std::option::Option::Some(__fv) if !::std::matches!(__fv, serde::Value::Null) => serde::Deserialize::from_value(__fv).map_err(|e| serde::Error::custom(::std::format!(\"{type_name}.{f}: {{e}}\")))?, _ => ::std::default::Default::default() }}"
+        )
+    } else {
+        format!(
+            "{f}: serde::Deserialize::from_value({src}.get(\"{f}\").unwrap_or(&serde::Value::Null)).map_err(|e| serde::Error::custom(::std::format!(\"{type_name}.{f}: {{e}}\")))?"
+        )
+    }
+}
+
 fn gen_deserialize(name: &str, data: &Data) -> String {
     let body = match data {
         Data::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: serde::Deserialize::from_value(__v.get(\"{f}\").unwrap_or(&serde::Value::Null)).map_err(|e| serde::Error::custom(::std::format!(\"{name}.{f}: {{e}}\")))?"
-                    )
-                })
-                .collect();
+            let inits: Vec<String> =
+                fields.iter().map(|f| named_field_init(name, f, "__v")).collect();
             format!(
                 "if __v.as_object().is_none() {{ return Err(serde::Error::custom(\"expected object for {name}\")); }}\nOk({name} {{ {} }})",
                 inits.join(", ")
@@ -322,13 +394,10 @@ fn gen_deserialize(name: &str, data: &Data) -> String {
                             ))
                         }
                         VariantKind::Named(fields) => {
+                            let type_name = format!("{name}::{vn}");
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: serde::Deserialize::from_value(__payload.get(\"{f}\").unwrap_or(&serde::Value::Null))?"
-                                    )
-                                })
+                                .map(|f| named_field_init(&type_name, f, "__payload"))
                                 .collect();
                             Some(format!(
                                 "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
