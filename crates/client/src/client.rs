@@ -13,6 +13,7 @@ use qsync_api::{
 
 use crate::error::{ClientError, Result};
 use crate::raw::{RawClient, DEFAULT_TIMEOUT};
+use crate::retry::RetryPolicy;
 
 /// The counters of one `Stats` reply.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,8 +54,32 @@ pub struct ResyncSnapshot {
 ///
 /// For many requests in flight over one socket, use
 /// [`MuxClient`](crate::MuxClient).
+///
+/// With a [`RetryPolicy`] installed ([`connect_with_retry`] or
+/// [`set_retry_policy`]), idempotent calls — [`plan`], [`stats`],
+/// [`metrics`], [`trace`], [`resync`] — transparently reconnect and resend
+/// on transport failures. Non-idempotent calls ([`delta`], [`cancel`],
+/// [`subscribe`], [`unsubscribe`]) are **never** retried; see the
+/// [`retry`](crate::retry) module for the reasoning.
+///
+/// [`connect_with_retry`]: Client::connect_with_retry
+/// [`set_retry_policy`]: Client::set_retry_policy
+/// [`plan`]: Client::plan
+/// [`stats`]: Client::stats
+/// [`metrics`]: Client::metrics
+/// [`trace`]: Client::trace
+/// [`resync`]: Client::resync
+/// [`delta`]: Client::delta
+/// [`cancel`]: Client::cancel
+/// [`subscribe`]: Client::subscribe
+/// [`unsubscribe`]: Client::unsubscribe
 pub struct Client {
     raw: RawClient,
+    /// Where we connected — kept for retry reconnects.
+    addr: SocketAddr,
+    /// Socket read/write timeout applied to the connection (and reconnects).
+    timeout: Duration,
+    retry: Option<RetryPolicy>,
     /// Server-advertised protocol range (from the connect handshake).
     server_versions: (u32, u32),
     /// Server software identifier (from the connect handshake).
@@ -75,25 +100,79 @@ impl Client {
         let raw = RawClient::connect_timeout(addr, timeout)?;
         let mut client = Client {
             raw,
+            addr,
+            timeout,
+            retry: None,
             server_versions: (MIN_PROTOCOL_VERSION, MAX_PROTOCOL_VERSION),
             server_ident: String::new(),
             next_id: 0,
             buffered_events: VecDeque::new(),
         };
-        let id = client.fresh_id();
-        let reply = client.request(ServerCommand::Hello {
+        client.handshake()?;
+        Ok(client)
+    }
+
+    /// Connect with a [`RetryPolicy`]: the initial dial-and-handshake is
+    /// itself retried under the policy (with its `request_timeout` as the
+    /// socket timeout), and the policy stays installed for later idempotent
+    /// calls.
+    pub fn connect_with_retry(addr: SocketAddr, policy: RetryPolicy) -> Result<Client> {
+        let mut attempt: u32 = 0;
+        loop {
+            let err = match Self::connect_timeout(addr, policy.request_timeout) {
+                Ok(mut client) => {
+                    client.retry = Some(policy);
+                    return Ok(client);
+                }
+                Err(e) if !retryable(&e) => return Err(e),
+                Err(e) => e,
+            };
+            attempt += 1;
+            if attempt >= policy.max_attempts.max(1) {
+                return Err(ClientError::RetriesExhausted { attempts: attempt, last: Box::new(err) });
+            }
+            std::thread::sleep(policy.backoff(attempt - 1, u64::from(attempt)));
+        }
+    }
+
+    /// Install (or with `None`, remove) a retry policy on an existing
+    /// connection. Applies to idempotent calls only; see the type docs.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// The retry policy currently governing idempotent calls, if any.
+    pub fn retry_policy(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
+    }
+
+    /// Run the `Hello` version handshake on the current socket.
+    fn handshake(&mut self) -> Result<()> {
+        let id = self.fresh_id();
+        let reply = self.request(ServerCommand::Hello {
             id,
             min_v: MIN_PROTOCOL_VERSION,
             max_v: MAX_PROTOCOL_VERSION,
         })?;
         match reply {
             ServerReply::Hello { min_v, max_v, server, .. } => {
-                client.server_versions = (min_v, max_v);
-                client.server_ident = server;
-                Ok(client)
+                self.server_versions = (min_v, max_v);
+                self.server_ident = server;
+                Ok(())
             }
             other => Err(unexpected("Hello", &other)),
         }
+    }
+
+    /// Replace the (assumed broken) socket with a fresh connection and
+    /// re-handshake. Connection state does not survive: buffered events are
+    /// discarded and any server-side subscription is gone — after a retried
+    /// call succeeds on a new connection, re-[`subscribe`](Client::subscribe)
+    /// and [`resync`](Client::resync) if events matter.
+    fn reconnect(&mut self) -> Result<()> {
+        self.raw = RawClient::connect_timeout(self.addr, self.timeout)?;
+        self.buffered_events.clear();
+        self.handshake()
     }
 
     /// The protocol range the server advertised at connect time.
@@ -140,11 +219,56 @@ impl Client {
         }
     }
 
+    /// [`request`](Client::request), wrapped in the retry loop — callers
+    /// vouch that `build` produces an idempotent command. Each attempt gets a
+    /// fresh id; transport failures sleep out the policy's backoff, replace
+    /// the broken socket via [`reconnect`](Client::reconnect) (a failed
+    /// reconnect burns an attempt too) and resend, until the attempt budget
+    /// is spent.
+    fn request_idempotent(
+        &mut self,
+        build: impl Fn(u64) -> ServerCommand,
+    ) -> Result<ServerReply> {
+        let Some(policy) = self.retry else {
+            let id = self.fresh_id();
+            return self.request(build(id));
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            let id = self.fresh_id();
+            let mut err = match self.request(build(id)) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if !retryable(&e) => return Err(e),
+                Err(e) => e,
+            };
+            loop {
+                attempt += 1;
+                if attempt >= policy.max_attempts.max(1) {
+                    return Err(ClientError::RetriesExhausted {
+                        attempts: attempt,
+                        last: Box::new(err),
+                    });
+                }
+                std::thread::sleep(policy.backoff(attempt - 1, id));
+                match self.reconnect() {
+                    Ok(()) => break,
+                    Err(e) => err = e,
+                }
+            }
+        }
+    }
+
     /// Request a plan and block for the response. The request's `id` is
     /// replaced with a connection-unique one (echoed in the response).
-    pub fn plan(&mut self, mut request: PlanRequest) -> Result<PlanResponse> {
-        request.id = self.fresh_id();
-        match self.request(ServerCommand::Plan(request))? {
+    ///
+    /// Retried under the client's [`RetryPolicy`]: a plan is keyed by its
+    /// request's cache key, so resending after a lost reply is safe.
+    pub fn plan(&mut self, request: PlanRequest) -> Result<PlanResponse> {
+        match self.request_idempotent(|id| {
+            let mut request = request.clone();
+            request.id = id;
+            ServerCommand::Plan(request)
+        })? {
             ServerReply::Plan(response) => Ok(response),
             other => Err(unexpected("Plan", &other)),
         }
@@ -152,6 +276,11 @@ impl Client {
 
     /// Apply a cluster delta and block for the outcome (the delta is a
     /// barrier server-side; this can wait out queued planning work).
+    ///
+    /// **Never retried**, policy or not: a delta moves the cluster shape, so
+    /// resending one whose reply was lost could apply it twice. On a
+    /// transport failure the caller must decide — typically by
+    /// [`resync`](Client::resync)ing and inspecting the authoritative state.
     pub fn delta(&mut self, mut request: DeltaRequest) -> Result<DeltaResponse> {
         request.id = self.fresh_id();
         match self.request(ServerCommand::Delta(request))? {
@@ -161,9 +290,10 @@ impl Client {
     }
 
     /// Read the server's cache/scheduler/elasticity counters.
+    ///
+    /// Retried under the client's [`RetryPolicy`] (read-only).
     pub fn stats(&mut self) -> Result<StatsSnapshot> {
-        let id = self.fresh_id();
-        match self.request(ServerCommand::Stats { id })? {
+        match self.request_idempotent(|id| ServerCommand::Stats { id })? {
             ServerReply::Stats { stats, sched, deltas, subscribers, .. } => {
                 Ok(StatsSnapshot { cache: stats, sched, deltas, subscribers })
             }
@@ -173,9 +303,10 @@ impl Client {
 
     /// Read the server's full metrics snapshot (counters, gauges and latency
     /// histograms across transport, scheduler, engine and delta pipeline).
+    ///
+    /// Retried under the client's [`RetryPolicy`] (read-only).
     pub fn metrics(&mut self) -> Result<MetricsSnapshot> {
-        let id = self.fresh_id();
-        match self.request(ServerCommand::Metrics { id })? {
+        match self.request_idempotent(|id| ServerCommand::Metrics { id })? {
             ServerReply::Metrics { metrics, .. } => Ok(metrics),
             other => Err(unexpected("Metrics", &other)),
         }
@@ -185,9 +316,10 @@ impl Client {
     /// trace id is echoed in [`PlanResponse::trace_id`] — or chosen by the
     /// caller via [`PlanRequest::trace_id`]. `limit` caps the span count
     /// (server-side ring capacity when `None`).
+    ///
+    /// Retried under the client's [`RetryPolicy`] (read-only).
     pub fn trace(&mut self, trace_id: u64, limit: Option<usize>) -> Result<Vec<TraceSpan>> {
-        let id = self.fresh_id();
-        match self.request(ServerCommand::Trace { id, trace_id, limit })? {
+        match self.request_idempotent(|id| ServerCommand::Trace { id, trace_id, limit })? {
             ServerReply::Trace { spans, .. } => Ok(spans),
             other => Err(unexpected("Trace", &other)),
         }
@@ -195,9 +327,11 @@ impl Client {
 
     /// Recover from dropped events: returns the authoritative cache state,
     /// an event-seq baseline, and resets this connection's dropped counter.
+    ///
+    /// Retried under the client's [`RetryPolicy`]: resync is the designated
+    /// recovery command, so re-running one is always safe.
     pub fn resync(&mut self) -> Result<ResyncSnapshot> {
-        let id = self.fresh_id();
-        match self.request(ServerCommand::Resync { id })? {
+        match self.request_idempotent(|id| ServerCommand::Resync { id })? {
             ServerReply::Resynced { seq, keys, dropped, .. } => {
                 Ok(ResyncSnapshot { seq, keys, dropped })
             }
@@ -213,6 +347,9 @@ impl Client {
     /// chiefly useful against plans submitted through the same connection by
     /// [`send_raw`](Client::send_raw)-style pipelining in tests; the
     /// multiplexing client is the natural cancel user.
+    ///
+    /// Never retried: whether the target was still queued is not stable
+    /// across attempts.
     pub fn cancel(&mut self, plan_id: u64) -> Result<bool> {
         let id = self.fresh_id();
         match self.request(ServerCommand::Cancel { id, plan_id })? {
@@ -223,6 +360,9 @@ impl Client {
 
     /// Subscribe this connection to the server's event stream; events are
     /// then read with [`next_event`](Client::next_event).
+    ///
+    /// Never retried: a subscription is connection state, and a retry runs
+    /// on a fresh connection.
     pub fn subscribe(&mut self) -> Result<()> {
         let id = self.fresh_id();
         match self.request(ServerCommand::Subscribe { id })? {
@@ -274,4 +414,12 @@ impl Client {
 
 fn unexpected(wanted: &str, got: &ServerReply) -> ClientError {
     ClientError::Protocol(format!("expected a {wanted} reply, got {got:?}"))
+}
+
+/// Only transport failures are retryable: the request may never have reached
+/// the server, or the reply was lost. Server-spoken errors (`Api`) and
+/// protocol violations mean the server *did* process something — retrying
+/// would not change the answer.
+fn retryable(e: &ClientError) -> bool {
+    matches!(e, ClientError::Io(_) | ClientError::Closed)
 }

@@ -22,6 +22,15 @@ pub enum ClientError {
     /// ([`MuxClient::cancel`](crate::MuxClient::cancel)); the server will
     /// never reply to it.
     Cancelled,
+    /// Every attempt permitted by the client's
+    /// [`RetryPolicy`](crate::RetryPolicy) failed with a transport error;
+    /// `last` is the final attempt's failure.
+    RetriesExhausted {
+        /// How many attempts were made (== the policy's `max_attempts`).
+        attempts: u32,
+        /// The error that failed the final attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -32,6 +41,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ClientError::Closed => f.write_str("connection closed"),
             ClientError::Cancelled => f.write_str("request cancelled by this client"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
         }
     }
 }

@@ -13,7 +13,14 @@
 //! * [`MuxClient`] — the multiplexing handle: clone it across threads, keep
 //!   many requests in flight over one socket, and a background reader routes
 //!   every reply to its waiter by the echoed correlation id
-//!   ([`Pending`]); `Subscribe` events flow into an [`EventStream`].
+//!   ([`Pending`]); `Subscribe` events flow into an [`EventStream`] whose
+//!   buffer is bounded — overflow drops the stash and surfaces as an
+//!   [`EventItem::Gap`], mirroring the server's `Resync` semantics.
+//!
+//! The blocking [`Client`] optionally carries a [`RetryPolicy`]: bounded
+//! reconnect-and-resend with exponential backoff and deterministic jitter,
+//! applied to idempotent commands only (see the [`retry`] module for the
+//! idempotency contract).
 //!
 //! ```no_run
 //! use qsync_api::{ModelSpec, PlanRequest};
@@ -38,10 +45,12 @@ mod client;
 mod error;
 mod mux;
 mod raw;
+pub mod retry;
 
 pub use client::{Client, ResyncSnapshot, StatsSnapshot};
 pub use error::{ClientError, Result};
-pub use mux::{EventItem, EventStream, MuxClient, Pending};
+pub use mux::{EventItem, EventStream, MuxClient, Pending, DEFAULT_EVENT_BUFFER};
 pub use raw::{parse_reply_line, RawClient, DEFAULT_TIMEOUT};
+pub use retry::RetryPolicy;
 
 pub use qsync_api as api;

@@ -7,11 +7,11 @@
 //! all of it under one connection identity unless requests name a
 //! `client_id`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use qsync_api::{
@@ -41,8 +41,8 @@ impl Slot {
 struct MuxState {
     /// Correlation id → waiting slot.
     waiters: Mutex<HashMap<u64, Arc<Slot>>>,
-    /// Live event subscription, if any.
-    events: Mutex<Option<mpsc::Sender<(u64, ServerEvent)>>>,
+    /// Live event subscription's bounded buffer, if any.
+    events: Mutex<Option<Arc<EventBuffer>>>,
     next_id: AtomicU64,
 }
 
@@ -53,7 +53,97 @@ impl MuxState {
         for slot in waiters.into_values() {
             slot.fill(Err(ClientError::Closed));
         }
-        self.events.lock().expect("event channel poisoned").take();
+        if let Some(buffer) = self.events.lock().expect("event buffer poisoned").take() {
+            buffer.close();
+        }
+    }
+}
+
+/// Default capacity of a subscription's withheld-event buffer (see
+/// [`MuxClient::subscribe_with_capacity`]).
+pub const DEFAULT_EVENT_BUFFER: usize = 1024;
+
+/// The bounded hand-off between the reader thread and an [`EventStream`].
+///
+/// A consumer that stops calling [`EventStream::next`] must not make the
+/// client grow without bound, so the buffer holds at most `cap` events: on
+/// overflow the whole stash is discarded and only the newest event is kept —
+/// the sequence discontinuity then surfaces to the consumer as an
+/// [`EventItem::Gap`], exactly as if the *server* had shed the events
+/// (`Resync` semantics: gaps are explicit, recovery is a resync, and the
+/// freshest state wins over a stale backlog).
+struct EventBuffer {
+    cap: usize,
+    queue: Mutex<EventQueue>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct EventQueue {
+    items: VecDeque<(u64, ServerEvent)>,
+    closed: bool,
+}
+
+impl EventBuffer {
+    fn new(cap: usize) -> EventBuffer {
+        EventBuffer { cap: cap.max(1), queue: Mutex::new(EventQueue::default()), ready: Condvar::new() }
+    }
+
+    /// Reader-thread side: enqueue, shedding the stash on overflow.
+    fn push(&self, seq: u64, event: ServerEvent) {
+        let mut queue = self.queue.lock().expect("event buffer poisoned");
+        if queue.closed {
+            return;
+        }
+        if queue.items.len() >= self.cap {
+            queue.items.clear();
+        }
+        queue.items.push_back((seq, event));
+        self.ready.notify_all();
+    }
+
+    /// End the stream: wake every blocked consumer; later pushes are no-ops.
+    fn close(&self) {
+        self.queue.lock().expect("event buffer poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Consumer side: block until an event or the close; `None` on close
+    /// (buffered events drain first).
+    fn pop(&self) -> Option<(u64, ServerEvent)> {
+        let mut queue = self.queue.lock().expect("event buffer poisoned");
+        loop {
+            if let Some(item) = queue.items.pop_front() {
+                return Some(item);
+            }
+            if queue.closed {
+                return None;
+            }
+            queue = self.ready.wait(queue).expect("event buffer poisoned");
+        }
+    }
+
+    /// [`pop`](EventBuffer::pop) with a deadline; `None` on close or timeout.
+    fn pop_timeout(&self, timeout: Duration) -> Option<(u64, ServerEvent)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut queue = self.queue.lock().expect("event buffer poisoned");
+        loop {
+            if let Some(item) = queue.items.pop_front() {
+                return Some(item);
+            }
+            if queue.closed {
+                return None;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .expect("event buffer poisoned");
+            queue = guard;
+        }
     }
 }
 
@@ -181,8 +271,15 @@ struct GapState {
 /// Sequence numbers are checked: when the server drops events for this
 /// subscriber (slow consumer) the hole surfaces as an explicit
 /// [`EventItem::Gap`] before the stream resumes.
+///
+/// The stream's client-side buffer is bounded
+/// ([`DEFAULT_EVENT_BUFFER`] unless set via
+/// [`MuxClient::subscribe_with_capacity`]): if the consumer falls more than
+/// the capacity behind, the buffered backlog is discarded and the loss
+/// surfaces as a [`Gap`](EventItem::Gap) too — same semantics, shed one hop
+/// earlier.
 pub struct EventStream {
-    rx: mpsc::Receiver<(u64, ServerEvent)>,
+    buffer: Arc<EventBuffer>,
     gaps: Mutex<GapState>,
 }
 
@@ -194,7 +291,7 @@ impl EventStream {
         if let Some(item) = Self::take_pending(&mut gaps) {
             return Some(item);
         }
-        let (seq, event) = self.rx.recv().ok()?;
+        let (seq, event) = self.buffer.pop()?;
         Some(Self::account(&mut gaps, seq, event))
     }
 
@@ -204,7 +301,7 @@ impl EventStream {
         if let Some(item) = Self::take_pending(&mut gaps) {
             return Some(item);
         }
-        let (seq, event) = self.rx.recv_timeout(timeout).ok()?;
+        let (seq, event) = self.buffer.pop_timeout(timeout)?;
         Some(Self::account(&mut gaps, seq, event))
     }
 
@@ -466,10 +563,28 @@ impl MuxClient {
 
     /// Subscribe to the server's event stream. Events flow into the returned
     /// [`EventStream`] from the moment the server confirms the subscription;
-    /// a later `subscribe` replaces the stream.
+    /// a later `subscribe` replaces (and ends) the previous stream. The
+    /// stream's buffer holds [`DEFAULT_EVENT_BUFFER`] events.
     pub fn subscribe(&self) -> Result<EventStream> {
-        let (tx, rx) = mpsc::channel();
-        *self.inner.state.events.lock().expect("event channel poisoned") = Some(tx);
+        self.subscribe_with_capacity(DEFAULT_EVENT_BUFFER)
+    }
+
+    /// [`subscribe`](MuxClient::subscribe) with an explicit buffer capacity
+    /// (clamped to at least 1). A consumer that falls more than `cap` events
+    /// behind loses the buffered backlog and sees an
+    /// [`EventItem::Gap`] — size the buffer for the burstiness you expect.
+    pub fn subscribe_with_capacity(&self, cap: usize) -> Result<EventStream> {
+        let buffer = Arc::new(EventBuffer::new(cap));
+        let previous = self
+            .inner
+            .state
+            .events
+            .lock()
+            .expect("event buffer poisoned")
+            .replace(Arc::clone(&buffer));
+        if let Some(old) = previous {
+            old.close();
+        }
         self.submit(
             |id| ServerCommand::Subscribe { id },
             |reply| match reply {
@@ -478,7 +593,7 @@ impl MuxClient {
             },
         )?
         .wait()?;
-        Ok(EventStream { rx, gaps: Mutex::new(GapState::default()) })
+        Ok(EventStream { buffer, gaps: Mutex::new(GapState::default()) })
     }
 }
 
@@ -496,9 +611,10 @@ fn reader_loop(reader: BufReader<TcpStream>, state: &MuxState) {
             Err(_) => break,
         };
         if let ServerReply::Event { seq, event } = reply {
-            let events = state.events.lock().expect("event channel poisoned");
-            if let Some(tx) = events.as_ref() {
-                let _ = tx.send((seq, event));
+            let buffer =
+                state.events.lock().expect("event buffer poisoned").as_ref().map(Arc::clone);
+            if let Some(buffer) = buffer {
+                buffer.push(seq, event);
             }
             continue;
         }

@@ -1,0 +1,138 @@
+//! Client-side retry policy: bounded attempts, exponential backoff with
+//! deterministic jitter, and an explicit idempotency contract.
+//!
+//! # What is safe to retry
+//!
+//! Retrying is only sound for commands whose effect is the same whether the
+//! server executed them once or twice — the failure mode of a retry is
+//! always "the first attempt actually succeeded but its reply was lost":
+//!
+//! * **Retried** — `Plan` (keyed by the request's cache key: a duplicate
+//!   either hits the cache or recomputes the identical bytes), `Stats`,
+//!   `Metrics`, `Trace`, `Resync`, and the `Hello` handshake. All read or
+//!   idempotently compute.
+//! * **Never retried** — `Delta` (each application *moves* the cluster
+//!   shape; replaying a lost-reply delta would apply it twice), `Cancel`
+//!   (whether the target was still queued is not stable across attempts),
+//!   and `Subscribe`/`Unsubscribe` (subscriptions are connection state and
+//!   die with the connection a retry would abandon).
+//!
+//! The typed [`Client`](crate::Client) enforces this split; a non-idempotent
+//! call that hits a transport failure surfaces the error unretried.
+
+use std::time::Duration;
+
+/// Bounded-retry configuration for the blocking [`Client`](crate::Client).
+///
+/// A request is retried only on transport failures ([`ClientError::Io`],
+/// [`ClientError::Closed`]) of an idempotent command (see the module docs);
+/// server-level errors ([`ClientError::Api`]) and protocol violations are
+/// never retried. Each retry reconnects (the old socket is assumed broken)
+/// and re-runs the `Hello` handshake before resending. When every attempt
+/// fails the caller receives [`ClientError::RetriesExhausted`] wrapping the
+/// last failure.
+///
+/// [`ClientError::Io`]: crate::ClientError::Io
+/// [`ClientError::Closed`]: crate::ClientError::Closed
+/// [`ClientError::Api`]: crate::ClientError::Api
+/// [`ClientError::RetriesExhausted`]: crate::ClientError::RetriesExhausted
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, the initial one included (so `1` disables retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles every further retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each sleep is scaled by a factor drawn
+    /// deterministically from `[1 - jitter, 1 + jitter)`, de-synchronizing
+    /// retry storms across clients without making tests flaky.
+    pub jitter: f64,
+    /// Per-attempt socket read/write timeout (the "request timeout"): a
+    /// reply slower than this fails the attempt with a timed-out
+    /// [`ClientError::Io`] — and, for an idempotent command, triggers the
+    /// next attempt.
+    ///
+    /// [`ClientError::Io`]: crate::ClientError::Io
+    pub request_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 50 ms doubling backoff capped at 2 s, 20% jitter,
+    /// and the crate's [`DEFAULT_TIMEOUT`](crate::DEFAULT_TIMEOUT) per
+    /// attempt.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.2,
+            request_timeout: crate::raw::DEFAULT_TIMEOUT,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based): exponential in the
+    /// attempt, capped, and jittered deterministically by `salt` (the
+    /// request id) — same inputs, same delay, so retry behavior is exactly
+    /// reproducible.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let base_ms = self.base_backoff.as_millis() as u64;
+        let capped_ms = base_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_backoff.as_millis() as u64);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 || capped_ms == 0 {
+            return Duration::from_millis(capped_ms);
+        }
+        let r = splitmix64(salt.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(attempt)));
+        // 53 high bits -> uniform in [0, 1).
+        let unit = (r >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - jitter + 2.0 * jitter * unit;
+        Duration::from_millis((capped_ms as f64 * factor) as u64)
+    }
+}
+
+/// SplitMix64: a tiny, well-mixed hash — enough to decorrelate backoff
+/// sleeps without pulling in an RNG dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        assert_eq!(policy.backoff(0, 1), Duration::from_millis(50));
+        assert_eq!(policy.backoff(1, 1), Duration::from_millis(100));
+        assert_eq!(policy.backoff(2, 1), Duration::from_millis(200));
+        assert_eq!(policy.backoff(10, 1), Duration::from_secs(2), "capped at max_backoff");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..4 {
+            for salt in [1u64, 7, 999] {
+                let a = policy.backoff(attempt, salt);
+                let b = policy.backoff(attempt, salt);
+                assert_eq!(a, b, "same inputs must give the same delay");
+                let nominal = (policy.base_backoff * 2u32.pow(attempt))
+                    .min(policy.max_backoff)
+                    .as_millis() as f64;
+                let ms = a.as_millis() as f64;
+                assert!(
+                    ms >= nominal * 0.8 - 1.0 && ms <= nominal * 1.2 + 1.0,
+                    "attempt {attempt} salt {salt}: {ms} outside jitter band of {nominal}"
+                );
+            }
+        }
+    }
+}

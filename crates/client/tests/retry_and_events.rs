@@ -1,0 +1,284 @@
+//! Retry/backoff and bounded-event-buffer behavior against a scripted fake
+//! server (a plain `TcpListener` speaking the wire protocol, so these tests
+//! need no server crate).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qsync_api::{
+    parse_line, render_reply, CacheStats, ClusterDelta, DeltaRequest, DeltaStats, ServerCommand,
+    ServerEvent, ServerReply, WireProto, MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION,
+};
+use qsync_client::{Client, ClientError, EventItem, MuxClient, RetryPolicy};
+use qsync_cluster::topology::ClusterSpec;
+
+/// Spawn a listener whose connections are each handed to `handler` with
+/// their 0-based accept index. Returns the address and the accept counter.
+fn spawn_server(
+    handler: impl Fn(usize, TcpStream) + Send + Sync + 'static,
+) -> (SocketAddr, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("local addr");
+    let accepted = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&accepted);
+    let handler = Arc::new(handler);
+    std::thread::spawn(move || {
+        for (index, stream) in listener.incoming().enumerate() {
+            let Ok(stream) = stream else { break };
+            counter.fetch_add(1, Ordering::SeqCst);
+            let handler = Arc::clone(&handler);
+            std::thread::spawn(move || handler(index, stream));
+        }
+    });
+    (addr, accepted)
+}
+
+fn send(stream: &mut TcpStream, reply: &ServerReply) {
+    let mut line = render_reply(WireProto::V1, reply);
+    line.push('\n');
+    stream.write_all(line.as_bytes()).expect("fake server write");
+}
+
+/// Read and parse the next command line; `None` on EOF.
+fn read_command(reader: &mut BufReader<TcpStream>) -> Option<ServerCommand> {
+    let mut line = String::new();
+    if reader.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    Some(parse_line(&line).expect("fake server parse").cmd)
+}
+
+/// Answer the `Hello` handshake; returns `None` if the connection closed
+/// before (or instead of) the handshake.
+fn answer_hello(reader: &mut BufReader<TcpStream>, stream: &mut TcpStream) -> Option<()> {
+    match read_command(reader)? {
+        ServerCommand::Hello { id, .. } => {
+            send(
+                stream,
+                &ServerReply::Hello {
+                    id,
+                    min_v: MIN_PROTOCOL_VERSION,
+                    max_v: MAX_PROTOCOL_VERSION,
+                    server: "fake".into(),
+                },
+            );
+            Some(())
+        }
+        other => panic!("expected Hello first, got {other:?}"),
+    }
+}
+
+fn empty_stats(id: u64) -> ServerReply {
+    ServerReply::Stats {
+        id,
+        stats: CacheStats::default(),
+        sched: None,
+        deltas: DeltaStats::default(),
+        subscribers: vec![],
+    }
+}
+
+/// A policy sized for tests: sleeps stay in the single-digit milliseconds.
+fn fast_policy(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+        jitter: 0.2,
+        request_timeout: Duration::from_secs(5),
+    }
+}
+
+#[test]
+fn idempotent_request_survives_a_dropped_connection() {
+    // Connection 0 dies on its first post-handshake command; later
+    // connections serve normally. One retry must hide the failure.
+    let (addr, accepted) = spawn_server(|index, stream| {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        if answer_hello(&mut reader, &mut stream).is_none() {
+            return;
+        }
+        while let Some(command) = read_command(&mut reader) {
+            if index == 0 {
+                return; // drop without replying
+            }
+            match command {
+                ServerCommand::Stats { id } => send(&mut stream, &empty_stats(id)),
+                other => panic!("unexpected command {other:?}"),
+            }
+        }
+    });
+
+    let mut client = Client::connect_with_retry(addr, fast_policy(3)).expect("connect");
+    let snapshot = client.stats().expect("stats should succeed after one retry");
+    assert_eq!(snapshot.cache, CacheStats::default());
+    assert_eq!(accepted.load(Ordering::SeqCst), 2, "exactly one reconnect");
+}
+
+#[test]
+fn exhausted_retries_surface_attempts_and_the_last_error() {
+    // Every connection dies on its first post-handshake command.
+    let (addr, accepted) = spawn_server(|_, stream| {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        if answer_hello(&mut reader, &mut stream).is_none() {
+            return;
+        }
+        let _ = read_command(&mut reader); // then drop
+    });
+
+    let mut client = Client::connect_with_retry(addr, fast_policy(3)).expect("connect");
+    match client.stats() {
+        Err(ClientError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, 3);
+            assert!(
+                matches!(*last, ClientError::Io(_) | ClientError::Closed),
+                "last error should be the transport failure, got {last:?}"
+            );
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    assert_eq!(accepted.load(Ordering::SeqCst), 3, "three attempts, three connections");
+}
+
+#[test]
+fn delta_is_never_retried() {
+    let (addr, accepted) = spawn_server(|_, stream| {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        if answer_hello(&mut reader, &mut stream).is_none() {
+            return;
+        }
+        let _ = read_command(&mut reader); // then drop
+    });
+
+    let mut client = Client::connect_with_retry(addr, fast_policy(5)).expect("connect");
+    let cluster = ClusterSpec::hybrid_small();
+    let rank = cluster.inference_ranks()[0];
+    let request = DeltaRequest::new(
+        0,
+        cluster,
+        ClusterDelta::Degraded { rank, memory_fraction: 0.9, compute_fraction: 0.9 },
+    );
+    match client.delta(request) {
+        Err(ClientError::Io(_) | ClientError::Closed) => {}
+        other => panic!("a delta must fail fast with the transport error, got {other:?}"),
+    }
+    assert_eq!(accepted.load(Ordering::SeqCst), 1, "no reconnect for a non-idempotent command");
+}
+
+#[test]
+fn non_transport_errors_are_not_retried() {
+    // The server answers the idempotent command with a structured fault:
+    // retrying would not change the answer, so no reconnect happens.
+    let (addr, accepted) = spawn_server(|_, stream| {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        if answer_hello(&mut reader, &mut stream).is_none() {
+            return;
+        }
+        while let Some(command) = read_command(&mut reader) {
+            let error = qsync_api::ApiError::new(qsync_api::ErrorCode::Internal, "nope")
+                .with_id(command.id());
+            send(&mut stream, &ServerReply::Fault(error));
+        }
+    });
+
+    let mut client = Client::connect_with_retry(addr, fast_policy(5)).expect("connect");
+    match client.stats() {
+        Err(ClientError::Api(e)) => assert_eq!(e.message, "nope"),
+        other => panic!("expected the Api error unretried, got {other:?}"),
+    }
+    assert_eq!(accepted.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn event_stash_overflow_drops_the_backlog_and_surfaces_a_gap() {
+    // Script: confirm the subscription, deliver seq 0 (establishes the
+    // stream's baseline), then on the next Stats command flood seqs 1..=10
+    // *before* the Stats reply — the reply doubles as a barrier proving the
+    // reader thread has buffered the whole flood.
+    let (addr, _) = spawn_server(|_, stream| {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        if answer_hello(&mut reader, &mut stream).is_none() {
+            return;
+        }
+        while let Some(command) = read_command(&mut reader) {
+            match command {
+                ServerCommand::Subscribe { id } => {
+                    send(&mut stream, &ServerReply::Subscribed { id });
+                    send(
+                        &mut stream,
+                        &ServerReply::Event {
+                            seq: 0,
+                            event: ServerEvent::CacheInvalidated { keys: vec![], trace_id: 0 },
+                        },
+                    );
+                }
+                ServerCommand::Stats { id } => {
+                    for seq in 1..=10 {
+                        send(
+                            &mut stream,
+                            &ServerReply::Event {
+                                seq,
+                                event: ServerEvent::CacheInvalidated { keys: vec![], trace_id: 0 },
+                            },
+                        );
+                    }
+                    send(&mut stream, &empty_stats(id));
+                }
+                other => panic!("unexpected command {other:?}"),
+            }
+        }
+    });
+
+    let client = MuxClient::connect(addr).expect("connect");
+    let stream = client.subscribe_with_capacity(4).expect("subscribe");
+    assert_eq!(
+        stream.next_timeout(Duration::from_secs(5)),
+        Some(EventItem::Event {
+            seq: 0,
+            event: ServerEvent::CacheInvalidated { keys: vec![], trace_id: 0 },
+        }),
+        "baseline event"
+    );
+    client.stats().expect("stats barrier");
+    // Cap 4 against a 10-event flood: the buffer shed twice; the newest
+    // window [9, 10] survives and the hole surfaces as one gap.
+    let gap = stream.next_timeout(Duration::from_secs(5)).expect("gap item");
+    assert_eq!(gap, EventItem::Gap { expected: 1, got: 9 });
+    assert_eq!(gap.missed(), 8);
+    for seq in [9u64, 10] {
+        assert_eq!(
+            stream.next_timeout(Duration::from_secs(5)),
+            Some(EventItem::Event {
+                seq,
+                event: ServerEvent::CacheInvalidated { keys: vec![], trace_id: 0 },
+            })
+        );
+    }
+}
+
+#[test]
+fn event_stream_ends_when_the_connection_closes() {
+    let (addr, _) = spawn_server(|_, stream| {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        if answer_hello(&mut reader, &mut stream).is_none() {
+            return;
+        }
+        if let Some(ServerCommand::Subscribe { id }) = read_command(&mut reader) {
+            send(&mut stream, &ServerReply::Subscribed { id });
+        }
+        // then drop: the stream must end rather than block forever
+    });
+
+    let client = MuxClient::connect(addr).expect("connect");
+    let stream = client.subscribe().expect("subscribe");
+    assert_eq!(stream.next_timeout(Duration::from_secs(5)), None);
+}

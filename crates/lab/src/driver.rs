@@ -1,0 +1,416 @@
+//! Executes a [`FaultPlan`] against a fresh simulated server and collects a
+//! [`RunTranscript`] for the oracle.
+//!
+//! The driver is the "client fleet" of a chaos run: it opens the scripted
+//! connections, sends the scripted commands (whole or torn), operates the
+//! fault knobs, and drains every reply line after each step. It also speaks
+//! a small fixed protocol of its own so the oracle has anchors:
+//!
+//! * immediately after every scripted `Subscribe` it sends a `Resync`
+//!   (baseline event sequence number for that subscription), and
+//! * before shutdown it re-resyncs every surviving subscriber (final
+//!   sequence number and drop count), after un-stalling all readers and
+//!   advancing virtual time far enough to clear any accept-backoff pause.
+//!
+//! Replies are stored as parsed JSON with every `elapsed_us` field removed —
+//! the one wall-clock value the protocol carries — so
+//! [`RunTranscript::normalized`] is byte-identical across runs of the same
+//! script.
+
+use std::fmt::Write as _;
+
+use qsync_api::{ClusterDelta, DeltaRequest, ModelSpec, PlanRequest, ServerCommand};
+use qsync_cluster::topology::ClusterSpec;
+use qsync_serve::{CacheConfig, SimConfig, SimConn, SimOp, SimServer};
+
+use crate::fault::{DeltaSpec, FaultAction, FaultPlan, PlanSpec, BATCH_ID_BASE, RESYNC_ID_BASE};
+
+/// Per-connection outcome of a run: what was sent, what came back, and the
+/// connection's fate.
+#[derive(Debug, Clone, Default)]
+pub struct ConnRecord {
+    /// Ids of commands that were **fully** sent (newline delivered) and so
+    /// owe a reply. Torn frames join only once completed; batch wrapper ids
+    /// are never included (an accepted batch answers per member).
+    pub sent_ids: Vec<u64>,
+    /// Every reply line received, in order, parsed and scrubbed of
+    /// `elapsed_us` (the only wall-clock reply field).
+    pub replies: Vec<serde_json::Value>,
+    /// The connection was hard-dropped (reset) by the script.
+    pub dropped: bool,
+    /// The client closed its write side (no further commands possible).
+    pub write_closed: bool,
+    /// The script subscribed this connection to the event stream.
+    pub subscribed: bool,
+    /// Id of the driver's automatic post-`Subscribe` `Resync` (the event
+    /// baseline).
+    pub baseline_resync_id: Option<u64>,
+    /// Id of the driver's pre-shutdown `Resync` (the final event sequence
+    /// and drop count).
+    pub final_resync_id: Option<u64>,
+    /// Whether the server had closed this connection by the end of the run.
+    pub server_closed: bool,
+}
+
+/// Everything a chaos run produced: the script, per-connection records, the
+/// server's execution-order op log, the final cache contents, and a metrics
+/// snapshot.
+#[derive(Debug)]
+pub struct RunTranscript {
+    /// The executed script (carries the seed when generated).
+    pub plan: FaultPlan,
+    /// One record per scripted connection, by connection index.
+    pub conns: Vec<ConnRecord>,
+    /// The server's op log: every plan/delta-wave in execution order.
+    pub ops: Vec<SimOp>,
+    /// Final cache contents as `(key, plan_json)`, sorted by key.
+    pub cache: Vec<(String, String)>,
+    /// Cache sizing the run used (the coherence replay must match it).
+    pub cache_config: CacheConfig,
+    /// Server metrics at the end of the run. Wall-clock histograms make this
+    /// non-deterministic; it is excluded from [`normalized`](Self::normalized).
+    pub metrics: qsync_obs::MetricsSnapshot,
+}
+
+impl RunTranscript {
+    /// The deterministic projection of the run: script, per-connection sends
+    /// and scrubbed replies, op log, final cache. Two runs of the same
+    /// script must produce identical strings — the determinism test pins
+    /// this.
+    pub fn normalized(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "seed: {:?}", self.plan.seed);
+        let _ = writeln!(out, "script: {:#?}", self.plan.actions);
+        for (index, conn) in self.conns.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "conn {index}: sent={:?} dropped={} write_closed={} server_closed={}",
+                conn.sent_ids, conn.dropped, conn.write_closed, conn.server_closed
+            );
+            for reply in &conn.replies {
+                let line = serde_json::to_string(reply).expect("reply value serializes");
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        let _ = writeln!(out, "ops:");
+        for op in &self.ops {
+            let _ = writeln!(out, "  {op:?}");
+        }
+        let _ = writeln!(out, "cache:");
+        for (key, plan_json) in &self.cache {
+            let _ = writeln!(out, "  {key} => {plan_json}");
+        }
+        out
+    }
+
+    /// Value of a metrics counter by name (0 when absent) — for fault-path
+    /// assertions such as "EMFILE actually paused accepts".
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+}
+
+/// The base model family all generated plans draw from: small enough to plan
+/// in microseconds, parameterized by `hidden` so specs can hit or miss the
+/// cache on purpose.
+fn expand_plan(id: u64, spec: &PlanSpec) -> PlanRequest {
+    let mut request = PlanRequest::new(
+        id,
+        ModelSpec::SmallMlp { batch: 8, in_features: 16, hidden: spec.hidden as usize, classes: 4 },
+        ClusterSpec::hybrid_small(),
+    );
+    request.client_id = spec.client.map(|c| format!("client-{c}"));
+    request.deadline_ms = spec.deadline_ms;
+    request
+}
+
+/// All scripted deltas degrade an inference rank of the shared base cluster,
+/// so they always name a fingerprint earlier plans cached under.
+fn expand_delta(id: u64, spec: &DeltaSpec) -> DeltaRequest {
+    let base = ClusterSpec::hybrid_small();
+    let ranks = base.inference_ranks();
+    let rank = ranks[spec.rank_index as usize % ranks.len()];
+    DeltaRequest::new(
+        id,
+        base,
+        ClusterDelta::Degraded {
+            rank,
+            memory_fraction: f64::from(spec.memory_pct) / 100.0,
+            compute_fraction: f64::from(spec.compute_pct) / 100.0,
+        },
+    )
+}
+
+fn encode(cmd: &ServerCommand) -> String {
+    serde_json::to_string(cmd).expect("command serialization cannot fail")
+}
+
+/// Remove every `elapsed_us` key, recursively — the only wall-clock field in
+/// the reply surface (top-level plan responses and the ones nested in delta
+/// responses).
+fn scrub(value: &mut serde_json::Value) {
+    match value {
+        serde_json::Value::Object(pairs) => {
+            pairs.retain(|(key, _)| key != "elapsed_us");
+            for (_, child) in pairs.iter_mut() {
+                scrub(child);
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for child in items {
+                scrub(child);
+            }
+        }
+        _ => {}
+    }
+}
+
+const DEFAULT_RECV_CAP: usize = 16 << 20;
+
+struct ConnState {
+    conn: SimConn,
+    record: ConnRecord,
+    /// Remainder (id, bytes incl. newline) of an outstanding torn frame.
+    torn: Option<(u64, Vec<u8>)>,
+    /// Stalled readers stop draining replies until resumed.
+    stalled: bool,
+}
+
+impl ConnState {
+    /// Whole-line sends are only possible on an intact connection with no
+    /// torn frame outstanding — appending a complete command behind a
+    /// partial frame would corrupt both.
+    fn can_send(&self) -> bool {
+        !self.record.dropped && !self.record.write_closed && self.torn.is_none()
+    }
+
+    fn send_cmd(&mut self, cmd: &ServerCommand, owes_reply: bool) {
+        if !self.can_send() {
+            return;
+        }
+        self.conn.send_line(&encode(cmd));
+        if owes_reply {
+            self.record.sent_ids.push(cmd.id());
+        }
+    }
+
+    fn drain(&mut self) {
+        if self.stalled || self.record.dropped {
+            return;
+        }
+        for line in self.conn.recv_lines() {
+            let mut value: serde_json::Value =
+                serde_json::from_str(&line).expect("server reply lines are valid JSON");
+            scrub(&mut value);
+            self.record.replies.push(value);
+        }
+    }
+}
+
+/// Run a fault plan on a default-configured simulated server.
+pub fn run_plan(plan: &FaultPlan) -> RunTranscript {
+    run_plan_with(SimConfig::default(), plan)
+}
+
+/// Run a fault plan on a simulated server with explicit tuning (queue caps,
+/// accept backoff, cache sizing…). The returned transcript carries the cache
+/// config so the oracle's coherence replay can match it.
+pub fn run_plan_with(config: SimConfig, plan: &FaultPlan) -> RunTranscript {
+    let backoff_ms = config.transport.accept_backoff.as_millis() as u64;
+    let cache_config = config.cache;
+    let mut server = SimServer::with_config(config);
+    let mut conns: Vec<ConnState> = Vec::new();
+    let mut resync_seq: u64 = 0;
+    let mut batch_seq: u64 = 0;
+
+    for action in &plan.actions {
+        apply(&mut server, &mut conns, &mut resync_seq, &mut batch_seq, action);
+        server.step();
+        for state in conns.iter_mut() {
+            state.drain();
+        }
+    }
+
+    // Wind-down protocol: resume every stalled reader so queued replies can
+    // flow, clear any accept-backoff pause (each scripted errno pauses once,
+    // so several rounds), then take the final event baselines.
+    for state in conns.iter_mut() {
+        if state.stalled {
+            state.conn.set_recv_cap(DEFAULT_RECV_CAP);
+            state.stalled = false;
+        }
+    }
+    server.step();
+    for _ in 0..16 {
+        server.advance(backoff_ms + 1);
+    }
+    for state in conns.iter_mut() {
+        state.drain();
+    }
+    for state in conns.iter_mut() {
+        if state.record.subscribed && state.can_send() {
+            let id = RESYNC_ID_BASE + resync_seq;
+            resync_seq += 1;
+            state.send_cmd(&ServerCommand::Resync { id }, true);
+            state.record.final_resync_id = Some(id);
+        }
+    }
+    server.step();
+    server.shutdown();
+    for state in conns.iter_mut() {
+        state.drain();
+        state.record.server_closed = state.conn.server_closed();
+    }
+
+    let ops = server.take_op_log();
+    let cache = snapshot_cache(server.engine());
+    let metrics = server.metrics();
+    RunTranscript {
+        plan: plan.clone(),
+        conns: conns.into_iter().map(|s| s.record).collect(),
+        ops,
+        cache,
+        cache_config,
+        metrics,
+    }
+}
+
+/// The `(key, plan_json)` contents of an engine's cache, sorted by key. Used
+/// on the live run and on the oracle's serial replay.
+pub fn snapshot_cache(engine: &qsync_serve::PlanEngine) -> Vec<(String, String)> {
+    let cache = engine.cache();
+    let mut entries: Vec<(String, String)> = cache
+        .keys()
+        .into_iter()
+        .filter_map(|key| {
+            let entry = cache.peek(&key)?;
+            Some((key, entry.response.plan_json()))
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+fn apply(
+    server: &mut SimServer,
+    conns: &mut Vec<ConnState>,
+    resync_seq: &mut u64,
+    batch_seq: &mut u64,
+    action: &FaultAction,
+) {
+    match action {
+        FaultAction::Connect { conn } => {
+            debug_assert_eq!(*conn, conns.len(), "connection indices must be dense");
+            let conn = server.connect();
+            conns.push(ConnState {
+                conn,
+                record: ConnRecord::default(),
+                torn: None,
+                stalled: false,
+            });
+        }
+        FaultAction::Advance { ms } => server.advance(*ms),
+        FaultAction::Subscribe { conn, id } => {
+            let state = &mut conns[*conn];
+            if !state.can_send() {
+                return;
+            }
+            state.send_cmd(&ServerCommand::Subscribe { id: *id }, true);
+            state.record.subscribed = true;
+            let resync_id = RESYNC_ID_BASE + *resync_seq;
+            *resync_seq += 1;
+            state.send_cmd(&ServerCommand::Resync { id: resync_id }, true);
+            state.record.baseline_resync_id = Some(resync_id);
+        }
+        FaultAction::SendPlan { conn, id, spec } => {
+            conns[*conn].send_cmd(&ServerCommand::Plan(expand_plan(*id, spec)), true);
+        }
+        FaultAction::SendBatch { conn, first_id, specs } => {
+            let state = &mut conns[*conn];
+            if !state.can_send() {
+                return;
+            }
+            let cmds: Vec<ServerCommand> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| ServerCommand::Plan(expand_plan(first_id + i as u64, spec)))
+                .collect();
+            let wrapper_id = BATCH_ID_BASE + *batch_seq;
+            *batch_seq += 1;
+            // The wrapper id owes no reply; the members do.
+            state.conn.send_line(&encode(&ServerCommand::Batch { id: wrapper_id, cmds }));
+            state.record.sent_ids.extend((0..specs.len() as u64).map(|i| first_id + i));
+        }
+        FaultAction::SendDelta { conn, id, spec } => {
+            conns[*conn].send_cmd(&ServerCommand::Delta(expand_delta(*id, spec)), true);
+        }
+        FaultAction::DeltaStorm { conn, first_id, specs } => {
+            // All lines land before the next step, so the inline core takes
+            // them as one coalesced wave.
+            let state = &mut conns[*conn];
+            for (i, spec) in specs.iter().enumerate() {
+                state.send_cmd(
+                    &ServerCommand::Delta(expand_delta(first_id + i as u64, spec)),
+                    true,
+                );
+            }
+        }
+        FaultAction::PartialFrame { conn, id, spec, keep_bytes } => {
+            let state = &mut conns[*conn];
+            if !state.can_send() || state.torn.is_some() {
+                return;
+            }
+            let mut bytes = encode(&ServerCommand::Plan(expand_plan(*id, spec))).into_bytes();
+            bytes.push(b'\n');
+            // Keep at least one byte and leave at least the closing
+            // byte + newline for the remainder.
+            let keep = (*keep_bytes).clamp(1, bytes.len() - 2);
+            let rest = bytes.split_off(keep);
+            state.conn.send_bytes(&bytes);
+            state.torn = Some((*id, rest));
+        }
+        FaultAction::CompleteFrame { conn } => {
+            let state = &mut conns[*conn];
+            if state.record.dropped || state.record.write_closed {
+                return;
+            }
+            if let Some((id, rest)) = state.torn.take() {
+                state.conn.send_bytes(&rest);
+                state.record.sent_ids.push(id);
+            }
+        }
+        FaultAction::DropMidFrame { conn } => {
+            let state = &mut conns[*conn];
+            state.torn = None;
+            state.conn.drop_hard();
+            state.record.dropped = true;
+        }
+        FaultAction::CloseWrite { conn } => {
+            let state = &mut conns[*conn];
+            state.torn = None;
+            state.conn.close_write();
+            state.record.write_closed = true;
+        }
+        FaultAction::StallReader { conn, cap } => {
+            let state = &mut conns[*conn];
+            state.conn.set_recv_cap(*cap);
+            state.stalled = true;
+        }
+        FaultAction::ResumeReader { conn } => {
+            let state = &mut conns[*conn];
+            state.conn.set_recv_cap(DEFAULT_RECV_CAP);
+            state.stalled = false;
+        }
+        FaultAction::SetWriteChunk { conn, chunk } => {
+            conns[*conn].conn.set_max_write(*chunk);
+        }
+        FaultAction::InjectAcceptError { errno } => {
+            server.inject_accept_error(*errno);
+        }
+    }
+}

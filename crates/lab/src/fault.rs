@@ -1,0 +1,409 @@
+//! The `FaultPlan` DSL: a deterministic, replayable chaos script.
+//!
+//! A plan is a list of [`FaultAction`]s executed in order by
+//! [`crate::driver::run_plan`] against a fresh simulated server. Plans are
+//! either written by hand (the pinned regression corpus) or generated from a
+//! single `u64` seed via [`FaultPlan::generate`] — the generator draws every
+//! choice from a ChaCha stream, so **the same seed always yields the same
+//! script**, and a failing run can be replayed exactly by printing nothing
+//! more than its seed (or the `Debug` form of the script itself).
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of one generated plan request. Kept small and self-describing
+/// so a printed script is readable; [`crate::driver`] expands it into a full
+/// `PlanRequest` against the simulation's base model/cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSpec {
+    /// Hidden width of the MLP (distinct widths → distinct cache keys).
+    pub hidden: u16,
+    /// Fair-queuing client, `None` = the connection identity.
+    pub client: Option<u8>,
+    /// Relative deadline in virtual milliseconds (EDF lane + expiry path).
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parameters of one generated elasticity delta: degrade the inference rank
+/// at `rank_index` (mod the rank count) of the base cluster to the given
+/// percent fractions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaSpec {
+    /// Index into the base cluster's inference ranks.
+    pub rank_index: u8,
+    /// New memory share, percent in [50, 100).
+    pub memory_pct: u8,
+    /// New compute share, percent in [50, 100).
+    pub compute_pct: u8,
+}
+
+/// One scripted step. Connections are named by a dense index assigned by
+/// `Connect`; command `id`s must be unique across the script (the generator
+/// allocates them from a counter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Open connection `conn` (accepted on the next server step).
+    Connect {
+        /// Dense connection index.
+        conn: usize,
+    },
+    /// Advance virtual time and settle the server.
+    Advance {
+        /// Milliseconds of virtual time.
+        ms: u64,
+    },
+    /// Subscribe `conn` to the event stream (the driver follows up with a
+    /// baseline `Resync` so the oracle can anchor sequence accounting).
+    Subscribe {
+        /// Connection index.
+        conn: usize,
+        /// Command id.
+        id: u64,
+    },
+    /// Send one well-formed plan request.
+    SendPlan {
+        /// Connection index.
+        conn: usize,
+        /// Command id.
+        id: u64,
+        /// Request parameters.
+        spec: PlanSpec,
+    },
+    /// Send one `Batch` of plan requests (inner ids are `first_id..first_id+n`).
+    SendBatch {
+        /// Connection index.
+        conn: usize,
+        /// Id of the first inner plan; the batch wrapper uses a reserved id.
+        first_id: u64,
+        /// Inner plan specs, one per member.
+        specs: Vec<PlanSpec>,
+    },
+    /// Send one elasticity delta.
+    SendDelta {
+        /// Connection index.
+        conn: usize,
+        /// Command id.
+        id: u64,
+        /// Delta parameters.
+        spec: DeltaSpec,
+    },
+    /// Send a burst of deltas back to back — they arrive before the next
+    /// server step, so the core coalesces them into one wave.
+    DeltaStorm {
+        /// Connection index.
+        conn: usize,
+        /// Id of the first delta; the rest follow sequentially.
+        first_id: u64,
+        /// Storm members.
+        specs: Vec<DeltaSpec>,
+    },
+    /// Send only the first `keep_bytes` of a plan command, **no newline** —
+    /// a torn frame. The driver remembers the remainder; a later
+    /// `CompleteFrame` delivers it, a `DropMidFrame` abandons it.
+    PartialFrame {
+        /// Connection index.
+        conn: usize,
+        /// Command id of the (eventually completed) plan.
+        id: u64,
+        /// Request parameters.
+        spec: PlanSpec,
+        /// Prefix length (clamped into `[1, len-1]` of the encoded line).
+        keep_bytes: usize,
+    },
+    /// Deliver the remainder of `conn`'s torn frame (no-op without one).
+    CompleteFrame {
+        /// Connection index.
+        conn: usize,
+    },
+    /// Hard-drop `conn` (connection reset) — mid-frame when a torn frame is
+    /// outstanding. The server must clean up without leaking tickets,
+    /// subscriptions or scheduler slots.
+    DropMidFrame {
+        /// Connection index.
+        conn: usize,
+    },
+    /// Cleanly close `conn`'s write side; replies still flow back.
+    CloseWrite {
+        /// Connection index.
+        conn: usize,
+    },
+    /// Stop reading on `conn` and shrink its receive buffer to `cap` bytes:
+    /// a stalled reader, driving server-side write backpressure (and event
+    /// shedding for subscribers).
+    StallReader {
+        /// Connection index.
+        conn: usize,
+        /// Receive-buffer cap in bytes.
+        cap: usize,
+    },
+    /// Restore `conn`'s receive buffer and resume reading.
+    ResumeReader {
+        /// Connection index.
+        conn: usize,
+    },
+    /// Cap the server's per-`write` progress on `conn` to `chunk` bytes,
+    /// forcing torn reply writes.
+    SetWriteChunk {
+        /// Connection index.
+        conn: usize,
+        /// Per-write byte cap, `None` = unlimited.
+        chunk: Option<usize>,
+    },
+    /// Script one `accept(2)` failure with this errno (24 = EMFILE) —
+    /// consumed by the next accept attempt, triggering the backoff pause.
+    InjectAcceptError {
+        /// Raw OS errno.
+        errno: i32,
+    },
+}
+
+/// A complete chaos script: the actions plus the seed that generated them
+/// (None for hand-written corpus plans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The generator seed, if any — print this to make a failure replayable.
+    pub seed: Option<u64>,
+    /// The script, executed in order.
+    pub actions: Vec<FaultAction>,
+}
+
+/// Reserved id space for `Batch` wrapper ids (an accepted batch produces no
+/// reply for the wrapper itself, only for its members).
+pub const BATCH_ID_BASE: u64 = 8_000_000;
+/// Reserved id space for the driver's automatic `Resync` commands.
+pub const RESYNC_ID_BASE: u64 = 9_000_000;
+
+impl FaultPlan {
+    /// A hand-written plan (corpus entries, unit tests).
+    pub fn scripted(actions: Vec<FaultAction>) -> Self {
+        FaultPlan { seed: None, actions }
+    }
+
+    /// Generate a randomized chaos script from `seed`. Deterministic: every
+    /// choice is drawn from a ChaCha8 stream keyed by the seed, so two calls
+    /// with the same seed return identical plans.
+    ///
+    /// The generated script always opens several connections, subscribes at
+    /// least one, and mixes plan traffic with the whole fault repertoire —
+    /// torn frames, mid-frame drops, delta storms, stalled readers, chunked
+    /// writes, EMFILE at accept — interleaved with virtual-time advances.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut actions = Vec::new();
+        let mut next_id: u64 = 1;
+        let alloc_ids = |n: u64, next_id: &mut u64| {
+            let first = *next_id;
+            *next_id += n;
+            first
+        };
+
+        let conns = rng.gen_range(2..5usize);
+        for conn in 0..conns {
+            actions.push(FaultAction::Connect { conn });
+        }
+        // Track which conns were hard-dropped or EOF'd so the script does
+        // not keep talking into a dead pipe (harmless, but wasteful).
+        let mut dead = vec![false; conns];
+        // At least one subscriber so the event invariants always have a
+        // witness.
+        let sub = rng.gen_range(0..conns);
+        let id = alloc_ids(1, &mut next_id);
+        actions.push(FaultAction::Subscribe { conn: sub, id });
+
+        let steps = rng.gen_range(12..28usize);
+        let mut torn: Vec<Option<usize>> = vec![None; conns];
+        let mut stalled = vec![false; conns];
+        for _ in 0..steps {
+            let conn = rng.gen_range(0..conns);
+            if dead[conn] {
+                continue;
+            }
+            let roll = rng.gen_range(0..100u32);
+            // A whole-line send behind a torn frame would corrupt both
+            // commands; deliver the outstanding remainder first.
+            if roll <= 57 && torn[conn].take().is_some() {
+                actions.push(FaultAction::CompleteFrame { conn });
+            }
+            match roll {
+                // Plain plan traffic is the most common step.
+                0..=29 => {
+                    let id = alloc_ids(1, &mut next_id);
+                    actions.push(FaultAction::SendPlan {
+                        conn,
+                        id,
+                        spec: random_plan_spec(&mut rng),
+                    });
+                }
+                30..=39 => {
+                    let members = rng.gen_range(2..5usize);
+                    let first_id = alloc_ids(members as u64, &mut next_id);
+                    let specs = (0..members).map(|_| random_plan_spec(&mut rng)).collect();
+                    actions.push(FaultAction::SendBatch { conn, first_id, specs });
+                }
+                40..=49 => {
+                    let id = alloc_ids(1, &mut next_id);
+                    actions.push(FaultAction::SendDelta {
+                        conn,
+                        id,
+                        spec: random_delta_spec(&mut rng),
+                    });
+                }
+                50..=57 => {
+                    let members = rng.gen_range(2..6usize);
+                    let first_id = alloc_ids(members as u64, &mut next_id);
+                    let specs = (0..members).map(|_| random_delta_spec(&mut rng)).collect();
+                    actions.push(FaultAction::DeltaStorm { conn, first_id, specs });
+                }
+                58..=65 => {
+                    if torn[conn].is_none() {
+                        let id = alloc_ids(1, &mut next_id);
+                        actions.push(FaultAction::PartialFrame {
+                            conn,
+                            id,
+                            spec: random_plan_spec(&mut rng),
+                            keep_bytes: rng.gen_range(1..120usize),
+                        });
+                        torn[conn] = Some(conn);
+                    } else {
+                        actions.push(FaultAction::CompleteFrame { conn });
+                        torn[conn] = None;
+                    }
+                }
+                66..=72 => {
+                    if torn[conn].take().is_some() {
+                        if rng.gen_range(0..3u32) == 0 {
+                            // A third of torn frames die mid-frame.
+                            actions.push(FaultAction::DropMidFrame { conn });
+                            dead[conn] = true;
+                        } else {
+                            actions.push(FaultAction::CompleteFrame { conn });
+                        }
+                    }
+                }
+                73..=79 => {
+                    if !stalled[conn] {
+                        actions.push(FaultAction::StallReader {
+                            conn,
+                            cap: rng.gen_range(64..512usize),
+                        });
+                        stalled[conn] = true;
+                    } else {
+                        actions.push(FaultAction::ResumeReader { conn });
+                        stalled[conn] = false;
+                    }
+                }
+                80..=85 => {
+                    let chunk =
+                        if rng.gen_range(0..2u32) == 0 { Some(rng.gen_range(1..16usize)) } else { None };
+                    actions.push(FaultAction::SetWriteChunk { conn, chunk });
+                }
+                86..=90 => {
+                    actions.push(FaultAction::InjectAcceptError { errno: 24 });
+                    // A connection arriving behind the failure exercises the
+                    // pause/resume path end to end.
+                    let newcomer = dead.len();
+                    dead.push(false);
+                    torn.push(None);
+                    stalled.push(false);
+                    actions.push(FaultAction::Connect { conn: newcomer });
+                    actions.push(FaultAction::Advance { ms: rng.gen_range(100..400u64) });
+                }
+                _ => {
+                    actions.push(FaultAction::Advance { ms: rng.gen_range(1..250u64) });
+                }
+            }
+        }
+        // Un-stall every surviving reader so the drain phase can deliver all
+        // outstanding replies (the oracle's exactly-once check demands it).
+        for (conn, stalled) in stalled.iter().enumerate() {
+            if *stalled && !dead[conn] {
+                actions.push(FaultAction::ResumeReader { conn });
+            }
+        }
+        FaultPlan { seed: Some(seed), actions }
+    }
+
+    /// Distinct fault categories this plan exercises (corpus coverage
+    /// assertions).
+    pub fn fault_kinds(&self) -> Vec<&'static str> {
+        let mut kinds = Vec::new();
+        let mut add = |k: &'static str| {
+            if !kinds.contains(&k) {
+                kinds.push(k);
+            }
+        };
+        for action in &self.actions {
+            match action {
+                FaultAction::PartialFrame { .. } => add("torn-frame"),
+                FaultAction::DropMidFrame { .. } => add("mid-frame-drop"),
+                FaultAction::DeltaStorm { .. } => add("delta-storm"),
+                FaultAction::StallReader { .. } => add("stalled-reader"),
+                FaultAction::SetWriteChunk { chunk: Some(_), .. } => add("torn-write"),
+                FaultAction::InjectAcceptError { .. } => add("accept-error"),
+                _ => {}
+            }
+        }
+        kinds
+    }
+}
+
+fn random_plan_spec(rng: &mut ChaCha8Rng) -> PlanSpec {
+    // A handful of widths: repeats exercise the cache-hit and single-flight
+    // paths, distinct widths populate multiple entries for deltas to evict.
+    let widths = [16u16, 24, 32, 48];
+    PlanSpec {
+        hidden: widths[(rng.next_u32() as usize) % widths.len()],
+        client: if rng.gen_range(0..3u32) == 0 { Some(rng.gen_range(0..3u32) as u8) } else { None },
+        deadline_ms: if rng.gen_range(0..5u32) == 0 { Some(rng.gen_range(1..50u64)) } else { None },
+    }
+}
+
+fn random_delta_spec(rng: &mut ChaCha8Rng) -> DeltaSpec {
+    DeltaSpec {
+        rank_index: rng.gen_range(0..4u32) as u8,
+        memory_pct: rng.gen_range(50..100u32) as u8,
+        compute_pct: rng.gen_range(50..100u32) as u8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(FaultPlan::generate(seed), FaultPlan::generate(seed));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(FaultPlan::generate(1).actions, FaultPlan::generate(2).actions);
+    }
+
+    #[test]
+    fn generated_ids_are_unique() {
+        let plan = FaultPlan::generate(7);
+        let mut ids = Vec::new();
+        for action in &plan.actions {
+            match action {
+                FaultAction::SendPlan { id, .. }
+                | FaultAction::SendDelta { id, .. }
+                | FaultAction::Subscribe { id, .. }
+                | FaultAction::PartialFrame { id, .. } => ids.push(*id),
+                FaultAction::SendBatch { first_id, specs, .. } => {
+                    ids.extend(*first_id..*first_id + specs.len() as u64)
+                }
+                FaultAction::DeltaStorm { first_id, specs, .. } => {
+                    ids.extend(*first_id..*first_id + specs.len() as u64)
+                }
+                _ => {}
+            }
+        }
+        let mut deduped = ids.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(ids.len(), deduped.len(), "duplicate command ids in {ids:?}");
+    }
+}

@@ -1,96 +1,10 @@
-//! Scheduler time source: milliseconds since an arbitrary origin.
+//! Scheduler time source — re-exported from [`qsync_clock`].
 //!
-//! Deadlines are the only place time enters scheduling decisions, and tests
-//! must be able to control it — so the scheduler reads a [`Clock`] trait
-//! object instead of [`std::time::Instant`] directly. [`SystemClock`] is the
-//! production implementation; [`ManualClock`] is advanced explicitly by tests
-//! and benches (virtual-time simulations).
+//! The `Clock` seam originally lived here; it now serves the whole stack
+//! (scheduler deadlines, transport accept-backoff and drain windows, delta
+//! coalescer windows), so the types moved to the dedicated `qsync-clock`
+//! crate. This module remains as a compatibility re-export: existing
+//! `qsync_sched::clock::{Clock, ManualClock, SystemClock}` paths keep
+//! working unchanged.
 
-use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
-
-/// A monotonic millisecond clock.
-pub trait Clock: Send + Sync + fmt::Debug {
-    /// Milliseconds elapsed since the clock's origin.
-    fn now_ms(&self) -> u64;
-}
-
-/// Wall-clock time since construction.
-#[derive(Debug)]
-pub struct SystemClock {
-    origin: Instant,
-}
-
-impl SystemClock {
-    /// A clock whose origin is now.
-    pub fn new() -> Self {
-        SystemClock { origin: Instant::now() }
-    }
-}
-
-impl Default for SystemClock {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Clock for SystemClock {
-    fn now_ms(&self) -> u64 {
-        self.origin.elapsed().as_millis() as u64
-    }
-}
-
-/// A clock that only moves when told to — the backbone of deterministic
-/// deadline tests and virtual-time fairness simulations.
-#[derive(Debug, Default)]
-pub struct ManualClock {
-    now: AtomicU64,
-}
-
-impl ManualClock {
-    /// A clock at time zero.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Advance the clock by `ms` milliseconds.
-    pub fn advance(&self, ms: u64) {
-        self.now.fetch_add(ms, Ordering::SeqCst);
-    }
-
-    /// Set the clock to an absolute time.
-    pub fn set(&self, ms: u64) {
-        self.now.store(ms, Ordering::SeqCst);
-    }
-}
-
-impl Clock for ManualClock {
-    fn now_ms(&self) -> u64 {
-        self.now.load(Ordering::SeqCst)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn manual_clock_moves_only_when_told() {
-        let clock = ManualClock::new();
-        assert_eq!(clock.now_ms(), 0);
-        clock.advance(5);
-        clock.advance(7);
-        assert_eq!(clock.now_ms(), 12);
-        clock.set(3);
-        assert_eq!(clock.now_ms(), 3);
-    }
-
-    #[test]
-    fn system_clock_is_monotonic() {
-        let clock = SystemClock::new();
-        let a = clock.now_ms();
-        let b = clock.now_ms();
-        assert!(b >= a);
-    }
-}
+pub use qsync_clock::{Clock, ManualClock, SystemClock};

@@ -6,7 +6,7 @@
 //!                   [--sched-policy fifo|drr] [--queue-cap N]
 //!                   [--queue-cap-interactive N] [--queue-cap-batch N] [--queue-cap-background N]
 //!                   [--drr-quantum N] [--shed-expired true|false] [--delta-window-ms N]
-//!                   [--event-outbox-cap BYTES]
+//!                   [--event-outbox-cap BYTES] [--accept-backoff-ms N]
 //!     Serve protocol lines (legacy v0 objects or v1 envelopes; see
 //!     docs/PROTOCOL.md): from stdin (default) or a TCP socket. Plan
 //!     requests may carry optional "priority" ("Interactive"|"Batch"|
@@ -19,6 +19,8 @@
 //!     docs/OBSERVABILITY.md). --event-outbox-cap bounds a subscriber's
 //!     un-flushed bytes before broadcast events are shed (replies are
 //!     never dropped; see "The event stream" in docs/PROTOCOL.md).
+//!     --accept-backoff-ms sets how long accepts pause after a
+//!     resource-exhaustion accept error (EMFILE and friends).
 //!
 //! qsync-serve plan --model SPEC [--cluster SPEC] [--indicator NAME]
 //!                  [--tolerance F] [--memory-fraction F]
@@ -189,11 +191,21 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             .map_err(|e| format!("spawn admin thread: {e}"))?;
     }
     let mut server = PlanServer::with_sched(engine, workers, parse_sched_config(flags)?);
+    let mut transport = TransportConfig::default();
+    let mut custom_transport = false;
     if let Some(cap) = flags.get("event-outbox-cap") {
-        server = server.with_transport(TransportConfig {
-            event_outbox_cap: cap.parse().map_err(|e| format!("bad --event-outbox-cap: {e}"))?,
-            ..TransportConfig::default()
-        });
+        transport.event_outbox_cap =
+            cap.parse().map_err(|e| format!("bad --event-outbox-cap: {e}"))?;
+        custom_transport = true;
+    }
+    if let Some(ms) = flags.get("accept-backoff-ms") {
+        transport.accept_backoff = Duration::from_millis(
+            ms.parse().map_err(|e| format!("bad --accept-backoff-ms: {e}"))?,
+        );
+        custom_transport = true;
+    }
+    if custom_transport {
+        server = server.with_transport(transport);
     }
     match flags.get("tcp") {
         Some(addr) => {

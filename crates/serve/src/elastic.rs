@@ -22,12 +22,13 @@
 //! (`--delta-window-ms` on the `qsync-serve` binary).
 
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 pub use qsync_api::{ClusterDelta, DeltaRequest, DeltaResponse, DeltaStats};
 
 use qsync_api::ApiError;
+use qsync_clock::{Clock, SystemClock};
 
 use crate::engine::{PlanEngine, ReplanChain};
 use crate::request::PlanResponse;
@@ -41,12 +42,27 @@ use crate::request::PlanResponse;
 /// server's executor fans re-plan chains out across the scheduler). Deltas
 /// arriving while a wave is applying accumulate into the next wave. Each
 /// caller gets exactly its own delta's [`DeltaResponse`] back.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DeltaCoalescer {
     state: Mutex<CoalesceState>,
     wave_done: Condvar,
     /// How long a wave leader collects further deltas before applying.
     window: Duration,
+    /// The time source the collection window is measured against — the same
+    /// injected clock the scheduler and transport read, so virtual-time
+    /// tests control the window too.
+    clock: Arc<dyn Clock>,
+}
+
+impl Default for DeltaCoalescer {
+    fn default() -> Self {
+        DeltaCoalescer {
+            state: Mutex::default(),
+            wave_done: Condvar::new(),
+            window: Duration::ZERO,
+            clock: Arc::new(SystemClock::new()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -68,6 +84,11 @@ impl DeltaCoalescer {
     /// deltas before applying.
     pub fn with_window(window: Duration) -> Self {
         DeltaCoalescer { window, ..DeltaCoalescer::default() }
+    }
+
+    /// A coalescer whose collection window runs on an explicit clock.
+    pub fn with_window_and_clock(window: Duration, clock: Arc<dyn Clock>) -> Self {
+        DeltaCoalescer { window, clock, ..DeltaCoalescer::default() }
     }
 
     /// The configured collection window.
@@ -110,18 +131,21 @@ impl DeltaCoalescer {
             // are swept into this wave as long as they land before the take.
             state.applying = true;
             if !self.window.is_zero() {
-                let deadline = Instant::now() + self.window;
+                let deadline = self.clock.now_ms() + self.window.as_millis() as u64;
                 loop {
-                    let now = Instant::now();
+                    let now = self.clock.now_ms();
                     if now >= deadline {
                         break;
                     }
                     // `wave_done` is only notified at wave completion, so this
                     // is effectively a sleep that still releases the state
-                    // lock for arriving deltas.
+                    // lock for arriving deltas. Capped so a frozen manual
+                    // clock re-checks instead of sleeping out the whole
+                    // window in real time.
+                    let wait = Duration::from_millis((deadline - now).min(50));
                     let (st, _timeout) = self
                         .wave_done
-                        .wait_timeout(state, deadline - now)
+                        .wait_timeout(state, wait)
                         .expect("delta coalescer poisoned");
                     state = st;
                 }

@@ -116,6 +116,22 @@ impl PlanEngine {
         }
     }
 
+    /// An engine with explicit cache sizing, delta window **and** clock: the
+    /// coalescer's collection window is measured on `clock`, so a server
+    /// built around a [`ManualClock`](qsync_clock::ManualClock) has *every*
+    /// timed behavior — scheduler, transport, coalescer — on virtual time.
+    pub fn with_full_config(
+        cache: CacheConfig,
+        delta_window: Duration,
+        clock: std::sync::Arc<dyn qsync_clock::Clock>,
+    ) -> Self {
+        PlanEngine {
+            cache: PlanCache::with_config(cache),
+            coalescer: DeltaCoalescer::with_window_and_clock(delta_window, clock),
+            ..PlanEngine::default()
+        }
+    }
+
     /// A shared handle, ready for worker threads.
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())

@@ -57,6 +57,13 @@
 //!   (`--admin-addr`), and per-request trace ids answering the `Trace`
 //!   command (see `docs/OBSERVABILITY.md`).
 //!
+//! * **Deterministic simulation** ([`sim`]): the whole server — reactor,
+//!   core, scheduler, engine, coalescer — can run on virtual time
+//!   ([`qsync_clock::ManualClock`]) over in-memory connections, with
+//!   scripted faults (torn frames, mid-frame drops, stalled readers,
+//!   EMFILE at accept). The `qsync-lab` crate builds seeded chaos scripts
+//!   and an invariant oracle on top (see `docs/SIMULATION.md`).
+//!
 //! The `qsync-serve` binary exposes `serve`, `plan` (one-shot) and
 //! `bench-load` subcommands; `examples/plan_server.rs` in the workspace root
 //! is the quickstart, and `docs/PROTOCOL.md` documents the wire format.
@@ -71,6 +78,7 @@ pub mod metrics;
 pub mod model;
 pub mod request;
 pub mod server;
+pub mod sim;
 pub mod transport;
 
 pub use admin::serve_admin;
@@ -87,4 +95,5 @@ pub use qsync_core::plan::PrecisionPlan;
 pub use qsync_sched::{Priority, SchedConfig, SchedPolicy, SchedStats};
 pub use request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
 pub use server::PlanServer;
+pub use sim::{SimConfig, SimConn, SimOp, SimServer};
 pub use transport::{ShutdownSignal, TransportConfig};

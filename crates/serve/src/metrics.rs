@@ -36,6 +36,8 @@ pub struct ServeObs {
     /// `accept(2)` failures that triggered the resource-exhaustion backoff
     /// (EMFILE/ENFILE/ENOMEM).
     pub accept_pauses: Arc<Counter>,
+    /// 1 while accepts are paused by the resource-exhaustion backoff, else 0.
+    pub accept_paused: Arc<Gauge>,
     /// Bytes read off sockets.
     pub bytes_in: Arc<Counter>,
     /// Bytes written to sockets.
@@ -114,6 +116,7 @@ impl ServeObs {
         ServeObs {
             accepts: r.counter("qsync_transport_accepts_total"),
             accept_pauses: r.counter("qsync_transport_accept_pauses_total"),
+            accept_paused: r.gauge("qsync_transport_accept_paused"),
             bytes_in: r.counter("qsync_transport_bytes_in_total"),
             bytes_out: r.counter("qsync_transport_bytes_out_total"),
             frame_bytes: r.histogram("qsync_transport_frame_bytes"),

@@ -40,7 +40,7 @@
 //! observes invalidate → re-plan for deltas *other* clients submit, without
 //! polling `Stats`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,14 +52,16 @@ use qsync_api::{
     render_reply, ApiError, ErrorCode, ServerEvent, SubscriberStats, WireProto,
     MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION,
 };
+use qsync_clock::{Clock, SystemClock};
 use qsync_obs::{CounterValue, GaugeValue, MetricsSnapshot};
 pub use qsync_api::{ServerCommand, ServerReply};
 
-use qsync_sched::{JobMeta, Priority, SchedConfig, Scheduler, SubmitError};
+use qsync_sched::{Dispatch, JobMeta, Priority, SchedConfig, Scheduler, SubmitError};
 
 use crate::elastic::DeltaRequest;
 use crate::engine::{PlanEngine, ReplanChain};
 use crate::request::{PlanRequest, PlanResponse};
+use crate::sim::SimOp;
 use crate::transport::{Outbox, TransportConfig};
 
 /// Software identifier advertised in `Hello` replies.
@@ -223,6 +225,14 @@ pub(crate) struct ServeCore {
     /// ([`TransportConfig::event_outbox_cap`]).
     event_outbox_cap: usize,
     next_conn: AtomicU64,
+    /// `Some` only on an **inline** core (no threads): deltas queue here and
+    /// are applied as one wave by [`pump`](Self::pump) instead of being
+    /// handed to executor threads.
+    inline_deltas: Mutex<Option<VecDeque<DeltaTask>>>,
+    /// `Some` only on an inline core: the serial record of state-mutating
+    /// operations in the exact order this core executed them — what the
+    /// lab's cache-coherence oracle replays against a fresh engine.
+    op_log: Mutex<Option<Vec<SimOp>>>,
 }
 
 /// Owner of a [`ServeCore`]'s threads; [`stop`](CoreHandle::stop) closes the
@@ -253,17 +263,20 @@ impl ServeCore {
         workers: usize,
         config: SchedConfig,
         event_outbox_cap: usize,
+        clock: Arc<dyn Clock>,
     ) -> CoreHandle {
         let (delta_tx, delta_rx) = mpsc::channel::<DeltaTask>();
         let core = Arc::new(ServeCore {
             engine,
-            sched: Scheduler::new(config),
+            sched: Scheduler::with_clock(config, clock),
             tickets: Mutex::new(HashMap::new()),
             delta_tx: Mutex::new(Some(delta_tx)),
             subscribers: Mutex::new(HashMap::new()),
             event_seq: AtomicU64::new(0),
             event_outbox_cap,
             next_conn: AtomicU64::new(0),
+            inline_deltas: Mutex::new(None),
+            op_log: Mutex::new(None),
         });
         let mut threads = Vec::with_capacity(workers + DELTA_EXECUTORS);
         for i in 0..workers.max(1) {
@@ -279,6 +292,130 @@ impl ServeCore {
             threads.push(builder.spawn(move || core.delta_loop(&rx)).expect("spawn delta executor"));
         }
         CoreHandle { core, threads }
+    }
+
+    /// Start a **threadless** core for deterministic simulation: no worker
+    /// or delta-executor threads exist, so nothing runs concurrently with
+    /// the caller. Queued plans and deltas execute only when the simulation
+    /// driver calls [`pump`](Self::pump), single-threaded, in a fixed
+    /// order; every state mutation is appended to the op log for the
+    /// coherence oracle.
+    pub(crate) fn start_inline(
+        engine: Arc<PlanEngine>,
+        config: SchedConfig,
+        event_outbox_cap: usize,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<ServeCore> {
+        Arc::new(ServeCore {
+            engine,
+            sched: Scheduler::with_clock(config, clock),
+            tickets: Mutex::new(HashMap::new()),
+            // No executor threads: the Delta arm routes into `inline_deltas`
+            // before it ever consults this sender.
+            delta_tx: Mutex::new(None),
+            subscribers: Mutex::new(HashMap::new()),
+            event_seq: AtomicU64::new(0),
+            event_outbox_cap,
+            next_conn: AtomicU64::new(0),
+            inline_deltas: Mutex::new(Some(VecDeque::new())),
+            op_log: Mutex::new(Some(Vec::new())),
+        })
+    }
+
+    /// Take the inline core's operation log (empty on a threaded core).
+    pub(crate) fn take_op_log(&self) -> Vec<SimOp> {
+        self.op_log
+            .lock()
+            .expect("op log poisoned")
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    fn record_op(&self, op: impl FnOnce() -> SimOp) {
+        if let Some(log) = self.op_log.lock().expect("op log poisoned").as_mut() {
+            log.push(op());
+        }
+    }
+
+    /// Inline-core executor: run every queued job to completion on the
+    /// calling thread. Plans drain first (preserving scheduler order), then
+    /// all deltas queued so far apply as **one** coalesced wave — the same
+    /// barrier semantics the threaded core gets from `quiesce()`, arrived at
+    /// structurally: when the wave runs, the plan queue is already empty.
+    /// Loops until neither queue has work; returns whether anything ran.
+    pub(crate) fn pump(&self) -> bool {
+        let mut progressed = false;
+        loop {
+            let mut ran = false;
+            while let Some(job) = self.sched.try_next() {
+                self.process_dispatch(job);
+                ran = true;
+            }
+            let wave: Vec<DeltaTask> = self
+                .inline_deltas
+                .lock()
+                .expect("inline delta queue poisoned")
+                .as_mut()
+                .map(|queue| queue.drain(..).collect())
+                .unwrap_or_default();
+            if !wave.is_empty() {
+                self.apply_inline_delta_wave(wave);
+                ran = true;
+            }
+            if !ran {
+                return progressed;
+            }
+            progressed = true;
+        }
+    }
+
+    /// Apply a batch of deltas as one coalesced wave on the calling thread
+    /// (inline core only). Mirrors `delta_loop` + the coalescer's leader
+    /// path: evictions are announced, re-plan chains run inline (never
+    /// through `fan_out_replans`, which would block on a worker pool that
+    /// does not exist here), each delta gets its own reply.
+    fn apply_inline_delta_wave(&self, tasks: Vec<DeltaTask>) {
+        self.record_op(|| {
+            SimOp::DeltaWave(tasks.iter().map(|t| t.request.clone()).collect())
+        });
+        let requests: Vec<DeltaRequest> = tasks.iter().map(|t| t.request.clone()).collect();
+        let wave_tid = requests.last().and_then(|r| r.trace_id).unwrap_or(0);
+        let results = self.engine.apply_deltas_with(&requests, |chains| {
+            self.broadcast(ServerEvent::CacheInvalidated {
+                keys: chains.iter().map(|c| c.entry.response.key.clone()).collect(),
+                trace_id: wave_tid,
+            });
+            let responses: Vec<PlanResponse> =
+                chains.iter().map(|chain| self.engine.run_replan_chain(chain)).collect();
+            for response in &responses {
+                self.broadcast(ServerEvent::Replanned {
+                    key: response.key.clone(),
+                    outcome: response.outcome,
+                    predicted_iteration_us: response.predicted_iteration_us,
+                    trace_id: response.trace_id.unwrap_or(0),
+                });
+            }
+            responses
+        });
+        for (task, result) in tasks.into_iter().zip(results) {
+            let reply = match result {
+                Ok(outcome) => {
+                    self.broadcast(ServerEvent::DeltaApplied {
+                        id: outcome.id,
+                        old_cluster_fingerprint: outcome.old_cluster_fingerprint.clone(),
+                        new_cluster_fingerprint: outcome.new_cluster_fingerprint.clone(),
+                        invalidated: outcome.invalidated,
+                        replanned: outcome.replanned.len(),
+                        trace_id: outcome.trace_id.unwrap_or(0),
+                    });
+                    ServerReply::Delta(outcome)
+                }
+                Err(error) => ServerReply::Fault(error),
+            };
+            task.conn.send(task.wire, &reply);
+            task.conn.end();
+        }
     }
 
     /// Register a new connection over the given reply sink.
@@ -550,6 +687,15 @@ impl ServeCore {
             ServerCommand::Delta(request) => {
                 let request_id = request.id;
                 conn.begin();
+                // Inline (simulation) core: queue for the next pump wave
+                // instead of handing off to executor threads.
+                {
+                    let mut inline = self.inline_deltas.lock().expect("inline delta queue poisoned");
+                    if let Some(queue) = inline.as_mut() {
+                        queue.push_back(DeltaTask { request, conn: Arc::clone(conn), wire });
+                        return;
+                    }
+                }
                 let tx = self.delta_tx.lock().expect("delta sender poisoned").clone();
                 let handed_off = tx.is_some_and(|tx| {
                     tx.send(DeltaTask { request, conn: Arc::clone(conn), wire }).is_ok()
@@ -606,61 +752,68 @@ impl ServeCore {
 
     /// Planner-thread body: drain the scheduler until it closes.
     fn worker_loop(&self) {
+        while let Some(job) = self.sched.next() {
+            self.process_dispatch(job);
+        }
+    }
+
+    /// Execute one dispatched scheduler job — shared by the worker threads
+    /// and the inline core's [`pump`](Self::pump).
+    fn process_dispatch(&self, mut job: Dispatch<ServeJob>) {
         let obs = Arc::clone(self.engine.obs());
-        while let Some(mut job) = self.sched.next() {
-            let expired = job.expired();
-            let wait_ms = job.queue_wait_ms();
-            obs.dispatch_wait_ms.record(wait_ms);
-            match job.take_payload() {
-                ServeJob::Plan { request, conn, wire } => {
-                    let mut tickets = self.tickets.lock().expect("ticket map poisoned");
-                    if tickets.get(&(conn.id, request.id)) == Some(&job.id()) {
-                        tickets.remove(&(conn.id, request.id));
-                    }
-                    drop(tickets);
-                    let trace_id = request.trace_id.unwrap_or(0);
-                    if trace_id != 0 {
-                        // The dispatch span covers the time the job sat in
-                        // its queue, ending now (at worker pickup).
-                        let now = obs.trace.now_us();
-                        obs.trace.span(
-                            trace_id,
-                            "dispatch",
-                            now.saturating_sub(wait_ms.saturating_mul(1000)),
-                            format!("queued {wait_ms} ms"),
-                        );
-                    }
-                    let reply = if expired {
-                        ServerReply::Fault(
-                            ApiError::new(
-                                ErrorCode::DeadlineExceeded,
-                                format!(
-                                    "deadline exceeded before planning started (queued {wait_ms} ms)"
-                                ),
-                            )
-                            .with_id(request.id),
+        let expired = job.expired();
+        let wait_ms = job.queue_wait_ms();
+        obs.dispatch_wait_ms.record(wait_ms);
+        match job.take_payload() {
+            ServeJob::Plan { request, conn, wire } => {
+                let mut tickets = self.tickets.lock().expect("ticket map poisoned");
+                if tickets.get(&(conn.id, request.id)) == Some(&job.id()) {
+                    tickets.remove(&(conn.id, request.id));
+                }
+                drop(tickets);
+                let trace_id = request.trace_id.unwrap_or(0);
+                if trace_id != 0 {
+                    // The dispatch span covers the time the job sat in
+                    // its queue, ending now (at worker pickup).
+                    let now = obs.trace.now_us();
+                    obs.trace.span(
+                        trace_id,
+                        "dispatch",
+                        now.saturating_sub(wait_ms.saturating_mul(1000)),
+                        format!("queued {wait_ms} ms"),
+                    );
+                }
+                let reply = if expired {
+                    ServerReply::Fault(
+                        ApiError::new(
+                            ErrorCode::DeadlineExceeded,
+                            format!(
+                                "deadline exceeded before planning started (queued {wait_ms} ms)"
+                            ),
                         )
-                    } else {
-                        match self.engine.plan(&request) {
-                            Ok(response) => ServerReply::Plan(response),
-                            Err(error) => ServerReply::Fault(error),
-                        }
-                    };
-                    let write_start = obs.trace.now_us();
-                    conn.send(wire, &reply);
-                    if trace_id != 0 {
-                        obs.trace.span(
-                            trace_id,
-                            "reply_write",
-                            write_start,
-                            format!("to {}", conn.identity()),
-                        );
+                        .with_id(request.id),
+                    )
+                } else {
+                    self.record_op(|| SimOp::Plan(request.clone()));
+                    match self.engine.plan(&request) {
+                        Ok(response) => ServerReply::Plan(response),
+                        Err(error) => ServerReply::Fault(error),
                     }
-                    conn.end();
+                };
+                let write_start = obs.trace.now_us();
+                conn.send(wire, &reply);
+                if trace_id != 0 {
+                    obs.trace.span(
+                        trace_id,
+                        "reply_write",
+                        write_start,
+                        format!("to {}", conn.identity()),
+                    );
                 }
-                ServeJob::Replan { index, chain, tx } => {
-                    let _ = tx.send((index, self.engine.run_replan_chain(&chain)));
-                }
+                conn.end();
+            }
+            ServeJob::Replan { index, chain, tx } => {
+                let _ = tx.send((index, self.engine.run_replan_chain(&chain)));
             }
         }
     }
@@ -775,6 +928,7 @@ pub struct PlanServer {
     workers: usize,
     sched: SchedConfig,
     transport: TransportConfig,
+    clock: Arc<dyn Clock>,
 }
 
 impl PlanServer {
@@ -792,13 +946,31 @@ impl PlanServer {
     /// A server with an explicit scheduler configuration (policy, per-class
     /// queue caps, quantum, expired-job shedding).
     pub fn with_sched(engine: Arc<PlanEngine>, workers: usize, sched: SchedConfig) -> Self {
-        PlanServer { engine, workers: workers.max(1), sched, transport: TransportConfig::default() }
+        PlanServer {
+            engine,
+            workers: workers.max(1),
+            sched,
+            transport: TransportConfig::default(),
+            clock: Arc::new(SystemClock::new()),
+        }
     }
 
     /// This server with an explicit transport configuration (line-length
     /// cap, per-connection buffer cap, shutdown drain budget).
     pub fn with_transport(mut self, transport: TransportConfig) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// This server over an explicit time source. Every timed behavior —
+    /// scheduler deadlines, accept backoff, the shutdown drain window, the
+    /// delta coalescer (when built through
+    /// [`PlanEngine::with_full_config`](crate::engine::PlanEngine::with_full_config))
+    /// — reads this clock; injecting a
+    /// [`ManualClock`](qsync_clock::ManualClock) puts them all on virtual
+    /// time together.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -820,6 +992,11 @@ impl PlanServer {
     /// The transport configuration.
     pub(crate) fn transport_config(&self) -> &TransportConfig {
         &self.transport
+    }
+
+    /// The server's time source.
+    pub(crate) fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
     }
 
     /// Serve one command synchronously, without a scheduler (one-shot use;
@@ -893,6 +1070,7 @@ impl PlanServer {
             self.workers,
             self.sched.clone(),
             self.transport.event_outbox_cap,
+            self.clock(),
         );
         let core = Arc::clone(&handle.core);
         let (reply_tx, reply_rx) = mpsc::channel::<String>();
@@ -1173,7 +1351,13 @@ mod tests {
     #[test]
     fn batch_members_get_parse_spans() {
         let engine = PlanEngine::shared();
-        let handle = ServeCore::start(Arc::clone(&engine), 1, SchedConfig::default(), 4 << 20);
+        let handle = ServeCore::start(
+            Arc::clone(&engine),
+            1,
+            SchedConfig::default(),
+            4 << 20,
+            Arc::new(SystemClock::new()),
+        );
         let (tx, _rx) = mpsc::channel();
         let conn = handle.core.register_conn(Sink::Line(tx));
         let plan: ServerCommand = serde_json::from_str(&plan_line(21)).unwrap();
@@ -1212,7 +1396,13 @@ mod tests {
     #[test]
     fn anonymous_requests_fair_queue_under_the_connection_identity() {
         let engine = PlanEngine::shared();
-        let handle = ServeCore::start(Arc::clone(&engine), 1, SchedConfig::default(), 4 << 20);
+        let handle = ServeCore::start(
+            Arc::clone(&engine),
+            1,
+            SchedConfig::default(),
+            4 << 20,
+            Arc::new(SystemClock::new()),
+        );
         let (tx_a, _rx_a) = mpsc::channel();
         let (tx_b, _rx_b) = mpsc::channel();
         let a = handle.core.register_conn(Sink::Line(tx_a));

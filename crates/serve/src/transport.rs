@@ -27,19 +27,29 @@
 //! the executor threads — the reactor itself never blocks on either, so a
 //! pending delta barrier cannot stall unrelated connections (nor `Stats`
 //! reads, which answer inline from counters).
+//!
+//! **Virtual time and simulation.** Every time the reactor consults —
+//! the accept-backoff deadline and the shutdown drain budget — is read from
+//! an injected [`Clock`], and the socket layer is abstracted behind
+//! [`NetStream`]/[`NetListener`]/[`NetPoller`] enums whose second variants
+//! are in-memory simulated connections ([`crate::sim`]). The `qsync-lab`
+//! harness drives the *same* reactor code, step by step, on a
+//! [`ManualClock`](qsync_clock::ManualClock) with scripted faults.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use polling::{Event, Interest, Poller};
 
 use qsync_api::WireProto;
+use qsync_clock::Clock;
 
 use crate::server::{PlanServer, ServeCore, ServerReply, Sink};
+use crate::sim::{SimNet, SimStream};
 
 /// Raise the process's soft `RLIMIT_NOFILE` toward `want` (capped at the
 /// hard limit) and return the resulting soft limit. A reactor is bounded by
@@ -100,6 +110,11 @@ pub struct TransportConfig {
     /// subscriber's own commands are never dropped — this cap gates only
     /// the event fan-out.
     pub event_outbox_cap: usize,
+    /// How long accepts stay paused after a resource-exhaustion accept
+    /// error (e.g. `EMFILE`): the backlog keeps the listener readable, so
+    /// without a pause the reactor would spin hot on the failing `accept`.
+    /// Configurable via `--accept-backoff-ms` on the `qsync-serve` binary.
+    pub accept_backoff: Duration,
 }
 
 impl Default for TransportConfig {
@@ -109,6 +124,7 @@ impl Default for TransportConfig {
             max_buffered_bytes: 8 << 20,
             drain_timeout: Duration::from_secs(10),
             event_outbox_cap: 4 << 20,
+            accept_backoff: Duration::from_millis(250),
         }
     }
 }
@@ -151,11 +167,155 @@ impl ShutdownSignal {
     }
 }
 
+/// A connection stream: a real socket or an in-memory simulated pipe. The
+/// reactor reads/writes through this enum so the whole transport runs
+/// unchanged against either backend.
+pub(crate) enum NetStream {
+    /// A real TCP socket.
+    Tcp(TcpStream),
+    /// The server end of a simulated connection (see [`crate::sim`]).
+    Sim(SimStream),
+}
+
+impl NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.read(buf),
+            NetStream::Sim(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.write(buf),
+            NetStream::Sim(s) => s.write(buf),
+        }
+    }
+
+    fn prepare(&self) -> io::Result<()> {
+        if let NetStream::Tcp(s) = self {
+            s.set_nonblocking(true)?;
+            // Replies are whole JSON lines; don't let Nagle sit on them.
+            let _ = s.set_nodelay(true);
+        }
+        Ok(())
+    }
+}
+
+/// A listening endpoint: a bound TCP listener or the simulated accept queue.
+pub(crate) enum NetListener {
+    /// A real TCP listener.
+    Tcp(TcpListener),
+    /// The simulated accept backlog (connections and scripted accept
+    /// errors queued by the lab driver).
+    Sim(Arc<SimNet>),
+}
+
+impl NetListener {
+    fn accept(&self) -> io::Result<NetStream> {
+        match self {
+            NetListener::Tcp(l) => l.accept().map(|(stream, _peer)| NetStream::Tcp(stream)),
+            NetListener::Sim(net) => net.accept(),
+        }
+    }
+}
+
+/// Readiness source: the real epoll-backed [`Poller`] or the simulated
+/// network's synchronous readiness computation.
+#[derive(Debug)]
+pub(crate) enum NetPoller {
+    /// epoll (vendored `polling` crate).
+    Tcp(Poller),
+    /// In-memory readiness — [`SimNet`] computes ready events from pipe
+    /// state and registered interest, deterministically ordered by key.
+    Sim(Arc<SimNet>),
+}
+
+impl NetPoller {
+    fn notify(&self) -> io::Result<()> {
+        match self {
+            NetPoller::Tcp(p) => p.notify(),
+            // The sim reactor is driven synchronously by the lab; there is
+            // no blocked wait to interrupt.
+            NetPoller::Sim(_) => Ok(()),
+        }
+    }
+
+    fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        match self {
+            NetPoller::Tcp(p) => p.wait(events, timeout),
+            NetPoller::Sim(net) => {
+                net.poll_ready(events);
+                Ok(events.len())
+            }
+        }
+    }
+
+    fn add_listener(&self, listener: &NetListener, key: usize, interest: Interest) -> io::Result<()> {
+        match (self, listener) {
+            (NetPoller::Tcp(p), NetListener::Tcp(l)) => p.add(l, key, interest),
+            (NetPoller::Sim(net), NetListener::Sim(_)) => {
+                net.set_listener_interest(interest);
+                Ok(())
+            }
+            _ => Err(io::Error::new(io::ErrorKind::InvalidInput, "mixed net backends")),
+        }
+    }
+
+    fn modify_listener(&self, listener: &NetListener, key: usize, interest: Interest) -> io::Result<()> {
+        self.add_listener(listener, key, interest)
+    }
+
+    fn delete_listener(&self, listener: &NetListener) -> io::Result<()> {
+        match (self, listener) {
+            (NetPoller::Tcp(p), NetListener::Tcp(l)) => p.delete(l),
+            (NetPoller::Sim(net), NetListener::Sim(_)) => {
+                net.set_listener_interest(Interest::NONE);
+                Ok(())
+            }
+            _ => Err(io::Error::new(io::ErrorKind::InvalidInput, "mixed net backends")),
+        }
+    }
+
+    fn add_stream(&self, stream: &NetStream, key: usize, interest: Interest) -> io::Result<()> {
+        match (self, stream) {
+            (NetPoller::Tcp(p), NetStream::Tcp(s)) => p.add(s, key, interest),
+            (NetPoller::Sim(net), NetStream::Sim(s)) => {
+                net.register_conn(key, s.pipe(), interest);
+                Ok(())
+            }
+            _ => Err(io::Error::new(io::ErrorKind::InvalidInput, "mixed net backends")),
+        }
+    }
+
+    fn modify_stream(&self, stream: &NetStream, key: usize, interest: Interest) -> io::Result<()> {
+        match (self, stream) {
+            (NetPoller::Tcp(p), NetStream::Tcp(s)) => p.modify(s, key, interest),
+            (NetPoller::Sim(net), NetStream::Sim(_)) => {
+                net.set_conn_interest(key, interest);
+                Ok(())
+            }
+            _ => Err(io::Error::new(io::ErrorKind::InvalidInput, "mixed net backends")),
+        }
+    }
+
+    fn delete_stream(&self, stream: &NetStream, key: usize) -> io::Result<()> {
+        match (self, stream) {
+            (NetPoller::Tcp(p), NetStream::Tcp(s)) => p.delete(s),
+            (NetPoller::Sim(net), NetStream::Sim(_)) => {
+                net.deregister_conn(key);
+                Ok(())
+            }
+            _ => Err(io::Error::new(io::ErrorKind::InvalidInput, "mixed net backends")),
+        }
+    }
+}
+
 /// State shared between the reactor and the reply producers (workers, delta
 /// executors): the poller plus the list of connections with fresh output.
 #[derive(Debug)]
 pub(crate) struct ReactorShared {
-    poller: Poller,
+    poller: NetPoller,
     dirty: Mutex<Vec<usize>>,
 }
 
@@ -214,10 +374,10 @@ impl Outbox {
 }
 
 /// Reactor key of the listener; connections start above it.
-const LISTENER_KEY: usize = 0;
+pub(crate) const LISTENER_KEY: usize = 0;
 
 struct Conn {
-    stream: TcpStream,
+    stream: NetStream,
     state: Arc<crate::server::ConnState>,
     outbox: Arc<Outbox>,
     read_buf: Vec<u8>,
@@ -254,22 +414,21 @@ impl Conn {
 /// the reactor nor buffer unboundedly in a single pass.
 const READ_BUDGET: usize = 256 * 1024;
 
-/// How long accepts stay paused after a resource-exhaustion accept error
-/// (e.g. `EMFILE`): the backlog keeps the listener readable, so without a
-/// pause the reactor would spin hot on the failing `accept`.
-const ACCEPT_BACKOFF: Duration = Duration::from_millis(250);
-
-struct Reactor {
+pub(crate) struct Reactor {
     core: Arc<ServeCore>,
     shared: Arc<ReactorShared>,
-    listener: TcpListener,
+    listener: NetListener,
     conns: HashMap<usize, Conn>,
     next_key: usize,
     config: TransportConfig,
     shutdown: ShutdownSignal,
-    /// While set, listener interest is withdrawn; accepts resume at the
-    /// deadline.
-    accept_paused_until: Option<Instant>,
+    clock: Arc<dyn Clock>,
+    /// While set (clock milliseconds), listener interest is withdrawn;
+    /// accepts resume at the deadline.
+    accept_paused_until: Option<u64>,
+    /// Set by [`begin_drain`](Self::begin_drain): the clock-ms deadline past
+    /// which leftover connections are force-closed.
+    drain_deadline: Option<u64>,
 }
 
 impl Reactor {
@@ -278,11 +437,49 @@ impl Reactor {
         listener: TcpListener,
         shutdown: ShutdownSignal,
         config: TransportConfig,
+        clock: Arc<dyn Clock>,
     ) -> io::Result<Reactor> {
-        let shared = Arc::new(ReactorShared { poller: Poller::new()?, dirty: Mutex::new(Vec::new()) });
-        shutdown.attach(&shared);
         listener.set_nonblocking(true)?;
-        shared.poller.add(&listener, LISTENER_KEY, Interest::READ)?;
+        Self::with_backend(
+            core,
+            NetListener::Tcp(listener),
+            NetPoller::Tcp(Poller::new()?),
+            shutdown,
+            config,
+            clock,
+        )
+    }
+
+    /// A reactor over the simulated network — same machinery, in-memory
+    /// connections, virtual time. Driven step-by-step by [`crate::sim`].
+    pub(crate) fn new_sim(
+        core: Arc<ServeCore>,
+        net: Arc<SimNet>,
+        shutdown: ShutdownSignal,
+        config: TransportConfig,
+        clock: Arc<dyn Clock>,
+    ) -> io::Result<Reactor> {
+        Self::with_backend(
+            core,
+            NetListener::Sim(Arc::clone(&net)),
+            NetPoller::Sim(net),
+            shutdown,
+            config,
+            clock,
+        )
+    }
+
+    fn with_backend(
+        core: Arc<ServeCore>,
+        listener: NetListener,
+        poller: NetPoller,
+        shutdown: ShutdownSignal,
+        config: TransportConfig,
+        clock: Arc<dyn Clock>,
+    ) -> io::Result<Reactor> {
+        let shared = Arc::new(ReactorShared { poller, dirty: Mutex::new(Vec::new()) });
+        shutdown.attach(&shared);
+        shared.poller.add_listener(&listener, LISTENER_KEY, Interest::READ)?;
         Ok(Reactor {
             core,
             shared,
@@ -291,7 +488,9 @@ impl Reactor {
             next_key: LISTENER_KEY + 1,
             config,
             shutdown,
+            clock,
             accept_paused_until: None,
+            drain_deadline: None,
         })
     }
 
@@ -302,7 +501,7 @@ impl Reactor {
             // While accepts are backed off, wake at the deadline instead of
             // blocking indefinitely.
             let timeout = self.accept_paused_until.map(|until| {
-                until.saturating_duration_since(Instant::now()).max(Duration::from_millis(1))
+                Duration::from_millis(until.saturating_sub(self.clock.now_ms()).max(1))
             });
             self.shared.poller.wait(&mut events, timeout)?;
             if self.shutdown.is_shutdown() {
@@ -310,16 +509,7 @@ impl Reactor {
             }
             self.maybe_resume_accepts();
             let ready = std::mem::take(&mut events);
-            for event in &ready {
-                if event.key == LISTENER_KEY {
-                    self.accept_ready();
-                } else {
-                    if event.readable {
-                        self.read_conn(event.key);
-                    }
-                    self.flush_conn(event.key);
-                }
-            }
+            self.process_events(&ready);
             events = ready;
             self.flush_dirty();
             self.reap();
@@ -327,12 +517,41 @@ impl Reactor {
         self.drain_on_shutdown()
     }
 
+    /// Handle one batch of readiness events.
+    fn process_events(&mut self, events: &[Event]) {
+        for event in events {
+            if event.key == LISTENER_KEY {
+                self.accept_ready();
+            } else {
+                if event.readable {
+                    self.read_conn(event.key);
+                }
+                self.flush_conn(event.key);
+            }
+        }
+    }
+
+    /// One non-blocking reactor pass: poll readiness, process events, flush
+    /// dirty outboxes, reap finished connections. Returns whether anything
+    /// was ready — the sim driver loops this against the core's job pump
+    /// until the whole system is quiescent.
+    pub(crate) fn poll_step(&mut self) -> io::Result<bool> {
+        let mut events: Vec<Event> = Vec::new();
+        self.shared.poller.wait(&mut events, Some(Duration::ZERO))?;
+        self.maybe_resume_accepts();
+        let had_events = !events.is_empty();
+        self.process_events(&events);
+        let had_dirty = self.flush_dirty();
+        self.reap();
+        Ok(had_events || had_dirty)
+    }
+
     /// Drain the accept backlog (level-triggered: one event may cover many
     /// queued connections).
     fn accept_ready(&mut self) {
         loop {
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
+                Ok(stream) => {
                     if let Err(e) = self.register(stream) {
                         eprintln!("qsync-serve: failed to register connection: {e}");
                     }
@@ -347,10 +566,14 @@ impl Reactor {
                     // listener interest and retry after a pause instead of
                     // spinning hot on the failing accept.
                     self.core.obs().accept_pauses.inc();
+                    self.core.obs().accept_paused.set(1);
                     eprintln!("qsync-serve: accept error: {e}; pausing accepts briefly");
-                    let _ =
-                        self.shared.poller.modify(&self.listener, LISTENER_KEY, Interest::NONE);
-                    self.accept_paused_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                    let _ = self
+                        .shared
+                        .poller
+                        .modify_listener(&self.listener, LISTENER_KEY, Interest::NONE);
+                    let backoff = self.config.accept_backoff.as_millis() as u64;
+                    self.accept_paused_until = Some(self.clock.now_ms() + backoff);
                     break;
                 }
             }
@@ -359,21 +582,20 @@ impl Reactor {
 
     /// Re-arm the listener once an accept backoff expires.
     fn maybe_resume_accepts(&mut self) {
-        if self.accept_paused_until.is_some_and(|until| Instant::now() >= until)
+        if self.accept_paused_until.is_some_and(|until| self.clock.now_ms() >= until)
             && self
                 .shared
                 .poller
-                .modify(&self.listener, LISTENER_KEY, Interest::READ)
+                .modify_listener(&self.listener, LISTENER_KEY, Interest::READ)
                 .is_ok()
         {
             self.accept_paused_until = None;
+            self.core.obs().accept_paused.set(0);
         }
     }
 
-    fn register(&mut self, stream: TcpStream) -> io::Result<()> {
-        stream.set_nonblocking(true)?;
-        // Replies are whole JSON lines; don't let Nagle sit on them.
-        let _ = stream.set_nodelay(true);
+    fn register(&mut self, stream: NetStream) -> io::Result<()> {
+        stream.prepare()?;
         let key = self.next_key;
         self.next_key += 1;
         let outbox = Arc::new(Outbox {
@@ -382,7 +604,7 @@ impl Reactor {
             shared: Arc::clone(&self.shared),
         });
         let state = self.core.register_conn(Sink::Outbox(Arc::clone(&outbox)));
-        self.shared.poller.add(&stream, key, Interest::READ)?;
+        self.shared.poller.add_stream(&stream, key, Interest::READ)?;
         self.core.obs().accepts.inc();
         self.core.obs().conns_open.add(1);
         self.conns.insert(
@@ -536,21 +758,24 @@ impl Reactor {
             writable: backlog > 0,
         };
         if interest != conn.interest {
-            match self.shared.poller.modify(&conn.stream, key, interest) {
+            match self.shared.poller.modify_stream(&conn.stream, key, interest) {
                 Ok(()) => conn.interest = interest,
                 Err(_) => conn.dropped = true,
             }
         }
     }
 
-    /// Flush every connection a worker flagged since the last pass.
-    fn flush_dirty(&mut self) {
+    /// Flush every connection a worker flagged since the last pass. Returns
+    /// whether any connection was flushed.
+    fn flush_dirty(&mut self) -> bool {
+        let mut any = false;
         loop {
             let mut dirty =
                 std::mem::take(&mut *self.shared.dirty.lock().expect("dirty list poisoned"));
             if dirty.is_empty() {
-                return;
+                return any;
             }
+            any = true;
             dirty.sort_unstable();
             dirty.dedup();
             for key in dirty {
@@ -560,10 +785,13 @@ impl Reactor {
     }
 
     /// Close every connection that is finished (EOF seen, all replies
-    /// delivered) or broken.
+    /// delivered) or broken. Keys are visited in sorted order so close-time
+    /// side effects (ticket cancellation, subscriber removal) are
+    /// deterministic under simulation.
     fn reap(&mut self) {
-        let done: Vec<usize> =
+        let mut done: Vec<usize> =
             self.conns.iter().filter(|(_, c)| c.closable()).map(|(k, _)| *k).collect();
+        done.sort_unstable();
         for key in done {
             self.close_conn(key);
         }
@@ -573,7 +801,7 @@ impl Reactor {
         if let Some(conn) = self.conns.remove(&key) {
             conn.outbox.close();
             self.core.obs().conns_open.add(-1);
-            let _ = self.shared.poller.delete(&conn.stream);
+            let _ = self.shared.poller.delete_stream(&conn.stream, key);
             // A broken connection may still have plans queued; nobody can
             // receive them, so free the scheduler slots (and end any event
             // subscription).
@@ -581,11 +809,13 @@ impl Reactor {
         }
     }
 
-    /// Graceful shutdown: stop accepting and reading, give in-flight work up
-    /// to `drain_timeout` to reply and flush, then close everything.
-    fn drain_on_shutdown(&mut self) -> io::Result<()> {
-        let _ = self.shared.poller.delete(&self.listener);
-        let keys: Vec<usize> = self.conns.keys().copied().collect();
+    /// Start a graceful drain: stop accepting, EOF every connection (no new
+    /// commands), flush what is already writable, and arm the drain
+    /// deadline. Returns that deadline in clock milliseconds.
+    pub(crate) fn begin_drain(&mut self) -> u64 {
+        let _ = self.shared.poller.delete_listener(&self.listener);
+        let mut keys: Vec<usize> = self.conns.keys().copied().collect();
+        keys.sort_unstable();
         for key in &keys {
             if let Some(conn) = self.conns.get_mut(key) {
                 conn.peer_eof = true;
@@ -593,16 +823,36 @@ impl Reactor {
             self.flush_conn(*key);
         }
         self.reap();
-        let deadline = Instant::now() + self.config.drain_timeout;
+        let deadline = self.clock.now_ms() + self.config.drain_timeout.as_millis() as u64;
+        self.drain_deadline = Some(deadline);
+        deadline
+    }
+
+    /// Whether the drain phase still has work and budget: connections remain
+    /// and the deadline (armed by [`begin_drain`](Self::begin_drain)) has
+    /// not passed.
+    pub(crate) fn drain_pending(&self) -> bool {
+        !self.conns.is_empty()
+            && self.drain_deadline.is_some_and(|deadline| self.clock.now_ms() < deadline)
+    }
+
+    /// Force-close whatever connections the drain budget left behind.
+    pub(crate) fn finish_drain(&mut self) {
+        let mut leftover: Vec<usize> = self.conns.keys().copied().collect();
+        leftover.sort_unstable();
+        for key in leftover {
+            self.close_conn(key);
+        }
+    }
+
+    /// Graceful shutdown: stop accepting and reading, give in-flight work up
+    /// to `drain_timeout` to reply and flush, then close everything.
+    fn drain_on_shutdown(&mut self) -> io::Result<()> {
+        self.begin_drain();
         let mut events: Vec<Event> = Vec::new();
-        while !self.conns.is_empty() {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
+        while self.drain_pending() {
             events.clear();
-            let wait = (deadline - now).min(Duration::from_millis(50));
-            self.shared.poller.wait(&mut events, Some(wait))?;
+            self.shared.poller.wait(&mut events, Some(Duration::from_millis(50)))?;
             let ready = std::mem::take(&mut events);
             for event in &ready {
                 if event.key != LISTENER_KEY {
@@ -613,10 +863,7 @@ impl Reactor {
             self.flush_dirty();
             self.reap();
         }
-        let leftover: Vec<usize> = self.conns.keys().copied().collect();
-        for key in leftover {
-            self.close_conn(key);
-        }
+        self.finish_drain();
         Ok(())
     }
 }
@@ -645,12 +892,14 @@ impl PlanServer {
             self.workers(),
             self.sched_config().clone(),
             self.transport_config().event_outbox_cap,
+            self.clock(),
         );
         let result = Reactor::new(
             Arc::clone(&handle.core),
             listener,
             shutdown,
             self.transport_config().clone(),
+            self.clock(),
         )
         .and_then(|mut reactor| reactor.run());
         handle.stop();
