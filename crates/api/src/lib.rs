@@ -38,9 +38,9 @@ pub use model::ModelSpec;
 pub use request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
 pub use stats::{CacheStats, SubscriberStats};
 pub use wire::{
-    parse_line, render_reply, ParsedLine, ReplyEnvelope, RequestEnvelope, ServerCommand,
-    ServerEvent, ServerReply, WireError, WireProto, LEGACY_PROTOCOL_VERSION, MAX_PROTOCOL_VERSION,
-    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    parse_line, render_reply, ParsedLine, PlanPayload, ReplyEnvelope, RequestEnvelope,
+    ServerCommand, ServerEvent, ServerReply, WireError, WireProto, LEGACY_PROTOCOL_VERSION,
+    MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 pub use qsync_sched::SchedStats;

@@ -30,6 +30,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use qsync_graph::PrecisionDag;
 use qsync_obs::{MetricsSnapshot, TraceSpan};
 use qsync_sched::SchedStats;
 
@@ -98,6 +99,15 @@ pub enum ServerCommand {
     Subscribe {
         /// Caller-chosen id echoed in the reply.
         id: u64,
+        /// Request full plan payloads on completion events (v1, additive):
+        /// when `true`, [`ServerEvent::Replanned`] and
+        /// [`ServerEvent::PlanReady`] lines sent to this connection carry an
+        /// `adopt` payload (request + response + warm-start precision DAG) a
+        /// replica can insert straight into its own cache. Plain subscribers
+        /// receive the same events with `adopt: null`. Absent on the wire
+        /// deserializes to `false` — the pre-replication behavior.
+        #[serde(default)]
+        adopt: bool,
     },
     /// Stop this connection's event stream (v1).
     Unsubscribe {
@@ -132,6 +142,36 @@ pub enum ServerCommand {
         /// Caller-chosen id echoed in the reply.
         id: u64,
     },
+    /// Write a plan-store snapshot (v1 admin): persist the current plan
+    /// cache and initial-setting memo table atomically to disk in the
+    /// qsync-store format. Answered with [`ServerReply::Snapshotted`].
+    Snapshot {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+        /// Target file path. `None` uses the server's configured `--store`
+        /// path (a fault if the server has none).
+        path: Option<String>,
+    },
+    /// Load a plan-store snapshot (v1 admin): verify and warm the cache and
+    /// memo table from a snapshot file. A snapshot that fails verification
+    /// (checksum, truncation, wrong magic) changes nothing and faults; a
+    /// verified one is merged entry-by-entry, skipping records this server
+    /// does not understand. Answered with [`ServerReply::Loaded`].
+    Load {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+        /// Source file path. `None` uses the server's configured `--store`
+        /// path (a fault if the server has none).
+        path: Option<String>,
+    },
+    /// Fetch the server's plan store over the wire (v1 replication): the
+    /// reply embeds a full snapshot, serialized exactly as
+    /// [`Snapshot`](Self::Snapshot) would write it to disk. A `--follow`
+    /// replica bootstraps from this before riding the event stream.
+    FetchSnapshot {
+        /// Caller-chosen id echoed in the reply.
+        id: u64,
+    },
 }
 
 impl ServerCommand {
@@ -144,13 +184,31 @@ impl ServerCommand {
             | ServerCommand::Cancel { id, .. }
             | ServerCommand::Hello { id, .. }
             | ServerCommand::Batch { id, .. }
-            | ServerCommand::Subscribe { id }
+            | ServerCommand::Subscribe { id, .. }
             | ServerCommand::Unsubscribe { id }
             | ServerCommand::Metrics { id }
             | ServerCommand::Trace { id, .. }
-            | ServerCommand::Resync { id } => *id,
+            | ServerCommand::Resync { id }
+            | ServerCommand::Snapshot { id, .. }
+            | ServerCommand::Load { id, .. }
+            | ServerCommand::FetchSnapshot { id } => *id,
         }
     }
+}
+
+/// The full cached-plan payload an adopt-subscribed replica needs to mirror
+/// one plan-cache entry: enough to reconstruct the primary's `CachedPlan`
+/// byte-for-byte (the entry's cache key and cluster fingerprint are
+/// recomputed from `request` on adoption, so a forged or corrupted payload
+/// can mismatch and be dropped, never poison the replica under a wrong key).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanPayload {
+    /// The originating plan request (carries model, cluster, constraints).
+    pub request: PlanRequest,
+    /// The cached response, byte-identical to what the primary serves.
+    pub response: PlanResponse,
+    /// The inference-device precision DAG kept for warm re-planning.
+    pub inference_pdag: Option<PrecisionDag>,
 }
 
 /// A server-side event, streamed to [`ServerCommand::Subscribe`]d
@@ -186,6 +244,11 @@ pub enum ServerEvent {
         /// to 0).
         #[serde(default)]
         trace_id: u64,
+        /// Full cached-plan payload, present only on lines sent to
+        /// `Subscribe { adopt: true }` connections (`null` for plain
+        /// subscribers and absent in pre-replication events).
+        #[serde(default)]
+        adopt: Option<PlanPayload>,
     },
     /// A delta request completed; its submitter has received the
     /// [`DeltaResponse`].
@@ -205,6 +268,27 @@ pub enum ServerEvent {
         #[serde(default)]
         trace_id: u64,
     },
+    /// A cold or warm plan completed (v1, additive): fire-and-forget clients
+    /// can watch for their key instead of holding a waiter open, and
+    /// adopt-subscribed replicas mirror the entry from the payload.
+    PlanReady {
+        /// The completed plan's cache key.
+        key: String,
+        /// How the plan was produced ([`PlanOutcome::CacheHit`] requests do
+        /// not emit this event — nothing new became ready).
+        outcome: PlanOutcome,
+        /// Predicted iteration latency of the plan (microseconds).
+        predicted_iteration_us: f64,
+        /// Trace id of the request that produced the plan (0 on untraced
+        /// paths).
+        #[serde(default)]
+        trace_id: u64,
+        /// Full cached-plan payload, present only on lines sent to
+        /// `Subscribe { adopt: true }` connections (`null` for plain
+        /// subscribers).
+        #[serde(default)]
+        adopt: Option<PlanPayload>,
+    },
 }
 
 impl ServerEvent {
@@ -214,8 +298,23 @@ impl ServerEvent {
         match self {
             ServerEvent::CacheInvalidated { trace_id, .. }
             | ServerEvent::Replanned { trace_id, .. }
-            | ServerEvent::DeltaApplied { trace_id, .. } => *trace_id,
+            | ServerEvent::DeltaApplied { trace_id, .. }
+            | ServerEvent::PlanReady { trace_id, .. } => *trace_id,
         }
+    }
+
+    /// This event with any adoption payload removed — the form rendered to
+    /// plain (non-adopt) subscribers, and the cheap thing to keep when only
+    /// the notification matters.
+    pub fn without_adopt(&self) -> ServerEvent {
+        let mut event = self.clone();
+        match &mut event {
+            ServerEvent::Replanned { adopt, .. } | ServerEvent::PlanReady { adopt, .. } => {
+                *adopt = None;
+            }
+            ServerEvent::CacheInvalidated { .. } | ServerEvent::DeltaApplied { .. } => {}
+        }
+        event
     }
 }
 
@@ -334,6 +433,45 @@ pub enum ServerReply {
         /// consumer backlog overflow).
         dropped: u64,
     },
+    /// Response to [`ServerCommand::Snapshot`]: what was persisted.
+    Snapshotted {
+        /// Echo of the command id.
+        id: u64,
+        /// The file the snapshot was written to.
+        path: String,
+        /// Records written (plan entries + memo entries).
+        entries: u64,
+        /// Total snapshot size in bytes.
+        bytes: u64,
+    },
+    /// Response to [`ServerCommand::Load`]: what a verified snapshot merged.
+    Loaded {
+        /// Echo of the command id.
+        id: u64,
+        /// The file the snapshot was read from.
+        path: String,
+        /// Plan entries adopted into the cache.
+        plans: u64,
+        /// Initial-setting memo entries adopted.
+        memos: u64,
+        /// Records skipped (unknown kind, newer record version, or a key
+        /// that does not match its own request — drift, never an error).
+        skipped: u64,
+        /// Total snapshot size in bytes.
+        bytes: u64,
+    },
+    /// Response to [`ServerCommand::FetchSnapshot`]: the plan store itself.
+    SnapshotData {
+        /// Echo of the command id.
+        id: u64,
+        /// Records carried (plan entries + memo entries).
+        entries: u64,
+        /// Length of `data` in bytes.
+        bytes: u64,
+        /// A complete snapshot in the qsync-store file format (header line +
+        /// checksummed payload), verifiable and loadable exactly like a file.
+        data: String,
+    },
     /// The command could not be served (protocol v1 form: structured error).
     Fault(ApiError),
 }
@@ -352,7 +490,10 @@ impl ServerReply {
             | ServerReply::Unsubscribed { id }
             | ServerReply::Metrics { id, .. }
             | ServerReply::Trace { id, .. }
-            | ServerReply::Resynced { id, .. } => Some(*id),
+            | ServerReply::Resynced { id, .. }
+            | ServerReply::Snapshotted { id, .. }
+            | ServerReply::Loaded { id, .. }
+            | ServerReply::SnapshotData { id, .. } => Some(*id),
             ServerReply::Error { id, .. } => *id,
             ServerReply::Fault(e) => e.id,
             ServerReply::Event { .. } => None,
@@ -640,7 +781,7 @@ mod tests {
         let line = serde_json::to_string(&RequestEnvelope::v1(batch.clone())).unwrap();
         let parsed = parse_line(&line).unwrap();
         assert_eq!(parsed.cmd, batch);
-        let sub = ServerCommand::Subscribe { id: 43 };
+        let sub = ServerCommand::Subscribe { id: 43, adopt: false };
         let line = serde_json::to_string(&RequestEnvelope::v1(sub.clone())).unwrap();
         assert_eq!(parse_line(&line).unwrap().cmd, sub);
     }
@@ -680,6 +821,80 @@ mod tests {
             let back: ReplyEnvelope = serde_json::from_str(&enveloped).unwrap();
             assert_eq!(back.v, 1);
         }
+    }
+
+    #[test]
+    fn pre_replication_lines_still_parse() {
+        // A pre-replication client's Subscribe (no `adopt` key) must
+        // deserialize with adoption off.
+        let cmd: ServerCommand = serde_json::from_str(r#"{"Subscribe":{"id":4}}"#).unwrap();
+        assert_eq!(cmd, ServerCommand::Subscribe { id: 4, adopt: false });
+        // A pre-replication server's Replanned event (no `adopt` key) must
+        // deserialize with no payload.
+        let line = r#"{"Event":{"seq":6,"event":{"Replanned":{"key":"k1","outcome":"WarmReplanned","predicted_iteration_us":12.5}}}}"#;
+        let reply: ServerReply = serde_json::from_str(line).unwrap();
+        let ServerReply::Event { event: ServerEvent::Replanned { adopt, .. }, .. } = reply else {
+            panic!("expected Replanned event");
+        };
+        assert_eq!(adopt, None);
+    }
+
+    #[test]
+    fn snapshot_commands_round_trip_enveloped() {
+        for cmd in [
+            ServerCommand::Snapshot { id: 50, path: Some("/tmp/x.qss".into()) },
+            ServerCommand::Snapshot { id: 51, path: None },
+            ServerCommand::Load { id: 52, path: None },
+            ServerCommand::FetchSnapshot { id: 53 },
+        ] {
+            let line = serde_json::to_string(&RequestEnvelope::v1(cmd.clone())).unwrap();
+            let parsed = parse_line(&line).unwrap();
+            assert_eq!(parsed.cmd, cmd);
+            assert_eq!(parsed.cmd.id(), cmd.id());
+        }
+    }
+
+    #[test]
+    fn without_adopt_strips_payloads_and_nothing_else() {
+        let request = PlanRequest::new(
+            1,
+            ModelSpec::SmallMlp { batch: 8, in_features: 16, hidden: 32, classes: 4 },
+            ClusterSpec::hybrid_small(),
+        );
+        let ready = ServerEvent::PlanReady {
+            key: "k".into(),
+            outcome: PlanOutcome::ColdPlanned,
+            predicted_iteration_us: 9.0,
+            trace_id: 7,
+            adopt: Some(PlanPayload {
+                request: request.clone(),
+                response: PlanResponse {
+                    id: 1,
+                    key: "k".into(),
+                    outcome: PlanOutcome::ColdPlanned,
+                    plan: qsync_core::plan::PrecisionPlan::oracle(
+                        &request.model.build(),
+                        &request.cluster,
+                    ),
+                    predicted_iteration_us: 9.0,
+                    t_min_us: 9.0,
+                    promotions_accepted: 0,
+                    warm_demotions: 0,
+                    elapsed_us: 1,
+                    trace_id: Some(7),
+                },
+                inference_pdag: None,
+            }),
+        };
+        let stripped = ready.without_adopt();
+        let ServerEvent::PlanReady { adopt, key, trace_id, .. } = &stripped else {
+            panic!("variant preserved");
+        };
+        assert!(adopt.is_none());
+        assert_eq!((key.as_str(), *trace_id), ("k", 7));
+        // Variants without payloads pass through untouched.
+        let inval = ServerEvent::CacheInvalidated { keys: vec!["a".into()], trace_id: 3 };
+        assert_eq!(inval.without_adopt(), inval);
     }
 
     #[test]

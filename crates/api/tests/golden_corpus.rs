@@ -116,7 +116,7 @@ fn build_v1_lines() -> Vec<String> {
         }),
         enveloped(ServerCommand::Delta(degrade(17))),
         enveloped(ServerCommand::Cancel { id: 18, plan_id: 999 }),
-        enveloped(ServerCommand::Subscribe { id: 19 }),
+        enveloped(ServerCommand::Subscribe { id: 19, adopt: false }),
         enveloped(ServerCommand::Unsubscribe { id: 20 }),
         // Envelope-level failures, pinned: unsupported version, missing cmd.
         r#"{"v":99,"id":21,"cmd":{"Stats":{"id":21}}}"#.to_string(),

@@ -44,6 +44,44 @@ pub struct ResyncSnapshot {
     pub dropped: u64,
 }
 
+/// The outcome of a `Snapshot` round-trip: what the server persisted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// The file the snapshot was written to.
+    pub path: String,
+    /// Records written (plan entries + memo entries).
+    pub entries: u64,
+    /// Total snapshot size in bytes.
+    pub bytes: u64,
+}
+
+/// The outcome of a `Load` round-trip: what a verified snapshot merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadInfo {
+    /// The file the snapshot was read from.
+    pub path: String,
+    /// Plan entries adopted into the cache.
+    pub plans: u64,
+    /// Initial-setting memo entries adopted.
+    pub memos: u64,
+    /// Records skipped (schema drift, never an error).
+    pub skipped: u64,
+    /// Total snapshot size in bytes.
+    pub bytes: u64,
+}
+
+/// A full plan store fetched over the wire (`FetchSnapshot`): the `data`
+/// string is byte-identical to what `Snapshot` would write to disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotBlob {
+    /// Records carried.
+    pub entries: u64,
+    /// Length of `data` in bytes.
+    pub bytes: u64,
+    /// The snapshot in the qsync-store file format.
+    pub data: String,
+}
+
 /// A blocking, typed protocol client.
 ///
 /// `connect` performs the `Hello` version handshake; every call sends one
@@ -365,7 +403,7 @@ impl Client {
     /// on a fresh connection.
     pub fn subscribe(&mut self) -> Result<()> {
         let id = self.fresh_id();
-        match self.request(ServerCommand::Subscribe { id })? {
+        match self.request(ServerCommand::Subscribe { id, adopt: false })? {
             ServerReply::Subscribed { .. } => Ok(()),
             other => Err(unexpected("Subscribe", &other)),
         }

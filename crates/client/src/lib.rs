@@ -47,7 +47,7 @@ mod mux;
 mod raw;
 pub mod retry;
 
-pub use client::{Client, ResyncSnapshot, StatsSnapshot};
+pub use client::{Client, LoadInfo, ResyncSnapshot, SnapshotBlob, SnapshotInfo, StatsSnapshot};
 pub use error::{ClientError, Result};
 pub use mux::{EventItem, EventStream, MuxClient, Pending, DEFAULT_EVENT_BUFFER};
 pub use raw::{parse_reply_line, RawClient, DEFAULT_TIMEOUT};

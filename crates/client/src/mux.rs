@@ -10,7 +10,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -19,7 +19,7 @@ use qsync_api::{
     ServerEvent, ServerReply, TraceSpan, MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION,
 };
 
-use crate::client::{ResyncSnapshot, StatsSnapshot};
+use crate::client::{LoadInfo, ResyncSnapshot, SnapshotBlob, SnapshotInfo, StatsSnapshot};
 use crate::error::{ClientError, Result};
 use crate::raw::parse_reply_line;
 
@@ -44,11 +44,19 @@ struct MuxState {
     /// Live event subscription's bounded buffer, if any.
     events: Mutex<Option<Arc<EventBuffer>>>,
     next_id: AtomicU64,
+    /// Set once the reader thread exits. The first write to a dead socket
+    /// can still land in the kernel buffer (the error only surfaces on a
+    /// *later* write), so without this flag a request submitted after EOF
+    /// would register a waiter no reader will ever fill and block forever.
+    closed: AtomicBool,
 }
 
 impl MuxState {
     /// Fail every waiter and end the event stream (reader exit path).
     fn poison_all(&self) {
+        // Order matters: raise `closed` before draining, so a racing
+        // `submit` either observes the flag or its waiter is in the drain.
+        self.closed.store(true, Ordering::SeqCst);
         let waiters = std::mem::take(&mut *self.waiters.lock().expect("waiter map poisoned"));
         for slot in waiters.into_values() {
             slot.fill(Err(ClientError::Closed));
@@ -223,6 +231,10 @@ impl<T> Pending<T> {
 /// One item of a subscription's event stream: a live event, or an explicit
 /// marker for events the server dropped (slow consumer) or this client
 /// otherwise missed.
+// `Event` dwarfs `Gap` since events grew adoption payloads; items are
+// consumed immediately off the stream, so the transient size is fine and
+// boxing would cost an allocation per delivered event.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventItem {
     /// A live event with its server-assigned sequence number.
@@ -374,6 +386,7 @@ impl MuxClient {
             waiters: Mutex::new(HashMap::new()),
             events: Mutex::new(None),
             next_id: AtomicU64::new(1),
+            closed: AtomicBool::new(false),
         });
         let reader = BufReader::new(stream.try_clone()?);
         {
@@ -427,6 +440,12 @@ impl MuxClient {
         let id = state.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(Slot::default());
         state.waiters.lock().expect("waiter map poisoned").insert(id, Arc::clone(&slot));
+        if state.closed.load(Ordering::SeqCst) {
+            // Insert-then-check: if the reader exited before our insert we
+            // see the flag; if it exits after, `poison_all` drains our slot.
+            state.waiters.lock().expect("waiter map poisoned").remove(&id);
+            return Err(ClientError::Closed);
+        }
         let command = build(id);
         let envelope = qsync_api::RequestEnvelope::v1(command);
         let mut line = serde_json::to_string(&envelope).expect("envelope serializes");
@@ -574,6 +593,19 @@ impl MuxClient {
     /// behind loses the buffered backlog and sees an
     /// [`EventItem::Gap`] — size the buffer for the burstiness you expect.
     pub fn subscribe_with_capacity(&self, cap: usize) -> Result<EventStream> {
+        self.subscribe_inner(cap, false)
+    }
+
+    /// [`subscribe`](MuxClient::subscribe) with adoption payloads: the
+    /// server's `Replanned`/`PlanReady` events carry the full cached-plan
+    /// payload ([`qsync_api::PlanPayload`]) on this connection, so a replica
+    /// can mirror the primary's cache entries byte-for-byte instead of
+    /// re-planning. Payload lines are large — size consumption accordingly.
+    pub fn subscribe_adopt(&self) -> Result<EventStream> {
+        self.subscribe_inner(DEFAULT_EVENT_BUFFER, true)
+    }
+
+    fn subscribe_inner(&self, cap: usize, adopt: bool) -> Result<EventStream> {
         let buffer = Arc::new(EventBuffer::new(cap));
         let previous = self
             .inner
@@ -586,7 +618,7 @@ impl MuxClient {
             old.close();
         }
         self.submit(
-            |id| ServerCommand::Subscribe { id },
+            move |id| ServerCommand::Subscribe { id, adopt },
             |reply| match reply {
                 ServerReply::Subscribed { .. } => Ok(()),
                 other => Err(unexpected("Subscribe", &other)),
@@ -594,6 +626,52 @@ impl MuxClient {
         )?
         .wait()?;
         Ok(EventStream { buffer, gaps: Mutex::new(GapState::default()) })
+    }
+
+    /// Ask the server to persist its plan store. `path: None` writes to the
+    /// server's configured `--store` path (a fault if it has none).
+    pub fn snapshot(&self, path: Option<String>) -> Result<SnapshotInfo> {
+        self.submit(
+            move |id| ServerCommand::Snapshot { id, path },
+            |reply| match reply {
+                ServerReply::Snapshotted { path, entries, bytes, .. } => {
+                    Ok(SnapshotInfo { path, entries, bytes })
+                }
+                other => Err(unexpected("Snapshot", &other)),
+            },
+        )?
+        .wait()
+    }
+
+    /// Ask the server to verify and merge a snapshot file into its cache and
+    /// memo table. `path: None` reads the configured `--store` path.
+    pub fn load(&self, path: Option<String>) -> Result<LoadInfo> {
+        self.submit(
+            move |id| ServerCommand::Load { id, path },
+            |reply| match reply {
+                ServerReply::Loaded { path, plans, memos, skipped, bytes, .. } => {
+                    Ok(LoadInfo { path, plans, memos, skipped, bytes })
+                }
+                other => Err(unexpected("Load", &other)),
+            },
+        )?
+        .wait()
+    }
+
+    /// Fetch the server's full plan store over the wire — the replication
+    /// bootstrap. The returned blob verifies and loads exactly like a
+    /// snapshot file.
+    pub fn fetch_snapshot(&self) -> Result<SnapshotBlob> {
+        self.submit(
+            |id| ServerCommand::FetchSnapshot { id },
+            |reply| match reply {
+                ServerReply::SnapshotData { entries, bytes, data, .. } => {
+                    Ok(SnapshotBlob { entries, bytes, data })
+                }
+                other => Err(unexpected("FetchSnapshot", &other)),
+            },
+        )?
+        .wait()
     }
 }
 

@@ -210,7 +210,7 @@ fn event_stash_overflow_drops_the_backlog_and_surfaces_a_gap() {
         }
         while let Some(command) = read_command(&mut reader) {
             match command {
-                ServerCommand::Subscribe { id } => {
+                ServerCommand::Subscribe { id, .. } => {
                     send(&mut stream, &ServerReply::Subscribed { id });
                     send(
                         &mut stream,
@@ -272,7 +272,7 @@ fn event_stream_ends_when_the_connection_closes() {
         if answer_hello(&mut reader, &mut stream).is_none() {
             return;
         }
-        if let Some(ServerCommand::Subscribe { id }) = read_command(&mut reader) {
+        if let Some(ServerCommand::Subscribe { id, .. }) = read_command(&mut reader) {
             send(&mut stream, &ServerReply::Subscribed { id });
         }
         // then drop: the stream must end rather than block forever

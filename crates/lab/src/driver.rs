@@ -320,7 +320,7 @@ fn apply(
             if !state.can_send() {
                 return;
             }
-            state.send_cmd(&ServerCommand::Subscribe { id: *id }, true);
+            state.send_cmd(&ServerCommand::Subscribe { id: *id, adopt: false }, true);
             state.record.subscribed = true;
             let resync_id = RESYNC_ID_BASE + *resync_seq;
             *resync_seq += 1;

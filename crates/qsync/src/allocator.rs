@@ -24,6 +24,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use serde::{Deserialize, Serialize};
+
 use qsync_lp_kernels::precision::Precision;
 use qsync_graph::{find_repeating_subgraphs, NodeId, PrecisionDag};
 
@@ -77,6 +79,24 @@ pub struct AllocationReport {
     /// regression test pins that down — while the `*_reference` paths pay one per
     /// candidate.
     pub full_predicts: usize,
+}
+
+/// The memoizable product of phase 1 for the canonical inference device: the
+/// brute-force fastest-feasible assignment and its predicted latency (the
+/// `T_min` bound phase 2 enforces).
+///
+/// Both members are pure deterministic functions of the (model, effective
+/// cluster) pair, so a caller may compute this once per fingerprint pair,
+/// cache or persist it, and replay it through
+/// [`Allocator::allocate_from_initial`] /
+/// [`Allocator::allocate_warm_with_tmin`] for byte-identical plans without
+/// re-paying the brute-force combinatorial search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InitialSetting {
+    /// The phase-1 assignment (consistent: dependent precisions propagated).
+    pub pdag: PrecisionDag,
+    /// Predicted iteration latency (us) of `pdag` — the recovery bound.
+    pub t_min_us: f64,
 }
 
 /// The QSync allocator.
@@ -167,6 +187,36 @@ impl<'a> Allocator<'a> {
         self.recover(indicator, eval, t_min, report)
     }
 
+    /// Run phase 1 alone and package its product for memoization.
+    pub fn initial_setting(&self, rank: usize) -> InitialSetting {
+        let eval = self.initial_eval(rank);
+        let t_min_us = eval.iteration_us();
+        InitialSetting { pdag: eval.into_pdag(), t_min_us }
+    }
+
+    /// [`Allocator::allocate`] with phase 1 answered from a memoized
+    /// [`InitialSetting`] instead of the brute-force search. The recovery
+    /// loop is a deterministic function of the initial assignment, so the
+    /// plan is byte-identical to the cold path's. Falls back to a full cold
+    /// allocation when the memo does not cover this system's model (node
+    /// count mismatch) — a stale memo can cost time, never correctness.
+    pub fn allocate_from_initial(
+        &self,
+        indicator: &dyn SensitivityIndicator,
+        initial: &InitialSetting,
+    ) -> (PrecisionPlan, AllocationReport) {
+        let sys = self.system;
+        let inference = sys.cluster.inference_ranks();
+        if inference.is_empty() || initial.pdag.len() != sys.dag.len() {
+            return self.allocate(indicator);
+        }
+        let rank = inference[0];
+        let eval = DeltaEvaluator::new(sys, rank, initial.pdag.clone());
+        let t_min = initial.t_min_us;
+        let report = AllocationReport { t_min_us: t_min, final_us: t_min, ..Default::default() };
+        self.recover(indicator, eval, t_min, report)
+    }
+
     /// Warm-start allocation for elastic re-planning: skip the brute-force
     /// initial-setting phase and run precision recovery from a previously
     /// computed inference precision DAG (typically a cached plan for the same
@@ -189,6 +239,29 @@ impl<'a> Allocator<'a> {
         &self,
         indicator: &dyn SensitivityIndicator,
         warm: &PrecisionDag,
+    ) -> (PrecisionPlan, AllocationReport) {
+        self.allocate_warm_inner(indicator, warm, None)
+    }
+
+    /// [`Allocator::allocate_warm`] with the `T_min` bound supplied by the
+    /// caller (from a memoized [`InitialSetting`] for this exact (model,
+    /// effective cluster) pair) instead of re-running the brute-force initial
+    /// phase. With both the warm assignment and `T_min` in hand, an elastic
+    /// re-plan touches no combinatorial search at all.
+    pub fn allocate_warm_with_tmin(
+        &self,
+        indicator: &dyn SensitivityIndicator,
+        warm: &PrecisionDag,
+        t_min_us: f64,
+    ) -> (PrecisionPlan, AllocationReport) {
+        self.allocate_warm_inner(indicator, warm, Some(t_min_us))
+    }
+
+    fn allocate_warm_inner(
+        &self,
+        indicator: &dyn SensitivityIndicator,
+        warm: &PrecisionDag,
+        t_min_override: Option<f64>,
     ) -> (PrecisionPlan, AllocationReport) {
         let sys = self.system;
         let dag = &sys.dag;
@@ -242,7 +315,7 @@ impl<'a> Allocator<'a> {
         // recovery can only promote, never repair that. The bound is the
         // initial (brute-force fastest) plan's latency, answered entirely
         // from the incremental evaluator — no full-plan prediction at all.
-        let t_min = self.initial_eval(rank).iteration_us();
+        let t_min = t_min_override.unwrap_or_else(|| self.initial_eval(rank).iteration_us());
         let tol = 1.0 + sys.config.throughput_tolerance;
         let mut warm_t = eval.iteration_us();
         while warm_t > t_min * tol {
@@ -779,6 +852,58 @@ mod tests {
             sys.memory_ok(rank, &pdag)
                 || sys.memory_bytes(rank, &pdag) <= sys.memory_bytes(rank, &most_compressed)
         );
+    }
+
+    #[test]
+    fn allocate_from_initial_is_byte_identical_to_cold() {
+        let sys = system(ClusterSpec::hybrid_small());
+        let alloc = Allocator::new(&sys);
+        let rank = sys.cluster.inference_ranks()[0];
+        let initial = alloc.initial_setting(rank);
+        let (cold_plan, cold_report) = alloc.allocate(&sys.indicator());
+        let (memo_plan, memo_report) = alloc.allocate_from_initial(&sys.indicator(), &initial);
+        assert_eq!(cold_plan.to_json(), memo_plan.to_json());
+        assert_eq!(cold_report.t_min_us.to_bits(), memo_report.t_min_us.to_bits());
+        assert_eq!(cold_report.final_us.to_bits(), memo_report.final_us.to_bits());
+        assert_eq!(cold_report.promotions_accepted, memo_report.promotions_accepted);
+    }
+
+    #[test]
+    fn allocate_warm_with_tmin_is_byte_identical_to_warm() {
+        // Plan on the full cluster, then warm-replan onto a shrunk one both
+        // ways: with the brute-force pass and with the memoized T_min.
+        let sys_full = system(ClusterSpec::hybrid_small());
+        let (plan, _) = Allocator::new(&sys_full).allocate(&sys_full.indicator());
+        let rank_full = sys_full.cluster.inference_ranks()[0];
+        let warm = plan.device(rank_full).clone();
+
+        let sys_shrunk = system(ClusterSpec::cluster_b(1, 1, 0.5));
+        let alloc = Allocator::new(&sys_shrunk);
+        let rank = sys_shrunk.cluster.inference_ranks()[0];
+        let initial = alloc.initial_setting(rank);
+        let (warm_plan, warm_report) = alloc.allocate_warm(&sys_shrunk.indicator(), &warm);
+        let (memo_plan, memo_report) =
+            alloc.allocate_warm_with_tmin(&sys_shrunk.indicator(), &warm, initial.t_min_us);
+        assert_eq!(warm_plan.to_json(), memo_plan.to_json());
+        assert_eq!(warm_report.t_min_us.to_bits(), memo_report.t_min_us.to_bits());
+        assert_eq!(warm_report.warm_demotions, memo_report.warm_demotions);
+        assert_eq!(warm_report.promotions_accepted, memo_report.promotions_accepted);
+    }
+
+    #[test]
+    fn stale_initial_setting_falls_back_to_cold_allocation() {
+        let sys = system(ClusterSpec::hybrid_small());
+        let alloc = Allocator::new(&sys);
+        // A memo for a *different* model (wrong node count) must be ignored.
+        let other = QSyncSystem::new(
+            qsync_graph::models::small_cnn(4, 16, 4),
+            ClusterSpec::hybrid_small(),
+            QSyncConfig::default(),
+        );
+        let stale = Allocator::new(&other).initial_setting(other.cluster.inference_ranks()[0]);
+        let (cold_plan, _) = alloc.allocate(&sys.indicator());
+        let (fallback_plan, _) = alloc.allocate_from_initial(&sys.indicator(), &stale);
+        assert_eq!(cold_plan.to_json(), fallback_plan.to_json());
     }
 
     #[test]

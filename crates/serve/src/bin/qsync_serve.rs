@@ -7,6 +7,7 @@
 //!                   [--queue-cap-interactive N] [--queue-cap-batch N] [--queue-cap-background N]
 //!                   [--drr-quantum N] [--shed-expired true|false] [--delta-window-ms N]
 //!                   [--event-outbox-cap BYTES] [--accept-backoff-ms N]
+//!                   [--store PATH] [--snapshot-interval-ms N] [--follow ADDR]
 //!     Serve protocol lines (legacy v0 objects or v1 envelopes; see
 //!     docs/PROTOCOL.md): from stdin (default) or a TCP socket. Plan
 //!     requests may carry optional "priority" ("Interactive"|"Batch"|
@@ -21,6 +22,14 @@
 //!     never dropped; see "The event stream" in docs/PROTOCOL.md).
 //!     --accept-backoff-ms sets how long accepts pause after a
 //!     resource-exhaustion accept error (EMFILE and friends).
+//!     --store names the persistent plan-store snapshot file: it is
+//!     warm-loaded on boot (a missing or corrupt file boots cold), is the
+//!     default target of the Snapshot/Load admin commands, and is
+//!     rewritten at shutdown; --snapshot-interval-ms adds periodic
+//!     snapshots between those. --follow ADDR makes this server a replica
+//!     of the primary at ADDR: it bootstraps its cache with FetchSnapshot
+//!     and then mirrors the primary's adopt-subscribed event stream (see
+//!     docs/PERSISTENCE.md).
 //!
 //! qsync-serve plan --model SPEC [--cluster SPEC] [--indicator NAME]
 //!                  [--tolerance F] [--memory-fraction F]
@@ -46,8 +55,8 @@ use std::time::{Duration, Instant};
 use qsync_client::MuxClient;
 use qsync_cluster::topology::ClusterSpec;
 use qsync_serve::{
-    CacheConfig, IndicatorChoice, ModelSpec, PlanEngine, PlanRequest, PlanServer, SchedConfig,
-    ShutdownSignal, TransportConfig,
+    CacheConfig, FollowerConfig, IndicatorChoice, ModelSpec, PlanEngine, PlanRequest, PlanServer,
+    SchedConfig, ShutdownSignal, StoreConfig, TransportConfig,
 };
 
 fn parse_cluster(s: &str) -> Result<ClusterSpec, String> {
@@ -207,6 +216,31 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if custom_transport {
         server = server.with_transport(transport);
     }
+    if let Some(path) = flags.get("store") {
+        let mut store = StoreConfig::at(path);
+        if let Some(ms) = flags.get("snapshot-interval-ms") {
+            let ms: u64 = ms.parse().map_err(|e| format!("bad --snapshot-interval-ms: {e}"))?;
+            store.snapshot_interval = Some(Duration::from_millis(ms));
+        }
+        server = server.with_store(store);
+    } else if flags.get("snapshot-interval-ms").is_some() {
+        return Err("--snapshot-interval-ms needs --store".into());
+    }
+    let _follower = match flags.get("follow") {
+        Some(addr) => {
+            let primary = addr
+                .parse()
+                .map_err(|e| format!("bad --follow address {addr:?}: {e}"))?;
+            eprintln!("qsync-serve: following primary at {primary}");
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            Some(qsync_serve::follow(
+                Arc::clone(server.engine()),
+                FollowerConfig::new(primary),
+                stop,
+            ))
+        }
+        None => None,
+    };
     match flags.get("tcp") {
         Some(addr) => {
             // The reactor multiplexes every connection on one thread; make

@@ -259,6 +259,38 @@ impl PlanCache {
         evicted
     }
 
+    /// Remove one entry by key, returning it if it was resident. Counted as
+    /// an invalidation (the replication path uses this to mirror a primary's
+    /// evictions key-by-key).
+    pub fn remove(&self, key: &str) -> Option<CachedPlan> {
+        let mut shard = self.shard_of(key).write().expect("plan cache poisoned");
+        let removed = shard.slots.remove(key).map(|slot| slot.entry);
+        if removed.is_some() {
+            self.invalidated.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Every resident entry, sorted by key — the snapshot writer's source.
+    /// Clones under shard read locks; intended for admin-rate paths, not the
+    /// hit path.
+    pub fn entries(&self) -> Vec<(String, CachedPlan)> {
+        let mut entries: Vec<(String, CachedPlan)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("plan cache poisoned")
+                    .slots
+                    .iter()
+                    .map(|(k, slot)| (k.clone(), slot.entry.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        entries
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -483,6 +515,28 @@ mod tests {
         assert_eq!(stats.hits, 8 * 200);
         assert_eq!(stats.misses, 0);
         assert_eq!(stats.entries, 16);
+    }
+
+    #[test]
+    fn remove_and_entries_mirror_the_resident_set() {
+        let cluster = ClusterSpec::hybrid_small();
+        let cache = PlanCache::with_config(CacheConfig { capacity: 64, shards: 4 });
+        let entries = keyed_entries(8, &cluster);
+        for (key, e) in &entries {
+            cache.insert(key.clone(), e.clone());
+        }
+        // entries() is key-sorted and complete.
+        let listed = cache.entries();
+        let mut want: Vec<String> = entries.iter().map(|(k, _)| k.clone()).collect();
+        want.sort();
+        assert_eq!(listed.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(), want);
+        // remove() takes exactly one entry out and counts an invalidation.
+        let victim = &entries[3].0;
+        assert!(cache.remove(victim).is_some());
+        assert!(cache.peek(victim).is_none());
+        assert!(cache.remove(victim).is_none(), "double remove finds nothing");
+        assert_eq!(cache.stats().invalidated, 1);
+        assert_eq!(cache.len(), 7);
     }
 
     #[test]

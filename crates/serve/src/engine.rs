@@ -24,14 +24,14 @@
 //! callers coalesce into shared waves through a
 //! [`DeltaCoalescer`](crate::elastic::DeltaCoalescer).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use qsync_api::ApiError;
 use qsync_cluster::topology::ClusterSpec;
-use qsync_core::allocator::{AllocationReport, Allocator};
+use qsync_core::allocator::{AllocationReport, Allocator, InitialSetting};
 use qsync_core::indicator::{HessianIndicator, RandomIndicator, SensitivityIndicator};
 use qsync_core::plan::PrecisionPlan;
 use qsync_core::system::QSyncSystem;
@@ -57,7 +57,41 @@ pub struct PlanEngine {
     delta_events: AtomicU64,
     batched_replans: AtomicU64,
     obs: Arc<ServeObs>,
+    /// Memoized brute-force initial settings, keyed by
+    /// `(model fingerprint, effective-cluster fingerprint)`. The initial
+    /// setting depends only on the graph and the cluster shape — not on the
+    /// indicator or tolerance — so every plan for the same (model, cluster)
+    /// pair can skip the exhaustive uniform-precision sweep. Value-transparent:
+    /// a memoized plan is byte-identical to a from-scratch one.
+    initial_memo: Mutex<HashMap<(u128, u128), InitialSetting>>,
+    /// Memoized built systems — device profiles, casting models, synthetic
+    /// statistics — keyed by `(model fingerprint, effective-cluster
+    /// fingerprint, serialized config)`. [`QSyncSystem::new`] re-profiles
+    /// every device and is a pure function of that key, so repeat plans and
+    /// warm re-plans share one build instead of re-profiling the cluster.
+    /// Value-transparent like the initial-setting memo; bounded by
+    /// [`SYSTEM_MEMO_CAP`].
+    system_memo: SystemMemo,
 }
+
+/// The system memo's storage, newtyped for a summary `Debug` (a built
+/// system has no useful debug form).
+#[derive(Default)]
+struct SystemMemo(Mutex<HashMap<(u128, u128, String), Arc<QSyncSystem>>>);
+
+impl std::fmt::Debug for SystemMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = self.0.lock().map(|memo| memo.len()).unwrap_or(0);
+        write!(f, "SystemMemo({len} entries)")
+    }
+}
+
+/// Cap on distinct `(model, cluster, config)` system builds kept resident —
+/// long elastic runs mint a new cluster fingerprint per delta, and a built
+/// system holds per-node-per-precision profile tables for every device. On
+/// overflow the memo is cleared (rebuilds are pure, so this only costs the
+/// re-profile).
+const SYSTEM_MEMO_CAP: usize = 64;
 
 /// One evicted cache entry plus the shape chain it must be re-planned
 /// through. Produced by [`PlanEngine::apply_deltas_with`], executed by
@@ -463,7 +497,7 @@ impl PlanEngine {
                     started,
                 );
             }
-            let (plan, _, system) = run_allocator(&request, warm.as_ref());
+            let (plan, _, system) = self.run_allocator(&request, warm.as_ref());
             warm = system.cluster.inference_ranks().first().map(|&rank| plan.device(rank).clone());
         }
         unreachable!("ReplanChain.shapes is never empty")
@@ -478,7 +512,7 @@ impl PlanEngine {
         warm: Option<&qsync_graph::PrecisionDag>,
         started: Instant,
     ) -> PlanResponse {
-        let (plan, report, system) = run_allocator(request, warm);
+        let (plan, report, system) = self.run_allocator(request, warm);
         let inference_pdag =
             system.cluster.inference_ranks().first().map(|&rank| plan.device(rank).clone());
         let response = PlanResponse {
@@ -516,26 +550,140 @@ impl PlanEngine {
         }
         response
     }
-}
 
-/// Build the system for a request and run the allocator, cold or warm.
-fn run_allocator(
-    request: &PlanRequest,
-    warm: Option<&qsync_graph::PrecisionDag>,
-) -> (PrecisionPlan, AllocationReport, QSyncSystem) {
-    let system =
-        QSyncSystem::new(request.model.build(), request.effective_cluster(), request.config());
-    let allocator = Allocator::new(&system);
-    let indicator: Box<dyn SensitivityIndicator> = match request.indicator {
-        IndicatorChoice::Variance => Box::new(system.indicator()),
-        IndicatorChoice::Hessian => Box::new(HessianIndicator { stats: system.stats.clone() }),
-        IndicatorChoice::Random => Box::new(RandomIndicator { seed: system.config.seed }),
-    };
-    let (plan, report) = match warm {
-        None => allocator.allocate(indicator.as_ref()),
-        Some(w) => allocator.allocate_warm(indicator.as_ref(), w),
-    };
-    (plan, report, system)
+    /// Build the system for a request and run the allocator, cold or warm.
+    ///
+    /// The brute-force initial setting (the uniform-precision sweep that
+    /// dominates cold-plan latency) is memoized per
+    /// `(model fingerprint, effective-cluster fingerprint)`: the first plan
+    /// for a pair runs it and records it, every later plan — cold with a
+    /// different indicator/tolerance, or a warm re-plan onto that shape —
+    /// starts from the memo. The memo is value-transparent (identical plans,
+    /// identical reports), so cache replays and the coherence oracle are
+    /// unaffected by hit/miss history.
+    fn run_allocator(
+        &self,
+        request: &PlanRequest,
+        warm: Option<&qsync_graph::PrecisionDag>,
+    ) -> (PrecisionPlan, AllocationReport, Arc<QSyncSystem>) {
+        let system = self.system_for(request);
+        let allocator = Allocator::new(&system);
+        let indicator: Box<dyn SensitivityIndicator> = match request.indicator {
+            IndicatorChoice::Variance => Box::new(system.indicator()),
+            IndicatorChoice::Hessian => Box::new(HessianIndicator { stats: system.stats.clone() }),
+            IndicatorChoice::Random => Box::new(RandomIndicator { seed: system.config.seed }),
+        };
+        let Some(&rank) = system.cluster.inference_ranks().first() else {
+            // No inference devices: the allocator short-circuits to the oracle
+            // plan; there is no exhaustive pass to memoize.
+            let (plan, report) = match warm {
+                None => allocator.allocate(indicator.as_ref()),
+                Some(w) => allocator.allocate_warm(indicator.as_ref(), w),
+            };
+            return (plan, report, system);
+        };
+        let memo_key = (system.dag.fingerprint(), system.cluster.fingerprint());
+        let memoized = self
+            .initial_memo
+            .lock()
+            .expect("initial-setting memo poisoned")
+            .get(&memo_key)
+            .cloned();
+        let initial = match memoized {
+            // A memo restored from a snapshot of a different build could carry
+            // a stale node count; fall through to a fresh sweep rather than
+            // feed the allocator a mismatched assignment.
+            Some(initial) if initial.pdag.len() == system.dag.len() => {
+                self.obs.memo_hits.inc();
+                initial
+            }
+            _ => {
+                let initial = allocator.initial_setting(rank);
+                self.obs.memo_misses.inc();
+                self.initial_memo
+                    .lock()
+                    .expect("initial-setting memo poisoned")
+                    .insert(memo_key, initial.clone());
+                initial
+            }
+        };
+        let (plan, report) = match warm {
+            None => allocator.allocate_from_initial(indicator.as_ref(), &initial),
+            Some(w) => allocator.allocate_warm_with_tmin(indicator.as_ref(), w, initial.t_min_us),
+        };
+        (plan, report, system)
+    }
+
+    /// The built system for a request, shared through the system memo: a
+    /// pure function of `(model, effective cluster, config)`, so a memo hit
+    /// skips re-profiling every device. Concurrent misses may build twice;
+    /// both builds are byte-identical, either may win the insert.
+    fn system_for(&self, request: &PlanRequest) -> Arc<QSyncSystem> {
+        let dag = request.model.build();
+        let config = request.config();
+        let cluster = request.effective_cluster();
+        let key = (
+            dag.fingerprint(),
+            cluster.fingerprint(),
+            serde_json::to_string(&config).expect("config serializes"),
+        );
+        if let Some(system) = self.system_memo.0.lock().expect("system memo poisoned").get(&key) {
+            self.obs.profile_memo_hits.inc();
+            return Arc::clone(system);
+        }
+        self.obs.profile_memo_misses.inc();
+        let system = Arc::new(QSyncSystem::new(dag, cluster, config));
+        let mut memo = self.system_memo.0.lock().expect("system memo poisoned");
+        if memo.len() >= SYSTEM_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, Arc::clone(&system));
+        system
+    }
+
+    /// The memoized initial settings, sorted by key for deterministic
+    /// snapshot encoding.
+    pub fn memo_entries(&self) -> Vec<((u128, u128), InitialSetting)> {
+        let memo = self.initial_memo.lock().expect("initial-setting memo poisoned");
+        let mut entries: Vec<_> = memo.iter().map(|(k, v)| (*k, v.clone())).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Number of memoized initial settings.
+    pub fn memo_len(&self) -> usize {
+        self.initial_memo.lock().expect("initial-setting memo poisoned").len()
+    }
+
+    /// Restore one memoized initial setting (snapshot import). Later plans
+    /// for the `(model fingerprint, cluster fingerprint)` pair skip the
+    /// exhaustive initial sweep.
+    pub fn memo_insert(&self, model_fp: u128, cluster_fp: u128, initial: InitialSetting) {
+        self.initial_memo
+            .lock()
+            .expect("initial-setting memo poisoned")
+            .insert((model_fp, cluster_fp), initial);
+    }
+
+    /// Adopt an externally produced plan — a snapshot entry on warm boot, or
+    /// a primary's plan payload on a replica. Rejects entries whose request
+    /// fails validation or whose key is not the request's content-addressed
+    /// [`cache_key`](PlanRequest::cache_key) (a snapshot from a build with a
+    /// different key schema must load as a miss, not poison the cache).
+    pub fn adopt_plan(
+        &self,
+        request: PlanRequest,
+        response: PlanResponse,
+        inference_pdag: Option<qsync_graph::PrecisionDag>,
+    ) -> bool {
+        if request.validate().is_err() || request.cache_key() != response.key {
+            return false;
+        }
+        let key = response.key.clone();
+        let cluster_fingerprint = request.cluster_fingerprint();
+        self.cache.insert(key, CachedPlan { request, response, inference_pdag, cluster_fingerprint });
+        true
+    }
 }
 
 #[cfg(test)]
@@ -631,6 +779,54 @@ mod tests {
         assert!(stats.entries <= 1);
         assert!(stats.evicted > 0, "two keys over one slot must evict");
         assert_eq!(stats.hits + stats.misses, 24);
+    }
+
+    #[test]
+    fn memo_is_value_transparent_and_skips_the_initial_sweep() {
+        let engine = PlanEngine::new();
+        let mut request = mlp_request(1, ClusterSpec::hybrid_small());
+        engine.plan(&request).unwrap();
+        // Same (model, cluster), different indicator: a different cache key,
+        // so a second cold plan — but the initial sweep is memoized.
+        request.indicator = IndicatorChoice::Random;
+        let memoized = engine.plan(&request).unwrap();
+        assert_eq!(memoized.outcome, PlanOutcome::ColdPlanned);
+        let snap = engine.obs().snapshot();
+        assert_eq!(snap.counter("qsync_engine_memo_misses_total"), Some(1));
+        assert_eq!(snap.counter("qsync_engine_memo_hits_total"), Some(1));
+        assert_eq!(engine.memo_len(), 1);
+        // Value transparency: an engine with no memo history produces the
+        // byte-identical plan and report.
+        let fresh = PlanEngine::new().plan(&request).unwrap();
+        assert_eq!(memoized.plan_json(), fresh.plan_json());
+        assert_eq!(memoized.t_min_us.to_bits(), fresh.t_min_us.to_bits());
+        assert_eq!(
+            memoized.predicted_iteration_us.to_bits(),
+            fresh.predicted_iteration_us.to_bits()
+        );
+        // And the memo round-trips through export + import on a third engine.
+        let third = PlanEngine::new();
+        for ((model_fp, cluster_fp), initial) in engine.memo_entries() {
+            third.memo_insert(model_fp, cluster_fp, initial);
+        }
+        let replayed = third.plan(&request).unwrap();
+        assert_eq!(replayed.plan_json(), fresh.plan_json());
+        assert_eq!(third.obs().snapshot().counter("qsync_engine_memo_hits_total"), Some(1));
+    }
+
+    #[test]
+    fn adopt_plan_rejects_mismatched_keys() {
+        let engine = PlanEngine::new();
+        let request = mlp_request(1, ClusterSpec::hybrid_small());
+        let response = engine.plan(&request).unwrap();
+        let other = PlanEngine::new();
+        let mut forged = response.clone();
+        forged.key = "not-the-content-address".to_string();
+        assert!(!other.adopt_plan(request.clone(), forged, None));
+        assert!(other.adopt_plan(request.clone(), response, None));
+        assert_eq!(other.cache().len(), 1);
+        let hit = other.plan(&request).unwrap();
+        assert_eq!(hit.outcome, PlanOutcome::CacheHit);
     }
 
     #[test]

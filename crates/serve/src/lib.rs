@@ -64,6 +64,17 @@
 //!   EMFILE at accept). The `qsync-lab` crate builds seeded chaos scripts
 //!   and an invariant oracle on top (see `docs/SIMULATION.md`).
 //!
+//! * **Persistence + replication** ([`persist`], [`replica`]): the plan
+//!   cache and the allocator's initial-setting memo snapshot to a versioned,
+//!   checksummed [`qsync_store`] file — periodically
+//!   (`--snapshot-interval-ms`), on the `Snapshot` command, and once at
+//!   shutdown — and warm-load on boot (`--store`), so a restarted server
+//!   serves its previous plan zoo entirely from cache. A `--follow <addr>`
+//!   replica bootstraps from the primary's `FetchSnapshot` reply, then
+//!   applies plan/invalidation payloads riding the subscribed event stream,
+//!   recovering from any event-seq gap with a fresh snapshot pull (see
+//!   `docs/PERSISTENCE.md`).
+//!
 //! The `qsync-serve` binary exposes `serve`, `plan` (one-shot) and
 //! `bench-load` subcommands; `examples/plan_server.rs` in the workspace root
 //! is the quickstart, and `docs/PROTOCOL.md` documents the wire format.
@@ -76,6 +87,8 @@ pub mod elastic;
 pub mod engine;
 pub mod metrics;
 pub mod model;
+pub mod persist;
+pub mod replica;
 pub mod request;
 pub mod server;
 pub mod sim;
@@ -87,6 +100,8 @@ pub use metrics::ServeObs;
 pub use elastic::{ClusterDelta, DeltaCoalescer, DeltaRequest, DeltaResponse, DeltaStats};
 pub use engine::{PlanEngine, ReplanChain};
 pub use model::ModelSpec;
+pub use persist::{ImportStats, StoreConfig};
+pub use replica::{follow, FollowerConfig, ReplicaApply};
 pub use qsync_api::{
     ApiError, ErrorCode, ReplyEnvelope, RequestEnvelope, ServerCommand, ServerEvent, ServerReply,
     WireProto, MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,

@@ -85,6 +85,36 @@ pub struct ServeObs {
     /// Server events dropped because a subscriber's outbox was over the
     /// event capacity (per-subscriber detail rides in `Stats`/`Resync`).
     pub events_dropped: Arc<Counter>,
+
+    // ---- persistence / replication ----
+    /// Snapshots written to the store (periodic + explicit `Snapshot`).
+    pub snapshot_writes: Arc<Counter>,
+    /// Entries in each written snapshot.
+    pub snapshot_entries: Arc<Histogram>,
+    /// Bytes in each written snapshot.
+    pub snapshot_bytes: Arc<Histogram>,
+    /// Microseconds to encode and atomically write each snapshot.
+    pub snapshot_write_us: Arc<Histogram>,
+    /// Microseconds to read, verify, and import each snapshot load
+    /// (warm boot, `Load`, and replica bootstrap pulls).
+    pub snapshot_load_us: Arc<Histogram>,
+    /// Plans that reused a memoized brute-force initial setting instead of
+    /// re-running the exhaustive pass.
+    pub memo_hits: Arc<Counter>,
+    /// Plans that ran the exhaustive initial pass (and memoized it).
+    pub memo_misses: Arc<Counter>,
+    /// Plans that reused a memoized built system (device profiles, casting
+    /// models, synthetic statistics) instead of re-profiling the cluster.
+    pub profile_memo_hits: Arc<Counter>,
+    /// Plans that profiled the cluster and built the system from scratch.
+    pub profile_memo_misses: Arc<Counter>,
+    /// Highest primary event seq this replica has applied (replica side).
+    pub replica_applied_seq: Arc<Gauge>,
+    /// Primary seq minus applied seq at the last applied event (replica side).
+    pub replica_lag_seq: Arc<Gauge>,
+    /// Full snapshot pulls a replica performed to bootstrap or to recover
+    /// from an event-seq gap or disconnect.
+    pub resync_pulls: Arc<Counter>,
 }
 
 impl Default for ServeObs {
@@ -135,6 +165,18 @@ impl ServeObs {
             fanout_us: r.histogram("qsync_delta_fanout_us"),
             events_emitted: r.counter("qsync_events_emitted_total"),
             events_dropped: r.counter("qsync_events_dropped_total"),
+            snapshot_writes: r.counter("qsync_store_snapshot_writes_total"),
+            snapshot_entries: r.histogram("qsync_store_snapshot_entries"),
+            snapshot_bytes: r.histogram("qsync_store_snapshot_bytes"),
+            snapshot_write_us: r.histogram("qsync_store_snapshot_write_us"),
+            snapshot_load_us: r.histogram("qsync_store_snapshot_load_us"),
+            memo_hits: r.counter("qsync_engine_memo_hits_total"),
+            memo_misses: r.counter("qsync_engine_memo_misses_total"),
+            profile_memo_hits: r.counter("qsync_engine_profile_memo_hits_total"),
+            profile_memo_misses: r.counter("qsync_engine_profile_memo_misses_total"),
+            replica_applied_seq: r.gauge("qsync_replica_applied_seq"),
+            replica_lag_seq: r.gauge("qsync_replica_lag_seq"),
+            resync_pulls: r.counter("qsync_replica_resync_pulls_total"),
             trace: TraceLog::default(),
             registry,
         }

@@ -43,13 +43,14 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qsync_api::{
-    render_reply, ApiError, ErrorCode, ServerEvent, SubscriberStats, WireProto,
+    render_reply, ApiError, ErrorCode, PlanPayload, ServerEvent, SubscriberStats, WireProto,
     MAX_PROTOCOL_VERSION, MIN_PROTOCOL_VERSION,
 };
 use qsync_clock::{Clock, SystemClock};
@@ -60,7 +61,8 @@ use qsync_sched::{Dispatch, JobMeta, Priority, SchedConfig, Scheduler, SubmitErr
 
 use crate::elastic::DeltaRequest;
 use crate::engine::{PlanEngine, ReplanChain};
-use crate::request::{PlanRequest, PlanResponse};
+use crate::persist::{self, StoreConfig};
+use crate::request::{PlanOutcome, PlanRequest, PlanResponse};
 use crate::sim::SimOp;
 use crate::transport::{Outbox, TransportConfig};
 
@@ -198,6 +200,10 @@ struct Subscriber {
     /// Events dropped on this subscription because the connection's reply
     /// backlog was over the event cap. Reset by `Resync`.
     dropped: u64,
+    /// Whether this subscriber opted into full adoption payloads
+    /// (`Subscribe { adopt: true }`, the replica feed). Others receive the
+    /// same events with the payload stripped.
+    adopt: bool,
 }
 
 /// How many dedicated delta-executor threads a core runs. More than one lets
@@ -233,6 +239,12 @@ pub(crate) struct ServeCore {
     /// operations in the exact order this core executed them — what the
     /// lab's cache-coherence oracle replays against a fresh engine.
     op_log: Mutex<Option<Vec<SimOp>>>,
+    /// The persistent plan store, when configured: the default target of
+    /// `Snapshot`/`Load` commands, and (with an interval) the periodic
+    /// snapshot schedule. Set once right after start, before traffic.
+    store: Mutex<Option<StoreConfig>>,
+    /// Next periodic-snapshot deadline; `None` when no interval is set.
+    snapshot_due: Mutex<Option<Instant>>,
 }
 
 /// Owner of a [`ServeCore`]'s threads; [`stop`](CoreHandle::stop) closes the
@@ -253,6 +265,8 @@ impl CoreHandle {
         for thread in self.threads {
             let _ = thread.join();
         }
+        // Quiescent now: persist the final cache state, if configured.
+        self.core.final_snapshot();
     }
 }
 
@@ -277,6 +291,8 @@ impl ServeCore {
             next_conn: AtomicU64::new(0),
             inline_deltas: Mutex::new(None),
             op_log: Mutex::new(None),
+            store: Mutex::new(None),
+            snapshot_due: Mutex::new(None),
         });
         let mut threads = Vec::with_capacity(workers + DELTA_EXECUTORS);
         for i in 0..workers.max(1) {
@@ -319,7 +335,82 @@ impl ServeCore {
             next_conn: AtomicU64::new(0),
             inline_deltas: Mutex::new(Some(VecDeque::new())),
             op_log: Mutex::new(Some(Vec::new())),
+            store: Mutex::new(None),
+            snapshot_due: Mutex::new(None),
         })
+    }
+
+    /// Attach a persistent store: `Snapshot`/`Load` without an explicit
+    /// `path` target it, and an interval schedules periodic snapshots on the
+    /// delta executors. Called once right after start, before any traffic.
+    pub(crate) fn set_store(&self, config: StoreConfig) {
+        if let Some(interval) = config.snapshot_interval {
+            *self.snapshot_due.lock().expect("snapshot deadline poisoned") =
+                Some(Instant::now() + interval);
+        }
+        *self.store.lock().expect("store config poisoned") = Some(config);
+    }
+
+    /// Resolve a `Snapshot`/`Load` target: the explicit `path` operand wins,
+    /// else the configured store path, else `None` (reported as an error).
+    fn store_path(&self, explicit: Option<String>) -> Option<PathBuf> {
+        explicit.map(PathBuf::from).or_else(|| {
+            self.store
+                .lock()
+                .expect("store config poisoned")
+                .as_ref()
+                .map(|config| config.path.clone())
+        })
+    }
+
+    /// Time until the next periodic snapshot is due (`None` disables the
+    /// timeout — the delta executors then block on the channel as before).
+    fn snapshot_timeout(&self) -> Option<Duration> {
+        self.snapshot_due
+            .lock()
+            .expect("snapshot deadline poisoned")
+            .map(|due| due.saturating_duration_since(Instant::now()))
+    }
+
+    /// Write a periodic snapshot if one is due, and re-arm the deadline.
+    /// Racing executors are serialized by the deadline lock: the first one
+    /// through re-arms it, the rest see a fresh deadline and return.
+    fn maybe_periodic_snapshot(&self) {
+        let Some((path, interval)) = self
+            .store
+            .lock()
+            .expect("store config poisoned")
+            .as_ref()
+            .and_then(|c| c.snapshot_interval.map(|i| (c.path.clone(), i)))
+        else {
+            return;
+        };
+        {
+            let mut due = self.snapshot_due.lock().expect("snapshot deadline poisoned");
+            match *due {
+                Some(deadline) if Instant::now() >= deadline => {
+                    *due = Some(Instant::now() + interval);
+                }
+                _ => return,
+            }
+        }
+        if let Err(error) = persist::snapshot_to_path(&self.engine, &path) {
+            eprintln!("qsync-serve: periodic snapshot failed: {error}");
+        }
+    }
+
+    /// Write a final snapshot at shutdown, if a store is configured. Runs
+    /// after the worker and executor threads have joined, so the cache is
+    /// quiescent.
+    pub(crate) fn final_snapshot(&self) {
+        let Some(path) =
+            self.store.lock().expect("store config poisoned").as_ref().map(|c| c.path.clone())
+        else {
+            return;
+        };
+        if let Err(error) = persist::snapshot_to_path(&self.engine, &path) {
+            eprintln!("qsync-serve: shutdown snapshot failed: {error}");
+        }
     }
 
     /// Take the inline core's operation log (empty on a threaded core).
@@ -394,6 +485,7 @@ impl ServeCore {
                     outcome: response.outcome,
                     predicted_iteration_us: response.predicted_iteration_us,
                     trace_id: response.trace_id.unwrap_or(0),
+                    adopt: self.adopt_payload(&response.key),
                 });
             }
             responses
@@ -463,15 +555,50 @@ impl ServeCore {
             return;
         }
         let seq = self.event_seq.fetch_add(1, Ordering::Relaxed);
+        // Every subscriber sees the same event under the same seq, but only
+        // those that opted in (`Subscribe { adopt: true }`) receive the full
+        // adoption payload; the rest get the stripped form, rendered once.
+        let mut stripped: Option<ServerEvent> = None;
         for sub in subscribers.values_mut() {
             if sub.conn.event_capacity_ok(self.event_outbox_cap) {
                 obs.events_emitted.inc();
-                sub.conn.send(sub.wire, &ServerReply::Event { seq, event: event.clone() });
+                let event = if sub.adopt {
+                    event.clone()
+                } else {
+                    stripped.get_or_insert_with(|| event.without_adopt()).clone()
+                };
+                sub.conn.send(sub.wire, &ServerReply::Event { seq, event });
             } else {
                 sub.dropped += 1;
                 obs.events_dropped.inc();
             }
         }
+    }
+
+    /// Whether any current subscriber asked for adoption payloads. Building
+    /// a payload clones the full cached plan, so broadcasters skip the work
+    /// when nobody is following.
+    fn wants_adopt(&self) -> bool {
+        self.subscribers
+            .lock()
+            .expect("subscriber map poisoned")
+            .values()
+            .any(|sub| sub.adopt)
+    }
+
+    /// The adoption payload for a just-completed plan: the cached entry
+    /// under the response's key, cloned — or `None` when no subscriber wants
+    /// payloads (or the entry was already evicted again).
+    fn adopt_payload(&self, key: &str) -> Option<PlanPayload> {
+        if !self.wants_adopt() {
+            return None;
+        }
+        let entry = self.engine.cache().peek(key)?;
+        Some(PlanPayload {
+            request: entry.request,
+            response: entry.response,
+            inference_pdag: entry.inference_pdag,
+        })
     }
 
     /// Per-subscriber event accounting (for `Stats` and the metrics
@@ -736,16 +863,68 @@ impl ServeCore {
                     self.handle_command(conn, wire, cmd);
                 }
             }
-            ServerCommand::Subscribe { id } => {
+            ServerCommand::Subscribe { id, adopt } => {
                 self.subscribers
                     .lock()
                     .expect("subscriber map poisoned")
-                    .insert(conn.id, Subscriber { wire, conn: Arc::clone(conn), dropped: 0 });
+                    .insert(conn.id, Subscriber { wire, conn: Arc::clone(conn), dropped: 0, adopt });
                 conn.send(wire, &ServerReply::Subscribed { id });
             }
             ServerCommand::Unsubscribe { id } => {
                 self.subscribers.lock().expect("subscriber map poisoned").remove(&conn.id);
                 conn.send(wire, &ServerReply::Unsubscribed { id });
+            }
+            ServerCommand::Snapshot { id, path } => {
+                // An admin write: runs inline on the transport thread (the
+                // cache is concurrent; no barrier needed) so it can't be
+                // starved by queued planning work.
+                let reply = match self.store_path(path) {
+                    None => ServerReply::Fault(no_store_error(id)),
+                    Some(path) => match persist::snapshot_to_path(&self.engine, &path) {
+                        Ok((entries, bytes)) => ServerReply::Snapshotted {
+                            id,
+                            path: path.display().to_string(),
+                            entries,
+                            bytes,
+                        },
+                        Err(error) => ServerReply::Fault(
+                            ApiError::new(ErrorCode::Internal, format!("snapshot failed: {error}"))
+                                .with_id(id),
+                        ),
+                    },
+                };
+                conn.send(wire, &reply);
+            }
+            ServerCommand::Load { id, path } => {
+                let reply = match self.store_path(path) {
+                    None => ServerReply::Fault(no_store_error(id)),
+                    Some(path) => match persist::load_from_path(&self.engine, &path) {
+                        Ok(stats) => ServerReply::Loaded {
+                            id,
+                            path: path.display().to_string(),
+                            plans: stats.plans,
+                            memos: stats.memos,
+                            skipped: stats.skipped,
+                            bytes: stats.bytes,
+                        },
+                        Err(error) => ServerReply::Fault(
+                            ApiError::new(ErrorCode::Internal, format!("load failed: {error}"))
+                                .with_id(id),
+                        ),
+                    },
+                };
+                conn.send(wire, &reply);
+            }
+            ServerCommand::FetchSnapshot { id } => {
+                // The replication bootstrap: the same encoding a snapshot
+                // file holds, shipped as one reply line.
+                let (data, entries) = persist::snapshot_string(&self.engine);
+                conn.send(wire, &ServerReply::SnapshotData {
+                    id,
+                    entries,
+                    bytes: data.len() as u64,
+                    data,
+                });
             }
         }
     }
@@ -796,7 +975,21 @@ impl ServeCore {
                 } else {
                     self.record_op(|| SimOp::Plan(request.clone()));
                     match self.engine.plan(&request) {
-                        Ok(response) => ServerReply::Plan(response),
+                        Ok(response) => {
+                            // A plan actually computed (not a cache hit) is
+                            // news: fire-and-forget watchers key on it, and
+                            // adopt-subscribed replicas mirror the entry.
+                            if response.outcome != PlanOutcome::CacheHit {
+                                self.broadcast(ServerEvent::PlanReady {
+                                    key: response.key.clone(),
+                                    outcome: response.outcome,
+                                    predicted_iteration_us: response.predicted_iteration_us,
+                                    trace_id: response.trace_id.unwrap_or(0),
+                                    adopt: self.adopt_payload(&response.key),
+                                });
+                            }
+                            ServerReply::Plan(response)
+                        }
                         Err(error) => ServerReply::Fault(error),
                     }
                 };
@@ -824,10 +1017,27 @@ impl ServeCore {
     fn delta_loop(&self, rx: &Mutex<mpsc::Receiver<DeltaTask>>) {
         loop {
             // Hold the receiver lock only while waiting; concurrent tasks
-            // then process in parallel (and coalesce in the engine).
-            let task = match rx.lock().expect("delta receiver poisoned").recv() {
-                Ok(task) => task,
-                Err(_) => return,
+            // then process in parallel (and coalesce in the engine). With a
+            // snapshot interval configured, the wait is bounded so periodic
+            // snapshots ride the executor that holds the lock — no dedicated
+            // snapshot thread.
+            let task = {
+                let rx = rx.lock().expect("delta receiver poisoned");
+                match self.snapshot_timeout() {
+                    None => match rx.recv() {
+                        Ok(task) => Some(task),
+                        Err(_) => return,
+                    },
+                    Some(timeout) => match rx.recv_timeout(timeout) {
+                        Ok(task) => Some(task),
+                        Err(mpsc::RecvTimeoutError::Timeout) => None,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                    },
+                }
+            };
+            let Some(task) = task else {
+                self.maybe_periodic_snapshot();
+                continue;
             };
             // Barrier: every plan submitted (on any connection) before this
             // delta completes first. Plans submitted after the barrier began
@@ -900,6 +1110,7 @@ impl ServeCore {
                 outcome: response.outcome,
                 predicted_iteration_us: response.predicted_iteration_us,
                 trace_id: response.trace_id.unwrap_or(0),
+                adopt: self.adopt_payload(&response.key),
             });
         }
         self.engine
@@ -908,6 +1119,17 @@ impl ServeCore {
             .record(fanout_start.elapsed().as_micros() as u64);
         responses
     }
+}
+
+/// The error for `Snapshot`/`Load` on a server with no configured store and
+/// no explicit `path` operand.
+fn no_store_error(id: u64) -> ApiError {
+    ApiError::new(
+        ErrorCode::InvalidField,
+        "no store path: pass `path` or start the server with --store",
+    )
+    .with_id(id)
+    .with_field("path")
 }
 
 /// Map a scheduler admission failure to its protocol error code, keeping the
@@ -929,6 +1151,7 @@ pub struct PlanServer {
     sched: SchedConfig,
     transport: TransportConfig,
     clock: Arc<dyn Clock>,
+    store: Option<StoreConfig>,
 }
 
 impl PlanServer {
@@ -952,7 +1175,18 @@ impl PlanServer {
             sched,
             transport: TransportConfig::default(),
             clock: Arc::new(SystemClock::new()),
+            store: None,
         }
+    }
+
+    /// This server with a persistent plan store: the serving paths warm-load
+    /// it on start (a missing or corrupt file boots cold, never fails),
+    /// `Snapshot`/`Load` default to its path, a configured interval writes
+    /// periodic snapshots on the delta executors, and shutdown writes a
+    /// final one.
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// This server with an explicit transport configuration (line-length
@@ -999,6 +1233,39 @@ impl PlanServer {
         Arc::clone(&self.clock)
     }
 
+    /// The store configuration, if any.
+    pub fn store(&self) -> Option<&StoreConfig> {
+        self.store.as_ref()
+    }
+
+    /// Wire the configured store into a freshly started core and warm-load
+    /// the snapshot file if one exists. Load failures (corrupt, unreadable)
+    /// are reported to stderr and the server boots cold — a bad snapshot
+    /// must never prevent serving.
+    pub(crate) fn attach_store(&self, core: &Arc<ServeCore>) {
+        let Some(store) = &self.store else {
+            return;
+        };
+        core.set_store(store.clone());
+        if !store.path.exists() {
+            return;
+        }
+        match persist::load_from_path(&self.engine, &store.path) {
+            Ok(stats) => eprintln!(
+                "qsync-serve: warm boot from {}: {} plans, {} memos, {} skipped ({} bytes)",
+                store.path.display(),
+                stats.plans,
+                stats.memos,
+                stats.skipped,
+                stats.bytes
+            ),
+            Err(error) => eprintln!(
+                "qsync-serve: store load failed ({error}); starting cold from {}",
+                store.path.display()
+            ),
+        }
+    }
+
     /// Serve one command synchronously, without a scheduler (one-shot use;
     /// the streaming paths are [`serve_lines`](Self::serve_lines) and
     /// [`serve_listener`](Self::serve_listener)). Streaming-only commands
@@ -1041,8 +1308,50 @@ impl PlanServer {
                 max_v: MAX_PROTOCOL_VERSION,
                 server: SERVER_IDENT.to_owned(),
             },
+            ServerCommand::Snapshot { id, path } => {
+                match path.map(PathBuf::from).or_else(|| self.store.as_ref().map(|s| s.path.clone()))
+                {
+                    None => ServerReply::Fault(no_store_error(id)),
+                    Some(path) => match persist::snapshot_to_path(&self.engine, &path) {
+                        Ok((entries, bytes)) => ServerReply::Snapshotted {
+                            id,
+                            path: path.display().to_string(),
+                            entries,
+                            bytes,
+                        },
+                        Err(error) => ServerReply::Fault(
+                            ApiError::new(ErrorCode::Internal, format!("snapshot failed: {error}"))
+                                .with_id(id),
+                        ),
+                    },
+                }
+            }
+            ServerCommand::Load { id, path } => {
+                match path.map(PathBuf::from).or_else(|| self.store.as_ref().map(|s| s.path.clone()))
+                {
+                    None => ServerReply::Fault(no_store_error(id)),
+                    Some(path) => match persist::load_from_path(&self.engine, &path) {
+                        Ok(stats) => ServerReply::Loaded {
+                            id,
+                            path: path.display().to_string(),
+                            plans: stats.plans,
+                            memos: stats.memos,
+                            skipped: stats.skipped,
+                            bytes: stats.bytes,
+                        },
+                        Err(error) => ServerReply::Fault(
+                            ApiError::new(ErrorCode::Internal, format!("load failed: {error}"))
+                                .with_id(id),
+                        ),
+                    },
+                }
+            }
+            ServerCommand::FetchSnapshot { id } => {
+                let (data, entries) = persist::snapshot_string(&self.engine);
+                ServerReply::SnapshotData { id, entries, bytes: data.len() as u64, data }
+            }
             ServerCommand::Batch { id, .. }
-            | ServerCommand::Subscribe { id }
+            | ServerCommand::Subscribe { id, .. }
             | ServerCommand::Unsubscribe { id }
             | ServerCommand::Resync { id } => ServerReply::Fault(
                 ApiError::new(
@@ -1072,6 +1381,7 @@ impl PlanServer {
             self.transport.event_outbox_cap,
             self.clock(),
         );
+        self.attach_store(&handle.core);
         let core = Arc::clone(&handle.core);
         let (reply_tx, reply_rx) = mpsc::channel::<String>();
         let conn = core.register_conn(Sink::Line(reply_tx));

@@ -894,6 +894,7 @@ impl PlanServer {
             self.transport_config().event_outbox_cap,
             self.clock(),
         );
+        self.attach_store(&handle.core);
         let result = Reactor::new(
             Arc::clone(&handle.core),
             listener,

@@ -113,6 +113,7 @@ fn delta_wave_events_carry_the_originating_trace_id() {
             ServerEvent::CacheInvalidated { .. } => "invalidated",
             ServerEvent::Replanned { .. } => "replanned",
             ServerEvent::DeltaApplied { .. } => "applied",
+            ServerEvent::PlanReady { .. } => "ready",
         });
     }
     assert_eq!(kinds, ["invalidated", "replanned", "applied"]);

@@ -91,7 +91,7 @@ fn build_command((kind, id, a, b): CommandSpec) -> ServerCommand {
         0 => ServerCommand::Stats { id },
         1 => ServerCommand::Cancel { id, plan_id: a as u64 },
         2 => ServerCommand::Hello { id, min_v: a, max_v: b },
-        3 => ServerCommand::Subscribe { id },
+        3 => ServerCommand::Subscribe { id, adopt: false },
         4 => ServerCommand::Unsubscribe { id },
         // Scheduling decorations off the wire (weight/priority/client_id)
         // must never change the pre-warmed cache key or wedge anything.

@@ -110,6 +110,9 @@ fn main() {
                 println!("[event {seq}] delta applied: {invalidated} invalidated, {replanned} re-planned");
                 break; // the wave is complete
             }
+            ServerEvent::PlanReady { key, outcome, .. } => {
+                println!("[event {seq}] plan ready {}… ({outcome:?})", &key[..8]);
+            }
         }
     }
 
