@@ -31,6 +31,10 @@ pub enum ErrorCode {
     /// The command is not available on this serving path (e.g. `Subscribe`
     /// on the schedulerless one-shot path).
     Unsupported,
+    /// A token-bucket rate limit (per-connection or per-client) shed the
+    /// command. The request was not admitted; retrying after a backoff is
+    /// safe for any command.
+    RateLimited,
     /// Any other server-side failure.
     Internal,
 }
@@ -46,6 +50,7 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Unsupported => "unsupported",
+            ErrorCode::RateLimited => "rate_limited",
             ErrorCode::Internal => "internal",
         }
     }
@@ -126,6 +131,7 @@ mod tests {
             ErrorCode::DeadlineExceeded,
             ErrorCode::ShuttingDown,
             ErrorCode::Unsupported,
+            ErrorCode::RateLimited,
             ErrorCode::Internal,
         ] {
             let text = serde_json::to_string(&code).unwrap();

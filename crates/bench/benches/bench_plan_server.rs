@@ -13,10 +13,14 @@
 //! path takes shard read locks only, so throughput should grow with cores.
 //!
 //! A **connection-count sweep** exercises the epoll reactor transport: hold
-//! 64/256/1024 concurrent TCP connections on one reactor thread and measure
-//! warm round-trip throughput and tail latency across them — the
-//! thread-per-connection transport this replaced couldn't hold the upper end
-//! of that range without a thousand stacks.
+//! 64/256/1024/4096/10240 concurrent TCP connections sharded across multiple
+//! reactor threads and measure warm round-trip throughput and tail latency
+//! across them — the thread-per-connection transport this replaced couldn't
+//! hold the upper end of that range without ten thousand stacks. The top
+//! rungs adapt to the process's file-descriptor budget (each connection
+//! costs three: client socket, its cloned reader, and the server side), and
+//! every rung records how the hand-off distributed connections across
+//! reactors (the `qsync_transport_reactor_conns` gauges).
 //!
 //! Since the observability PR the bench also exercises the serving path's
 //! own instruments: cold/warm/hit latencies driven through [`PlanEngine`]
@@ -49,7 +53,7 @@ use qsync_core::allocator::Allocator;
 use qsync_core::system::QSyncSystem;
 use qsync_serve::{
     ClusterDelta, DeltaRequest, ModelSpec, PlanEngine, PlanOutcome, PlanRequest, PlanServer,
-    ServeObs, ServerCommand, ServerReply, ShutdownSignal,
+    ServeObs, ServerCommand, ServerReply, ShutdownSignal, TransportConfig,
 };
 
 fn model() -> ModelSpec {
@@ -167,21 +171,28 @@ fn hit_throughput(engine: &Arc<PlanEngine>, request: &PlanRequest, threads: usiz
 }
 
 /// Reactor connection-scaling measurement: hold `conns` concurrent TCP
-/// connections against a live server, then drive `rounds` warm plan
-/// round-trips on every connection (8 writer threads over disjoint chunks,
-/// each connection a `qsync_client::RawClient` — single-write frames, no
-/// Nagle). Returns `(round_trips_per_sec, p50_us, p99_us)`.
+/// connections against a live server sharding them over `reactors` reactor
+/// threads, then drive `rounds` warm plan round-trips on every connection
+/// (8 writer threads over disjoint chunks, each connection a
+/// `qsync_client::RawClient` — single-write frames, no Nagle). Returns
+/// `(round_trips_per_sec, p50_us, p99_us, reactor_conns)` where the last is
+/// the per-reactor connection distribution sampled (via the `Metrics` wire
+/// command) while every connection was still open.
 fn connection_round_trips(
     engine: &Arc<PlanEngine>,
     request: &PlanRequest,
     conns: usize,
     rounds: usize,
-) -> (f64, u64, u64) {
+    reactors: usize,
+) -> (f64, u64, u64, Vec<(usize, i64)>) {
     const WRITERS: usize = 8;
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
     let addr = listener.local_addr().expect("local addr");
     let shutdown = ShutdownSignal::new();
-    let server = PlanServer::with_engine(Arc::clone(engine), 4);
+    let server = PlanServer::with_engine(Arc::clone(engine), 4).with_transport(TransportConfig {
+        reactors,
+        ..TransportConfig::default()
+    });
     let signal = shutdown.clone();
     let server_thread = std::thread::spawn(move || server.serve_listener(listener, signal));
 
@@ -221,13 +232,37 @@ fn connection_round_trips(
         }
     });
     let per_sec = latencies_us.len() as f64 / started.elapsed().as_secs_f64();
+
+    // Sample the per-reactor connection gauges while every connection is
+    // still open — the hand-off distribution the sweep records.
+    let probe = &mut clients[0];
+    probe.send_legacy(&ServerCommand::Metrics { id: u64::MAX }).expect("write metrics probe");
+    let reactor_conns = match probe.recv().expect("metrics reply") {
+        ServerReply::Metrics { metrics, .. } => {
+            let mut dist: Vec<(usize, i64)> = metrics
+                .gauges
+                .iter()
+                .filter_map(|g| {
+                    let index = g
+                        .name
+                        .strip_prefix("qsync_transport_reactor_conns{reactor=\"")?
+                        .strip_suffix("\"}")?;
+                    Some((index.parse().ok()?, g.value))
+                })
+                .collect();
+            dist.sort_unstable();
+            dist
+        }
+        other => panic!("unexpected metrics reply {other:?}"),
+    };
+
     drop(clients);
     shutdown.shutdown();
     server_thread.join().expect("server thread").expect("server ran");
 
     latencies_us.sort_unstable();
     let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
-    (per_sec, pct(0.50), pct(0.99))
+    (per_sec, pct(0.50), pct(0.99), reactor_conns)
 }
 
 /// Drive cold plans, cache hits and elastic warm re-plans through
@@ -436,9 +471,18 @@ fn main() {
         sweep.iter().find(|(t, _)| *t == threads).map(|(_, p)| *p).unwrap_or(f64::NAN)
     };
 
-    // Connection-count sweep on the reactor transport: a cheap warm key, so
-    // the measurement is transport + scheduler + cache-hit, not planning.
-    qsync_serve::transport::ensure_fd_limit(8192).expect("raise fd limit");
+    // Connection-count sweep on the multi-reactor transport: a cheap warm
+    // key, so the measurement is transport + scheduler + cache-hit, not
+    // planning. The top rung targets 10240 connections; each costs three
+    // file descriptors (client socket, its cloned reader, the server side),
+    // so the sweep caps itself to the fd budget the kernel actually grants —
+    // but never below 4096, which CI requires the sweep to reach.
+    const TOP_CONNS: usize = 10_240;
+    let fd_limit = qsync_serve::transport::ensure_fd_limit((TOP_CONNS as u64) * 3 + 512)
+        .expect("raise fd limit");
+    let max_conns = TOP_CONNS.min((fd_limit.saturating_sub(512) / 3) as usize);
+    assert!(max_conns >= 4096, "fd budget too small for the sweep: {fd_limit}");
+    let reactors = cores.clamp(2, 4);
     let reactor_engine = Arc::new(PlanEngine::new());
     let reactor_request = PlanRequest::new(
         0,
@@ -447,20 +491,32 @@ fn main() {
     );
     reactor_engine.plan(&reactor_request).expect("warm the key");
     let rounds = if smoke() { 1 } else { 4 };
-    let connection_sweep: Vec<serde_json::Value> = [64usize, 256, 1024]
+    let mut rungs: Vec<usize> =
+        [64usize, 256, 1024, 4096, TOP_CONNS].iter().map(|&c| c.min(max_conns)).collect();
+    rungs.dedup();
+    let connection_sweep: Vec<serde_json::Value> = rungs
         .iter()
         .map(|&conns| {
-            let (per_sec, p50_us, p99_us) =
-                connection_round_trips(&reactor_engine, &reactor_request, conns, rounds);
+            let (per_sec, p50_us, p99_us, reactor_conns) =
+                connection_round_trips(&reactor_engine, &reactor_request, conns, rounds, reactors);
             eprintln!(
-                "connections/{conns}: {per_sec:.0} round-trips/s (p50 {p50_us} us, p99 {p99_us} us)"
+                "connections/{conns} ({reactors} reactors): {per_sec:.0} round-trips/s \
+                 (p50 {p50_us} us, p99 {p99_us} us, distribution {reactor_conns:?})"
             );
             serde_json::json!({
                 "connections": conns,
                 "rounds": rounds,
+                "reactors": reactors,
+                // Reactor threads outnumbering cores: throughput ratios are
+                // scheduler noise, so CI skips its scaling gate.
+                "contended": reactors > cores,
                 "round_trips_per_sec": per_sec,
                 "p50_us": p50_us,
                 "p99_us": p99_us,
+                "reactor_conns": reactor_conns.iter().map(|&(reactor, conns)| serde_json::json!({
+                    "reactor": reactor,
+                    "connections": conns,
+                })).collect::<Vec<_>>(),
             })
         })
         .collect();
@@ -548,9 +604,14 @@ fn main() {
         // Snapshot round-trip latency and the warm-boot contract (all zoo
         // plans served from the loaded cache, no planning).
         "persistence": persistence,
-        // Warm round-trips over the epoll reactor while holding N concurrent
-        // TCP connections (one reactor thread for all of them).
+        // Warm round-trips over the epoll transport while holding N
+        // concurrent TCP connections sharded across the reactor threads;
+        // each rung records the hand-off's per-reactor distribution. The
+        // top rung adapts to the granted fd budget (3 fds per connection),
+        // never below 4096.
         "connection_sweep": connection_sweep,
+        "connection_sweep_fd_limit": fd_limit,
+        "connection_sweep_max_conns": max_conns,
         // Percentiles read back from the serving path's own
         // qsync_plan_latency_us histograms (the numbers a Metrics command or
         // admin-port scrape reports), plus the validated exposition size.

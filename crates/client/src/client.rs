@@ -279,6 +279,11 @@ impl Client {
                 Err(e) if !retryable(&e) => return Err(e),
                 Err(e) => e,
             };
+            // A rate-limit shed is a healthy connection saying "slow down":
+            // back off and resend on the same socket. Reconnecting here
+            // would be both wasteful and wrong — a fresh connection starts
+            // with a full per-connection bucket, cheating the limiter.
+            let rate_limited = is_rate_limited(&err);
             loop {
                 attempt += 1;
                 if attempt >= policy.max_attempts.max(1) {
@@ -288,6 +293,9 @@ impl Client {
                     });
                 }
                 std::thread::sleep(policy.backoff(attempt - 1, id));
+                if rate_limited {
+                    break;
+                }
                 match self.reconnect() {
                     Ok(()) => break,
                     Err(e) => err = e,
@@ -454,10 +462,17 @@ fn unexpected(wanted: &str, got: &ServerReply) -> ClientError {
     ClientError::Protocol(format!("expected a {wanted} reply, got {got:?}"))
 }
 
-/// Only transport failures are retryable: the request may never have reached
-/// the server, or the reply was lost. Server-spoken errors (`Api`) and
-/// protocol violations mean the server *did* process something — retrying
-/// would not change the answer.
+/// Transport failures are retryable: the request may never have reached the
+/// server, or the reply was lost. Among server-spoken errors (`Api`) exactly
+/// one is retryable — `rate_limited`, the server's explicit "back off and
+/// resend" signal (the command was rejected before any state changed).
+/// Every other `Api` error and all protocol violations mean the server *did*
+/// process something — retrying would not change the answer.
 fn retryable(e: &ClientError) -> bool {
-    matches!(e, ClientError::Io(_) | ClientError::Closed)
+    matches!(e, ClientError::Io(_) | ClientError::Closed) || is_rate_limited(e)
+}
+
+/// Whether this error is the server's structured rate-limit shed.
+fn is_rate_limited(e: &ClientError) -> bool {
+    matches!(e, ClientError::Api(err) if err.code == qsync_api::ErrorCode::RateLimited)
 }

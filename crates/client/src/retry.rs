@@ -10,7 +10,12 @@
 //! * **Retried** — `Plan` (keyed by the request's cache key: a duplicate
 //!   either hits the cache or recomputes the identical bytes), `Stats`,
 //!   `Metrics`, `Trace`, `Resync`, and the `Hello` handshake. All read or
-//!   idempotently compute.
+//!   idempotently compute. These are resent after a `rate_limited` shed
+//!   too — the one server-spoken error that *invites* a retry: the server
+//!   rejected the command before any state changed, and the backoff gives
+//!   its token bucket time to refill (the retry reuses the same
+//!   connection; a reconnect would start a fresh per-connection bucket
+//!   and cheat the limiter).
 //! * **Never retried** — `Delta` (each application *moves* the cluster
 //!   shape; replaying a lost-reply delta would apply it twice), `Cancel`
 //!   (whether the target was still queued is not stable across attempts),
@@ -24,13 +29,15 @@ use std::time::Duration;
 
 /// Bounded-retry configuration for the blocking [`Client`](crate::Client).
 ///
-/// A request is retried only on transport failures ([`ClientError::Io`],
-/// [`ClientError::Closed`]) of an idempotent command (see the module docs);
-/// server-level errors ([`ClientError::Api`]) and protocol violations are
-/// never retried. Each retry reconnects (the old socket is assumed broken)
-/// and re-runs the `Hello` handshake before resending. When every attempt
-/// fails the caller receives [`ClientError::RetriesExhausted`] wrapping the
-/// last failure.
+/// A request is retried only for an idempotent command (see the module
+/// docs), on transport failures ([`ClientError::Io`], [`ClientError::Closed`])
+/// or a `rate_limited` shed; other server-level errors ([`ClientError::Api`])
+/// and protocol violations are never retried. A transport-failure retry
+/// reconnects (the old socket is assumed broken) and re-runs the `Hello`
+/// handshake before resending; a rate-limited retry backs off and resends on
+/// the *same* connection (a reconnect would hand it a fresh per-connection
+/// token bucket). When every attempt fails the caller receives
+/// [`ClientError::RetriesExhausted`] wrapping the last failure.
 ///
 /// [`ClientError::Io`]: crate::ClientError::Io
 /// [`ClientError::Closed`]: crate::ClientError::Closed

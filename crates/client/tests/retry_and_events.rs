@@ -197,6 +197,78 @@ fn non_transport_errors_are_not_retried() {
 }
 
 #[test]
+fn rate_limited_is_retried_on_the_same_connection() {
+    // The server sheds the first two Stats attempts with a structured
+    // `rate_limited` fault, then serves the third. The client must back off
+    // and resend on the SAME socket — a reconnect would hand it a fresh
+    // per-connection token bucket, defeating the server's limiter.
+    let sheds = Arc::new(AtomicUsize::new(0));
+    let shed_state = Arc::clone(&sheds);
+    let (addr, accepted) = spawn_server(move |_, stream| {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        if answer_hello(&mut reader, &mut stream).is_none() {
+            return;
+        }
+        while let Some(command) = read_command(&mut reader) {
+            match command {
+                ServerCommand::Stats { id } => {
+                    if shed_state.fetch_add(1, Ordering::SeqCst) < 2 {
+                        let error = qsync_api::ApiError::new(
+                            qsync_api::ErrorCode::RateLimited,
+                            "connection rate limit exceeded; retry after backoff",
+                        )
+                        .with_id(id);
+                        send(&mut stream, &ServerReply::Fault(error));
+                    } else {
+                        send(&mut stream, &empty_stats(id));
+                    }
+                }
+                other => panic!("unexpected command {other:?}"),
+            }
+        }
+    });
+
+    let mut client = Client::connect_with_retry(addr, fast_policy(3)).expect("connect");
+    let snapshot = client.stats().expect("stats should succeed after backing off twice");
+    assert_eq!(snapshot.cache, CacheStats::default());
+    assert_eq!(sheds.load(Ordering::SeqCst), 3, "two sheds then one served attempt");
+    assert_eq!(accepted.load(Ordering::SeqCst), 1, "rate-limit retries must not reconnect");
+}
+
+#[test]
+fn persistent_rate_limiting_exhausts_retries_without_reconnecting() {
+    // Every attempt is shed. The retry budget must bound the attempts, the
+    // surfaced error must wrap the server's structured shed, and the whole
+    // exchange stays on one connection.
+    let (addr, accepted) = spawn_server(|_, stream| {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        if answer_hello(&mut reader, &mut stream).is_none() {
+            return;
+        }
+        while let Some(command) = read_command(&mut reader) {
+            let error = qsync_api::ApiError::new(qsync_api::ErrorCode::RateLimited, "slow down")
+                .with_id(command.id());
+            send(&mut stream, &ServerReply::Fault(error));
+        }
+    });
+
+    let mut client = Client::connect_with_retry(addr, fast_policy(3)).expect("connect");
+    match client.stats() {
+        Err(ClientError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, 3);
+            match *last {
+                ClientError::Api(e) => assert_eq!(e.code, qsync_api::ErrorCode::RateLimited),
+                other => panic!("last error should be the rate-limit fault, got {other:?}"),
+            }
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    assert_eq!(accepted.load(Ordering::SeqCst), 1, "no reconnects while rate limited");
+}
+
+#[test]
 fn event_stash_overflow_drops_the_backlog_and_surfaces_a_gap() {
     // Script: confirm the subscription, deliver seq 0 (establishes the
     // stream's baseline), then on the next Stats command flood seqs 1..=10

@@ -67,6 +67,9 @@ pub struct RunTranscript {
     pub cache: Vec<(String, String)>,
     /// Cache sizing the run used (the coherence replay must match it).
     pub cache_config: CacheConfig,
+    /// Plan-eval preemption budget the run used — the coherence replay must
+    /// run under the same budget, or preempted initial passes diverge.
+    pub plan_budget: Option<u64>,
     /// Server metrics at the end of the run. Wall-clock histograms make this
     /// non-deterministic; it is excluded from [`normalized`](Self::normalized).
     pub metrics: qsync_obs::MetricsSnapshot,
@@ -126,6 +129,9 @@ fn expand_plan(id: u64, spec: &PlanSpec) -> PlanRequest {
     );
     request.client_id = spec.client.map(|c| format!("client-{c}"));
     request.deadline_ms = spec.deadline_ms;
+    if spec.background {
+        request.priority = Some(qsync_serve::Priority::Background);
+    }
     request
 }
 
@@ -223,6 +229,7 @@ pub fn run_plan(plan: &FaultPlan) -> RunTranscript {
 pub fn run_plan_with(config: SimConfig, plan: &FaultPlan) -> RunTranscript {
     let backoff_ms = config.transport.accept_backoff.as_millis() as u64;
     let cache_config = config.cache;
+    let plan_budget = config.plan_budget_evals;
     let mut server = SimServer::with_config(config);
     let mut conns: Vec<ConnState> = Vec::new();
     let mut resync_seq: u64 = 0;
@@ -276,6 +283,7 @@ pub fn run_plan_with(config: SimConfig, plan: &FaultPlan) -> RunTranscript {
         ops,
         cache,
         cache_config,
+        plan_budget,
         metrics,
     }
 }
@@ -411,6 +419,23 @@ fn apply(
         }
         FaultAction::InjectAcceptError { errno } => {
             server.inject_accept_error(*errno);
+        }
+        FaultAction::ConnectFlood { count } => {
+            for _ in 0..*count {
+                let conn = server.connect();
+                conns.push(ConnState {
+                    conn,
+                    record: ConnRecord::default(),
+                    torn: None,
+                    stalled: false,
+                });
+            }
+        }
+        FaultAction::SendFlood { conn, first_id, count, spec } => {
+            let state = &mut conns[*conn];
+            for i in 0..u64::from(*count) {
+                state.send_cmd(&ServerCommand::Plan(expand_plan(first_id + i, spec)), true);
+            }
         }
     }
 }

@@ -22,6 +22,9 @@ pub struct PlanSpec {
     pub client: Option<u8>,
     /// Relative deadline in virtual milliseconds (EDF lane + expiry path).
     pub deadline_ms: Option<u64>,
+    /// Submit in the background class (aging-bound witnesses in overload
+    /// scripts); `false` = the default interactive class.
+    pub background: bool,
 }
 
 /// Parameters of one generated elasticity delta: degrade the inference rank
@@ -154,6 +157,28 @@ pub enum FaultAction {
     InjectAcceptError {
         /// Raw OS errno.
         errno: i32,
+    },
+    /// Open `count` additional connections in one step — an accept flood.
+    /// The newcomers get the next dense indices; overload scripts mostly
+    /// leave them idle (accept + registry pressure is the point), but any
+    /// later action may address them.
+    ConnectFlood {
+        /// Number of connections to open.
+        count: usize,
+    },
+    /// Send `count` back-to-back plan requests on one connection (ids
+    /// `first_id..first_id + count`), all before the next server step —
+    /// a burst built to exhaust a token bucket. Every member owes exactly
+    /// one reply: a plan or one structured `rate_limited` error.
+    SendFlood {
+        /// Connection index.
+        conn: usize,
+        /// Id of the first member; the rest follow sequentially.
+        first_id: u64,
+        /// Burst size.
+        count: u16,
+        /// Parameters shared by every member.
+        spec: PlanSpec,
     },
 }
 
@@ -340,10 +365,95 @@ impl FaultPlan {
                 FaultAction::StallReader { .. } => add("stalled-reader"),
                 FaultAction::SetWriteChunk { chunk: Some(_), .. } => add("torn-write"),
                 FaultAction::InjectAcceptError { .. } => add("accept-error"),
+                FaultAction::ConnectFlood { .. } => add("conn-flood"),
+                FaultAction::SendFlood { .. } => add("send-flood"),
                 _ => {}
             }
         }
         kinds
+    }
+
+    /// Generate an **overload** chaos script from `seed`: the fault
+    /// repertoire here is pressure, not corruption — request bursts sized to
+    /// exhaust token buckets, accept floods, stalled readers under flood,
+    /// background-class witnesses for the aging bound, and long virtual-time
+    /// lulls that let buckets refill mid-script. Meant to run under a
+    /// [`qsync_serve::SimConfig`] with rate limits and a plan-eval budget
+    /// enabled; deterministic in `seed` exactly like [`generate`](Self::generate).
+    pub fn generate_overload(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x4F56_4C44); // "OVLD"
+        let mut actions = Vec::new();
+        let mut next_id: u64 = 1;
+        let alloc_ids = |n: u64, next_id: &mut u64| {
+            let first = *next_id;
+            *next_id += n;
+            first
+        };
+
+        let conns = rng.gen_range(2..4usize);
+        for conn in 0..conns {
+            actions.push(FaultAction::Connect { conn });
+        }
+        let sub = rng.gen_range(0..conns);
+        let id = alloc_ids(1, &mut next_id);
+        actions.push(FaultAction::Subscribe { conn: sub, id });
+
+        let steps = rng.gen_range(10..22usize);
+        let mut stalled = vec![false; conns];
+        for _ in 0..steps {
+            let conn = rng.gen_range(0..conns);
+            match rng.gen_range(0..100u32) {
+                // Plain traffic, occasionally background class (the aging
+                // witness) or a shared client id (per-client bucket).
+                0..=29 => {
+                    let id = alloc_ids(1, &mut next_id);
+                    let mut spec = random_plan_spec(&mut rng);
+                    spec.background = rng.gen_range(0..4u32) == 0;
+                    actions.push(FaultAction::SendPlan { conn, id, spec });
+                }
+                // The signature move: a burst sized to blow through a small
+                // per-connection bucket.
+                30..=59 => {
+                    let count = rng.gen_range(6..14u16);
+                    let first_id = alloc_ids(u64::from(count), &mut next_id);
+                    let mut spec = random_plan_spec(&mut rng);
+                    spec.background = false;
+                    actions.push(FaultAction::SendFlood { conn, first_id, count, spec });
+                }
+                60..=69 => {
+                    let count = rng.gen_range(3..9usize);
+                    actions.push(FaultAction::ConnectFlood { count });
+                    stalled.extend(std::iter::repeat_n(false, count));
+                }
+                70..=77 => {
+                    let members = rng.gen_range(2..4usize);
+                    let first_id = alloc_ids(members as u64, &mut next_id);
+                    let specs = (0..members).map(|_| random_delta_spec(&mut rng)).collect();
+                    actions.push(FaultAction::DeltaStorm { conn, first_id, specs });
+                }
+                78..=84 => {
+                    if !stalled[conn] {
+                        actions.push(FaultAction::StallReader {
+                            conn,
+                            cap: rng.gen_range(64..512usize),
+                        });
+                        stalled[conn] = true;
+                    } else {
+                        actions.push(FaultAction::ResumeReader { conn });
+                        stalled[conn] = false;
+                    }
+                }
+                // Lulls: long ones refill buckets, short ones keep pressure.
+                85..=92 => actions.push(FaultAction::Advance { ms: rng.gen_range(500..2000u64) }),
+                _ => actions.push(FaultAction::Advance { ms: rng.gen_range(1..40u64) }),
+            }
+        }
+        for (conn, is_stalled) in stalled.iter().enumerate() {
+            if *is_stalled {
+                actions.push(FaultAction::ResumeReader { conn });
+            }
+        }
+        FaultPlan { seed: Some(seed), actions }
     }
 }
 
@@ -355,6 +465,7 @@ fn random_plan_spec(rng: &mut ChaCha8Rng) -> PlanSpec {
         hidden: widths[(rng.next_u32() as usize) % widths.len()],
         client: if rng.gen_range(0..3u32) == 0 { Some(rng.gen_range(0..3u32) as u8) } else { None },
         deadline_ms: if rng.gen_range(0..5u32) == 0 { Some(rng.gen_range(1..50u64)) } else { None },
+        background: false,
     }
 }
 
@@ -378,6 +489,27 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_same_overload_plan() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(FaultPlan::generate_overload(seed), FaultPlan::generate_overload(seed));
+        }
+    }
+
+    #[test]
+    fn overload_plans_flood() {
+        // Over a small seed range, overload generation reliably produces
+        // bucket-exhausting bursts (its signature action).
+        let floods = (0..8u64)
+            .filter(|&seed| {
+                FaultPlan::generate_overload(seed)
+                    .fault_kinds()
+                    .contains(&"send-flood")
+            })
+            .count();
+        assert!(floods >= 6, "only {floods}/8 overload scripts contained a send-flood");
+    }
+
+    #[test]
     fn different_seeds_differ() {
         assert_ne!(FaultPlan::generate(1).actions, FaultPlan::generate(2).actions);
     }
@@ -397,6 +529,9 @@ mod tests {
                 }
                 FaultAction::DeltaStorm { first_id, specs, .. } => {
                     ids.extend(*first_id..*first_id + specs.len() as u64)
+                }
+                FaultAction::SendFlood { first_id, count, .. } => {
+                    ids.extend(*first_id..*first_id + u64::from(*count))
                 }
                 _ => {}
             }

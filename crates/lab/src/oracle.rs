@@ -1,17 +1,20 @@
 //! The invariant oracle: checks a [`RunTranscript`] against the guarantees
 //! the server makes **under any fault schedule**.
 //!
-//! Four families of invariants:
+//! Five families of invariants:
 //!
 //! 1. **Exactly-once replies** — every fully-sent command on a surviving
 //!    connection draws exactly one correlated reply (a result or one
 //!    structured error); on a hard-dropped connection, at most one. No reply
-//!    ever answers an id that was not sent.
+//!    ever answers an id that was not sent. Under overload this is the
+//!    shedding contract: an admitted request gets exactly one result, a
+//!    rate-limited request exactly one structured error — never silence.
 //! 2. **Cache coherence** — replaying the server's op log (plans and
 //!    coalesced delta waves, in execution order) serially against a fresh
-//!    engine reproduces the final cache byte-for-byte: same keys, same
-//!    serialized plans. Whatever the fault schedule did to connections, it
-//!    must not have perturbed planning state.
+//!    engine — under the run's plan-eval preemption budget — reproduces the
+//!    final cache byte-for-byte: same keys, same serialized plans. Whatever
+//!    the fault schedule did to connections, it must not have perturbed
+//!    planning state.
 //! 3. **Subscriber accounting** — event sequence numbers strictly increase,
 //!    stay within the run's resync baselines, and `delivered + dropped`
 //!    exactly covers the sequence interval: a slow consumer loses events
@@ -19,6 +22,12 @@
 //! 4. **Drain completeness** — after graceful shutdown every surviving
 //!    connection was closed by the server (with, per invariant 1, all its
 //!    replies delivered first).
+//! 5. **Overload shedding** — a `rate_limited` error is a *refusal*, not a
+//!    failure: its request must never also appear in the server's op log
+//!    (shed means the engine never saw it), and when no connection died the
+//!    wire-visible shed count must equal the transport's rate-limit
+//!    counters — the server may not shed silently, and may not count sheds
+//!    it never reported.
 //!
 //! [`OracleReport::assert_ok`] panics with the seed and the full fault
 //! script, so a failing chaos run is replayable from its output alone.
@@ -66,6 +75,7 @@ pub fn check_all(transcript: &RunTranscript) -> OracleReport {
     check_coherence(transcript, &mut report);
     check_subscribers(transcript, &mut report);
     check_drain(transcript, &mut report);
+    check_overload(transcript, &mut report);
     report
 }
 
@@ -129,7 +139,8 @@ fn check_coherence(transcript: &RunTranscript, report: &mut OracleReport) {
         transcript.cache_config,
         std::time::Duration::ZERO,
         std::sync::Arc::new(SystemClock::new()),
-    );
+    )
+    .with_plan_budget(transcript.plan_budget);
     for op in &transcript.ops {
         match op {
             SimOp::Plan(request) => {
@@ -233,6 +244,56 @@ fn check_drain(transcript: &RunTranscript, report: &mut OracleReport) {
         if !conn.dropped && !conn.server_closed {
             report.violations.push(format!(
                 "drain: conn {index} was never closed by the server after shutdown"
+            ));
+        }
+    }
+}
+
+/// Whether this scrubbed reply is a structured `rate_limited` shed, and the
+/// id it answers. The sim driver speaks bare (v0) lines, so sheds arrive in
+/// the legacy `Error` shape — recognized by the server's fixed message; a
+/// v1 envelope path would carry the `Fault` code instead, handled too.
+fn rate_limited_id(reply: &serde_json::Value) -> Option<u64> {
+    if let Some(body) = reply.get("Fault") {
+        return (body["code"].as_str() == Some("RateLimited")).then(|| body["id"].as_u64())?;
+    }
+    let body = reply.get("Error")?;
+    (body["message"].as_str()?.contains("rate limit exceeded")).then(|| body["id"].as_u64())?
+}
+
+fn check_overload(transcript: &RunTranscript, report: &mut OracleReport) {
+    let mut shed_ids: Vec<u64> = Vec::new();
+    for conn in &transcript.conns {
+        shed_ids.extend(conn.replies.iter().filter_map(rate_limited_id));
+    }
+    if shed_ids.is_empty() && transcript.counter("qsync_transport_rate_limited_total{scope=\"conn\"}") == 0
+        && transcript.counter("qsync_transport_rate_limited_total{scope=\"client\"}") == 0
+    {
+        return;
+    }
+
+    // A shed request must never have reached the engine: its id may not
+    // appear in the execution-order op log.
+    for op in &transcript.ops {
+        if let SimOp::Plan(request) = op {
+            if shed_ids.contains(&request.id) {
+                report.violations.push(format!(
+                    "overload: id {} was rate-limited on the wire yet executed by the engine",
+                    request.id
+                ));
+            }
+        }
+    }
+
+    // With every reply delivered (no hard drops lose in-flight faults), the
+    // wire-visible shed count and the transport's accounting must agree.
+    if transcript.conns.iter().all(|conn| !conn.dropped) {
+        let counted = transcript.counter("qsync_transport_rate_limited_total{scope=\"conn\"}")
+            + transcript.counter("qsync_transport_rate_limited_total{scope=\"client\"}");
+        if counted != shed_ids.len() as u64 {
+            report.violations.push(format!(
+                "overload: {} rate_limited errors on the wire but rate-limit counters total {counted}",
+                shed_ids.len()
             ));
         }
     }

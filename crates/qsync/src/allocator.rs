@@ -99,6 +99,22 @@ pub struct InitialSetting {
     pub t_min_us: f64,
 }
 
+/// Outcome of a budgeted phase-1 run: how much combinatorial work the
+/// brute-force pass did and whether a candidate-evaluation budget preempted
+/// it. A preempted pass still yields a *valid* initial setting — every
+/// committed instance holds the best combination scored so far and the rest
+/// stay at uniform lowest — just a possibly suboptimal one. Deterministic for
+/// a given (system, budget) pair, which is what lets the simulation oracle
+/// replay budgeted plans byte-identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InitialPassReport {
+    /// Precision combinations actually scored on the evaluator.
+    pub evals: u64,
+    /// `true` when the budget ran out before the exhaustive enumeration
+    /// finished (the pass checkpointed its best-so-far and yielded).
+    pub preempted: bool,
+}
+
 /// The QSync allocator.
 pub struct Allocator<'a> {
     /// The assembled system (predictor, memory estimator, cluster).
@@ -119,14 +135,31 @@ impl<'a> Allocator<'a> {
     /// Phase 1 on the incremental evaluator, returning it positioned at the initial
     /// assignment so phase 2 can continue without rebuilding caches.
     fn initial_eval(&self, rank: usize) -> DeltaEvaluator<'a> {
+        self.initial_eval_budgeted(rank, None).0
+    }
+
+    /// [`initial_eval`](Self::initial_eval) under a cooperative-preemption
+    /// budget: at most `max_evals` precision combinations are scored across
+    /// the whole pass (`None` = unbounded). When the budget runs out the
+    /// current instance commits its best-so-far at the evaluator's
+    /// begin/stage/commit seam and the remaining instances stay uniform
+    /// lowest, so a long brute-force pass can never occupy a worker past the
+    /// budget while still producing a valid (feasible, consistent) setting.
+    fn initial_eval_budgeted(
+        &self,
+        rank: usize,
+        max_evals: Option<u64>,
+    ) -> (DeltaEvaluator<'a>, InitialPassReport) {
         let sys = self.system;
         let dag = &sys.dag;
         let device = &sys.cluster.devices[rank];
         let candidates = sys.candidates_for(rank);
         let lowest = candidates[0];
+        let mut report = InitialPassReport::default();
+        let mut evals_left = max_evals;
         let mut eval = DeltaEvaluator::new(sys, rank, PrecisionDag::uniform(dag, lowest));
         if candidates.len() == 1 {
-            return eval;
+            return (eval, report);
         }
 
         // Memory headroom left after the most compressed assignment.
@@ -151,7 +184,16 @@ impl<'a> Allocator<'a> {
                 let inst_lowest: u64 =
                     instance.iter().map(|id| instance_bytes(dag, *id, lowest)).sum();
                 let budget = (slack as u128 * inst_lowest as u128 / total_lowest_bytes as u128) as u64;
-                let best = brute_force_instance(&mut eval, rank, instance, &candidates, lowest, budget);
+                let best = brute_force_instance(
+                    &mut eval,
+                    rank,
+                    instance,
+                    &candidates,
+                    lowest,
+                    budget,
+                    &mut evals_left,
+                    &mut report,
+                );
                 eval.begin();
                 for (id, p) in instance.iter().zip(best) {
                     eval.stage(*id, p);
@@ -163,7 +205,7 @@ impl<'a> Allocator<'a> {
         if !eval.memory_ok() {
             eval = DeltaEvaluator::new(sys, rank, PrecisionDag::uniform(dag, lowest));
         }
-        eval
+        (eval, report)
     }
 
     /// Run the full allocation: initial fastest plan, then indicator-guided recovery.
@@ -189,9 +231,23 @@ impl<'a> Allocator<'a> {
 
     /// Run phase 1 alone and package its product for memoization.
     pub fn initial_setting(&self, rank: usize) -> InitialSetting {
-        let eval = self.initial_eval(rank);
+        self.initial_setting_budgeted(rank, None).0
+    }
+
+    /// [`initial_setting`](Self::initial_setting) under a cooperative
+    /// candidate-evaluation budget (`None` = unbounded). The report says how
+    /// many combinations were scored and whether the pass was preempted; a
+    /// preempted setting is valid and deterministic for this budget, so
+    /// memoizing and replaying it stays byte-identical as long as the replay
+    /// uses the same budget.
+    pub fn initial_setting_budgeted(
+        &self,
+        rank: usize,
+        max_evals: Option<u64>,
+    ) -> (InitialSetting, InitialPassReport) {
+        let (eval, report) = self.initial_eval_budgeted(rank, max_evals);
         let t_min_us = eval.iteration_us();
-        InitialSetting { pdag: eval.into_pdag(), t_min_us }
+        (InitialSetting { pdag: eval.into_pdag(), t_min_us }, report)
     }
 
     /// [`Allocator::allocate`] with phase 1 answered from a memoized
@@ -416,6 +472,12 @@ fn clamp_warm(
 /// enumeration — the loop no longer recomputes `instance_bytes` for every combination —
 /// and each combination is scored from the evaluator's cached node costs inside a
 /// staged transaction that is rolled back afterwards.
+///
+/// `evals_left` is the cooperative-preemption budget shared across the whole
+/// initial pass: each scored combination spends one; at zero the enumeration
+/// stops and the best combination found so far is returned (the caller
+/// commits it — the checkpoint). `report` accumulates the spend.
+#[allow(clippy::too_many_arguments)]
 fn brute_force_instance(
     eval: &mut DeltaEvaluator<'_>,
     rank: usize,
@@ -423,6 +485,8 @@ fn brute_force_instance(
     candidates: &[Precision],
     lowest: Precision,
     budget: u64,
+    evals_left: &mut Option<u64>,
+    report: &mut InitialPassReport,
 ) -> Vec<Precision> {
     let k = instance.len();
     let n_comb = candidates.len().pow(k as u32);
@@ -459,6 +523,14 @@ fn brute_force_instance(
         if extra > budget {
             continue;
         }
+        if let Some(left) = evals_left {
+            if *left == 0 {
+                report.preempted = true;
+                break;
+            }
+            *left -= 1;
+        }
+        report.evals += 1;
         // Local latency of the instance under this combo (op cost + casting), answered
         // from the evaluator's cached per-node costs.
         eval.begin();
@@ -888,6 +960,50 @@ mod tests {
         assert_eq!(warm_report.t_min_us.to_bits(), memo_report.t_min_us.to_bits());
         assert_eq!(warm_report.warm_demotions, memo_report.warm_demotions);
         assert_eq!(warm_report.promotions_accepted, memo_report.promotions_accepted);
+    }
+
+    #[test]
+    fn unbounded_budget_matches_the_plain_initial_setting() {
+        let sys = system(ClusterSpec::hybrid_small());
+        let alloc = Allocator::new(&sys);
+        let rank = sys.cluster.inference_ranks()[0];
+        let plain = alloc.initial_setting(rank);
+        let (budgeted, report) = alloc.initial_setting_budgeted(rank, Some(u64::MAX));
+        assert_eq!(plain, budgeted);
+        assert!(!report.preempted);
+        assert!(report.evals > 0, "the exhaustive pass scored combinations");
+    }
+
+    #[test]
+    fn eval_budget_preempts_deterministically_and_stays_feasible() {
+        let sys = system(ClusterSpec::hybrid_small());
+        let alloc = Allocator::new(&sys);
+        let rank = sys.cluster.inference_ranks()[0];
+        let (_, full_report) = alloc.initial_setting_budgeted(rank, None);
+        let budget = full_report.evals / 2;
+        let (a, report_a) = alloc.initial_setting_budgeted(rank, Some(budget));
+        let (b, report_b) = alloc.initial_setting_budgeted(rank, Some(budget));
+        // Preempted, spent exactly the budget, and byte-reproducible.
+        assert!(report_a.preempted);
+        assert_eq!(report_a.evals, budget);
+        assert_eq!(report_a, report_b);
+        assert_eq!(a, b, "a budgeted pass is deterministic for its budget");
+        // The checkpointed setting is still valid: feasible (or maximally
+        // compressed) and consistent enough to drive recovery.
+        let lowest = sys.candidates_for(rank)[0];
+        let most_compressed = PrecisionDag::uniform(&sys.dag, lowest);
+        assert!(
+            sys.memory_ok(rank, &a.pdag)
+                || sys.memory_bytes(rank, &a.pdag) <= sys.memory_bytes(rank, &most_compressed)
+        );
+        let (plan, _) = alloc.allocate_from_initial(&sys.indicator(), &a);
+        assert_eq!(plan.device(rank).len(), sys.dag.len());
+        // A zero budget degenerates to uniform lowest — the ultimate
+        // checkpoint — and still plans.
+        let (zero, zero_report) = alloc.initial_setting_budgeted(rank, Some(0));
+        assert!(zero_report.preempted);
+        assert_eq!(zero_report.evals, 0);
+        assert_eq!(zero.pdag, most_compressed);
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub struct SchedStats {
     /// worker flagged expired instead of being run. Every expired job is also
     /// counted in `deadline_misses` when its handle drops.
     pub expired: u64,
+    /// Batch/Background jobs promoted past the strict class scan because
+    /// they waited at least [`age_limit_ms`](crate::SchedConfig::age_limit_ms)
+    /// (the starvation bound). Absent (0) on servers without an aging window.
+    #[serde(default)]
+    pub aged: u64,
     /// Deadline-tagged jobs completed on or before their deadline.
     pub deadline_met: u64,
     /// Deadline-tagged jobs completed after their deadline.

@@ -5,8 +5,10 @@
 //!                   [--cache-capacity N] [--cache-shards N]
 //!                   [--sched-policy fifo|drr] [--queue-cap N]
 //!                   [--queue-cap-interactive N] [--queue-cap-batch N] [--queue-cap-background N]
-//!                   [--drr-quantum N] [--shed-expired true|false] [--delta-window-ms N]
+//!                   [--drr-quantum N] [--shed-expired true|false] [--age-limit-ms N]
+//!                   [--delta-window-ms N] [--plan-budget-evals N]
 //!                   [--event-outbox-cap BYTES] [--accept-backoff-ms N]
+//!                   [--reactors N] [--rate-limit-conn RATE[,BURST]] [--rate-limit-client RATE[,BURST]]
 //!                   [--store PATH] [--snapshot-interval-ms N] [--follow ADDR]
 //!     Serve protocol lines (legacy v0 objects or v1 envelopes; see
 //!     docs/PROTOCOL.md): from stdin (default) or a TCP socket. Plan
@@ -22,6 +24,18 @@
 //!     never dropped; see "The event stream" in docs/PROTOCOL.md).
 //!     --accept-backoff-ms sets how long accepts pause after a
 //!     resource-exhaustion accept error (EMFILE and friends).
+//!     --reactors shards the TCP transport across N epoll reactor threads
+//!     (default: the available cores); reactor 0 accepts and hands
+//!     connections off round-robin, all sharing one core (see the
+//!     "Transport" section of the README). --rate-limit-conn and
+//!     --rate-limit-client arm token-bucket overload protection
+//!     (commands/second, with an optional burst defaulting to the rate);
+//!     a shed command is answered with a structured "rate_limited" error,
+//!     never silently dropped. --age-limit-ms bounds how long a queued
+//!     Batch/Background job can wait before it is dispatched ahead of the
+//!     strict class order (starvation bound); --plan-budget-evals caps the
+//!     brute-force initial pass per plan, committing the best setting found
+//!     within the budget (cooperative preemption of cold plans).
 //!     --store names the persistent plan-store snapshot file: it is
 //!     warm-loaded on boot (a missing or corrupt file boots cold), is the
 //!     default target of the Snapshot/Load admin commands, and is
@@ -56,7 +70,7 @@ use qsync_client::MuxClient;
 use qsync_cluster::topology::ClusterSpec;
 use qsync_serve::{
     CacheConfig, FollowerConfig, IndicatorChoice, ModelSpec, PlanEngine, PlanRequest, PlanServer,
-    SchedConfig, ShutdownSignal, StoreConfig, TransportConfig,
+    SchedConfig, ShutdownSignal, StoreConfig, TokenBucketConfig, TransportConfig,
 };
 
 fn parse_cluster(s: &str) -> Result<ClusterSpec, String> {
@@ -167,7 +181,27 @@ fn parse_sched_config(flags: &Flags) -> Result<SchedConfig, String> {
             other => return Err(format!("bad --shed-expired {other:?} (true|false)")),
         };
     }
+    if let Some(ms) = flags.get("age-limit-ms") {
+        config.age_limit_ms =
+            Some(ms.parse().map_err(|e| format!("bad --age-limit-ms: {e}"))?);
+    }
     Ok(config)
+}
+
+/// Parse a `--rate-limit-*` value: `RATE` or `RATE,BURST` (commands per
+/// second; burst defaults to the rate).
+fn parse_token_bucket(flag: &str, value: &str) -> Result<TokenBucketConfig, String> {
+    let (rate, burst) = match value.split_once(',') {
+        Some((rate, burst)) => (rate, Some(burst)),
+        None => (value, None),
+    };
+    let rate_per_sec: u64 =
+        rate.trim().parse().map_err(|e| format!("bad --{flag} rate: {e}"))?;
+    let burst: u64 = match burst {
+        Some(b) => b.trim().parse().map_err(|e| format!("bad --{flag} burst: {e}"))?,
+        None => rate_per_sec,
+    };
+    Ok(TokenBucketConfig { rate_per_sec, burst })
 }
 
 fn parse_delta_window(flags: &Flags) -> Result<Duration, String> {
@@ -183,8 +217,14 @@ fn parse_delta_window(flags: &Flags) -> Result<Duration, String> {
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let workers: usize =
         flags.get("workers").unwrap_or("8").parse().map_err(|e| format!("bad --workers: {e}"))?;
-    let engine =
-        Arc::new(PlanEngine::with_config(parse_cache_config(flags)?, parse_delta_window(flags)?));
+    let mut engine_config =
+        PlanEngine::with_config(parse_cache_config(flags)?, parse_delta_window(flags)?);
+    if let Some(budget) = flags.get("plan-budget-evals") {
+        engine_config = engine_config.with_plan_budget(Some(
+            budget.parse().map_err(|e| format!("bad --plan-budget-evals: {e}"))?,
+        ));
+    }
+    let engine = Arc::new(engine_config);
     if let Some(admin_addr) = flags.get("admin-addr") {
         let listener = TcpListener::bind(admin_addr)
             .map_err(|e| format!("bind --admin-addr {admin_addr}: {e}"))?;
@@ -201,21 +241,33 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     }
     let mut server = PlanServer::with_sched(engine, workers, parse_sched_config(flags)?);
     let mut transport = TransportConfig::default();
-    let mut custom_transport = false;
     if let Some(cap) = flags.get("event-outbox-cap") {
         transport.event_outbox_cap =
             cap.parse().map_err(|e| format!("bad --event-outbox-cap: {e}"))?;
-        custom_transport = true;
     }
     if let Some(ms) = flags.get("accept-backoff-ms") {
         transport.accept_backoff = Duration::from_millis(
             ms.parse().map_err(|e| format!("bad --accept-backoff-ms: {e}"))?,
         );
-        custom_transport = true;
     }
-    if custom_transport {
-        server = server.with_transport(transport);
+    // Default to one reactor per available core; the flag overrides.
+    transport.reactors = match flags.get("reactors") {
+        Some(n) => {
+            let n: usize = n.parse().map_err(|e| format!("bad --reactors: {e}"))?;
+            if n == 0 {
+                return Err("--reactors must be at least 1".into());
+            }
+            n
+        }
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
+    if let Some(value) = flags.get("rate-limit-conn") {
+        transport.rate_limit.per_conn = Some(parse_token_bucket("rate-limit-conn", value)?);
     }
+    if let Some(value) = flags.get("rate-limit-client") {
+        transport.rate_limit.per_client = Some(parse_token_bucket("rate-limit-client", value)?);
+    }
+    server = server.with_transport(transport);
     if let Some(path) = flags.get("store") {
         let mut store = StoreConfig::at(path);
         if let Some(ms) = flags.get("snapshot-interval-ms") {

@@ -72,6 +72,13 @@ pub struct PlanEngine {
     /// Value-transparent like the initial-setting memo; bounded by
     /// [`SYSTEM_MEMO_CAP`].
     system_memo: SystemMemo,
+    /// Cooperative-preemption budget for the brute-force initial pass: at
+    /// most this many candidate combinations are scored per cold plan before
+    /// the pass checkpoints its best-so-far and yields the worker. `None`
+    /// (the default) runs the pass exhaustively. Deterministic — the same
+    /// budget always produces the same plan — so servers, simulations and
+    /// the coherence oracle must agree on it.
+    plan_budget_evals: Option<u64>,
 }
 
 /// The system memo's storage, newtyped for a summary `Debug` (a built
@@ -182,6 +189,19 @@ impl PlanEngine {
     pub fn with_obs(mut self, obs: Arc<ServeObs>) -> Self {
         self.obs = obs;
         self
+    }
+
+    /// This engine with a cooperative-preemption budget on the brute-force
+    /// initial pass (`None` = unbounded, the default). See
+    /// [`Allocator::initial_setting_budgeted`].
+    pub fn with_plan_budget(mut self, max_evals: Option<u64>) -> Self {
+        self.plan_budget_evals = max_evals;
+        self
+    }
+
+    /// The configured initial-pass eval budget, if any.
+    pub fn plan_budget_evals(&self) -> Option<u64> {
+        self.plan_budget_evals
     }
 
     /// The observability bundle: instruments, registry and trace log shared
@@ -598,7 +618,11 @@ impl PlanEngine {
                 initial
             }
             _ => {
-                let initial = allocator.initial_setting(rank);
+                let (initial, pass) =
+                    allocator.initial_setting_budgeted(rank, self.plan_budget_evals);
+                if pass.preempted {
+                    self.obs.plan_preemptions.inc();
+                }
                 self.obs.memo_misses.inc();
                 self.initial_memo
                     .lock()

@@ -109,6 +109,6 @@ pub use qsync_api::{
 pub use qsync_core::plan::PrecisionPlan;
 pub use qsync_sched::{Priority, SchedConfig, SchedPolicy, SchedStats};
 pub use request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
-pub use server::PlanServer;
+pub use server::{PlanServer, RateLimitConfig, TokenBucketConfig};
 pub use sim::{SimConfig, SimConn, SimOp, SimServer};
 pub use transport::{ShutdownSignal, TransportConfig};

@@ -54,6 +54,14 @@ pub struct ServeObs {
     pub backpressure_resumes: Arc<Counter>,
     /// Connections currently registered with the reactor.
     pub conns_open: Arc<Gauge>,
+    /// Accepted connections handed off from the acceptor reactor to a peer
+    /// reactor (multi-reactor servers; 0 with one reactor).
+    pub reactor_handoffs: Arc<Counter>,
+    /// Commands shed by a per-connection token-bucket rate limit (each one
+    /// answered with a structured `RateLimited` error, never dropped).
+    pub rate_limited_conn: Arc<Counter>,
+    /// Commands shed by a per-client token-bucket rate limit.
+    pub rate_limited_client: Arc<Counter>,
 
     // ---- scheduler ----
     /// Milliseconds a dispatched job waited in its queue.
@@ -69,6 +77,9 @@ pub struct ServeObs {
     /// Requests that piggy-backed on an identical in-flight computation
     /// instead of planning (single-flight coalesces).
     pub singleflight_coalesced: Arc<Counter>,
+    /// Brute-force initial passes preempted by the cooperative eval budget
+    /// (the pass committed its best-so-far and yielded the worker).
+    pub plan_preemptions: Arc<Counter>,
 
     // ---- delta pipeline ----
     /// Deltas composed into each applied wave.
@@ -154,11 +165,15 @@ impl ServeObs {
             backpressure_pauses: r.counter("qsync_transport_backpressure_pauses_total"),
             backpressure_resumes: r.counter("qsync_transport_backpressure_resumes_total"),
             conns_open: r.gauge("qsync_transport_conns_open"),
+            reactor_handoffs: r.counter("qsync_transport_reactor_handoffs_total"),
+            rate_limited_conn: r.counter("qsync_transport_rate_limited_total{scope=\"conn\"}"),
+            rate_limited_client: r.counter("qsync_transport_rate_limited_total{scope=\"client\"}"),
             dispatch_wait_ms: r.histogram("qsync_sched_dispatch_wait_ms"),
             plan_cold_us: r.histogram("qsync_plan_latency_us{kind=\"cold\"}"),
             plan_warm_us: r.histogram("qsync_plan_latency_us{kind=\"warm\"}"),
             plan_hit_us: r.histogram("qsync_plan_latency_us{kind=\"hit\"}"),
             singleflight_coalesced: r.counter("qsync_engine_singleflight_coalesced_total"),
+            plan_preemptions: r.counter("qsync_plan_preemptions_total"),
             wave_width: r.histogram("qsync_delta_wave_width"),
             coalescer_pending: r.gauge("qsync_delta_coalescer_pending"),
             replan_chain_len: r.histogram("qsync_delta_replan_chain_len"),
@@ -186,6 +201,14 @@ impl ServeObs {
     /// reply; the server appends the derived gauges on top).
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.registry.snapshot()
+    }
+
+    /// The per-reactor open-connection gauge
+    /// `qsync_transport_reactor_conns{reactor="<i>"}`, interned on first use
+    /// (registry interning is idempotent by name, so each reactor resolves
+    /// its gauge once at startup and shares it thereafter).
+    pub fn reactor_conns(&self, reactor: usize) -> Arc<Gauge> {
+        self.registry.gauge(&format!("qsync_transport_reactor_conns{{reactor=\"{reactor}\"}}"))
     }
 }
 

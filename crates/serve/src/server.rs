@@ -97,6 +97,87 @@ pub(crate) enum Sink {
     Outbox(Arc<Outbox>),
 }
 
+/// Tuning of one token bucket: a steady refill rate plus a burst allowance.
+///
+/// The bucket is integer arithmetic in **token-millis** (1 command costs
+/// 1000): refill is `rate_per_sec × elapsed_ms` token-millis, capped at
+/// `burst × 1000` — deterministic for any clock, which is what lets the lab
+/// replay overload scenarios byte-for-byte on a
+/// [`ManualClock`](qsync_clock::ManualClock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenBucketConfig {
+    /// Sustained admission rate, commands per second.
+    pub rate_per_sec: u64,
+    /// Burst allowance: commands admitted instantly from a full bucket.
+    pub burst: u64,
+}
+
+/// Token-bucket overload protection, enforced per command at admission.
+///
+/// A shed command is **always answered** with a structured
+/// [`ErrorCode::RateLimited`] error carrying the command's `id` (legacy v0
+/// connections get the byte-compatible `Error` shape) — never a silent drop
+/// — and it is safe to retry after a backoff: the command was rejected
+/// before any state changed. The default has no limits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RateLimitConfig {
+    /// Per-connection bucket: bounds any single socket regardless of the
+    /// identities it claims.
+    pub per_conn: Option<TokenBucketConfig>,
+    /// Per-client bucket, keyed by the request's `client_id` (falling back
+    /// to the connection identity): bounds an identity that spreads itself
+    /// across many connections.
+    pub per_client: Option<TokenBucketConfig>,
+}
+
+impl RateLimitConfig {
+    /// Whether any limit is configured (the hot path's fast-out).
+    pub fn is_enabled(&self) -> bool {
+        self.per_conn.is_some() || self.per_client.is_some()
+    }
+}
+
+/// Deterministic integer token bucket (see [`TokenBucketConfig`]).
+#[derive(Debug)]
+struct TokenBucket {
+    config: TokenBucketConfig,
+    /// Current fill, in token-millis (1000 per admissible command).
+    tokens_milli: u64,
+    /// Clock-ms of the last refill.
+    last_refill_ms: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket as of `now_ms`.
+    fn new(config: TokenBucketConfig, now_ms: u64) -> Self {
+        TokenBucket {
+            config,
+            tokens_milli: config.burst.saturating_mul(1000),
+            last_refill_ms: now_ms,
+        }
+    }
+
+    /// Refill for the elapsed time, then try to spend one command's worth of
+    /// tokens. Returns whether the command is admitted.
+    fn try_admit(&mut self, now_ms: u64) -> bool {
+        let elapsed_ms = now_ms.saturating_sub(self.last_refill_ms);
+        if elapsed_ms > 0 {
+            // rate_per_sec tokens/s == rate_per_sec token-millis per ms.
+            self.tokens_milli = self
+                .tokens_milli
+                .saturating_add(self.config.rate_per_sec.saturating_mul(elapsed_ms))
+                .min(self.config.burst.saturating_mul(1000));
+            self.last_refill_ms = now_ms;
+        }
+        if self.tokens_milli >= 1000 {
+            self.tokens_milli -= 1000;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Per-connection serving state, shared between the transport (which reads
 /// commands) and the workers (which produce replies).
 pub(crate) struct ConnState {
@@ -108,6 +189,9 @@ pub(crate) struct ConnState {
     pending: Mutex<usize>,
     /// Signalled when `pending` returns to zero.
     idle: Condvar,
+    /// This connection's token bucket, created lazily from the core's
+    /// [`RateLimitConfig`] on the first admission check.
+    rate: Mutex<Option<TokenBucket>>,
     sink: Sink,
 }
 
@@ -245,6 +329,13 @@ pub(crate) struct ServeCore {
     store: Mutex<Option<StoreConfig>>,
     /// Next periodic-snapshot deadline; `None` when no interval is set.
     snapshot_due: Mutex<Option<Instant>>,
+    /// Token-bucket overload protection, enforced at the top of
+    /// [`handle_command`](Self::handle_command). Set once right after start,
+    /// before traffic; defaults to no limits.
+    rate_limit: Mutex<RateLimitConfig>,
+    /// Per-client token buckets (the `per_client` limit), keyed by the
+    /// request's fair-share identity.
+    client_buckets: Mutex<HashMap<String, TokenBucket>>,
 }
 
 /// Owner of a [`ServeCore`]'s threads; [`stop`](CoreHandle::stop) closes the
@@ -293,6 +384,8 @@ impl ServeCore {
             op_log: Mutex::new(None),
             store: Mutex::new(None),
             snapshot_due: Mutex::new(None),
+            rate_limit: Mutex::new(RateLimitConfig::default()),
+            client_buckets: Mutex::new(HashMap::new()),
         });
         let mut threads = Vec::with_capacity(workers + DELTA_EXECUTORS);
         for i in 0..workers.max(1) {
@@ -337,7 +430,79 @@ impl ServeCore {
             op_log: Mutex::new(Some(Vec::new())),
             store: Mutex::new(None),
             snapshot_due: Mutex::new(None),
+            rate_limit: Mutex::new(RateLimitConfig::default()),
+            client_buckets: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Install the token-bucket overload limits. Called once right after
+    /// start, before any traffic (like [`set_store`](Self::set_store)).
+    pub(crate) fn set_rate_limit(&self, config: RateLimitConfig) {
+        *self.rate_limit.lock().expect("rate limit config poisoned") = config;
+    }
+
+    /// Admission control: refill-and-spend this command's token(s). Returns
+    /// the structured shed error when a bucket is empty — per-connection
+    /// checked first (that bucket bounds the socket regardless of claimed
+    /// identities), then per-client. `Batch` wrappers pass free: their
+    /// members are checked individually on recursion, so a flooded batch
+    /// draws exactly one error per member, never a wholesale drop.
+    fn check_rate_limit(&self, conn: &Arc<ConnState>, command: &ServerCommand) -> Option<ApiError> {
+        if matches!(command, ServerCommand::Batch { .. }) {
+            return None;
+        }
+        let config = *self.rate_limit.lock().expect("rate limit config poisoned");
+        if !config.is_enabled() {
+            return None;
+        }
+        let obs = self.engine.obs();
+        let now = self.sched.clock().now_ms();
+        if let Some(bucket_config) = config.per_conn {
+            let mut bucket = conn.rate.lock().expect("conn rate bucket poisoned");
+            let admitted = bucket
+                .get_or_insert_with(|| TokenBucket::new(bucket_config, now))
+                .try_admit(now);
+            if !admitted {
+                obs.rate_limited_conn.inc();
+                return Some(
+                    ApiError::new(
+                        ErrorCode::RateLimited,
+                        format!(
+                            "connection rate limit exceeded ({}/s, burst {}); retry after backoff",
+                            bucket_config.rate_per_sec, bucket_config.burst
+                        ),
+                    )
+                    .with_id(command_id(command)),
+                );
+            }
+        }
+        if let Some(bucket_config) = config.per_client {
+            let client = match command {
+                ServerCommand::Plan(request) => {
+                    request.client_id.clone().unwrap_or_else(|| conn.identity())
+                }
+                _ => conn.identity(),
+            };
+            let mut buckets = self.client_buckets.lock().expect("client buckets poisoned");
+            let admitted = buckets
+                .entry(client.clone())
+                .or_insert_with(|| TokenBucket::new(bucket_config, now))
+                .try_admit(now);
+            if !admitted {
+                obs.rate_limited_client.inc();
+                return Some(
+                    ApiError::new(
+                        ErrorCode::RateLimited,
+                        format!(
+                            "client {client:?} rate limit exceeded ({}/s, burst {}); retry after backoff",
+                            bucket_config.rate_per_sec, bucket_config.burst
+                        ),
+                    )
+                    .with_id(command_id(command)),
+                );
+            }
+        }
+        None
     }
 
     /// Attach a persistent store: `Snapshot`/`Load` without an explicit
@@ -516,6 +681,7 @@ impl ServeCore {
             id: self.next_conn.fetch_add(1, Ordering::Relaxed),
             pending: Mutex::new(0),
             idle: Condvar::new(),
+            rate: Mutex::new(None),
             sink,
         })
     }
@@ -644,6 +810,7 @@ impl ServeCore {
             ("qsync_sched_expired_total", sched.expired),
             ("qsync_sched_deadline_met_total", sched.deadline_met),
             ("qsync_sched_deadline_misses_total", sched.deadline_misses),
+            ("qsync_sched_aged_total", sched.aged),
         ] {
             snap.counters.push(CounterValue { name: name.to_string(), value });
         }
@@ -731,6 +898,13 @@ impl ServeCore {
     /// barrier: plans are queued, stats answer from counters, deltas are
     /// handed to the executor threads, batches fan out inline.
     pub(crate) fn handle_command(&self, conn: &Arc<ConnState>, wire: WireProto, command: ServerCommand) {
+        // Overload protection runs before any other handling: a shed command
+        // costs the server one token-bucket check and one error line, and
+        // touches neither the scheduler nor the engine.
+        if let Some(error) = self.check_rate_limit(conn, &command) {
+            conn.send_err(wire, error);
+            return;
+        }
         match command {
             ServerCommand::Plan(request) => {
                 let mut meta = request.job_meta();
@@ -1132,6 +1306,28 @@ fn no_store_error(id: u64) -> ApiError {
     .with_field("path")
 }
 
+/// The `id` operand of any command (every command shape carries one; a plan
+/// or delta's is its request id) — what a rate-limit shed error echoes so
+/// the client can correlate it.
+fn command_id(command: &ServerCommand) -> u64 {
+    match command {
+        ServerCommand::Plan(request) => request.id,
+        ServerCommand::Delta(request) => request.id,
+        ServerCommand::Stats { id }
+        | ServerCommand::Metrics { id }
+        | ServerCommand::Trace { id, .. }
+        | ServerCommand::Resync { id }
+        | ServerCommand::Cancel { id, .. }
+        | ServerCommand::Hello { id, .. }
+        | ServerCommand::Batch { id, .. }
+        | ServerCommand::Subscribe { id, .. }
+        | ServerCommand::Unsubscribe { id }
+        | ServerCommand::Snapshot { id, .. }
+        | ServerCommand::Load { id, .. }
+        | ServerCommand::FetchSnapshot { id } => *id,
+    }
+}
+
 /// Map a scheduler admission failure to its protocol error code, keeping the
 /// v0 message text.
 fn submit_error(error: &SubmitError) -> ApiError {
@@ -1381,6 +1577,7 @@ impl PlanServer {
             self.transport.event_outbox_cap,
             self.clock(),
         );
+        handle.core.set_rate_limit(self.transport.rate_limit);
         self.attach_store(&handle.core);
         let core = Arc::clone(&handle.core);
         let (reply_tx, reply_rx) = mpsc::channel::<String>();

@@ -295,12 +295,16 @@ impl SimNet {
 pub struct SimConfig {
     /// Scheduler policy and queue caps.
     pub sched: SchedConfig,
-    /// Transport tuning (buffer caps, drain budget, accept backoff).
+    /// Transport tuning (buffer caps, drain budget, accept backoff,
+    /// reactor count, rate limits).
     pub transport: TransportConfig,
     /// Plan-cache sizing.
     pub cache: CacheConfig,
     /// Delta coalescer collection window (virtual time).
     pub delta_window: Duration,
+    /// Cooperative preemption budget for the brute-force initial pass
+    /// ([`PlanEngine::with_plan_budget`]); `None` runs it exhaustively.
+    pub plan_budget_evals: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -310,6 +314,7 @@ impl Default for SimConfig {
             transport: TransportConfig::default(),
             cache: CacheConfig::default(),
             delta_window: Duration::ZERO,
+            plan_budget_evals: None,
         }
     }
 }
@@ -325,8 +330,13 @@ pub struct SimServer {
     clock: Arc<ManualClock>,
     engine: Arc<PlanEngine>,
     core: Arc<ServeCore>,
+    /// Reactor 0's network: the accept backlog every scripted connection
+    /// enters (peer reactors own private [`SimNet`]s holding only the
+    /// connections handed off to them).
     net: Arc<SimNet>,
-    reactor: Reactor,
+    /// All reactors, index order; 0 is the acceptor. `step` drives them in
+    /// this fixed order, so multi-reactor runs stay deterministic.
+    reactors: Vec<Reactor>,
 }
 
 impl SimServer {
@@ -338,27 +348,48 @@ impl SimServer {
     /// A simulated server with explicit scheduler/transport/engine tuning.
     pub fn with_config(config: SimConfig) -> Self {
         let clock = Arc::new(ManualClock::new());
-        let engine = Arc::new(PlanEngine::with_full_config(
-            config.cache,
-            config.delta_window,
-            clock.clone() as Arc<dyn qsync_clock::Clock>,
-        ));
+        let engine = Arc::new(
+            PlanEngine::with_full_config(
+                config.cache,
+                config.delta_window,
+                clock.clone() as Arc<dyn qsync_clock::Clock>,
+            )
+            .with_plan_budget(config.plan_budget_evals),
+        );
         let core = ServeCore::start_inline(
             Arc::clone(&engine),
             config.sched,
             config.transport.event_outbox_cap,
             clock.clone() as Arc<dyn qsync_clock::Clock>,
         );
+        core.set_rate_limit(config.transport.rate_limit);
         let net = Arc::new(SimNet::default());
-        let reactor = Reactor::new_sim(
+        let shutdown = ShutdownSignal::new();
+        let n_reactors = config.transport.reactors.max(1);
+        let mut reactors = vec![Reactor::new_sim(
             Arc::clone(&core),
             Arc::clone(&net),
-            ShutdownSignal::new(),
-            config.transport,
+            shutdown.clone(),
+            config.transport.clone(),
             clock.clone() as Arc<dyn qsync_clock::Clock>,
         )
-        .expect("sim reactor construction is infallible");
-        SimServer { clock, engine, core, net, reactor }
+        .expect("sim reactor construction is infallible")];
+        for id in 1..n_reactors {
+            reactors.push(
+                Reactor::new_sim_peer(
+                    Arc::clone(&core),
+                    id,
+                    Arc::new(SimNet::default()),
+                    shutdown.clone(),
+                    config.transport.clone(),
+                    clock.clone() as Arc<dyn qsync_clock::Clock>,
+                )
+                .expect("sim reactor construction is infallible"),
+            );
+        }
+        let ring: Vec<_> = reactors.iter().map(|r| r.shared()).collect();
+        reactors[0].set_peers(ring);
+        SimServer { clock, engine, core, net, reactors }
     }
 
     /// The virtual clock. Advancing it directly does **not** run the server;
@@ -392,7 +423,10 @@ impl SimServer {
     pub fn step(&mut self) -> bool {
         let mut progressed = false;
         loop {
-            let io_progress = self.reactor.poll_step().expect("sim reactor step");
+            let mut io_progress = false;
+            for reactor in &mut self.reactors {
+                io_progress |= reactor.poll_step().expect("sim reactor step");
+            }
             let core_progress = self.core.pump();
             if !io_progress && !core_progress {
                 return progressed;
@@ -416,10 +450,12 @@ impl SimServer {
     /// "no reply lost during drain" oracle runs against the bytes this
     /// delivers.
     pub fn shutdown(&mut self) {
-        self.reactor.begin_drain();
+        for reactor in &mut self.reactors {
+            reactor.begin_drain();
+        }
         loop {
             self.step();
-            if self.reactor.drain_pending() {
+            if self.reactors.iter().any(|r| r.drain_pending()) {
                 // Nothing runnable now: let virtual time pass (a stalled
                 // reader burns the budget; everyone else finished above).
                 self.clock.advance(50);
@@ -427,7 +463,9 @@ impl SimServer {
                 break;
             }
         }
-        self.reactor.finish_drain();
+        for reactor in &mut self.reactors {
+            reactor.finish_drain();
+        }
         self.step();
     }
 

@@ -1,9 +1,9 @@
-//! Readiness-based TCP transport: every connection multiplexed on one epoll
-//! reactor thread.
+//! Readiness-based TCP transport: connections multiplexed across one or more
+//! epoll reactor threads.
 //!
 //! The previous transport spawned a thread (and a private scheduler!) per
 //! connection, so a thousand idle clients pinned a thousand stacks and
-//! fairness stopped at the connection boundary. This reactor holds all
+//! fairness stopped at the connection boundary. Each reactor holds its
 //! connections on a single [`polling::Poller`]:
 //!
 //! * **Nonblocking accept** — the listener is registered like any other
@@ -27,6 +27,15 @@
 //! the executor threads — the reactor itself never blocks on either, so a
 //! pending delta barrier cannot stall unrelated connections (nor `Stats`
 //! reads, which answer inline from counters).
+//!
+//! **Multi-reactor scale-out.** With [`TransportConfig::reactors`] > 1 the
+//! transport shards across N reactor threads by **accept-and-hand-off**:
+//! reactor 0 owns the listener and round-robins each accepted stream to a
+//! peer reactor's inbound queue (waking it through its poller). Connection
+//! state — read buffers, outboxes, write-backpressure, interest — stays
+//! strictly reactor-local; exactly one shared `ServeCore` (scheduler, plan
+//! engine, delta coalescer, event fan-out) serves all reactors, and each
+//! reactor drains its own connections on shutdown.
 //!
 //! **Virtual time and simulation.** Every time the reactor consults —
 //! the accept-backoff deadline and the shutdown drain budget — is read from
@@ -115,6 +124,15 @@ pub struct TransportConfig {
     /// without a pause the reactor would spin hot on the failing `accept`.
     /// Configurable via `--accept-backoff-ms` on the `qsync-serve` binary.
     pub accept_backoff: Duration,
+    /// Number of reactor threads the transport shards connections across
+    /// (min 1). Reactor 0 owns the listener and hands accepted connections
+    /// off round-robin; all reactors share one `ServeCore`. The
+    /// `qsync-serve` binary defaults `--reactors` to the available cores.
+    pub reactors: usize,
+    /// Token-bucket overload protection, enforced per command at admission
+    /// (see [`RateLimitConfig`](crate::server::RateLimitConfig)). Default:
+    /// no limits.
+    pub rate_limit: crate::server::RateLimitConfig,
 }
 
 impl Default for TransportConfig {
@@ -125,6 +143,8 @@ impl Default for TransportConfig {
             drain_timeout: Duration::from_secs(10),
             event_outbox_cap: 4 << 20,
             accept_backoff: Duration::from_millis(250),
+            reactors: 1,
+            rate_limit: crate::server::RateLimitConfig::default(),
         }
     }
 }
@@ -140,7 +160,9 @@ pub struct ShutdownSignal {
 #[derive(Debug, Default)]
 struct ShutdownInner {
     stop: AtomicBool,
-    waker: Mutex<Option<Arc<ReactorShared>>>,
+    /// One waker per attached reactor — a shutdown must wake every reactor
+    /// thread, not just the acceptor.
+    wakers: Mutex<Vec<Arc<ReactorShared>>>,
 }
 
 impl ShutdownSignal {
@@ -152,7 +174,7 @@ impl ShutdownSignal {
     /// Request shutdown. Idempotent; safe from any thread.
     pub fn shutdown(&self) {
         self.inner.stop.store(true, Ordering::SeqCst);
-        if let Some(shared) = self.inner.waker.lock().expect("shutdown waker poisoned").as_ref() {
+        for shared in self.inner.wakers.lock().expect("shutdown waker poisoned").iter() {
             let _ = shared.poller.notify();
         }
     }
@@ -163,7 +185,7 @@ impl ShutdownSignal {
     }
 
     fn attach(&self, shared: &Arc<ReactorShared>) {
-        *self.inner.waker.lock().expect("shutdown waker poisoned") = Some(Arc::clone(shared));
+        self.inner.wakers.lock().expect("shutdown waker poisoned").push(Arc::clone(shared));
     }
 }
 
@@ -175,6 +197,15 @@ pub(crate) enum NetStream {
     Tcp(TcpStream),
     /// The server end of a simulated connection (see [`crate::sim`]).
     Sim(SimStream),
+}
+
+impl std::fmt::Debug for NetStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            NetStream::Tcp(_) => "NetStream::Tcp",
+            NetStream::Sim(_) => "NetStream::Sim",
+        })
+    }
 }
 
 impl NetStream {
@@ -311,12 +342,25 @@ impl NetPoller {
     }
 }
 
-/// State shared between the reactor and the reply producers (workers, delta
-/// executors): the poller plus the list of connections with fresh output.
+/// State shared between a reactor and the reply producers (workers, delta
+/// executors) plus its peer reactors: the poller, the list of connections
+/// with fresh output, and the inbound queue of accepted streams handed off
+/// by the acceptor reactor.
 #[derive(Debug)]
 pub(crate) struct ReactorShared {
     poller: NetPoller,
     dirty: Mutex<Vec<usize>>,
+    /// Accepted streams handed off by the acceptor, awaiting registration
+    /// on this reactor's poller (drained at the top of each pass).
+    inbound: Mutex<Vec<NetStream>>,
+}
+
+impl ReactorShared {
+    /// Queue an accepted stream for this reactor and wake it.
+    fn hand_off(&self, stream: NetStream) {
+        self.inbound.lock().expect("inbound queue poisoned").push(stream);
+        let _ = self.poller.notify();
+    }
 }
 
 /// A connection's reply buffer, filled by worker threads and flushed by the
@@ -417,7 +461,19 @@ const READ_BUDGET: usize = 256 * 1024;
 pub(crate) struct Reactor {
     core: Arc<ServeCore>,
     shared: Arc<ReactorShared>,
-    listener: NetListener,
+    /// The accept source. `None` on peer reactors (index > 0 of a
+    /// multi-reactor server), which only receive handed-off connections.
+    listener: Option<NetListener>,
+    /// This reactor's index (0 = the acceptor).
+    reactor_id: usize,
+    /// Hand-off ring of every reactor's shared state, in reactor-index
+    /// order, including this reactor's own. Non-empty only on the acceptor
+    /// of a multi-reactor server.
+    peers: Vec<Arc<ReactorShared>>,
+    /// Round-robin cursor into `peers`.
+    rr_next: usize,
+    /// `qsync_transport_reactor_conns{reactor="<id>"}`.
+    reactor_conns: Arc<qsync_obs::Gauge>,
     conns: HashMap<usize, Conn>,
     next_key: usize,
     config: TransportConfig,
@@ -442,8 +498,29 @@ impl Reactor {
         listener.set_nonblocking(true)?;
         Self::with_backend(
             core,
-            NetListener::Tcp(listener),
+            Some(NetListener::Tcp(listener)),
             NetPoller::Tcp(Poller::new()?),
+            0,
+            shutdown,
+            config,
+            clock,
+        )
+    }
+
+    /// A listenerless peer reactor (TCP backend): serves only connections
+    /// the acceptor hands off.
+    fn new_peer(
+        core: Arc<ServeCore>,
+        reactor_id: usize,
+        shutdown: ShutdownSignal,
+        config: TransportConfig,
+        clock: Arc<dyn Clock>,
+    ) -> io::Result<Reactor> {
+        Self::with_backend(
+            core,
+            None,
+            NetPoller::Tcp(Poller::new()?),
+            reactor_id,
             shutdown,
             config,
             clock,
@@ -461,29 +538,56 @@ impl Reactor {
     ) -> io::Result<Reactor> {
         Self::with_backend(
             core,
-            NetListener::Sim(Arc::clone(&net)),
+            Some(NetListener::Sim(Arc::clone(&net))),
             NetPoller::Sim(net),
+            0,
             shutdown,
             config,
             clock,
         )
     }
 
-    fn with_backend(
+    /// A listenerless peer reactor over its own [`SimNet`] — the simulated
+    /// twin of [`new_peer`](Self::new_peer); `net` carries only this
+    /// reactor's registered connections, never an accept backlog.
+    pub(crate) fn new_sim_peer(
         core: Arc<ServeCore>,
-        listener: NetListener,
-        poller: NetPoller,
+        reactor_id: usize,
+        net: Arc<SimNet>,
         shutdown: ShutdownSignal,
         config: TransportConfig,
         clock: Arc<dyn Clock>,
     ) -> io::Result<Reactor> {
-        let shared = Arc::new(ReactorShared { poller, dirty: Mutex::new(Vec::new()) });
+        Self::with_backend(core, None, NetPoller::Sim(net), reactor_id, shutdown, config, clock)
+    }
+
+    fn with_backend(
+        core: Arc<ServeCore>,
+        listener: Option<NetListener>,
+        poller: NetPoller,
+        reactor_id: usize,
+        shutdown: ShutdownSignal,
+        config: TransportConfig,
+        clock: Arc<dyn Clock>,
+    ) -> io::Result<Reactor> {
+        let shared = Arc::new(ReactorShared {
+            poller,
+            dirty: Mutex::new(Vec::new()),
+            inbound: Mutex::new(Vec::new()),
+        });
         shutdown.attach(&shared);
-        shared.poller.add_listener(&listener, LISTENER_KEY, Interest::READ)?;
+        if let Some(listener) = &listener {
+            shared.poller.add_listener(listener, LISTENER_KEY, Interest::READ)?;
+        }
+        let reactor_conns = core.obs().reactor_conns(reactor_id);
         Ok(Reactor {
             core,
             shared,
             listener,
+            reactor_id,
+            peers: Vec::new(),
+            rr_next: 0,
+            reactor_conns,
             conns: HashMap::new(),
             next_key: LISTENER_KEY + 1,
             config,
@@ -492,6 +596,18 @@ impl Reactor {
             accept_paused_until: None,
             drain_deadline: None,
         })
+    }
+
+    /// This reactor's shared state (for the acceptor's hand-off ring).
+    pub(crate) fn shared(&self) -> Arc<ReactorShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Install the hand-off ring on the acceptor: every reactor's shared
+    /// state in reactor-index order (including the acceptor's own, so the
+    /// round robin covers it too).
+    pub(crate) fn set_peers(&mut self, peers: Vec<Arc<ReactorShared>>) {
+        self.peers = peers;
     }
 
     fn run(&mut self) -> io::Result<()> {
@@ -507,6 +623,7 @@ impl Reactor {
             if self.shutdown.is_shutdown() {
                 break;
             }
+            self.drain_inbound();
             self.maybe_resume_accepts();
             let ready = std::mem::take(&mut events);
             self.process_events(&ready);
@@ -520,7 +637,7 @@ impl Reactor {
     /// Handle one batch of readiness events.
     fn process_events(&mut self, events: &[Event]) {
         for event in events {
-            if event.key == LISTENER_KEY {
+            if event.key == LISTENER_KEY && self.listener.is_some() {
                 self.accept_ready();
             } else {
                 if event.readable {
@@ -536,6 +653,7 @@ impl Reactor {
     /// was ready — the sim driver loops this against the core's job pump
     /// until the whole system is quiescent.
     pub(crate) fn poll_step(&mut self) -> io::Result<bool> {
+        let had_inbound = self.drain_inbound();
         let mut events: Vec<Event> = Vec::new();
         self.shared.poller.wait(&mut events, Some(Duration::ZERO))?;
         self.maybe_resume_accepts();
@@ -543,15 +661,47 @@ impl Reactor {
         self.process_events(&events);
         let had_dirty = self.flush_dirty();
         self.reap();
-        Ok(had_events || had_dirty)
+        Ok(had_inbound || had_events || had_dirty)
+    }
+
+    /// Register every stream the acceptor handed off since the last pass.
+    /// Returns whether any arrived.
+    fn drain_inbound(&mut self) -> bool {
+        let inbound =
+            std::mem::take(&mut *self.shared.inbound.lock().expect("inbound queue poisoned"));
+        let any = !inbound.is_empty();
+        for stream in inbound {
+            if let Err(e) = self.register(stream) {
+                eprintln!(
+                    "qsync-serve: reactor {}: failed to register handed-off connection: {e}",
+                    self.reactor_id
+                );
+            }
+        }
+        any
     }
 
     /// Drain the accept backlog (level-triggered: one event may cover many
-    /// queued connections).
+    /// queued connections). On a multi-reactor server the accepted stream is
+    /// handed off round-robin across the reactor ring (which includes this
+    /// reactor).
     fn accept_ready(&mut self) {
         loop {
-            match self.listener.accept() {
+            let accepted = match &self.listener {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
                 Ok(stream) => {
+                    if self.peers.len() > 1 {
+                        let target = self.rr_next % self.peers.len();
+                        self.rr_next = self.rr_next.wrapping_add(1);
+                        if !Arc::ptr_eq(&self.peers[target], &self.shared) {
+                            self.core.obs().reactor_handoffs.inc();
+                            self.peers[target].hand_off(stream);
+                            continue;
+                        }
+                    }
                     if let Err(e) = self.register(stream) {
                         eprintln!("qsync-serve: failed to register connection: {e}");
                     }
@@ -568,10 +718,10 @@ impl Reactor {
                     self.core.obs().accept_pauses.inc();
                     self.core.obs().accept_paused.set(1);
                     eprintln!("qsync-serve: accept error: {e}; pausing accepts briefly");
-                    let _ = self
-                        .shared
-                        .poller
-                        .modify_listener(&self.listener, LISTENER_KEY, Interest::NONE);
+                    if let Some(listener) = &self.listener {
+                        let _ =
+                            self.shared.poller.modify_listener(listener, LISTENER_KEY, Interest::NONE);
+                    }
                     let backoff = self.config.accept_backoff.as_millis() as u64;
                     self.accept_paused_until = Some(self.clock.now_ms() + backoff);
                     break;
@@ -582,13 +732,11 @@ impl Reactor {
 
     /// Re-arm the listener once an accept backoff expires.
     fn maybe_resume_accepts(&mut self) {
-        if self.accept_paused_until.is_some_and(|until| self.clock.now_ms() >= until)
-            && self
-                .shared
-                .poller
-                .modify_listener(&self.listener, LISTENER_KEY, Interest::READ)
-                .is_ok()
-        {
+        if self.accept_paused_until.is_none_or(|until| self.clock.now_ms() < until) {
+            return;
+        }
+        let Some(listener) = &self.listener else { return };
+        if self.shared.poller.modify_listener(listener, LISTENER_KEY, Interest::READ).is_ok() {
             self.accept_paused_until = None;
             self.core.obs().accept_paused.set(0);
         }
@@ -607,6 +755,7 @@ impl Reactor {
         self.shared.poller.add_stream(&stream, key, Interest::READ)?;
         self.core.obs().accepts.inc();
         self.core.obs().conns_open.add(1);
+        self.reactor_conns.add(1);
         self.conns.insert(
             key,
             Conn {
@@ -801,6 +950,7 @@ impl Reactor {
         if let Some(conn) = self.conns.remove(&key) {
             conn.outbox.close();
             self.core.obs().conns_open.add(-1);
+            self.reactor_conns.add(-1);
             let _ = self.shared.poller.delete_stream(&conn.stream, key);
             // A broken connection may still have plans queued; nobody can
             // receive them, so free the scheduler slots (and end any event
@@ -813,7 +963,12 @@ impl Reactor {
     /// commands), flush what is already writable, and arm the drain
     /// deadline. Returns that deadline in clock milliseconds.
     pub(crate) fn begin_drain(&mut self) -> u64 {
-        let _ = self.shared.poller.delete_listener(&self.listener);
+        if let Some(listener) = &self.listener {
+            let _ = self.shared.poller.delete_listener(listener);
+        }
+        // Handed-off streams that never got registered are simply dropped
+        // (which closes them): they carry no pending replies.
+        self.shared.inbound.lock().expect("inbound queue poisoned").clear();
         let mut keys: Vec<usize> = self.conns.keys().copied().collect();
         keys.sort_unstable();
         for key in &keys {
@@ -879,30 +1034,69 @@ impl PlanServer {
     }
 
     /// Serve an already-bound listener until `shutdown` fires (the testable
-    /// entry point behind [`serve_tcp`](Self::serve_tcp)). On shutdown the
-    /// reactor stops accepting, drains outstanding replies within the
-    /// transport's `drain_timeout`, stops the shared core and returns.
+    /// entry point behind [`serve_tcp`](Self::serve_tcp)). With
+    /// `TransportConfig::reactors` > 1, reactor 0 (this thread) owns the
+    /// listener and hands accepted connections off round-robin to peer
+    /// reactor threads; all reactors share one `ServeCore`. On shutdown
+    /// every reactor stops, drains its own connections within the
+    /// transport's `drain_timeout`, then the shared core stops.
     pub fn serve_listener(
         &self,
         listener: TcpListener,
         shutdown: ShutdownSignal,
     ) -> io::Result<()> {
+        let config = self.transport_config().clone();
         let handle = ServeCore::start(
             Arc::clone(self.engine()),
             self.workers(),
             self.sched_config().clone(),
-            self.transport_config().event_outbox_cap,
+            config.event_outbox_cap,
             self.clock(),
         );
+        handle.core.set_rate_limit(config.rate_limit);
         self.attach_store(&handle.core);
-        let result = Reactor::new(
-            Arc::clone(&handle.core),
-            listener,
-            shutdown,
-            self.transport_config().clone(),
-            self.clock(),
-        )
-        .and_then(|mut reactor| reactor.run());
+        let n_reactors = config.reactors.max(1);
+        let result = (|| -> io::Result<()> {
+            let mut acceptor = Reactor::new(
+                Arc::clone(&handle.core),
+                listener,
+                shutdown.clone(),
+                config.clone(),
+                self.clock(),
+            )?;
+            let mut peers: Vec<Reactor> = (1..n_reactors)
+                .map(|id| {
+                    Reactor::new_peer(
+                        Arc::clone(&handle.core),
+                        id,
+                        shutdown.clone(),
+                        config.clone(),
+                        self.clock(),
+                    )
+                })
+                .collect::<io::Result<_>>()?;
+            let mut ring = vec![acceptor.shared()];
+            ring.extend(peers.iter().map(|r| r.shared()));
+            acceptor.set_peers(ring);
+            std::thread::scope(|scope| {
+                let joins: Vec<_> = peers
+                    .iter_mut()
+                    .map(|reactor| scope.spawn(move || reactor.run()))
+                    .collect();
+                let accept_result = acceptor.run();
+                // The acceptor only returns once shutdown fired (or on a
+                // poller error, in which case take the server down with it).
+                shutdown.shutdown();
+                let mut result = accept_result;
+                for join in joins {
+                    let peer_result = join.join().expect("reactor thread panicked");
+                    if result.is_ok() {
+                        result = peer_result;
+                    }
+                }
+                result
+            })
+        })();
         handle.stop();
         result
     }

@@ -14,8 +14,8 @@ use proptest::prelude::*;
 
 use qsync_cluster::topology::ClusterSpec;
 use qsync_serve::{
-    ModelSpec, PlanEngine, PlanRequest, PlanServer, Priority, ServerCommand, ServerReply,
-    TransportConfig,
+    ErrorCode, ModelSpec, PlanEngine, PlanRequest, PlanServer, Priority, RateLimitConfig,
+    ServerCommand, ServerReply, TokenBucketConfig, TransportConfig,
 };
 
 mod common;
@@ -39,6 +39,39 @@ fn server_addr() -> SocketAddr {
         engine.plan(&valid_request(0)).expect("pre-warm");
         let transport =
             TransportConfig { max_line_bytes: 64 * 1024, ..TransportConfig::default() };
+        let server = common::TestServer::spawn(
+            PlanServer::with_engine(engine, 2).with_transport(transport),
+        );
+        let addr = server.addr;
+        std::mem::forget(server);
+        addr
+    })
+}
+
+/// Per-connection burst of the rate-limited fuzz target (see
+/// [`limited_server_addr`]): small enough that every flood case overflows it.
+const LIMITED_BURST: u64 = 4;
+
+/// A second shared fuzz target with overload protection on: two reactors
+/// (accepted connections are handed off round-robin) and a tight
+/// per-connection token bucket with a 1/s refill — slow enough that a flood
+/// case sees at most one refill even on a sluggish runner. Kept separate
+/// from [`server_addr`] so sheds never perturb the other cases' reply
+/// counting (their probes must never be rate-limited).
+fn limited_server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let engine = PlanEngine::shared();
+        engine.plan(&valid_request(0)).expect("pre-warm");
+        let transport = TransportConfig {
+            max_line_bytes: 64 * 1024,
+            reactors: 2,
+            rate_limit: RateLimitConfig {
+                per_conn: Some(TokenBucketConfig { rate_per_sec: 1, burst: LIMITED_BURST }),
+                per_client: None,
+            },
+            ..TransportConfig::default()
+        };
         let server = common::TestServer::spawn(
             PlanServer::with_engine(engine, 2).with_transport(transport),
         );
@@ -238,6 +271,104 @@ proptest! {
         // One reply per non-blank line, plus the probe's own reply.
         let earlier = probe_alive(&mut client);
         prop_assert_eq!(earlier.len(), sent);
+    }
+
+    /// Floods against the rate-limited multi-reactor server: every flood
+    /// member draws exactly one reply — a plan when admitted, one structured
+    /// `rate_limited` fault (enveloped) or its legacy v0 `Error` rendering
+    /// (bare lines) when shed. No member is swallowed, none answered twice,
+    /// and the shed count matches the bucket arithmetic.
+    #[test]
+    fn floods_shed_exactly_one_structured_error_per_member(
+        extra in 1usize..16,
+        enveloped in any::<bool>(),
+    ) {
+        let mut client = Client::connect(limited_server_addr());
+        let n = LIMITED_BURST as usize + extra;
+        let ids: Vec<u64> = (0..n).map(|_| probe_id()).collect();
+        for &id in &ids {
+            let command = ServerCommand::Plan(valid_request(id));
+            if enveloped {
+                client.send_enveloped(&command);
+            } else {
+                client.send(&command);
+            }
+        }
+        let mut answered: Vec<u64> = Vec::new();
+        let mut shed = 0usize;
+        for _ in 0..n {
+            match client.recv() {
+                ServerReply::Plan(p) => answered.push(p.id),
+                ServerReply::Fault(error) => {
+                    prop_assert!(enveloped, "bare lines draw the legacy error shape");
+                    prop_assert_eq!(error.code, ErrorCode::RateLimited);
+                    answered.push(error.id.expect("shed fault echoes the id"));
+                    shed += 1;
+                }
+                ServerReply::Error { id, message } => {
+                    prop_assert!(!enveloped, "enveloped commands draw structured faults");
+                    prop_assert!(
+                        message.contains("rate limit"),
+                        "legacy shed must still explain itself: {message:?}"
+                    );
+                    answered.push(id.expect("shed error echoes the id"));
+                    shed += 1;
+                }
+                other => panic!("unexpected reply to a flood member: {other:?}"),
+            }
+        }
+        answered.sort_unstable();
+        let mut expected = ids.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(answered, expected, "every member answered exactly once");
+        // Fresh bucket of LIMITED_BURST, 1/s refill: at most one refill can
+        // land mid-flood, so at least `extra - 1` members must have shed.
+        prop_assert!(
+            shed >= extra.saturating_sub(1),
+            "flood of {n} against burst {LIMITED_BURST} shed only {shed}"
+        );
+    }
+
+    /// A flood on one connection of the rate-limited multi-reactor server
+    /// must not leak replies into a well-behaved connection on the other
+    /// reactor: the quiet connection gets exactly its own plan, the flooder
+    /// gets exactly its own mix of plans and sheds, framing intact on both.
+    #[test]
+    fn flood_replies_never_leak_across_reactors(split in 1usize..40) {
+        let mut quiet = Client::connect(limited_server_addr());
+        let mut flooder = Client::connect(limited_server_addr());
+        let quiet_id = probe_id();
+        let flood_ids: Vec<u64> =
+            (0..LIMITED_BURST as usize + 8).map(|_| probe_id()).collect();
+        for &id in &flood_ids {
+            flooder.send(&ServerCommand::Plan(valid_request(id)));
+        }
+        // The quiet connection's single request arrives split at arbitrary
+        // byte boundaries while the flood is in flight.
+        let line = format!("{}\n", valid_plan_line(quiet_id));
+        let bytes = line.as_bytes();
+        for piece in bytes.chunks(split.min(bytes.len())) {
+            quiet.send_bytes(piece).expect("split write");
+        }
+        match quiet.recv() {
+            ServerReply::Plan(p) => prop_assert_eq!(p.id, quiet_id, "split plan routed intact"),
+            other => panic!("the quiet connection's only send must be admitted, got {other:?}"),
+        }
+        let mut answered: Vec<u64> = Vec::new();
+        for _ in 0..flood_ids.len() {
+            match flooder.recv() {
+                ServerReply::Plan(p) => {
+                    prop_assert!(p.id != quiet_id, "flooder saw the quiet conn's reply");
+                    answered.push(p.id);
+                }
+                ServerReply::Error { id, .. } => answered.push(id.expect("shed echoes the id")),
+                other => panic!("unexpected reply on the flooder: {other:?}"),
+            }
+        }
+        answered.sort_unstable();
+        let mut expected = flood_ids.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(answered, expected);
     }
 
     /// A valid command split at arbitrary byte boundaries (exercising the
