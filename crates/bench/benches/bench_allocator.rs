@@ -98,6 +98,62 @@ fn mean_ns(c: &Criterion, id: &str) -> f64 {
         .unwrap_or(f64::NAN)
 }
 
+/// Wall-clock a full cold allocation with the qsync-pool pinned to an
+/// explicit size (median of `samples` runs, microseconds). The work is the
+/// same at every size — the deterministic reduction contract fixes the
+/// chunk layout — so the sweep isolates the pool's scaling.
+fn cold_allocate_us(sys: &QSyncSystem, threads: usize, samples: usize) -> f64 {
+    qsync_pool::Pool::with_threads(threads).install(|| {
+        let mut runs: Vec<f64> = (0..samples)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                let (plan, _) = Allocator::new(sys).allocate(&sys.indicator());
+                std::hint::black_box(plan);
+                start.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        runs.sort_by(f64::total_cmp);
+        runs[runs.len() / 2]
+    })
+}
+
+/// The 1/2/4-thread cold-plan section for the summary: per-point medians,
+/// speedups over the 1-thread pool, and the `contended` flag CI keys its
+/// scaling gate on (threads beyond the available cores measure scheduler
+/// noise, not the pool).
+fn pool_section() -> serde_json::Value {
+    let sys = setup::small_system("vgg16bn", ClusterSpec::cluster_a(2, 2), 1);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let samples = if smoke() { 3 } else { 9 };
+    let points: Vec<(usize, f64)> =
+        [1usize, 2, 4].iter().map(|&t| (t, cold_allocate_us(&sys, t, samples))).collect();
+    let us_at = |threads: usize| {
+        points.iter().find(|(t, _)| *t == threads).map(|&(_, us)| us).unwrap_or(f64::NAN)
+    };
+    for &(threads, us) in &points {
+        eprintln!(
+            "cold_allocate/{threads}t: {us:.0} us (contended: {})",
+            threads > cores
+        );
+    }
+    serde_json::json!({
+        "available_cores": cores,
+        "samples": samples,
+        "cold_allocate_us": {
+            "threads_1": us_at(1),
+            "threads_2": us_at(2),
+            "threads_4": us_at(4),
+        },
+        "speedup_2_over_1": us_at(1) / us_at(2),
+        "speedup_4_over_1": us_at(1) / us_at(4),
+        "points": points.iter().map(|&(threads, us)| serde_json::json!({
+            "threads": threads,
+            "us": us,
+            "contended": threads > cores,
+        })).collect::<Vec<_>>(),
+    })
+}
+
 fn write_summary(criterion: &Criterion) {
     let full = mean_ns(criterion, "candidate_eval_full");
     let incremental = mean_ns(criterion, "candidate_eval_incremental");
@@ -114,6 +170,11 @@ fn write_summary(criterion: &Criterion) {
         "allocate_us": allocate / 1e3,
         "allocate_reference_us": reference / 1e3,
         "allocate_speedup": reference / allocate,
+        // Cold allocation with the compute pool pinned to 1/2/4 threads:
+        // the brute-force initial pass fans its combination scan out to the
+        // pool, so an uncontended multi-thread point must not lose to the
+        // 1-thread pool (CI gates on `speedup_2_over_1` unless contended).
+        "pool": pool_section(),
     });
     let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
     println!("{text}");

@@ -449,6 +449,59 @@ fn mean_ns(c: &Criterion, id: &str) -> f64 {
         .unwrap_or(f64::NAN)
 }
 
+/// Kernel scaling on the compute pool: one f32 gemm (the shape every plan's
+/// latency model is calibrated against) timed with the qsync-pool pinned to
+/// 1/2/4 threads. The facade's deterministic chunking makes the work
+/// identical at every size, so the section measures pool scaling alone;
+/// points with more threads than cores carry the `contended` flag and CI
+/// skips its scaling gate on them.
+fn kernel_pool_section() -> serde_json::Value {
+    use qsync_lp_kernels::gemm::{gemm_f32, TileConfig};
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (m, k, n) = if smoke() { (128, 96, 128) } else { (384, 256, 384) };
+    let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.017).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.023).collect();
+    let tile = TileConfig::fallback();
+    let samples = if smoke() { 3 } else { 9 };
+    let gemm_us_at = |threads: usize| {
+        qsync_pool::Pool::with_threads(threads).install(|| {
+            let mut runs: Vec<f64> = (0..samples)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(gemm_f32(&a, &b, m, k, n, &tile));
+                    start.elapsed().as_secs_f64() * 1e6
+                })
+                .collect();
+            runs.sort_by(f64::total_cmp);
+            runs[runs.len() / 2]
+        })
+    };
+    let points: Vec<(usize, f64)> = [1usize, 2, 4].iter().map(|&t| (t, gemm_us_at(t))).collect();
+    let us_at = |threads: usize| {
+        points.iter().find(|(t, _)| *t == threads).map(|&(_, us)| us).unwrap_or(f64::NAN)
+    };
+    for &(threads, us) in &points {
+        eprintln!("gemm_f32[{m}x{k}x{n}]/{threads}t: {us:.0} us (contended: {})", threads > cores);
+    }
+    serde_json::json!({
+        "kernel": format!("gemm_f32 {m}x{k}x{n}"),
+        "available_cores": cores,
+        "samples": samples,
+        "gemm_us": {
+            "threads_1": us_at(1),
+            "threads_2": us_at(2),
+            "threads_4": us_at(4),
+        },
+        "speedup_2_over_1": us_at(1) / us_at(2),
+        "speedup_4_over_1": us_at(1) / us_at(4),
+        "points": points.iter().map(|&(threads, us)| serde_json::json!({
+            "threads": threads,
+            "us": us,
+            "contended": threads > cores,
+        })).collect::<Vec<_>>(),
+    })
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     bench_plan_server(&mut criterion);
@@ -617,6 +670,10 @@ fn main() {
         // admin-port scrape reports), plus the validated exposition size.
         "latency_histograms": latency_histograms,
         "exposition_samples": exposition_samples,
+        // The gemm kernel timed with the compute pool pinned to 1/2/4
+        // threads (the facade's chunking is size-invariant, so this is pool
+        // scaling alone); CI gates multi ≥ 1-thread on uncontended points.
+        "kernel_pool": kernel_pool_section(),
         // Cache-hit throughput with instruments recording vs compiled down
         // to a branch; the enforcing guard is obs_overhead.rs in qsync-serve.
         "obs_overhead": {

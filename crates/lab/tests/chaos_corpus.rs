@@ -442,3 +442,21 @@ fn fresh_seed() {
     let transcript = run_plan(&plan);
     check_all(&transcript).assert_ok(&transcript);
 }
+
+#[test]
+fn chaos_replay_keeps_the_compute_pool_sequential() {
+    // Determinism guard for the whole harness: a `SimServer` pins the
+    // qsync-pool to inline execution, and the process-global pool is lazy,
+    // so replaying chaos scripts must never spawn a pool worker thread —
+    // plan math fanning out to free-running threads would let scheduling
+    // noise into a transcript that has to be a pure function of its script.
+    for seed in [11u64, 26, 54] {
+        let plan = FaultPlan::generate(seed);
+        let transcript = run_plan(&plan);
+        check_all(&transcript).assert_ok(&transcript);
+    }
+    assert!(
+        !qsync_pool::global_spawned(),
+        "the global compute pool spawned workers during a deterministic sim replay"
+    );
+}

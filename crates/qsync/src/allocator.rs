@@ -23,6 +23,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
@@ -185,7 +186,7 @@ impl<'a> Allocator<'a> {
                     instance.iter().map(|id| instance_bytes(dag, *id, lowest)).sum();
                 let budget = (slack as u128 * inst_lowest as u128 / total_lowest_bytes as u128) as u64;
                 let best = brute_force_instance(
-                    &mut eval,
+                    &eval,
                     rank,
                     instance,
                     &candidates,
@@ -478,8 +479,46 @@ fn clamp_warm(
 /// stops and the best combination found so far is returned (the caller
 /// commits it — the checkpoint). `report` accumulates the spend.
 #[allow(clippy::too_many_arguments)]
+/// Combinations per parallel work chunk, floor. A function of nothing but
+/// this constant and the scored-set length (see `qsync_pool::chunk_plan`), so
+/// the chunk layout — and therefore the reduction order — is identical at
+/// every pool size.
+const MIN_COMBOS_PER_CHUNK: usize = 16;
+
+/// Decode combination `combo_idx` into base-`n_candidates` digits (one digit
+/// = one instance node's candidate index).
+fn decode_combo(combo_idx: usize, n_candidates: usize, digits: &mut [usize]) {
+    let mut idx = combo_idx;
+    for digit in digits.iter_mut() {
+        *digit = idx % n_candidates;
+        idx /= n_candidates;
+    }
+}
+
+/// Brute-force scan of one repeated-subgraph instance, parallelized on the
+/// qsync-pool with a byte-identical contract at every pool size.
+///
+/// The scan runs in two phases:
+///
+/// 1. **Plan (sequential, cheap).** Enumerate combinations in index order
+///    and apply the memory-feasibility check (`extra > budget`, pure
+///    arithmetic over the byte tables) and the cooperative `evals_left`
+///    budget. Budget is only spent on feasible combinations, so the set of
+///    *scored* combinations is exactly the first `min(budget, feasible)`
+///    feasible indices — computable without touching the evaluator. This is
+///    where `--plan-budget-evals` preemption is decided, which keeps the
+///    preemption point byte-identical to the historical sequential scan.
+/// 2. **Score (parallel).** Split the scored set into index-ordered chunks
+///    (`chunk_plan`, length-only). Each chunk clones the committed evaluator
+///    and scores its combinations with the same stage/cost/rollback cycle
+///    the sequential scan used; per-combination costs depend only on the
+///    committed state, never on scan order. Chunk argmins (strict `<`, so
+///    the earliest index wins ties) are combined in chunk order, which
+///    reproduces the sequential "first fastest combination wins" answer
+///    exactly — at 1 thread, 8 threads, or under `pin_sequential`.
+#[allow(clippy::too_many_arguments)]
 fn brute_force_instance(
-    eval: &mut DeltaEvaluator<'_>,
+    eval: &DeltaEvaluator<'_>,
     rank: usize,
     instance: &[NodeId],
     candidates: &[Precision],
@@ -491,7 +530,6 @@ fn brute_force_instance(
     let k = instance.len();
     let n_comb = candidates.len().pow(k as u32);
     let mut best_combo = vec![lowest; k];
-    let mut best_cost = f64::INFINITY;
     // Byte tables: bytes of each instance node at each candidate precision, and the
     // extra over the all-lowest assignment (the only quantity the budget check needs).
     let extra_bytes: Vec<Vec<u64>> = {
@@ -507,19 +545,15 @@ fn brute_force_instance(
             })
             .collect()
     };
-    let mut combo_idx_digits = vec![0usize; k];
+
+    // Phase 1: the scored set, in combination-index order.
+    let mut scored: Vec<usize> = Vec::new();
+    let mut digits = vec![0usize; k];
     for combo_idx in 0..n_comb {
-        let mut idx = combo_idx;
-        for digit in combo_idx_digits.iter_mut() {
-            *digit = idx % candidates.len();
-            idx /= candidates.len();
-        }
+        decode_combo(combo_idx, candidates.len(), &mut digits);
         // Extra memory over the all-lowest assignment, served from the byte tables.
-        let extra: u64 = combo_idx_digits
-            .iter()
-            .enumerate()
-            .map(|(node_i, &ci)| extra_bytes[node_i][ci])
-            .sum();
+        let extra: u64 =
+            digits.iter().enumerate().map(|(node_i, &ci)| extra_bytes[node_i][ci]).sum();
         if extra > budget {
             continue;
         }
@@ -531,18 +565,54 @@ fn brute_force_instance(
             *left -= 1;
         }
         report.evals += 1;
-        // Local latency of the instance under this combo (op cost + casting), answered
-        // from the evaluator's cached per-node costs.
-        eval.begin();
-        for (id, &ci) in instance.iter().zip(&combo_idx_digits) {
-            eval.stage(*id, candidates[ci]);
+        scored.push(combo_idx);
+    }
+
+    // Phase 2: score the set in parallel chunks, combine argmins in order.
+    let (chunk_size, n_chunks) = qsync_pool::chunk_plan(scored.len(), MIN_COMBOS_PER_CHUNK);
+    if n_chunks == 0 {
+        return best_combo;
+    }
+    let chunk_best: Vec<Mutex<(f64, Option<usize>)>> =
+        (0..n_chunks).map(|_| Mutex::new((f64::INFINITY, None))).collect();
+    qsync_pool::run_chunks(n_chunks, |chunk_i| {
+        let lo = chunk_i * chunk_size;
+        let hi = (lo + chunk_size).min(scored.len());
+        // Private evaluator per chunk: same committed state, so the same
+        // per-combination costs the sequential scan would compute.
+        let mut local = eval.clone();
+        let mut digits = vec![0usize; k];
+        let mut best_cost = f64::INFINITY;
+        let mut best_idx: Option<usize> = None;
+        for &combo_idx in &scored[lo..hi] {
+            decode_combo(combo_idx, candidates.len(), &mut digits);
+            // Local latency of the instance under this combo (op cost + casting),
+            // answered from the evaluator's cached per-node costs.
+            local.begin();
+            for (id, &ci) in instance.iter().zip(&digits) {
+                local.stage(*id, candidates[ci]);
+            }
+            let cost = local.instance_cost(rank, instance);
+            local.rollback();
+            if cost < best_cost {
+                best_cost = cost;
+                best_idx = Some(combo_idx);
+            }
         }
-        let cost = eval.instance_cost(rank, instance);
-        eval.rollback();
+        *chunk_best[chunk_i].lock().unwrap() = (best_cost, best_idx);
+    });
+    let mut best_cost = f64::INFINITY;
+    let mut best_idx: Option<usize> = None;
+    for slot in &chunk_best {
+        let (cost, idx) = *slot.lock().unwrap();
         if cost < best_cost {
             best_cost = cost;
-            best_combo = combo_idx_digits.iter().map(|&ci| candidates[ci]).collect();
+            best_idx = idx;
         }
+    }
+    if let Some(combo_idx) = best_idx {
+        decode_combo(combo_idx, candidates.len(), &mut digits);
+        best_combo = digits.iter().map(|&ci| candidates[ci]).collect();
     }
     best_combo
 }

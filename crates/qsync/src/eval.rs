@@ -55,7 +55,7 @@ enum Role {
 }
 
 /// Undo log of one open transaction.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Undo {
     /// `(node, previous precision)` pairs in change order
     /// ([`PrecisionDag::set_incremental_logged`]'s log).
@@ -77,7 +77,15 @@ struct Undo {
 /// contributions for the allocator's constraint rank, and cached per-node timeline
 /// costs for every inference rank. See the module docs for the evaluation strategy.
 ///
+/// `Clone` snapshots the evaluator's entire working state (precision DAG,
+/// cached per-node costs, memory tables). The parallel brute-force scan in
+/// the allocator clones the committed evaluator once per work chunk so each
+/// chunk scores combinations on private state; per-combination costs are a
+/// pure function of the committed state, so a clone scores exactly what the
+/// original would.
+///
 /// [`PrecisionPlan::from_inference_pdag`]: crate::plan::PrecisionPlan::from_inference_pdag
+#[derive(Clone)]
 pub struct DeltaEvaluator<'a> {
     sys: &'a QSyncSystem,
     /// The inference rank whose memory constraint the allocator enforces.

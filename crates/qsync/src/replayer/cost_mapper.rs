@@ -40,6 +40,11 @@ pub struct NodeCost {
 
 /// Builds timed local DFGs from a model, a precision assignment, profiled operator costs
 /// and a casting-cost calculator.
+///
+/// `Clone` is shallow (the mapper is a bundle of shared references plus two
+/// scalars), which is what lets [`DeltaEvaluator`](crate::eval::DeltaEvaluator)
+/// clone itself cheaply for the parallel brute-force scan.
+#[derive(Clone)]
 pub struct CostMapper<'a> {
     /// The model graph.
     pub dag: &'a ModelDag,

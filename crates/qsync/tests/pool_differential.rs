@@ -1,0 +1,241 @@
+//! Pool-size differential suite: everything that rides the qsync-pool must
+//! be **byte-identical at every pool size** — 1, 2, 4 and 8 threads, plus
+//! the `pin_sequential` mode the deterministic sim uses.
+//!
+//! The contract under test (see `vendor/rayon` and `qsync_pool::chunk_plan`):
+//! the chunk layout is a function of input length only, chunks are scored
+//! with the sequential code, and partials combine in chunk order. These
+//! tests pin that end to end for the three hot consumers: the brute-force
+//! initial setting (budgeted and not), warm re-planning, and the
+//! gemm/quant kernels.
+//!
+//! Pool size 1 always runs; larger sizes run when the host has ≥ 2 cores
+//! (an oversubscribed pool is still correct, but on a single-core runner
+//! the larger sizes only re-test the inline path under timing noise).
+
+use proptest::prelude::*;
+
+use qsync_cluster::topology::ClusterSpec;
+use qsync_core::allocator::{Allocator, InitialPassReport, InitialSetting};
+use qsync_core::system::{QSyncConfig, QSyncSystem};
+use qsync_graph::models::{small_cnn, small_mlp, vgg16bn};
+use qsync_graph::{ModelDag, OpKind};
+use qsync_lp_kernels::gemm::{gemm_f32, TileConfig};
+use qsync_lp_kernels::quant::minmax::{minmax_optimized, minmax_per_channel};
+use qsync_pool::Pool;
+
+/// The pool sizes the acceptance criteria name. Size 1 is the baseline.
+fn comparison_sizes() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores >= 2 {
+        vec![2, 4, 8]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Run `f` with the current pool pinned to `threads` workers.
+fn at_pool_size<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    Pool::with_threads(threads).install(f)
+}
+
+fn initial_at(
+    sys: &QSyncSystem,
+    threads: usize,
+    budget: Option<u64>,
+) -> (InitialSetting, InitialPassReport) {
+    let rank = sys.cluster.inference_ranks()[0];
+    at_pool_size(threads, || Allocator::new(sys).initial_setting_budgeted(rank, budget))
+}
+
+fn assert_identical_settings(
+    (a_setting, a_report): &(InitialSetting, InitialPassReport),
+    (b_setting, b_report): &(InitialSetting, InitialPassReport),
+    context: &str,
+) {
+    assert_eq!(a_setting.pdag, b_setting.pdag, "precision DAGs diverge: {context}");
+    assert_eq!(
+        a_setting.t_min_us.to_bits(),
+        b_setting.t_min_us.to_bits(),
+        "t_min bits diverge: {context}"
+    );
+    assert_eq!(a_report, b_report, "pass reports diverge: {context}");
+}
+
+#[test]
+fn cold_initial_setting_is_byte_identical_across_pool_sizes() {
+    for (name, dag) in [
+        ("small_mlp", small_mlp(64, 512, 1024, 16)),
+        ("small_cnn", small_cnn(4, 16, 8)),
+        ("vgg16bn", vgg16bn(2, 32)),
+    ] {
+        let sys = QSyncSystem::new(dag, ClusterSpec::hybrid_small(), QSyncConfig::default());
+        let baseline = initial_at(&sys, 1, None);
+        assert!(baseline.1.evals > 0, "{name}: the brute force must score combinations");
+        for threads in comparison_sizes() {
+            let got = initial_at(&sys, threads, None);
+            assert_identical_settings(&baseline, &got, &format!("{name} at {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn budget_preempted_checkpoints_are_byte_identical_across_pool_sizes() {
+    let sys = QSyncSystem::new(
+        vgg16bn(2, 32),
+        ClusterSpec::hybrid_small(),
+        QSyncConfig::default(),
+    );
+    let unbounded = initial_at(&sys, 1, None).1.evals;
+    assert!(unbounded > 8, "budget sweep needs a non-trivial eval count, got {unbounded}");
+    // Budgets straddling every regime: zero, mid-pass preemption (where the
+    // checkpointed best-so-far matters), exactly-exhausted, unbounded.
+    for budget in [0, 1, 2, 7, unbounded / 2, unbounded - 1, unbounded, unbounded + 1] {
+        let baseline = initial_at(&sys, 1, Some(budget));
+        assert_eq!(
+            baseline.1.preempted,
+            budget < unbounded,
+            "budget {budget} of {unbounded}: preemption flag"
+        );
+        assert_eq!(baseline.1.evals, budget.min(unbounded), "budget {budget}: evals spent");
+        for threads in comparison_sizes() {
+            let got = initial_at(&sys, threads, Some(budget));
+            assert_identical_settings(
+                &baseline,
+                &got,
+                &format!("budget {budget} at {threads} threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn full_allocation_and_warm_replan_are_byte_identical_across_pool_sizes() {
+    let dag = small_mlp(64, 512, 1024, 16);
+    let roomy = QSyncSystem::new(dag.clone(), ClusterSpec::cluster_a(1, 1), QSyncConfig::default());
+    let cold = |threads: usize| {
+        at_pool_size(threads, || {
+            let (plan, report) = Allocator::new(&roomy).allocate(&roomy.indicator());
+            (plan.to_json(), report.t_min_us.to_bits(), report.promotions_accepted)
+        })
+    };
+    let cold_baseline = cold(1);
+
+    // Warm re-plan against a shrunk cluster, the serve elasticity path.
+    let shrunk =
+        QSyncSystem::new(dag.clone(), ClusterSpec::cluster_b(1, 1, 0.3), QSyncConfig::default());
+    let cached = at_pool_size(1, || Allocator::new(&roomy).allocate(&roomy.indicator()).0);
+    let warm_dag = cached.device(roomy.cluster.inference_ranks()[0]).clone();
+    let t_min = initial_at(&shrunk, 1, None).0.t_min_us;
+    let warm = |threads: usize| {
+        at_pool_size(threads, || {
+            let (plan, report) =
+                Allocator::new(&shrunk).allocate_warm_with_tmin(&shrunk.indicator(), &warm_dag, t_min);
+            (plan.to_json(), report.warm_demotions, report.final_us.to_bits())
+        })
+    };
+    let warm_baseline = warm(1);
+
+    for threads in comparison_sizes() {
+        assert_eq!(cold(threads), cold_baseline, "cold plan diverges at {threads} threads");
+        assert_eq!(warm(threads), warm_baseline, "warm re-plan diverges at {threads} threads");
+    }
+}
+
+#[test]
+fn gemm_and_quant_kernels_are_byte_identical_across_pool_sizes() {
+    // Inputs big enough that the facade actually splits them into many
+    // chunks (the elementwise min-len floor is 1024).
+    let (m, k, n) = (96, 64, 80);
+    let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.017).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 97) as f32 - 48.0) * 0.023).collect();
+    let data: Vec<f32> = (0..64 * 1024).map(|i| ((i * 97 % 8191) as f32 - 4096.0) * 1e-3).collect();
+    let tile = TileConfig::fallback();
+
+    let run = || {
+        let c = gemm_f32(&a, &b, m, k, n, &tile);
+        let (lo, hi) = minmax_optimized(&data, 256);
+        let channels = minmax_per_channel(&data, 64);
+        let c_bits: Vec<u32> = c.iter().map(|v| v.to_bits()).collect();
+        let ch_bits: Vec<(u32, u32)> =
+            channels.iter().map(|(a, b)| (a.to_bits(), b.to_bits())).collect();
+        (c_bits, lo.to_bits(), hi.to_bits(), ch_bits)
+    };
+    let baseline = at_pool_size(1, run);
+    for threads in comparison_sizes() {
+        assert_eq!(at_pool_size(threads, run), baseline, "kernels diverge at {threads} threads");
+    }
+    // And the sim's sequential pin matches too.
+    let pinned = {
+        let _guard = qsync_pool::pin_sequential();
+        at_pool_size(4, run)
+    };
+    assert_eq!(pinned, baseline, "pin_sequential diverges from the 1-thread pool");
+}
+
+/// Random layered model for the property: same generator family as the
+/// incremental-vs-reference differential suite.
+fn random_layered_model(widths: Vec<usize>, relu: Vec<bool>, residual: Vec<bool>) -> ModelDag {
+    let batch = 4usize;
+    let mut g = ModelDag::new("random_layered", batch);
+    let mut prev = g.add_node("input", OpKind::Input, vec![], vec![batch, widths[0]], None, None);
+    let mut prev_width = widths[0];
+    let mut skip = prev;
+    for (i, &w) in widths.iter().enumerate().skip(1) {
+        let lin = g.add_node(
+            format!("fc{i}"),
+            OpKind::Linear { in_features: prev_width, out_features: w },
+            vec![prev],
+            vec![batch, w],
+            Some(vec![w, prev_width]),
+            Some(format!("block_{i}")),
+        );
+        prev = lin;
+        if relu.get(i).copied().unwrap_or(false) {
+            prev = g.add_node(format!("relu{i}"), OpKind::ReLU, vec![prev], vec![batch, w], None, None);
+        }
+        if residual.get(i).copied().unwrap_or(false) && g.node(skip).output_shape == vec![batch, w] {
+            prev = g.add_node(format!("add{i}"), OpKind::Add, vec![prev, skip], vec![batch, w], None, None);
+        }
+        skip = prev;
+        prev_width = w;
+    }
+    let _ = g.add_node("loss", OpKind::CrossEntropyLoss, vec![prev], vec![1], None, None);
+    g
+}
+
+fn model_strategy() -> impl Strategy<Value = ModelDag> {
+    (
+        prop::collection::vec(2usize..32, 2..7),
+        prop::collection::vec(any::<bool>(), 8),
+        prop::collection::vec(any::<bool>(), 8),
+    )
+        .prop_map(|(widths, relu, residual)| random_layered_model(widths, relu, residual))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Over random DAGs and random budgets, the budgeted initial setting is
+    /// byte-identical between the 1-thread pool and a multi-thread pool.
+    #[test]
+    fn random_dags_plan_identically_across_pool_sizes(
+        dag in model_strategy(),
+        budget_raw in 0u64..96,
+    ) {
+        // The top third of the raw range maps to "no budget" (exhaustive pass).
+        let budget = if budget_raw >= 64 { None } else { Some(budget_raw) };
+        let sys = QSyncSystem::new(dag, ClusterSpec::hybrid_small(), QSyncConfig::default());
+        let baseline = initial_at(&sys, 1, budget);
+        for threads in comparison_sizes() {
+            let got = initial_at(&sys, threads, budget);
+            prop_assert_eq!(&baseline.0.pdag, &got.0.pdag, "threads {}", threads);
+            prop_assert_eq!(
+                baseline.0.t_min_us.to_bits(),
+                got.0.t_min_us.to_bits(),
+                "threads {}", threads
+            );
+            prop_assert_eq!(baseline.1, got.1, "threads {}", threads);
+        }
+    }
+}

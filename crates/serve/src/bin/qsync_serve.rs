@@ -8,7 +8,8 @@
 //!                   [--drr-quantum N] [--shed-expired true|false] [--age-limit-ms N]
 //!                   [--delta-window-ms N] [--plan-budget-evals N]
 //!                   [--event-outbox-cap BYTES] [--accept-backoff-ms N]
-//!                   [--reactors N] [--rate-limit-conn RATE[,BURST]] [--rate-limit-client RATE[,BURST]]
+//!                   [--reactors N] [--handoff least-loaded|round-robin]
+//!                   [--rate-limit-conn RATE[,BURST]] [--rate-limit-client RATE[,BURST]]
 //!                   [--store PATH] [--snapshot-interval-ms N] [--follow ADDR]
 //!     Serve protocol lines (legacy v0 objects or v1 envelopes; see
 //!     docs/PROTOCOL.md): from stdin (default) or a TCP socket. Plan
@@ -26,7 +27,8 @@
 //!     resource-exhaustion accept error (EMFILE and friends).
 //!     --reactors shards the TCP transport across N epoll reactor threads
 //!     (default: the available cores); reactor 0 accepts and hands
-//!     connections off round-robin, all sharing one core (see the
+//!     connections off per --handoff — to the least-loaded reactor by
+//!     default, or dealt round-robin — all sharing one core (see the
 //!     "Transport" section of the README). --rate-limit-conn and
 //!     --rate-limit-client arm token-bucket overload protection
 //!     (commands/second, with an optional burst defaulting to the rate);
@@ -261,6 +263,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         }
         None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
     };
+    if let Some(policy) = flags.get("handoff") {
+        transport.handoff = policy.parse().map_err(|e| format!("bad --handoff: {e}"))?;
+    }
     if let Some(value) = flags.get("rate-limit-conn") {
         transport.rate_limit.per_conn = Some(parse_token_bucket("rate-limit-conn", value)?);
     }

@@ -111,4 +111,4 @@ pub use qsync_sched::{Priority, SchedConfig, SchedPolicy, SchedStats};
 pub use request::{IndicatorChoice, PlanOutcome, PlanRequest, PlanResponse};
 pub use server::{PlanServer, RateLimitConfig, TokenBucketConfig};
 pub use sim::{SimConfig, SimConn, SimOp, SimServer};
-pub use transport::{ShutdownSignal, TransportConfig};
+pub use transport::{HandoffPolicy, ShutdownSignal, TransportConfig};

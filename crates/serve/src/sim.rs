@@ -337,6 +337,10 @@ pub struct SimServer {
     /// All reactors, index order; 0 is the acceptor. `step` drives them in
     /// this fixed order, so multi-reactor runs stay deterministic.
     reactors: Vec<Reactor>,
+    /// Pins the qsync-pool to inline execution for this server's lifetime:
+    /// a simulated run must be a pure function of its script, so plan math
+    /// may not fan out to free-running worker threads.
+    _pool_guard: qsync_pool::SequentialGuard,
 }
 
 impl SimServer {
@@ -389,7 +393,7 @@ impl SimServer {
         }
         let ring: Vec<_> = reactors.iter().map(|r| r.shared()).collect();
         reactors[0].set_peers(ring);
-        SimServer { clock, engine, core, net, reactors }
+        SimServer { clock, engine, core, net, reactors, _pool_guard: qsync_pool::pin_sequential() }
     }
 
     /// The virtual clock. Advancing it directly does **not** run the server;

@@ -126,9 +126,13 @@ pub struct TransportConfig {
     pub accept_backoff: Duration,
     /// Number of reactor threads the transport shards connections across
     /// (min 1). Reactor 0 owns the listener and hands accepted connections
-    /// off round-robin; all reactors share one `ServeCore`. The
-    /// `qsync-serve` binary defaults `--reactors` to the available cores.
+    /// off per [`handoff`](TransportConfig::handoff); all reactors share one
+    /// `ServeCore`. The `qsync-serve` binary defaults `--reactors` to the
+    /// available cores.
     pub reactors: usize,
+    /// How the acceptor picks the reactor an accepted connection is handed
+    /// to. Configurable via `--handoff` on the `qsync-serve` binary.
+    pub handoff: HandoffPolicy,
     /// Token-bucket overload protection, enforced per command at admission
     /// (see [`RateLimitConfig`](crate::server::RateLimitConfig)). Default:
     /// no limits.
@@ -144,7 +148,37 @@ impl Default for TransportConfig {
             event_outbox_cap: 4 << 20,
             accept_backoff: Duration::from_millis(250),
             reactors: 1,
+            handoff: HandoffPolicy::default(),
             rate_limit: crate::server::RateLimitConfig::default(),
+        }
+    }
+}
+
+/// Acceptor-to-reactor connection placement (multi-reactor servers; a
+/// single-reactor server keeps every connection regardless).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum HandoffPolicy {
+    /// Hand each accepted connection to the reactor currently carrying the
+    /// fewest connections — registered (its `reactor_conns` gauge) plus
+    /// still queued in its inbound hand-off buffer — lowest index on ties.
+    /// From an empty ring this deals like round-robin, but after churn
+    /// (long-lived connections piling onto some reactors while others
+    /// drain) new connections refill the emptiest reactor first.
+    #[default]
+    LeastLoaded,
+    /// Deal connections across the ring in strict index order, ignoring
+    /// load. Deterministic placement, useful as a baseline.
+    RoundRobin,
+}
+
+impl std::str::FromStr for HandoffPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "least-loaded" => Ok(HandoffPolicy::LeastLoaded),
+            "round-robin" => Ok(HandoffPolicy::RoundRobin),
+            other => Err(format!("unknown handoff policy `{other}` (expected `least-loaded` or `round-robin`)")),
         }
     }
 }
@@ -470,6 +504,10 @@ pub(crate) struct Reactor {
     /// order, including this reactor's own. Non-empty only on the acceptor
     /// of a multi-reactor server.
     peers: Vec<Arc<ReactorShared>>,
+    /// `qsync_transport_reactor_conns{reactor="<i>"}` for each ring slot:
+    /// the load signal the least-loaded hand-off reads. Resolved once in
+    /// [`set_peers`](Self::set_peers); index-aligned with `peers`.
+    peer_conns: Vec<Arc<qsync_obs::Gauge>>,
     /// Round-robin cursor into `peers`.
     rr_next: usize,
     /// `qsync_transport_reactor_conns{reactor="<id>"}`.
@@ -586,6 +624,7 @@ impl Reactor {
             listener,
             reactor_id,
             peers: Vec::new(),
+            peer_conns: Vec::new(),
             rr_next: 0,
             reactor_conns,
             conns: HashMap::new(),
@@ -605,9 +644,33 @@ impl Reactor {
 
     /// Install the hand-off ring on the acceptor: every reactor's shared
     /// state in reactor-index order (including the acceptor's own, so the
-    /// round robin covers it too).
+    /// hand-off covers it too).
     pub(crate) fn set_peers(&mut self, peers: Vec<Arc<ReactorShared>>) {
+        self.peer_conns = (0..peers.len()).map(|i| self.core.obs().reactor_conns(i)).collect();
         self.peers = peers;
+    }
+
+    /// The ring slot the next accepted connection goes to, per the
+    /// configured [`HandoffPolicy`].
+    fn pick_handoff_target(&mut self) -> usize {
+        match self.config.handoff {
+            HandoffPolicy::RoundRobin => {
+                let target = self.rr_next % self.peers.len();
+                self.rr_next = self.rr_next.wrapping_add(1);
+                target
+            }
+            HandoffPolicy::LeastLoaded => {
+                // A peer's load is what it carries plus what it has been
+                // handed but not yet registered (the inbound queue drains
+                // only on that reactor's next poll pass — without counting
+                // it, a burst of accepts would all land on the same peer).
+                let load = |i: usize| {
+                    self.peer_conns[i].get().max(0) as usize
+                        + self.peers[i].inbound.lock().expect("inbound queue poisoned").len()
+                };
+                (0..self.peers.len()).min_by_key(|&i| load(i)).unwrap_or(0)
+            }
+        }
     }
 
     fn run(&mut self) -> io::Result<()> {
@@ -683,8 +746,8 @@ impl Reactor {
 
     /// Drain the accept backlog (level-triggered: one event may cover many
     /// queued connections). On a multi-reactor server the accepted stream is
-    /// handed off round-robin across the reactor ring (which includes this
-    /// reactor).
+    /// handed off across the reactor ring (which includes this reactor) per
+    /// the configured [`HandoffPolicy`] — least-loaded by default.
     fn accept_ready(&mut self) {
         loop {
             let accepted = match &self.listener {
@@ -694,8 +757,7 @@ impl Reactor {
             match accepted {
                 Ok(stream) => {
                     if self.peers.len() > 1 {
-                        let target = self.rr_next % self.peers.len();
-                        self.rr_next = self.rr_next.wrapping_add(1);
+                        let target = self.pick_handoff_target();
                         if !Arc::ptr_eq(&self.peers[target], &self.shared) {
                             self.core.obs().reactor_handoffs.inc();
                             self.peers[target].hand_off(stream);

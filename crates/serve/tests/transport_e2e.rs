@@ -75,10 +75,11 @@ fn thousand_idle_connections_round_trip() {
     server.stop();
 }
 
-/// Multi-reactor hand-off: with N reactors, accepted connections are dealt
-/// round-robin off the acceptor, every round-trip still routes its reply to
-/// the submitting connection, and the per-reactor gauges account for every
-/// open connection — no reactor is left idle.
+/// Multi-reactor hand-off: with N reactors, accepted connections are spread
+/// off the acceptor (least-loaded by default, which deals evenly from an
+/// empty ring), every round-trip still routes its reply to the submitting
+/// connection, and the per-reactor gauges account for every open
+/// connection — no reactor is left idle.
 #[test]
 fn multi_reactor_hand_off_distributes_and_routes_replies() {
     const CONNS: usize = 60;
@@ -105,7 +106,8 @@ fn multi_reactor_hand_off_distributes_and_routes_replies() {
     }
 
     // All connections still open: the per-reactor gauges must cover every
-    // one of them, spread round-robin (the acceptor keeps every Nth).
+    // one of them, spread evenly (from an empty ring the least-loaded
+    // hand-off deals like a round robin).
     let mut probe = server.client();
     probe.send(&ServerCommand::Metrics { id: 1 });
     let ServerReply::Metrics { metrics, .. } = probe.recv() else { panic!("metrics reply") };
@@ -139,6 +141,82 @@ fn multi_reactor_hand_off_distributes_and_routes_replies() {
         "acceptor must hand off all but its own share (saw {handoffs})"
     );
 
+    drop(clients);
+    drop(probe);
+    server.stop();
+}
+
+/// Least-loaded hand-off rebalances after churn: when every connection on
+/// one reactor closes, the next accepted connections all refill that
+/// drained reactor instead of being dealt blindly across the ring (a round
+/// robin would leave it under-filled — its cursor ignores load).
+#[test]
+fn least_loaded_handoff_refills_drained_reactor_after_churn() {
+    const REACTORS: usize = 3;
+    let engine = PlanEngine::shared();
+    let cluster = ClusterSpec::hybrid_small();
+    engine.plan(&PlanRequest::new(0, mlp(), cluster.clone())).expect("pre-warm");
+    let transport = TransportConfig { reactors: REACTORS, ..TransportConfig::default() };
+    assert_eq!(transport.handoff, qsync_serve::HandoffPolicy::LeastLoaded, "default policy");
+    let server = TestServer::spawn(
+        PlanServer::with_engine(Arc::clone(&engine), 2).with_transport(transport),
+    );
+
+    let per_reactor = |probe: &mut Client| -> Vec<i64> {
+        probe.send(&ServerCommand::Metrics { id: 1 });
+        let ServerReply::Metrics { metrics, .. } = probe.recv() else { panic!("metrics reply") };
+        (0..REACTORS)
+            .map(|r| {
+                let name = format!("qsync_transport_reactor_conns{{reactor=\"{r}\"}}");
+                metrics.gauges.iter().find(|g| g.name == name).map(|g| g.value).unwrap_or(0)
+            })
+            .collect()
+    };
+    // Round-trip straight after connecting so each connection is registered
+    // (its gauge counted) before the next accept picks a target: placement
+    // is then deterministic — all loads tied resolves to the lowest index.
+    let connect_registered = |server: &TestServer, id: u64| -> Client {
+        let mut client = server.client();
+        client.send(&ServerCommand::Plan(PlanRequest::new(id, mlp(), cluster.clone())));
+        match client.recv() {
+            ServerReply::Plan(p) => assert_eq!(p.id, id),
+            other => panic!("expected plan reply, got {other:?}"),
+        }
+        client
+    };
+
+    // Probe lands on reactor 0; eight clients then deal 1,2,0,1,2,0,1,2 —
+    // reactor 1 holds exactly clients 0, 3 and 6.
+    let mut probe = server.client();
+    assert_eq!(per_reactor(&mut probe).iter().sum::<i64>(), 1, "probe registered");
+    let mut clients: Vec<Option<Client>> =
+        (0..8).map(|i| Some(connect_registered(&server, 100 + i))).collect();
+    assert_eq!(per_reactor(&mut probe), vec![3, 3, 3], "even deal from an empty ring");
+
+    // Close everything on reactor 1 and wait for the reaps.
+    for i in [0usize, 3, 6] {
+        clients[i] = None;
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let drained = loop {
+        let counts = per_reactor(&mut probe);
+        if counts.iter().sum::<i64>() == 6 {
+            break counts;
+        }
+        assert!(Instant::now() < deadline, "closed connections never reaped: {counts:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(drained, vec![3, 0, 3], "reactor 1 drained");
+
+    // Three new connections must all refill reactor 1.
+    let refill: Vec<Client> = (0..3).map(|i| connect_registered(&server, 200 + i)).collect();
+    assert_eq!(
+        per_reactor(&mut probe),
+        vec![3, 3, 3],
+        "least-loaded hand-off must refill the drained reactor"
+    );
+
+    drop(refill);
     drop(clients);
     drop(probe);
     server.stop();
